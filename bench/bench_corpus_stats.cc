@@ -1,0 +1,91 @@
+// Experiment C7: cost of computing the statistics over structures
+// (§4.2) as the corpus grows — basic statistics (one scan) and the
+// Apriori mining of frequent partial structures (§4.2.2).
+// Paper-predicted shape: basic statistics linear in corpus size; mining
+// cost governed by support threshold (lower support => more candidate
+// sets).
+
+#include <benchmark/benchmark.h>
+
+#include "src/corpus/statistics.h"
+#include "src/datagen/university.h"
+
+namespace {
+
+using revere::corpus::Corpus;
+using revere::corpus::CorpusStatistics;
+using revere::datagen::UniversityGenerator;
+using revere::datagen::UniversityGenOptions;
+
+Corpus MakeCorpus(size_t schemas) {
+  UniversityGenerator generator(UniversityGenOptions{.seed = 21});
+  Corpus corpus;
+  generator.PopulateCorpus(&corpus, schemas);
+  return corpus;
+}
+
+void BM_BasicStatistics(benchmark::State& state) {
+  Corpus corpus = MakeCorpus(static_cast<size_t>(state.range(0)));
+  size_t vocab = 0;
+  for (auto _ : state) {
+    CorpusStatistics stats(corpus);
+    vocab = stats.vocabulary_size();
+    benchmark::DoNotOptimize(vocab);
+  }
+  state.counters["schemas"] = static_cast<double>(corpus.size());
+  state.counters["vocabulary"] = static_cast<double>(vocab);
+}
+BENCHMARK(BM_BasicStatistics)->Arg(8)->Arg(32)->Arg(128)->Unit(
+    benchmark::kMicrosecond);
+
+// arg0: schemas; arg1: min support as percent of relations.
+void BM_FrequentStructureMining(benchmark::State& state) {
+  Corpus corpus = MakeCorpus(static_cast<size_t>(state.range(0)));
+  CorpusStatistics stats(corpus);
+  size_t min_support =
+      std::max<size_t>(1, stats.relation_count() *
+                              static_cast<size_t>(state.range(1)) / 100);
+  size_t found = 0;
+  for (auto _ : state) {
+    auto frequent = stats.FrequentAttributeSets(min_support, 4);
+    found = frequent.size();
+    benchmark::DoNotOptimize(found);
+  }
+  state.counters["schemas"] = static_cast<double>(corpus.size());
+  state.counters["min_support"] = static_cast<double>(min_support);
+  state.counters["frequent_sets"] = static_cast<double>(found);
+}
+BENCHMARK(BM_FrequentStructureMining)
+    ->ArgsProduct({{16, 64}, {10, 30, 60}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SimilarNameQueries(benchmark::State& state) {
+  Corpus corpus = MakeCorpus(static_cast<size_t>(state.range(0)));
+  CorpusStatistics stats(corpus);
+  size_t results = 0;
+  for (auto _ : state) {
+    results = stats.SimilarAttributes("instructor", 10).size() +
+              stats.CoOccurringAttributes("title", 10).size();
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["schemas"] = static_cast<double>(corpus.size());
+}
+BENCHMARK(BM_SimilarNameQueries)->Arg(16)->Arg(128)->Unit(
+    benchmark::kMicrosecond);
+
+// Support estimation for unseen partial structures versus exact count.
+void BM_SupportEstimation(benchmark::State& state) {
+  Corpus corpus = MakeCorpus(64);
+  CorpusStatistics stats(corpus);
+  double est = 0;
+  for (auto _ : state) {
+    est = stats.EstimateSupport({stats.Normalize("title"),
+                                 stats.Normalize("instructor"),
+                                 stats.Normalize("room")});
+    benchmark::DoNotOptimize(est);
+  }
+  state.counters["estimated_support"] = est;
+}
+BENCHMARK(BM_SupportEstimation)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

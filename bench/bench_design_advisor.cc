@@ -1,0 +1,141 @@
+// Experiment C8: DesignAdvisor quality and cost (§4.3.1: "the author can
+// begin to design the schema and immediately be proposed a complete (or
+// near complete) one").
+//
+// Protocol: generate a corpus; hold one schema out; present the advisor
+// with a *fragment* of the held-out schema (its course relation with
+// only two attributes) and measure
+//   - retrieval quality: does SuggestSchemas rank a same-domain corpus
+//     schema first (vs planted off-domain distractors)?
+//   - autocomplete recall: how many of the held-back attributes appear
+//     in the top-k SuggestAttributes?
+// Paper-predicted shape: quality rises with corpus size; retrieval cost
+// grows linearly with it (each corpus schema is matched).
+
+#include <benchmark/benchmark.h>
+
+#include "src/advisor/design_advisor.h"
+#include "src/corpus/corpus.h"
+#include "src/datagen/university.h"
+
+namespace {
+
+using revere::advisor::DesignAdvisor;
+using revere::corpus::Corpus;
+using revere::corpus::SchemaEntry;
+using revere::datagen::GeneratedSchema;
+using revere::datagen::UniversityGenerator;
+using revere::datagen::UniversityGenOptions;
+
+void AddDistractors(Corpus* corpus) {
+  (void)corpus->AddSchema(SchemaEntry{
+      "library-1",
+      "library",
+      {{"book", {"isbn", "title", "author", "publisher"}},
+       {"loan", {"member", "isbn", "due_date"}}}});
+  (void)corpus->AddSchema(SchemaEntry{
+      "payroll-1",
+      "payroll",
+      {{"employee", {"badge", "salary", "manager", "grade"}},
+       {"timesheet", {"badge", "week", "hours"}}}});
+}
+
+// arg0: corpus size (university schemas).
+void BM_SchemaRetrieval(benchmark::State& state) {
+  UniversityGenerator generator(UniversityGenOptions{.seed = 31});
+  Corpus corpus;
+  auto generated =
+      generator.PopulateCorpus(&corpus, static_cast<size_t>(state.range(0)));
+  AddDistractors(&corpus);
+  DesignAdvisor advisor(&corpus);
+
+  // The fragment: the held-out-style draft the coordinator starts with.
+  SchemaEntry fragment{
+      "draft", "university", {{"course", {"title", "instructor"}}}};
+
+  double top1_on_domain = 0.0;
+  for (auto _ : state) {
+    auto suggestions = advisor.SuggestSchemas(fragment, {}, 3);
+    top1_on_domain = (!suggestions.empty() &&
+                      corpus.FindSchema(suggestions[0].schema_id) != nullptr &&
+                      corpus.FindSchema(suggestions[0].schema_id)->domain ==
+                          "university")
+                         ? 1.0
+                         : 0.0;
+    benchmark::DoNotOptimize(suggestions);
+  }
+  state.counters["corpus_schemas"] = static_cast<double>(corpus.size());
+  state.counters["top1_same_domain"] = top1_on_domain;
+}
+BENCHMARK(BM_SchemaRetrieval)->Arg(4)->Arg(16)->Arg(64)->Unit(
+    benchmark::kMillisecond);
+
+// Autocomplete recall: present {title, instructor}; count how many of
+// the canonical remaining course attributes {number, room, time,
+// enrollment} surface in the top-5.
+void BM_AutocompleteRecall(benchmark::State& state) {
+  UniversityGenerator generator(UniversityGenOptions{.seed = 33});
+  Corpus corpus;
+  generator.PopulateCorpus(&corpus, static_cast<size_t>(state.range(0)));
+  DesignAdvisor advisor(&corpus);
+  const auto& stats = advisor.statistics();
+
+  double recall = 0.0;
+  for (auto _ : state) {
+    auto suggested =
+        advisor.SuggestAttributes("course", {"title", "instructor"}, 5);
+    size_t hit = 0;
+    const char* expected[] = {"number", "room", "time", "enrollment"};
+    for (const char* want : expected) {
+      std::string canon = stats.Normalize(want);
+      for (const auto& s : suggested) {
+        // Accept the canonical term or any of its generated synonyms by
+        // checking usage overlap: same normalized form only.
+        if (s.term == canon) {
+          ++hit;
+          break;
+        }
+      }
+    }
+    recall = static_cast<double>(hit) / 4.0;
+    benchmark::DoNotOptimize(recall);
+  }
+  state.counters["corpus_schemas"] =
+      static_cast<double>(state.range(0));
+  state.counters["recall_at_5"] = recall;
+}
+BENCHMARK(BM_AutocompleteRecall)->Arg(8)->Arg(32)->Arg(128)->Unit(
+    benchmark::kMicrosecond);
+
+// The structural-advice check ("TA info belongs in its own table") as a
+// detection task over generated schemas that inlined TA columns.
+void BM_StructureAdviceDetection(benchmark::State& state) {
+  UniversityGenOptions options;
+  options.seed = 35;
+  options.split_ta_prob = 0.8;  // corpus mostly models TA separately
+  UniversityGenerator generator(options);
+  Corpus corpus;
+  generator.PopulateCorpus(&corpus, static_cast<size_t>(state.range(0)));
+  DesignAdvisor advisor(&corpus);
+
+  // The coordinator inlined the TA's name/email into the course table;
+  // the corpus overwhelmingly models those in ta/assistant relations.
+  SchemaEntry draft{
+      "draft",
+      "university",
+      {{"course", {"title", "instructor", "name", "email"}}}};
+  double flagged = 0.0;
+  for (auto _ : state) {
+    auto advice = advisor.AdviseStructure(draft, 0.5);
+    flagged = 0.0;
+    for (const auto& a : advice) {
+      if (a.attribute == "name" || a.attribute == "email") flagged += 0.5;
+    }
+    benchmark::DoNotOptimize(advice);
+  }
+  state.counters["ta_attrs_flagged"] = flagged;
+}
+BENCHMARK(BM_StructureAdviceDetection)->Arg(32)->Unit(
+    benchmark::kMicrosecond);
+
+}  // namespace

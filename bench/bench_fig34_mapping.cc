@@ -1,0 +1,123 @@
+// Experiment F3/F4 (paper Figures 3-4): the Berkeley/MIT peer schemas
+// and the Berkeley-to-MIT XML template mapping.
+//
+// Measures translation throughput of the Figure-4 mapping as the source
+// document grows, and validates every output against the MIT DTD of
+// Figure 3. Paper-predicted shape: linear in source size (the template
+// language was designed "to keep query translation tractable").
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "src/piazza/xml_mapping.h"
+#include "src/xml/dtd.h"
+#include "src/xml/parser.h"
+
+namespace {
+
+using revere::piazza::XmlMapping;
+using revere::xml::Dtd;
+using revere::xml::ParseXml;
+using revere::xml::XmlNode;
+
+constexpr char kFig4Mapping[] =
+    "<catalog>\n"
+    "  <course> {$c = document(\"Berkeley.xml\")/schedule/college/dept}\n"
+    "    <name> $c/name/text() </name>\n"
+    "    <subject> {$s = $c/course}\n"
+    "      <title> $s/title/text() </title>\n"
+    "      <enrollment> $s/size/text() </enrollment>\n"
+    "    </subject>\n"
+    "  </course>\n"
+    "</catalog>\n";
+
+constexpr char kMitDtd[] =
+    "Element catalog(course*)\n"
+    "Element course(name, subject*)\n"
+    "Element subject(title, enrollment)\n";
+
+std::string MakeBerkeleyDoc(size_t depts, size_t courses_per_dept) {
+  std::string out = "<schedule><college><name>College</name>";
+  for (size_t d = 0; d < depts; ++d) {
+    out += "<dept><name>Dept" + std::to_string(d) + "</name>";
+    for (size_t c = 0; c < courses_per_dept; ++c) {
+      out += "<course><title>Course " + std::to_string(d) + "-" +
+             std::to_string(c) + "</title><size>" +
+             std::to_string(30 + (c * 7) % 200) + "</size></course>";
+    }
+    out += "</dept>";
+  }
+  out += "</college></schedule>";
+  return out;
+}
+
+void BM_Fig4_Translate(benchmark::State& state) {
+  size_t depts = static_cast<size_t>(state.range(0));
+  size_t courses = static_cast<size_t>(state.range(1));
+  auto doc = ParseXml(MakeBerkeleyDoc(depts, courses));
+  auto mapping = XmlMapping::Parse(kFig4Mapping);
+  if (!doc.ok() || !mapping.ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  size_t out_nodes = 0;
+  for (auto _ : state) {
+    auto result = mapping.value().Translate({{"Berkeley.xml", doc->get()}});
+    if (!result.ok()) {
+      state.SkipWithError("translation failed");
+      return;
+    }
+    out_nodes = result.value()->SubtreeSize();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["source_courses"] =
+      static_cast<double>(depts * courses);
+  state.counters["output_nodes"] = static_cast<double>(out_nodes);
+  state.counters["courses_per_sec"] = benchmark::Counter(
+      static_cast<double>(depts * courses),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_Fig4_Translate)
+    ->Args({2, 3})      // the paper's toy scale
+    ->Args({10, 20})
+    ->Args({50, 40})
+    ->Args({200, 50});
+
+void BM_Fig4_TranslateAndValidate(benchmark::State& state) {
+  auto doc = ParseXml(MakeBerkeleyDoc(20, 20));
+  auto mapping = XmlMapping::Parse(kFig4Mapping);
+  auto dtd = Dtd::Parse(kMitDtd);
+  if (!doc.ok() || !mapping.ok() || !dtd.ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  size_t valid = 0;
+  for (auto _ : state) {
+    auto result = mapping.value().Translate({{"Berkeley.xml", doc->get()}});
+    if (result.ok() && dtd.value().Validate(*result.value()).ok()) ++valid;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["all_outputs_valid"] =
+      valid == static_cast<size_t>(state.iterations()) ? 1.0 : 0.0;
+}
+BENCHMARK(BM_Fig4_TranslateAndValidate);
+
+void BM_Fig3_DtdValidation(benchmark::State& state) {
+  size_t depts = static_cast<size_t>(state.range(0));
+  auto dtd = Dtd::Parse(
+      "Element schedule(college*)\nElement college(name, dept*)\n"
+      "Element dept(name, course*)\nElement course(title, size)\n");
+  auto doc = ParseXml(MakeBerkeleyDoc(depts, 20));
+  if (!dtd.ok() || !doc.ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto status = dtd.value().Validate(*doc.value());
+    benchmark::DoNotOptimize(status);
+  }
+}
+BENCHMARK(BM_Fig3_DtdValidation)->Arg(10)->Arg(100);
+
+}  // namespace

@@ -1,0 +1,101 @@
+// Experiment C5: instant gratification versus periodic crawling (§2.2:
+// "This feedback cycle would be crippled if changes relied upon periodic
+// web crawls before they took effect.").
+//
+// Measures (a) the cost of MANGROVE's publish path — the price of
+// immediacy, paid once per edit — and (b) the cost of a crawl cycle
+// over the whole page population — the price a crawler pays *per
+// period*, regardless of how little changed. Staleness under crawling
+// is period/2 on average; under publish it is one publish latency.
+// Paper-predicted shape: publish cost is O(page), crawl cost is
+// O(site), so immediacy gets cheaper relative to crawling as the site
+// grows.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/datagen/university.h"
+#include "src/mangrove/apps.h"
+#include "src/mangrove/publisher.h"
+#include "src/mangrove/schema.h"
+#include "src/rdf/triple_store.h"
+
+namespace {
+
+using revere::Rng;
+using revere::datagen::CourseRecord;
+using revere::datagen::GenerateCourses;
+using revere::datagen::RenderAnnotatedCoursePage;
+using revere::mangrove::ConflictResolution;
+using revere::mangrove::CourseCalendar;
+using revere::mangrove::MangroveSchema;
+using revere::mangrove::Publisher;
+using revere::rdf::TripleStore;
+
+struct Site {
+  explicit Site(size_t pages) {
+    schema = MangroveSchema::UniversityDefaults();
+    Rng rng(3);
+    courses = GenerateCourses(pages, &rng);
+    for (auto& c : courses) {
+      urls.push_back("http://u.example.edu/" + c.id);
+      html.push_back(RenderAnnotatedCoursePage(c));
+    }
+  }
+  MangroveSchema schema;
+  std::vector<CourseRecord> courses;
+  std::vector<std::string> urls;
+  std::vector<std::string> html;
+};
+
+// One author edit becoming visible: publish one page + refresh the app.
+void BM_PublishToVisible(benchmark::State& state) {
+  Site site(static_cast<size_t>(state.range(0)));
+  TripleStore store;
+  Publisher publisher(&site.schema, &store);
+  for (size_t i = 0; i < site.urls.size(); ++i) {
+    (void)publisher.Publish(site.urls[i], site.html[i]);
+  }
+  CourseCalendar calendar(&store, {ConflictResolution::kAny, ""});
+  size_t i = 0;
+  size_t visible = 0;
+  for (auto _ : state) {
+    // Re-publish one page (an edit) and refresh the application.
+    (void)publisher.Publish(site.urls[i % site.urls.size()],
+                            site.html[i % site.urls.size()]);
+    visible = calendar.Refresh().size();
+    benchmark::DoNotOptimize(visible);
+    ++i;
+  }
+  state.counters["site_pages"] = static_cast<double>(site.urls.size());
+  state.counters["visible_courses"] = static_cast<double>(visible);
+  state.counters["staleness_edits"] = 0.0;  // change visible immediately
+}
+BENCHMARK(BM_PublishToVisible)->Arg(10)->Arg(100)->Arg(1000)->Unit(
+    benchmark::kMicrosecond);
+
+// One crawl cycle: re-fetch + re-extract every page of the site (what a
+// periodic crawler pays per period, even for one changed page).
+void BM_CrawlCycle(benchmark::State& state) {
+  Site site(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    TripleStore store;
+    Publisher publisher(&site.schema, &store);
+    for (size_t i = 0; i < site.urls.size(); ++i) {
+      (void)publisher.Publish(site.urls[i], site.html[i]);
+    }
+    benchmark::DoNotOptimize(store.size());
+  }
+  state.counters["site_pages"] = static_cast<double>(site.urls.size());
+  // With crawl period P the expected staleness of a random edit is P/2;
+  // we report the cycle cost so EXPERIMENTS.md can derive the tradeoff.
+  state.counters["pages_per_cycle"] =
+      static_cast<double>(site.urls.size());
+}
+BENCHMARK(BM_CrawlCycle)->Arg(10)->Arg(100)->Arg(1000)->Unit(
+    benchmark::kMicrosecond);
+
+}  // namespace

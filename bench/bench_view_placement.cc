@@ -1,0 +1,104 @@
+// Ablation A1 (DESIGN.md design-choice benches): intelligent data
+// placement (§3.1.2 / the paper's [21]): "materialize the best views at
+// each peer to allow answering queries most efficiently, given network
+// constraints."
+//
+// Measures the planner's cost and the workload network-cost reduction
+// it achieves as the network and workload grow. Expected shape: planning
+// is cheap relative to even one run of the workload; the optimized cost
+// collapses toward the per-view maintenance charge for hot, skewed
+// workloads.
+
+#include <benchmark/benchmark.h>
+
+#include "src/datagen/topology.h"
+#include "src/piazza/placement.h"
+
+namespace {
+
+using revere::datagen::AllCoursesQuery;
+using revere::datagen::BuildUniversityPdms;
+using revere::datagen::PdmsGenOptions;
+using revere::datagen::PdmsGenReport;
+using revere::datagen::Topology;
+using revere::piazza::PdmsNetwork;
+using revere::piazza::PlacementOptions;
+using revere::piazza::PlacementPlan;
+using revere::piazza::PlanViewPlacement;
+using revere::piazza::WorkloadEntry;
+
+// arg0: peers.
+void BM_PlanPlacement(benchmark::State& state) {
+  PdmsNetwork net;
+  PdmsGenOptions options;
+  options.topology = Topology::kChain;
+  options.peers = static_cast<size_t>(state.range(0));
+  options.rows_per_peer = 5;
+  auto report = BuildUniversityPdms(&net, options);
+  if (!report.ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  // Zipf-flavored workload: the first peers query far more often.
+  std::vector<WorkloadEntry> workload;
+  for (size_t i = 0; i < report.value().peer_names.size(); ++i) {
+    workload.push_back({report.value().peer_names[i],
+                        AllCoursesQuery(report.value(), i),
+                        100.0 / static_cast<double>(i + 1)});
+  }
+  PlacementPlan plan;
+  for (auto _ : state) {
+    plan = PlanViewPlacement(net, workload, PlacementOptions{});
+    benchmark::DoNotOptimize(plan);
+  }
+  state.counters["peers"] = static_cast<double>(options.peers);
+  state.counters["views_placed"] =
+      static_cast<double>(plan.decisions.size());
+  state.counters["baseline_cost_ms"] = plan.baseline_cost;
+  state.counters["optimized_cost_ms"] = plan.optimized_cost;
+  state.counters["saving_pct"] =
+      plan.baseline_cost == 0.0
+          ? 0.0
+          : 100.0 * (plan.baseline_cost - plan.optimized_cost) /
+                plan.baseline_cost;
+}
+BENCHMARK(BM_PlanPlacement)->Arg(4)->Arg(8)->Arg(16)->Unit(
+    benchmark::kMillisecond);
+
+// Maintenance-cost sensitivity: as refresh gets more expensive, the
+// planner should materialize fewer views.
+void BM_PlacementMaintenanceSweep(benchmark::State& state) {
+  PdmsNetwork net;
+  PdmsGenOptions options;
+  options.topology = Topology::kChain;
+  options.peers = 8;
+  options.rows_per_peer = 5;
+  auto report = BuildUniversityPdms(&net, options);
+  if (!report.ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  std::vector<WorkloadEntry> workload;
+  for (size_t i = 0; i < 8; ++i) {
+    workload.push_back({report.value().peer_names[i],
+                        AllCoursesQuery(report.value(), i),
+                        100.0 / static_cast<double>(i + 1)});
+  }
+  PlacementOptions popts;
+  popts.maintenance_cost_per_view = static_cast<double>(state.range(0));
+  PlacementPlan plan;
+  for (auto _ : state) {
+    plan = PlanViewPlacement(net, workload, popts);
+    benchmark::DoNotOptimize(plan);
+  }
+  state.counters["maintenance_cost"] = popts.maintenance_cost_per_view;
+  state.counters["views_placed"] =
+      static_cast<double>(plan.decisions.size());
+}
+BENCHMARK(BM_PlacementMaintenanceSweep)
+    ->Arg(1)
+    ->Arg(100)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,115 @@
+// A department runs MANGROVE (§2): faculty annotate their own pages,
+// publishing feeds the shared repository, applications apply their own
+// integrity policies to the (deliberately dirty) data, and a proactive
+// checker finds conflicts to report back to authors.
+
+#include <cstdio>
+
+#include "src/core/revere.h"
+#include "src/datagen/university.h"
+#include "src/mangrove/apps.h"
+#include "src/mangrove/cleaning.h"
+
+using revere::Rng;
+using revere::core::Revere;
+using revere::mangrove::CleaningPolicy;
+using revere::mangrove::ConflictResolution;
+using revere::mangrove::CourseCalendar;
+using revere::mangrove::FindInconsistencies;
+using revere::mangrove::PublicationDatabase;
+using revere::mangrove::WhosWho;
+
+int main() {
+  auto dept = Revere::ForUniversity("uw-cse");
+
+  // Faculty publish their annotated course pages.
+  Rng rng(42);
+  for (const auto& course : revere::datagen::GenerateCourses(5, &rng)) {
+    auto receipt =
+        dept->PublishPage("http://cs.example.edu/" + course.id,
+                          revere::datagen::RenderAnnotatedCoursePage(course));
+    if (!receipt.ok()) return 1;
+  }
+
+  // Personal pages — including a malicious page that publishes a wrong
+  // phone number for Alon (anyone can publish anything, §2.3).
+  (void)dept->PublishPage(
+      "http://cs.example.edu/alon",
+      "<body><span m=\"person\" m-id=\"alon\">"
+      "<span m=\"name\">Alon Halevy</span>"
+      "<span m=\"phone\">206-543-1695</span>"
+      "<span m=\"office\">MGH 591</span></span></body>");
+  (void)dept->PublishPage(
+      "http://cs.example.edu/directory",
+      "<body><span m=\"person\" m-id=\"alon\">"
+      "<span m=\"phone\">206-543-1695</span></span></body>");
+  (void)dept->PublishPage(
+      "http://evil.example.com/troll",
+      "<body><span m=\"person\" m-id=\"alon\">"
+      "<span m=\"phone\">555-0000</span></span></body>");
+  (void)dept->PublishPage(
+      "http://cs.example.edu/oren",
+      "<body><span m=\"person\" m-id=\"oren\">"
+      "<span m=\"name\">Oren Etzioni</span>"
+      "<span m=\"publication\" m-id=\"p-chasm\">"
+      "<span m=\"title\">Crossing the Structure Chasm</span>"
+      "<span m=\"author\">Halevy, Etzioni, Doan, Ives, McDowell, "
+      "Tatarinov, Madhavan</span>"
+      "<span m=\"year\">2003</span><span m=\"venue\">CIDR</span>"
+      "</span></span></body>");
+
+  std::printf("Repository holds %zu triples from %s\n\n",
+              dept->repository().size(), "7 published pages");
+
+  // The course calendar tolerates dirt (kAny).
+  CourseCalendar calendar(&dept->repository(),
+                          {ConflictResolution::kAny, ""});
+  std::printf("== Department calendar ==\n");
+  for (const auto& e : calendar.Refresh()) {
+    std::printf("  %-36s %-10s %s\n", e.title.c_str(), e.time.c_str(),
+                e.room.c_str());
+  }
+
+  // The phone directory must be right: it trusts departmental pages
+  // only, so the troll's 555-0000 never shows (§2.3's "extract a phone
+  // number from the faculty's web space, rather than anywhere on the
+  // web").
+  std::printf("\n== Who's Who (trusted-source policy) ==\n");
+  WhosWho who(&dept->repository(),
+              {ConflictResolution::kTrustedSourceOnly,
+               "http://cs.example.edu/"});
+  for (const auto& e : who.Refresh()) {
+    std::printf("  %-16s phone=%-14s office=%s\n", e.name.c_str(),
+                e.phone.c_str(), e.office.c_str());
+  }
+
+  // Same data, naive policy — the troll can win here, which is exactly
+  // why policy is the application's choice.
+  WhosWho naive(&dept->repository(), {ConflictResolution::kAny, ""});
+  for (const auto& e : naive.Refresh()) {
+    if (e.person == "alon") {
+      std::printf("  (kAny policy would report alon's phone as %s)\n",
+                  e.phone.c_str());
+    }
+  }
+
+  std::printf("\n== Publications ==\n");
+  PublicationDatabase pubs(&dept->repository());
+  for (const auto& p : pubs.Refresh()) {
+    std::printf("  [%s] %s (%s)\n", p.year.c_str(), p.title.c_str(),
+                p.venue.c_str());
+  }
+
+  // Proactive inconsistency detection for author notification.
+  std::printf("\n== Inconsistency report ==\n");
+  for (const auto& problem :
+       FindInconsistencies(dept->repository(), dept->schema())) {
+    std::printf("  %s.%s has %zu conflicting values from %zu sources\n",
+                problem.subject.c_str(), problem.predicate.c_str(),
+                problem.values.size(), problem.sources.size());
+    for (const auto& src : problem.sources) {
+      std::printf("    notify author of %s\n", src.c_str());
+    }
+  }
+  return 0;
+}

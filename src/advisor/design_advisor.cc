@@ -1,0 +1,141 @@
+#include "src/advisor/design_advisor.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/text/similarity.h"
+
+namespace revere::advisor {
+
+DesignAdvisor::DesignAdvisor(const corpus::Corpus* corpus,
+                             DesignAdvisorOptions options)
+    : corpus_(corpus),
+      options_(options),
+      stats_(*corpus, options.statistics),
+      matcher_(options.matcher) {}
+
+std::vector<SchemaSuggestion> DesignAdvisor::SuggestSchemas(
+    const corpus::SchemaEntry& partial,
+    const std::map<std::string, std::vector<std::string>>& values_by_element,
+    size_t k) const {
+  std::vector<learn::ColumnInstance> partial_columns =
+      ColumnsOf(partial, values_by_element);
+
+  // preference normalizers.
+  size_t max_degree = 1;
+  for (const auto& s : corpus_->schemas()) {
+    max_degree = std::max(max_degree, corpus_->MappingDegree(s.id));
+  }
+
+  std::vector<SchemaSuggestion> out;
+  for (const auto& candidate : corpus_->schemas()) {
+    if (candidate.id == partial.id) continue;
+    std::vector<learn::ColumnInstance> candidate_columns =
+        ColumnsOf(*corpus_, candidate);
+    SchemaSuggestion suggestion;
+    suggestion.schema_id = candidate.id;
+    suggestion.correspondences =
+        matcher_.Match(partial_columns, candidate_columns);
+    // fit = "ratio between the total number of mappings between S' and S
+    // and the total number of elements of S' and S" (§4.3.1); we use the
+    // symmetric 2m/(|S'|+|S|) form so a perfect self-match scores 1.
+    size_t total_elements =
+        partial_columns.size() + candidate_columns.size();
+    suggestion.fit =
+        total_elements == 0
+            ? 0.0
+            : 2.0 * static_cast<double>(suggestion.correspondences.size()) /
+                  static_cast<double>(total_elements);
+    // preference(S'): "whether S' is commonly used ... or is relatively
+    // concise and minimal."
+    double usage = static_cast<double>(corpus_->MappingDegree(candidate.id)) /
+                   static_cast<double>(max_degree);
+    double concision =
+        candidate_columns.empty()
+            ? 0.0
+            : std::min(1.0, static_cast<double>(partial_columns.size()) /
+                                static_cast<double>(candidate_columns.size()));
+    suggestion.preference = 0.5 * usage + 0.5 * concision;
+    suggestion.similarity = options_.alpha * suggestion.fit +
+                            options_.beta * suggestion.preference;
+    out.push_back(std::move(suggestion));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SchemaSuggestion& a, const SchemaSuggestion& b) {
+              if (a.similarity != b.similarity) {
+                return a.similarity > b.similarity;
+              }
+              return a.schema_id < b.schema_id;
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::vector<corpus::ScoredTerm> DesignAdvisor::SuggestAttributes(
+    const std::string& relation_name,
+    const std::vector<std::string>& present_attributes, size_t k) const {
+  // Vote over co-occurrence lists of every present attribute.
+  std::map<std::string, double> votes;
+  std::set<std::string> present;
+  for (const auto& a : present_attributes) {
+    present.insert(stats_.Normalize(a));
+  }
+  for (const auto& a : present_attributes) {
+    for (const auto& co : stats_.CoOccurringAttributes(a, 4 * k)) {
+      if (present.count(co.term) > 0) continue;
+      votes[co.term] += co.score;
+    }
+  }
+  (void)relation_name;
+  std::vector<corpus::ScoredTerm> out;
+  for (const auto& [term, score] : votes) {
+    out.push_back({term, score / static_cast<double>(
+                                     std::max<size_t>(
+                                         present_attributes.size(), 1))});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const corpus::ScoredTerm& a, const corpus::ScoredTerm& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.term < b.term;
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::vector<StructureAdvice> DesignAdvisor::AdviseStructure(
+    const corpus::SchemaEntry& draft, double min_confidence) const {
+  std::vector<StructureAdvice> out;
+  for (const auto& rel : draft.relations) {
+    std::string here = stats_.Normalize(rel.name);
+    for (const auto& attr : rel.attributes) {
+      auto homes = stats_.RelationsContaining(attr, 10);
+      if (homes.empty()) continue;
+      // Split the attribute's corpus occurrences between relations
+      // similar to the draft's ("here") and everything else ("away");
+      // the advice fires when the corpus (almost) never models this
+      // attribute where the draft does.
+      double total = 0.0, here_share = 0.0;
+      const corpus::ScoredTerm* best_away = nullptr;
+      for (const auto& h : homes) {
+        total += h.score;
+        bool similar =
+            h.term == here || text::NameSimilarity(h.term, here) >= 0.5;
+        if (similar) {
+          here_share += h.score;
+        } else if (best_away == nullptr || h.score > best_away->score) {
+          best_away = &h;
+        }
+      }
+      if (total == 0.0 || best_away == nullptr) continue;
+      double away_confidence = (total - here_share) / total;
+      bool here_is_unusual = here_share / total < 0.25;
+      if (here_is_unusual && away_confidence >= min_confidence) {
+        out.push_back(StructureAdvice{rel.name, attr, best_away->term,
+                                      away_confidence});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace revere::advisor

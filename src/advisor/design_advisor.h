@@ -1,0 +1,83 @@
+#ifndef REVERE_ADVISOR_DESIGN_ADVISOR_H_
+#define REVERE_ADVISOR_DESIGN_ADVISOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/advisor/matcher.h"
+#include "src/corpus/corpus.h"
+#include "src/corpus/statistics.h"
+
+namespace revere::advisor {
+
+/// One ranked corpus schema proposed by DesignAdvisor.
+struct SchemaSuggestion {
+  std::string schema_id;
+  double similarity = 0.0;  // alpha*fit + beta*preference
+  double fit = 0.0;
+  double preference = 0.0;
+  std::vector<MatchCorrespondence> correspondences;
+};
+
+/// A structure-level recommendation ("in similar schemas at most other
+/// universities, TA information has been modeled in a table separate
+/// from the course table", §4.3.1).
+struct StructureAdvice {
+  std::string relation;        // where the attribute currently lives
+  std::string attribute;
+  std::string suggested_relation;  // the corpus-majority home
+  double confidence = 0.0;
+};
+
+struct DesignAdvisorOptions {
+  /// Weights of the paper's similarity template: sim = alpha*fit +
+  /// beta*preference (§4.3.1).
+  double alpha = 0.7;
+  double beta = 0.3;
+  MatcherOptions matcher;
+  corpus::StatisticsOptions statistics;
+};
+
+/// The DESIGN ADVISOR (§4.3.1): assists authoring by retrieving and
+/// ranking similar corpus schemas, auto-completing attributes, and
+/// flagging structural deviations from corpus practice.
+class DesignAdvisor {
+ public:
+  DesignAdvisor(const corpus::Corpus* corpus,
+                DesignAdvisorOptions options = {});
+
+  /// Given a partial schema (S, D): returns the top-k corpus schemas S'
+  /// ranked by sim(S', (S, D)), each with the correspondences that
+  /// justify the fit term. `values_by_element` supplies D.
+  std::vector<SchemaSuggestion> SuggestSchemas(
+      const corpus::SchemaEntry& partial,
+      const std::map<std::string, std::vector<std::string>>&
+          values_by_element = {},
+      size_t k = 5) const;
+
+  /// Auto-complete: attributes that corpus relations similar to
+  /// (`relation_name`, `present_attributes`) also carry, ranked by
+  /// co-occurrence, excluding ones already present.
+  std::vector<corpus::ScoredTerm> SuggestAttributes(
+      const std::string& relation_name,
+      const std::vector<std::string>& present_attributes,
+      size_t k = 5) const;
+
+  /// Flags attributes that the corpus usually models in a different
+  /// relation than the draft does (the "TA table" advice).
+  std::vector<StructureAdvice> AdviseStructure(
+      const corpus::SchemaEntry& draft, double min_confidence = 0.6) const;
+
+  const corpus::CorpusStatistics& statistics() const { return stats_; }
+
+ private:
+  const corpus::Corpus* corpus_;
+  DesignAdvisorOptions options_;
+  corpus::CorpusStatistics stats_;
+  SchemaMatcher matcher_;
+};
+
+}  // namespace revere::advisor
+
+#endif  // REVERE_ADVISOR_DESIGN_ADVISOR_H_

@@ -1,0 +1,34 @@
+#ifndef REVERE_ADVISOR_MAPPING_SYNTHESIS_H_
+#define REVERE_ADVISOR_MAPPING_SYNTHESIS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/advisor/matcher.h"
+#include "src/corpus/corpus.h"
+#include "src/query/glav.h"
+
+namespace revere::advisor {
+
+/// Closes the DElearning loop (§1.2/§4.3.2): the MatchingAdvisor
+/// proposes element correspondences; this step compiles them into
+/// executable GLAV mappings — "in more complex cases, the mapping will
+/// include query expressions that enable mapping the data underlying
+/// S1 to S2".
+///
+/// For every (relation_a, relation_b) pair with at least
+/// `min_correspondences` matched attributes, emits
+///   m(X1..Xk) :- peer_a:rel_a(...)  =>  m(X1..Xk) :- peer_b:rel_b(...)
+/// where the head exports the matched attribute pairs and unmatched
+/// positions get fresh existential variables. Relation names are
+/// qualified with the given peer names (pass empty strings to keep them
+/// unqualified).
+std::vector<query::GlavMapping> SynthesizeGlavMappings(
+    const corpus::SchemaEntry& schema_a, const corpus::SchemaEntry& schema_b,
+    const std::vector<MatchCorrespondence>& correspondences,
+    const std::string& peer_a = "", const std::string& peer_b = "",
+    size_t min_correspondences = 1);
+
+}  // namespace revere::advisor
+
+#endif  // REVERE_ADVISOR_MAPPING_SYNTHESIS_H_

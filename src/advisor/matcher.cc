@@ -1,0 +1,201 @@
+#include "src/advisor/matcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/text/tokenizer.h"
+
+namespace revere::advisor {
+
+namespace {
+
+/// Jaccard overlap of value token sets — strong evidence when two
+/// columns share vocabulary (e.g. the same instructor names).
+double ValueOverlap(const learn::ColumnInstance& a,
+                    const learn::ColumnInstance& b) {
+  if (a.values.empty() || b.values.empty()) return 0.0;
+  std::set<std::string> ta, tb;
+  for (const auto& v : a.values) {
+    for (auto& t : text::TokenizeText(v)) ta.insert(std::move(t));
+  }
+  for (const auto& v : b.values) {
+    for (auto& t : text::TokenizeText(v)) tb.insert(std::move(t));
+  }
+  if (ta.empty() || tb.empty()) return 0.0;
+  size_t inter = 0;
+  for (const auto& t : ta) {
+    if (tb.count(t)) ++inter;
+  }
+  return static_cast<double>(inter) /
+         static_cast<double>(ta.size() + tb.size() - inter);
+}
+
+/// Correlation of the corpus classifiers' predictions on two columns:
+/// cosine over the label-score vectors, boosted when the argmax agrees.
+double PredictionCorrelation(const learn::MultiStrategyLearner& classifiers,
+                             const learn::ColumnInstance& a,
+                             const learn::ColumnInstance& b) {
+  learn::Prediction pa = classifiers.Predict(a);
+  learn::Prediction pb = classifiers.Predict(b);
+  if (pa.scores.empty() || pb.scores.empty()) return 0.0;
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (const auto& [label, s] : pa.scores) na += s * s;
+  for (const auto& [label, s] : pb.scores) nb += s * s;
+  for (const auto& [label, s] : pa.scores) {
+    auto it = pb.scores.find(label);
+    if (it != pb.scores.end()) dot += s * it->second;
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  double cosine = dot / (std::sqrt(na) * std::sqrt(nb));
+  double agree = pa.Best() == pb.Best() ? 1.0 : 0.0;
+  return 0.5 * cosine + 0.5 * agree;
+}
+
+}  // namespace
+
+double SchemaMatcher::ElementSimilarity(const learn::ColumnInstance& a,
+                                        const learn::ColumnInstance& b) const {
+  double score =
+      text::NameSimilarity(a.attribute, b.attribute, options_.name_options);
+  // Instance evidence is a noisy-or *boost*: shared vocabulary raises
+  // confidence, but absence of overlap never penalizes — otherwise a
+  // pair that happens to lack sample data would outscore a genuinely
+  // aligned pair whose samples only partially overlap.
+  if (options_.use_values && !a.values.empty() && !b.values.empty()) {
+    score += (1.0 - score) * ValueOverlap(a, b);
+  }
+  if (options_.corpus_classifiers != nullptr) {
+    double classifier_sim =
+        PredictionCorrelation(*options_.corpus_classifiers, a, b);
+    double w = options_.classifier_weight;
+    score = (1.0 - w) * score + w * classifier_sim;
+  }
+  return score;
+}
+
+namespace {
+
+/// One relaxation sweep: blend each pair's score with its neighborhood
+/// support — the average, over element i's same-relation siblings, of
+/// their best score against element j's siblings.
+void RelaxationSweep(const std::vector<learn::ColumnInstance>& side_a,
+                     const std::vector<learn::ColumnInstance>& side_b,
+                     double weight, std::vector<std::vector<double>>* m) {
+  std::vector<std::vector<double>> next = *m;
+  for (size_t i = 0; i < side_a.size(); ++i) {
+    for (size_t j = 0; j < side_b.size(); ++j) {
+      double support_sum = 0.0;
+      size_t sibling_count = 0;
+      for (size_t si = 0; si < side_a.size(); ++si) {
+        if (si == i || side_a[si].relation != side_a[i].relation) continue;
+        ++sibling_count;
+        double best = 0.0;
+        for (size_t sj = 0; sj < side_b.size(); ++sj) {
+          if (sj == j || side_b[sj].relation != side_b[j].relation) continue;
+          best = std::max(best, (*m)[si][sj]);
+        }
+        support_sum += best;
+      }
+      if (sibling_count == 0) continue;  // no structure to lean on
+      double support = support_sum / static_cast<double>(sibling_count);
+      next[i][j] = (1.0 - weight) * (*m)[i][j] + weight * support;
+    }
+  }
+  *m = std::move(next);
+}
+
+}  // namespace
+
+std::vector<MatchCorrespondence> SchemaMatcher::Match(
+    const std::vector<learn::ColumnInstance>& side_a,
+    const std::vector<learn::ColumnInstance>& side_b) const {
+  // Full pairwise matrix (needed for relaxation even below threshold).
+  std::vector<std::vector<double>> matrix(
+      side_a.size(), std::vector<double>(side_b.size(), 0.0));
+  for (size_t i = 0; i < side_a.size(); ++i) {
+    for (size_t j = 0; j < side_b.size(); ++j) {
+      matrix[i][j] = ElementSimilarity(side_a[i], side_b[j]);
+    }
+  }
+  for (size_t round = 0; round < options_.relaxation_iterations; ++round) {
+    RelaxationSweep(side_a, side_b, options_.relaxation_weight, &matrix);
+  }
+
+  struct Candidate {
+    size_t i, j;
+    double score;
+  };
+  std::vector<Candidate> candidates;
+  for (size_t i = 0; i < side_a.size(); ++i) {
+    for (size_t j = 0; j < side_b.size(); ++j) {
+      double s = matrix[i][j];
+      if (s >= options_.threshold) candidates.push_back({i, j, s});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& x, const Candidate& y) {
+              if (x.score != y.score) return x.score > y.score;
+              if (x.i != y.i) return x.i < y.i;
+              return x.j < y.j;
+            });
+  std::vector<bool> used_a(side_a.size(), false), used_b(side_b.size(),
+                                                         false);
+  std::vector<MatchCorrespondence> out;
+  for (const auto& c : candidates) {
+    if (used_a[c.i] || used_b[c.j]) continue;
+    used_a[c.i] = true;
+    used_b[c.j] = true;
+    out.push_back({side_a[c.i].QualifiedName(), side_b[c.j].QualifiedName(),
+                   c.score});
+  }
+  return out;
+}
+
+std::vector<learn::ColumnInstance> ColumnsOf(
+    const corpus::Corpus& corpus, const corpus::SchemaEntry& schema) {
+  std::vector<learn::ColumnInstance> out;
+  for (const auto& rel : schema.relations) {
+    const corpus::DataExample* data = corpus.FindData(schema.id, rel.name);
+    for (size_t col = 0; col < rel.attributes.size(); ++col) {
+      learn::ColumnInstance c;
+      c.schema_id = schema.id;
+      c.relation = rel.name;
+      c.attribute = rel.attributes[col];
+      for (size_t s = 0; s < rel.attributes.size(); ++s) {
+        if (s != col) c.sibling_attributes.push_back(rel.attributes[s]);
+      }
+      if (data != nullptr) {
+        for (const auto& row : data->rows) {
+          c.values.push_back(row[col]);
+        }
+      }
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+std::vector<learn::ColumnInstance> ColumnsOf(
+    const corpus::SchemaEntry& schema,
+    const std::map<std::string, std::vector<std::string>>&
+        values_by_element) {
+  std::vector<learn::ColumnInstance> out;
+  for (const auto& rel : schema.relations) {
+    for (size_t col = 0; col < rel.attributes.size(); ++col) {
+      learn::ColumnInstance c;
+      c.schema_id = schema.id;
+      c.relation = rel.name;
+      c.attribute = rel.attributes[col];
+      for (size_t s = 0; s < rel.attributes.size(); ++s) {
+        if (s != col) c.sibling_attributes.push_back(rel.attributes[s]);
+      }
+      auto it = values_by_element.find(c.QualifiedName());
+      if (it != values_by_element.end()) c.values = it->second;
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+}  // namespace revere::advisor

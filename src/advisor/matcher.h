@@ -1,0 +1,80 @@
+#ifndef REVERE_ADVISOR_MATCHER_H_
+#define REVERE_ADVISOR_MATCHER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/corpus/corpus.h"
+#include "src/learn/multi_strategy.h"
+#include "src/text/similarity.h"
+
+namespace revere::advisor {
+
+/// One proposed element correspondence between two schemas.
+struct MatchCorrespondence {
+  std::string a;  // qualified element of schema A ("course.title")
+  std::string b;  // qualified element of schema B
+  double score = 0.0;
+};
+
+struct MatcherOptions {
+  /// Minimum combined score to propose a correspondence.
+  double threshold = 0.35;
+  /// Weight of name similarity vs instance-based evidence.
+  double name_weight = 0.5;
+  /// Use value overlap / format evidence when data samples exist.
+  bool use_values = true;
+  text::NameSimilarityOptions name_options;
+  /// Optional corpus-trained classifier stack (the LSD route, §4.3.2):
+  /// "we apply the classifiers in the corpus to their elements
+  /// respectively, and find correlations in the predictions".
+  const learn::MultiStrategyLearner* corpus_classifiers = nullptr;
+  double classifier_weight = 0.5;  // weight of the correlation signal
+  /// Relaxation labeling (the GLUE [14] direction): iteratively boost a
+  /// pair's score by how well the two elements' *siblings* match each
+  /// other — structural consistency disambiguates what local evidence
+  /// cannot. 0 iterations disables it.
+  size_t relaxation_iterations = 0;
+  double relaxation_weight = 0.4;
+};
+
+/// The MATCHING ADVISOR (§4.3.2): proposes semantic correspondences
+/// between two previously unseen schemas, combining direct evidence
+/// (names, instances) with corpus-classifier prediction correlation.
+class SchemaMatcher {
+ public:
+  explicit SchemaMatcher(MatcherOptions options = {})
+      : options_(options) {}
+
+  /// Similarity of two individual elements in [0, 1].
+  double ElementSimilarity(const learn::ColumnInstance& a,
+                           const learn::ColumnInstance& b) const;
+
+  /// One-to-one correspondences between the two element sets: greedy
+  /// best-first assignment over the pairwise matrix, thresholded.
+  std::vector<MatchCorrespondence> Match(
+      const std::vector<learn::ColumnInstance>& side_a,
+      const std::vector<learn::ColumnInstance>& side_b) const;
+
+  const MatcherOptions& options() const { return options_; }
+
+ private:
+  MatcherOptions options_;
+};
+
+/// Builds matcher inputs from a corpus schema entry, attaching sample
+/// values from the corpus's data examples when present.
+std::vector<learn::ColumnInstance> ColumnsOf(const corpus::Corpus& corpus,
+                                             const corpus::SchemaEntry& schema);
+
+/// Same, for a schema not (yet) in a corpus — no data values attached
+/// unless provided in `values_by_element` keyed by "relation.attribute".
+std::vector<learn::ColumnInstance> ColumnsOf(
+    const corpus::SchemaEntry& schema,
+    const std::map<std::string, std::vector<std::string>>& values_by_element =
+        {});
+
+}  // namespace revere::advisor
+
+#endif  // REVERE_ADVISOR_MATCHER_H_

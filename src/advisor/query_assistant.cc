@@ -1,0 +1,124 @@
+#include "src/advisor/query_assistant.h"
+
+#include <algorithm>
+
+#include "src/query/evaluate.h"
+
+namespace revere::advisor {
+
+namespace {
+
+struct RelationRepair {
+  std::string replacement;
+  double similarity = 0.0;
+};
+
+}  // namespace
+
+std::vector<QuerySuggestion> QueryAssistant::Reformulate(
+    const query::ConjunctiveQuery& user_query) const {
+  // Per body atom: either it is already well formed, or collect repair
+  // candidates among catalog relations of the same arity.
+  std::vector<std::vector<RelationRepair>> per_atom;
+  std::vector<std::string> table_names = catalog_->TableNames();
+
+  for (const auto& atom : user_query.body()) {
+    auto existing = catalog_->GetTable(atom.relation);
+    if (existing.ok() &&
+        existing.value()->schema().arity() == atom.args.size()) {
+      per_atom.push_back({{atom.relation, 1.0}});
+      continue;
+    }
+    std::vector<RelationRepair> candidates;
+    for (const auto& name : table_names) {
+      auto table = catalog_->GetTable(name);
+      if (!table.ok() ||
+          table.value()->schema().arity() != atom.args.size()) {
+        continue;
+      }
+      double sim =
+          text::NameSimilarity(atom.relation, name, options_.name_options);
+      if (options_.statistics != nullptr) {
+        // Prefer repairs whose target term is actually used as a
+        // relation name in the corpus.
+        corpus::TermUsage usage = options_.statistics->Usage(name);
+        if (usage.total() > 0) {
+          sim = 0.8 * sim + 0.2 * usage.RelationShare();
+        }
+      }
+      if (sim >= options_.min_term_similarity) {
+        candidates.push_back({name, sim});
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const RelationRepair& a, const RelationRepair& b) {
+                if (a.similarity != b.similarity) {
+                  return a.similarity > b.similarity;
+                }
+                return a.replacement < b.replacement;
+              });
+    if (candidates.size() > options_.candidates_per_relation) {
+      candidates.resize(options_.candidates_per_relation);
+    }
+    if (candidates.empty()) return {};  // unrepairable: no answers at all
+    per_atom.push_back(std::move(candidates));
+  }
+
+  // Cross product of repairs (bounded: candidates_per_relation^atoms,
+  // with few atoms in practice).
+  std::vector<QuerySuggestion> out;
+  std::vector<size_t> choice(per_atom.size(), 0);
+  while (true) {
+    QuerySuggestion suggestion;
+    suggestion.score = 1.0;
+    std::vector<query::Atom> body = user_query.body();
+    for (size_t i = 0; i < body.size(); ++i) {
+      const RelationRepair& repair = per_atom[i][choice[i]];
+      if (repair.replacement != body[i].relation) {
+        suggestion.repairs.push_back(body[i].relation + " -> " +
+                                     repair.replacement);
+      }
+      suggestion.score *= repair.similarity;
+      body[i].relation = repair.replacement;
+    }
+    suggestion.query = query::ConjunctiveQuery(user_query.name(),
+                                               user_query.head(), body);
+    out.push_back(std::move(suggestion));
+
+    size_t i = 0;
+    while (i < choice.size()) {
+      if (++choice[i] < per_atom[i].size()) break;
+      choice[i] = 0;
+      ++i;
+    }
+    if (i == choice.size()) break;
+    if (choice.empty()) break;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const QuerySuggestion& a, const QuerySuggestion& b) {
+              return a.score > b.score;
+            });
+  if (out.size() > options_.max_suggestions) {
+    out.resize(options_.max_suggestions);
+  }
+  return out;
+}
+
+Result<std::vector<storage::Row>> QueryAssistant::AnswerFlexibly(
+    const query::ConjunctiveQuery& user_query, QuerySuggestion* used) const {
+  std::vector<QuerySuggestion> suggestions = Reformulate(user_query);
+  if (suggestions.empty()) {
+    return Status::NotFound(
+        "no schema-conformant reformulation found for: " +
+        user_query.ToString());
+  }
+  for (const auto& s : suggestions) {
+    auto rows = query::EvaluateCQ(*catalog_, s.query);
+    if (!rows.ok()) continue;
+    if (used != nullptr) *used = s;
+    return rows;
+  }
+  return Status::Internal("all reformulations failed to evaluate");
+}
+
+}  // namespace revere::advisor

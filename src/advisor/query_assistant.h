@@ -1,0 +1,78 @@
+#ifndef REVERE_ADVISOR_QUERY_ASSISTANT_H_
+#define REVERE_ADVISOR_QUERY_ASSISTANT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/corpus/statistics.h"
+#include "src/query/cq.h"
+#include "src/storage/catalog.h"
+#include "src/text/similarity.h"
+
+namespace revere::advisor {
+
+/// One proposed reformulation of a user query, with the vocabulary
+/// repairs that produced it.
+struct QuerySuggestion {
+  query::ConjunctiveQuery query;  // well-formed against the schema
+  double score = 0.0;             // product of repair similarities
+  /// Human-readable repairs, e.g. "class -> course", "teacher ->
+  /// instructor".
+  std::vector<std::string> repairs;
+};
+
+struct QueryAssistantOptions {
+  /// Minimum per-repair similarity for a candidate substitution.
+  double min_term_similarity = 0.45;
+  /// Candidates considered per unknown relation.
+  size_t candidates_per_relation = 3;
+  /// Maximum suggestions returned.
+  size_t max_suggestions = 5;
+  text::NameSimilarityOptions name_options;
+  /// Optional corpus statistics: when present, term-usage roles break
+  /// ties (a term mostly used as a relation name is a better relation
+  /// repair than one mostly used in data).
+  const corpus::CorpusStatistics* statistics = nullptr;
+};
+
+/// The §4.4 tool: "a user should be able to access a database the
+/// schema of which she does not know, and pose a query using her own
+/// terminology ... a tool that uses the corpus to propose
+/// reformulations of the user's query that are well formed w.r.t. the
+/// schema at hand. The tool may propose a few such queries ... and let
+/// the user choose among them."
+///
+/// Given a conjunctive query whose relation names come from the user's
+/// head rather than the catalog, Reformulate() repairs each unknown
+/// relation to the most similar catalog relations (same arity), ranks
+/// the combinations, and returns only candidates that are well formed
+/// (every relation exists with the right arity). This is the S-WORLD
+/// analogue of a search engine's "did you mean" — U-WORLD graceful
+/// degradation imported into structured querying.
+class QueryAssistant {
+ public:
+  QueryAssistant(const storage::Catalog* catalog,
+                 QueryAssistantOptions options = {})
+      : catalog_(catalog), options_(options) {}
+
+  /// Proposed well-formed reformulations, best first. An already
+  /// well-formed query returns itself with score 1. Empty result means
+  /// no repair clears the similarity bar.
+  std::vector<QuerySuggestion> Reformulate(
+      const query::ConjunctiveQuery& user_query) const;
+
+  /// Convenience: reformulate and evaluate the best suggestion; the
+  /// suggestion actually used is written to `*used` when non-null.
+  Result<std::vector<storage::Row>> AnswerFlexibly(
+      const query::ConjunctiveQuery& user_query,
+      QuerySuggestion* used = nullptr) const;
+
+ private:
+  const storage::Catalog* catalog_;
+  QueryAssistantOptions options_;
+};
+
+}  // namespace revere::advisor
+
+#endif  // REVERE_ADVISOR_QUERY_ASSISTANT_H_

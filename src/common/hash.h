@@ -1,0 +1,29 @@
+#ifndef REVERE_COMMON_HASH_H_
+#define REVERE_COMMON_HASH_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace revere {
+
+/// Mixes `v`'s hash into `seed` (boost-style hash_combine).
+template <typename T>
+void HashCombine(size_t* seed, const T& v) {
+  *seed ^= std::hash<T>{}(v) + 0x9e3779b97f4a7c15ULL + (*seed << 6) +
+           (*seed >> 2);
+}
+
+/// Hash functor for std::pair, usable as unordered_map hasher.
+struct PairHash {
+  template <typename A, typename B>
+  size_t operator()(const std::pair<A, B>& p) const {
+    size_t seed = 0;
+    HashCombine(&seed, p.first);
+    HashCombine(&seed, p.second);
+    return seed;
+  }
+};
+
+}  // namespace revere
+
+#endif  // REVERE_COMMON_HASH_H_

@@ -1,0 +1,45 @@
+#ifndef REVERE_COMMON_LOGGING_H_
+#define REVERE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace revere {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped. Defaults to
+/// kWarning so library users aren't spammed; tests may lower it.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define REVERE_LOG(level)                                                \
+  if (::revere::LogLevel::level < ::revere::GetLogLevel()) {             \
+  } else                                                                 \
+    ::revere::internal::LogMessage(::revere::LogLevel::level, __FILE__,  \
+                                   __LINE__)                             \
+        .stream()
+
+}  // namespace revere
+
+#endif  // REVERE_COMMON_LOGGING_H_

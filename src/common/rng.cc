@@ -1,0 +1,73 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+namespace revere {
+
+uint64_t Rng::Next() {
+  // splitmix64: tiny, fast, and passes BigCrush for our purposes.
+  state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  if (bound == 0) return 0;
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (0ULL - bound) % bound;
+  while (true) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  if (hi <= lo) return lo;
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+double Rng::Gaussian(double mean, double stddev) {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return mean + stddev * spare_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * UniformDouble() - 1.0;
+    v = 2.0 * UniformDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  double mul = std::sqrt(-2.0 * std::log(s) / s);
+  spare_gaussian_ = v * mul;
+  has_spare_gaussian_ = true;
+  return mean + stddev * u * mul;
+}
+
+uint64_t Rng::Zipf(uint64_t n, double theta) {
+  if (n <= 1) return 0;
+  if (theta <= 0.0) return Uniform(n);
+  // Inverse-CDF via partial harmonic sums would be O(n); use the standard
+  // acceptance method from Gray et al. for moderate n — here a simple
+  // cumulative walk is fine because generators cache nothing and our n is
+  // small (vocabulary sizes), so clarity wins.
+  double denom = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) denom += 1.0 / std::pow(double(i), theta);
+  double u = UniformDouble() * denom;
+  double cum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    cum += 1.0 / std::pow(static_cast<double>(i), theta);
+    if (u <= cum) return i - 1;
+  }
+  return n - 1;
+}
+
+}  // namespace revere

@@ -1,0 +1,64 @@
+#ifndef REVERE_COMMON_RNG_H_
+#define REVERE_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace revere {
+
+/// Deterministic pseudo-random generator (splitmix64 core). Every
+/// randomized component in REVERE takes an explicit seed so that tests,
+/// data generation, and benchmarks are exactly reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Bernoulli trial with success probability `p`.
+  bool Bernoulli(double p);
+
+  /// Gaussian sample (Box-Muller).
+  double Gaussian(double mean, double stddev);
+
+  /// Zipfian rank in [0, n) with exponent `theta` (theta=0 is uniform).
+  /// Used by workload generators to skew access patterns.
+  uint64_t Zipf(uint64_t n, double theta);
+
+  /// Picks one element index from [0, n) — convenience alias of Uniform.
+  size_t Index(size_t n) { return static_cast<size_t>(Uniform(n)); }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = Index(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-component seeding).
+  Rng Fork() { return Rng(Next() ^ 0x9e3779b97f4a7c15ULL); }
+
+ private:
+  uint64_t state_;
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace revere
+
+#endif  // REVERE_COMMON_RNG_H_

@@ -1,0 +1,48 @@
+#ifndef REVERE_COMMON_STRINGS_H_
+#define REVERE_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace revere {
+
+/// Splits `input` on any single occurrence of `delim`. Empty pieces are
+/// kept unless `skip_empty` is true.
+std::vector<std::string> Split(std::string_view input, char delim,
+                               bool skip_empty = false);
+
+/// Splits `input` on every character contained in `delims`.
+std::vector<std::string> SplitAny(std::string_view input,
+                                  std::string_view delims,
+                                  bool skip_empty = true);
+
+/// Joins `pieces` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lower-casing (locale independent).
+std::string ToLower(std::string_view s);
+/// ASCII upper-casing (locale independent).
+std::string ToUpper(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+/// True if `needle` occurs in `haystack`.
+bool Contains(std::string_view haystack, std::string_view needle);
+
+/// Replaces every occurrence of `from` with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+/// Formats `v` with `precision` digits after the decimal point.
+std::string FormatDouble(double v, int precision = 3);
+
+}  // namespace revere
+
+#endif  // REVERE_COMMON_STRINGS_H_

@@ -1,0 +1,88 @@
+#include "src/core/revere.h"
+
+#include "src/mangrove/export.h"
+#include "src/piazza/peer.h"
+
+namespace revere::core {
+
+Revere::Revere(std::string org, mangrove::MangroveSchema schema)
+    : org_(std::move(org)),
+      schema_(std::move(schema)),
+      synonyms_(text::SynonymTable::UniversityDomainDefaults()),
+      annotator_(&schema_),
+      publisher_(&schema_, &repository_) {
+  (void)pdms_.AddPeer(org_);
+}
+
+std::unique_ptr<Revere> Revere::ForUniversity(const std::string& org) {
+  return std::make_unique<Revere>(
+      org, mangrove::MangroveSchema::UniversityDefaults());
+}
+
+Result<mangrove::PublishReceipt> Revere::PublishPage(
+    const std::string& url, const std::string& html) {
+  return publisher_.Publish(url, html);
+}
+
+Result<size_t> Revere::ExportConceptToPeer(
+    const std::string& concept_name,
+    const mangrove::CleaningPolicy& policy) {
+  std::string qualified = piazza::QualifiedName(org_, concept_name);
+  // Replace a previous export.
+  if (pdms_.storage().HasTable(qualified)) {
+    REVERE_RETURN_IF_ERROR(pdms_.mutable_storage()->DropTable(qualified));
+  }
+  REVERE_ASSIGN_OR_RETURN(
+      storage::TableSchema table_schema,
+      mangrove::ConceptTableSchema(schema_, concept_name, qualified));
+  REVERE_ASSIGN_OR_RETURN(
+      storage::Table * table,
+      pdms_.mutable_storage()->CreateTable(std::move(table_schema)));
+  return mangrove::MaterializeConcept(repository_, schema_, concept_name,
+                                      policy, table);
+}
+
+Status Revere::ContributeSchemaToCorpus() {
+  corpus::SchemaEntry entry;
+  entry.id = org_;
+  entry.domain = schema_.name();
+  for (const auto& c : schema_.concepts()) {
+    corpus::RelationDecl rel;
+    rel.name = c.name;
+    for (const auto& p : c.properties) rel.attributes.push_back(p.name);
+    entry.relations.push_back(std::move(rel));
+  }
+  return corpus_.AddSchema(std::move(entry));
+}
+
+Result<std::vector<advisor::MatchCorrespondence>> Revere::AdviseMatching(
+    const std::string& schema_a, const std::string& schema_b,
+    const advisor::MatcherOptions& options) const {
+  const corpus::SchemaEntry* a = corpus_.FindSchema(schema_a);
+  const corpus::SchemaEntry* b = corpus_.FindSchema(schema_b);
+  if (a == nullptr || b == nullptr) {
+    return Status::NotFound("both schemas must be in the corpus");
+  }
+  advisor::SchemaMatcher matcher(options);
+  return matcher.Match(advisor::ColumnsOf(corpus_, *a),
+                       advisor::ColumnsOf(corpus_, *b));
+}
+
+advisor::DesignAdvisor Revere::MakeDesignAdvisor(
+    advisor::DesignAdvisorOptions options) const {
+  return advisor::DesignAdvisor(&corpus_, options);
+}
+
+Result<std::vector<storage::Row>> Revere::QueryFlexibly(
+    const std::string& user_query_text,
+    advisor::QuerySuggestion* used) const {
+  REVERE_ASSIGN_OR_RETURN(query::ConjunctiveQuery q,
+                          query::ConjunctiveQuery::Parse(user_query_text));
+  advisor::QueryAssistantOptions options;
+  options.name_options.use_synonyms = true;
+  options.name_options.synonyms = &synonyms_;
+  advisor::QueryAssistant assistant(&pdms_.storage(), options);
+  return assistant.AnswerFlexibly(q, used);
+}
+
+}  // namespace revere::core

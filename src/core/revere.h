@@ -1,0 +1,107 @@
+#ifndef REVERE_CORE_REVERE_H_
+#define REVERE_CORE_REVERE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/advisor/design_advisor.h"
+#include "src/advisor/matcher.h"
+#include "src/advisor/query_assistant.h"
+#include "src/common/status.h"
+#include "src/corpus/corpus.h"
+#include "src/mangrove/annotator.h"
+#include "src/mangrove/apps.h"
+#include "src/mangrove/cleaning.h"
+#include "src/mangrove/publisher.h"
+#include "src/mangrove/schema.h"
+#include "src/piazza/pdms.h"
+#include "src/rdf/triple_store.h"
+#include "src/text/synonyms.h"
+
+namespace revere::core {
+
+/// The REVERE system facade (Figure 1): one organization's deployment,
+/// wiring together
+///   - MANGROVE: annotation tool + publish path + triple repository +
+///     instant-gratification applications,
+///   - Piazza: the peer data management network,
+///   - the corpus of structures and its advisor tools.
+///
+/// The glue method ExportConceptToPeer turns locally published
+/// annotations into a stored relation at a PDMS peer — the full
+/// "structure locally, share globally" pipeline of the paper.
+class Revere {
+ public:
+  /// `org` names this deployment's PDMS peer; `schema` is the MANGROVE
+  /// tag schema its authors annotate against.
+  Revere(std::string org, mangrove::MangroveSchema schema);
+
+  /// Convenience: university-domain defaults.
+  static std::unique_ptr<Revere> ForUniversity(const std::string& org);
+
+  const std::string& org() const { return org_; }
+  const mangrove::MangroveSchema& schema() const { return schema_; }
+
+  // ---- MANGROVE ----
+  mangrove::AnnotationTool& annotator() { return annotator_; }
+  mangrove::Publisher& publisher() { return publisher_; }
+  rdf::TripleStore& repository() { return repository_; }
+
+  /// Annotate-and-publish in one step (the GUI's "publish" button).
+  Result<mangrove::PublishReceipt> PublishPage(const std::string& url,
+                                               const std::string& html);
+
+  // ---- Piazza ----
+  piazza::PdmsNetwork& pdms() { return pdms_; }
+
+  /// Materializes one MANGROVE concept as a stored relation at this
+  /// org's peer: table `concept`(subject, prop1, ..., propK) filled from
+  /// the repository under `policy`. Replaces any previous export.
+  Result<size_t> ExportConceptToPeer(const std::string& concept_name,
+                                     const mangrove::CleaningPolicy& policy);
+
+  // ---- Corpus & advisors ----
+  corpus::Corpus& corpus() { return corpus_; }
+
+  /// Registers this org's current schemas into the corpus so other
+  /// tools can learn from them.
+  Status ContributeSchemaToCorpus();
+
+  /// MatchingAdvisor: proposes correspondences between two corpus
+  /// schemas (both must be in the corpus).
+  Result<std::vector<advisor::MatchCorrespondence>> AdviseMatching(
+      const std::string& schema_a, const std::string& schema_b,
+      const advisor::MatcherOptions& options = {}) const;
+
+  /// DesignAdvisor over this deployment's corpus.
+  advisor::DesignAdvisor MakeDesignAdvisor(
+      advisor::DesignAdvisorOptions options = {}) const;
+
+  /// §4.4 flexible querying: parses `user_query_text` (datalog syntax),
+  /// repairs unknown relation names against this deployment's stored
+  /// relations using the domain synonym table, evaluates the best
+  /// repair. The suggestion used is written to `*used` when non-null.
+  Result<std::vector<storage::Row>> QueryFlexibly(
+      const std::string& user_query_text,
+      advisor::QuerySuggestion* used = nullptr) const;
+
+  /// The deployment-wide synonym table (university defaults, including
+  /// the inter-language entries).
+  const text::SynonymTable& synonyms() const { return synonyms_; }
+
+ private:
+  std::string org_;
+  mangrove::MangroveSchema schema_;
+  text::SynonymTable synonyms_;
+  rdf::TripleStore repository_;
+  mangrove::AnnotationTool annotator_;
+  mangrove::Publisher publisher_;
+  piazza::PdmsNetwork pdms_;
+  corpus::Corpus corpus_;
+};
+
+}  // namespace revere::core
+
+#endif  // REVERE_CORE_REVERE_H_

@@ -1,0 +1,90 @@
+#include "src/corpus/corpus.h"
+
+namespace revere::corpus {
+
+const RelationDecl* SchemaEntry::FindRelation(const std::string& name) const {
+  for (const auto& r : relations) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> SchemaEntry::Elements() const {
+  std::vector<std::string> out;
+  for (const auto& r : relations) {
+    out.push_back(r.name);
+    for (const auto& a : r.attributes) out.push_back(r.name + "." + a);
+  }
+  return out;
+}
+
+size_t SchemaEntry::ElementCount() const {
+  size_t n = 0;
+  for (const auto& r : relations) n += 1 + r.attributes.size();
+  return n;
+}
+
+Status Corpus::AddSchema(SchemaEntry schema) {
+  if (schema_index_.count(schema.id) > 0) {
+    return Status::AlreadyExists("schema '" + schema.id +
+                                 "' already in corpus");
+  }
+  schema_index_[schema.id] = schemas_.size();
+  schemas_.push_back(std::move(schema));
+  return Status::Ok();
+}
+
+Status Corpus::AddDataExample(DataExample example) {
+  if (schema_index_.count(example.schema_id) == 0) {
+    return Status::NotFound("data example for unknown schema '" +
+                            example.schema_id + "'");
+  }
+  const SchemaEntry& schema = schemas_[schema_index_.at(example.schema_id)];
+  const RelationDecl* rel = schema.FindRelation(example.relation);
+  if (rel == nullptr) {
+    return Status::NotFound("no relation '" + example.relation + "' in '" +
+                            example.schema_id + "'");
+  }
+  for (const auto& row : example.rows) {
+    if (row.size() != rel->attributes.size()) {
+      return Status::InvalidArgument(
+          "row arity mismatch for " + example.schema_id + "." +
+          example.relation);
+    }
+  }
+  data_.push_back(std::move(example));
+  return Status::Ok();
+}
+
+Status Corpus::AddKnownMapping(KnownMapping mapping) {
+  if (schema_index_.count(mapping.schema_a) == 0 ||
+      schema_index_.count(mapping.schema_b) == 0) {
+    return Status::NotFound("known mapping references unknown schema");
+  }
+  mappings_.push_back(std::move(mapping));
+  return Status::Ok();
+}
+
+const SchemaEntry* Corpus::FindSchema(const std::string& id) const {
+  auto it = schema_index_.find(id);
+  if (it == schema_index_.end()) return nullptr;
+  return &schemas_[it->second];
+}
+
+const DataExample* Corpus::FindData(const std::string& schema_id,
+                                    const std::string& relation) const {
+  for (const auto& d : data_) {
+    if (d.schema_id == schema_id && d.relation == relation) return &d;
+  }
+  return nullptr;
+}
+
+size_t Corpus::MappingDegree(const std::string& schema_id) const {
+  size_t n = 0;
+  for (const auto& m : mappings_) {
+    if (m.schema_a == schema_id || m.schema_b == schema_id) ++n;
+  }
+  return n;
+}
+
+}  // namespace revere::corpus

@@ -1,0 +1,85 @@
+#ifndef REVERE_CORPUS_CORPUS_H_
+#define REVERE_CORPUS_CORPUS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace revere::corpus {
+
+/// One relation declaration inside a corpus schema.
+struct RelationDecl {
+  std::string name;
+  std::vector<std::string> attributes;
+};
+
+/// One schema in the corpus of structures (§4.1: "forms of schema
+/// information: relational, OO and XML schemas ... DTDs ...").
+struct SchemaEntry {
+  std::string id;      // unique within the corpus
+  std::string domain;  // e.g. "university" — corpora may be domain-specific
+  std::vector<RelationDecl> relations;
+
+  const RelationDecl* FindRelation(const std::string& name) const;
+  /// Qualified element names: "relation.attribute" plus bare relations.
+  std::vector<std::string> Elements() const;
+  size_t ElementCount() const;
+};
+
+/// Example data rows for one relation of one corpus schema (§4.1:
+/// "actual data: example tables ... ground facts").
+struct DataExample {
+  std::string schema_id;
+  std::string relation;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// A known mapping between two corpus schemas (§4.1: "known mappings
+/// between schemas in the corpus"). Element names are qualified
+/// ("course.title").
+struct KnownMapping {
+  std::string schema_a;
+  std::string schema_b;
+  std::vector<std::pair<std::string, std::string>> element_pairs;
+};
+
+/// The corpus of structures: "just a collection of disparate structures"
+/// (explicitly *not* a coherent universal database, §4.1) — schemas,
+/// example data, and known mappings, over which statistics are computed.
+class Corpus {
+ public:
+  Corpus() = default;
+
+  Status AddSchema(SchemaEntry schema);
+  Status AddDataExample(DataExample example);
+  Status AddKnownMapping(KnownMapping mapping);
+
+  const SchemaEntry* FindSchema(const std::string& id) const;
+  const std::vector<SchemaEntry>& schemas() const { return schemas_; }
+  const std::vector<DataExample>& data_examples() const { return data_; }
+  const std::vector<KnownMapping>& known_mappings() const {
+    return mappings_;
+  }
+
+  /// Data examples for one (schema, relation), or nullptr.
+  const DataExample* FindData(const std::string& schema_id,
+                              const std::string& relation) const;
+
+  /// Number of known mappings that touch `schema_id` — a usage signal
+  /// for DesignAdvisor's preference term.
+  size_t MappingDegree(const std::string& schema_id) const;
+
+  size_t size() const { return schemas_.size(); }
+
+ private:
+  std::vector<SchemaEntry> schemas_;
+  std::vector<DataExample> data_;
+  std::vector<KnownMapping> mappings_;
+  std::map<std::string, size_t> schema_index_;
+};
+
+}  // namespace revere::corpus
+
+#endif  // REVERE_CORPUS_CORPUS_H_

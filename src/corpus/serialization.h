@@ -1,0 +1,37 @@
+#ifndef REVERE_CORPUS_SERIALIZATION_H_
+#define REVERE_CORPUS_SERIALIZATION_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/corpus/corpus.h"
+
+namespace revere::corpus {
+
+/// Serializes a corpus to a line-oriented text format, so organizations
+/// can exchange and accumulate corpora of structures (§4.1 envisions
+/// corpora "perhaps domain-specific" being collected and shared):
+///
+///   schema <tab> id <tab> domain
+///   relation <tab> name <tab> attr1 <tab> attr2 ...
+///   data <tab> schema_id <tab> relation
+///   row <tab> v1 <tab> v2 ...
+///   mapping <tab> schema_a <tab> schema_b
+///   pair <tab> element_a <tab> element_b
+///
+/// Values are escaped (\t, \n, \\); lines starting with '#' are
+/// comments.
+std::string SerializeCorpus(const Corpus& corpus);
+
+/// Parses text produced by SerializeCorpus (ParseError on malformed
+/// input; referential problems surface as the Corpus::Add* errors).
+Result<Corpus> ParseCorpus(std::string_view text);
+
+/// Convenience file round trip.
+Status SaveCorpusToFile(const Corpus& corpus, const std::string& path);
+Result<Corpus> LoadCorpusFromFile(const std::string& path);
+
+}  // namespace revere::corpus
+
+#endif  // REVERE_CORPUS_SERIALIZATION_H_

@@ -1,0 +1,263 @@
+#include "src/corpus/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/strings.h"
+#include "src/text/stemmer.h"
+#include "src/text/tfidf.h"
+#include "src/text/tokenizer.h"
+
+namespace revere::corpus {
+
+namespace {
+
+void TakeTopK(std::vector<ScoredTerm>* terms, size_t k) {
+  std::sort(terms->begin(), terms->end(),
+            [](const ScoredTerm& a, const ScoredTerm& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.term < b.term;
+            });
+  if (terms->size() > k) terms->resize(k);
+}
+
+}  // namespace
+
+double TermUsage::RelationShare() const {
+  return total() == 0 ? 0.0
+                      : static_cast<double>(as_relation) /
+                            static_cast<double>(total());
+}
+double TermUsage::AttributeShare() const {
+  return total() == 0 ? 0.0
+                      : static_cast<double>(as_attribute) /
+                            static_cast<double>(total());
+}
+double TermUsage::DataShare() const {
+  return total() == 0 ? 0.0
+                      : static_cast<double>(as_data) /
+                            static_cast<double>(total());
+}
+
+std::string CorpusStatistics::Normalize(const std::string& term) const {
+  std::vector<std::string> tokens = text::TokenizeIdentifier(term);
+  for (auto& t : tokens) {
+    if (options_.use_synonyms && options_.synonyms != nullptr) {
+      t = options_.synonyms->Canonical(t);
+    }
+    if (options_.use_stemming) t = text::PorterStem(t);
+  }
+  return Join(tokens, "_");
+}
+
+CorpusStatistics::CorpusStatistics(const Corpus& corpus,
+                                   StatisticsOptions options)
+    : options_(options) {
+  for (const auto& schema : corpus.schemas()) {
+    std::set<std::string> terms_in_schema;
+    for (const auto& rel : schema.relations) {
+      ++relation_count_;
+      std::string rel_norm = Normalize(rel.name);
+      ++usage_[rel_norm].as_relation;
+      terms_in_schema.insert(rel_norm);
+
+      std::set<std::string> attr_set;
+      for (const auto& attr : rel.attributes) {
+        std::string a = Normalize(attr);
+        ++usage_[a].as_attribute;
+        terms_in_schema.insert(a);
+        attr_set.insert(a);
+        ++attr_to_relations_[a][rel_norm];
+        ++attr_counts_[a];
+      }
+      // Pairwise co-occurrence within this relation.
+      for (auto it = attr_set.begin(); it != attr_set.end(); ++it) {
+        for (auto jt = std::next(it); jt != attr_set.end(); ++jt) {
+          ++pair_counts_[{*it, *jt}];
+        }
+      }
+      relation_attribute_sets_.push_back(std::move(attr_set));
+    }
+  }
+  for (const auto& example : corpus.data_examples()) {
+    for (const auto& row : example.rows) {
+      for (const auto& value : row) {
+        for (const auto& token : text::ContentTokens(value)) {
+          ++usage_[Normalize(token)].as_data;
+        }
+      }
+    }
+  }
+  // schemas_containing: second pass per schema term set.
+  for (const auto& schema : corpus.schemas()) {
+    std::set<std::string> seen;
+    for (const auto& rel : schema.relations) {
+      seen.insert(Normalize(rel.name));
+      for (const auto& attr : rel.attributes) seen.insert(Normalize(attr));
+    }
+    for (const auto& t : seen) ++usage_[t].schemas_containing;
+  }
+}
+
+TermUsage CorpusStatistics::Usage(const std::string& term) const {
+  auto it = usage_.find(Normalize(term));
+  return it == usage_.end() ? TermUsage{} : it->second;
+}
+
+std::vector<ScoredTerm> CorpusStatistics::CoOccurringAttributes(
+    const std::string& attribute, size_t k) const {
+  std::string a = Normalize(attribute);
+  auto base_it = attr_counts_.find(a);
+  if (base_it == attr_counts_.end()) return {};
+  double base = static_cast<double>(base_it->second);
+  std::vector<ScoredTerm> out;
+  for (const auto& [pair, count] : pair_counts_) {
+    if (pair.first == a) {
+      out.push_back(
+          {pair.second, static_cast<double>(count) / base});
+    } else if (pair.second == a) {
+      out.push_back({pair.first, static_cast<double>(count) / base});
+    }
+  }
+  TakeTopK(&out, k);
+  return out;
+}
+
+std::vector<ScoredTerm> CorpusStatistics::RelationsContaining(
+    const std::string& attribute, size_t k) const {
+  auto it = attr_to_relations_.find(Normalize(attribute));
+  if (it == attr_to_relations_.end()) return {};
+  std::vector<ScoredTerm> out;
+  for (const auto& [rel, count] : it->second) {
+    out.push_back({rel, static_cast<double>(count)});
+  }
+  TakeTopK(&out, k);
+  return out;
+}
+
+std::vector<ScoredTerm> CorpusStatistics::SimilarAttributes(
+    const std::string& attribute, size_t k) const {
+  std::string a = Normalize(attribute);
+  // Build the co-occurrence vector for each attribute lazily.
+  auto vector_of = [this](const std::string& attr) {
+    text::SparseVector v;
+    for (const auto& [pair, count] : pair_counts_) {
+      if (pair.first == attr) {
+        v[pair.second] = static_cast<double>(count);
+      } else if (pair.second == attr) {
+        v[pair.first] = static_cast<double>(count);
+      }
+    }
+    return v;
+  };
+  text::SparseVector target = vector_of(a);
+  if (target.empty()) return {};
+  std::vector<ScoredTerm> out;
+  for (const auto& [attr, count] : attr_counts_) {
+    if (attr == a) continue;
+    double sim = text::CosineSimilarity(target, vector_of(attr));
+    if (sim > 0.0) out.push_back({attr, sim});
+  }
+  TakeTopK(&out, k);
+  return out;
+}
+
+std::vector<FrequentStructure> CorpusStatistics::FrequentAttributeSets(
+    size_t min_support, size_t max_size) const {
+  std::vector<FrequentStructure> out;
+  // Apriori level-wise mining over relation attribute sets.
+  // Level 1.
+  std::vector<std::set<std::string>> frontier;
+  for (const auto& [attr, count] : attr_counts_) {
+    // Support = number of relations containing the attribute (count may
+    // exceed it only if an attribute repeats in one relation, which the
+    // set representation already collapses).
+    size_t support = 0;
+    for (const auto& rel_set : relation_attribute_sets_) {
+      if (rel_set.count(attr) > 0) ++support;
+    }
+    if (support >= min_support) {
+      out.push_back({{attr}, support});
+      frontier.push_back({attr});
+    }
+  }
+  for (size_t level = 2; level <= max_size && !frontier.empty(); ++level) {
+    // Candidate generation: join frontier sets differing in one element.
+    std::set<std::set<std::string>> candidates;
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      for (size_t j = i + 1; j < frontier.size(); ++j) {
+        std::set<std::string> merged = frontier[i];
+        merged.insert(frontier[j].begin(), frontier[j].end());
+        if (merged.size() == level) candidates.insert(std::move(merged));
+      }
+    }
+    std::vector<std::set<std::string>> next;
+    for (const auto& cand : candidates) {
+      size_t support = 0;
+      for (const auto& rel_set : relation_attribute_sets_) {
+        bool subset = true;
+        for (const auto& a : cand) {
+          if (rel_set.count(a) == 0) {
+            subset = false;
+            break;
+          }
+        }
+        if (subset) ++support;
+      }
+      if (support >= min_support) {
+        out.push_back({cand, support});
+        next.push_back(cand);
+      }
+    }
+    frontier = std::move(next);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FrequentStructure& a, const FrequentStructure& b) {
+              if (a.support != b.support) return a.support > b.support;
+              return a.attributes < b.attributes;
+            });
+  return out;
+}
+
+double CorpusStatistics::EstimateSupport(
+    const std::set<std::string>& attributes) const {
+  if (attributes.empty() || relation_count_ == 0) return 0.0;
+  // Exact count when cheap; it also serves as ground truth in tests.
+  size_t exact = 0;
+  for (const auto& rel_set : relation_attribute_sets_) {
+    bool subset = true;
+    for (const auto& a : attributes) {
+      if (rel_set.count(Normalize(a)) == 0) {
+        subset = false;
+        break;
+      }
+    }
+    if (subset) ++exact;
+  }
+  if (exact > 0) return static_cast<double>(exact);
+  // Estimation for unseen sets: chain pairwise conditionals
+  //   supp(a1..an) ~ supp(a1) * prod P(ai | a(i-1)).
+  std::vector<std::string> attrs;
+  for (const auto& a : attributes) attrs.push_back(Normalize(a));
+  auto count_of = [this](const std::string& a) -> double {
+    size_t n = 0;
+    for (const auto& rel_set : relation_attribute_sets_) {
+      if (rel_set.count(a) > 0) ++n;
+    }
+    return static_cast<double>(n);
+  };
+  double estimate = count_of(attrs[0]);
+  for (size_t i = 1; i < attrs.size() && estimate > 0; ++i) {
+    auto key = attrs[i - 1] < attrs[i]
+                   ? std::make_pair(attrs[i - 1], attrs[i])
+                   : std::make_pair(attrs[i], attrs[i - 1]);
+    auto it = pair_counts_.find(key);
+    double joint = it == pair_counts_.end() ? 0.0
+                                            : static_cast<double>(it->second);
+    double prior = count_of(attrs[i - 1]);
+    estimate *= prior == 0.0 ? 0.0 : joint / prior;
+  }
+  return estimate;
+}
+
+}  // namespace revere::corpus

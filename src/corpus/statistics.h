@@ -1,0 +1,108 @@
+#ifndef REVERE_CORPUS_STATISTICS_H_
+#define REVERE_CORPUS_STATISTICS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/corpus/corpus.h"
+#include "src/text/synonyms.h"
+
+namespace revere::corpus {
+
+/// Term-normalization knobs — the paper keeps "different versions,
+/// depending on whether we take into consideration word stemming,
+/// synonym tables, inter-language dictionaries" (§4.2.1).
+struct StatisticsOptions {
+  bool use_stemming = true;
+  bool use_synonyms = false;
+  const text::SynonymTable* synonyms = nullptr;
+};
+
+/// §4.2.1 Basic statistics — how a term is used across the corpus.
+struct TermUsage {
+  size_t as_relation = 0;   // occurrences as a relation name
+  size_t as_attribute = 0;  // occurrences as an attribute name
+  size_t as_data = 0;       // occurrences as a token in data values
+  size_t schemas_containing = 0;
+
+  size_t total() const { return as_relation + as_attribute + as_data; }
+  /// Fraction of this term's uses in the given role.
+  double RelationShare() const;
+  double AttributeShare() const;
+  double DataShare() const;
+};
+
+/// One ranked co-occurrence / similarity result.
+struct ScoredTerm {
+  std::string term;
+  double score = 0.0;
+};
+
+/// A frequent partial structure (§4.2.2): an attribute set that recurs
+/// across corpus relations, with its support count.
+struct FrequentStructure {
+  std::set<std::string> attributes;  // normalized attribute terms
+  size_t support = 0;                // number of supporting relations
+};
+
+/// Statistics computed over a Corpus (§4.2). All term arguments and
+/// results are normalized under the options the object was built with.
+class CorpusStatistics {
+ public:
+  /// Scans the corpus once and builds all basic statistics.
+  CorpusStatistics(const Corpus& corpus, StatisticsOptions options = {});
+
+  /// Normalizes a raw term (tokenize + stem + synonym-canonicalize).
+  std::string Normalize(const std::string& term) const;
+
+  /// Usage profile of `term`; zeros when unseen.
+  TermUsage Usage(const std::string& term) const;
+
+  /// Attributes co-occurring with `attribute` in the same relation,
+  /// ranked by conditional probability P(other | attribute).
+  std::vector<ScoredTerm> CoOccurringAttributes(const std::string& attribute,
+                                                size_t k = 10) const;
+
+  /// Relation names under which `attribute` appears, ranked by count —
+  /// answers "what tend to be the names of related tables?" (§4.2.1).
+  std::vector<ScoredTerm> RelationsContaining(const std::string& attribute,
+                                              size_t k = 10) const;
+
+  /// "Similar names" (§4.2.1): terms whose co-occurrence profile is
+  /// distributionally similar to `attribute`'s (cosine of co-occurrence
+  /// vectors). Finds synonyms the synonym table doesn't know.
+  std::vector<ScoredTerm> SimilarAttributes(const std::string& attribute,
+                                            size_t k = 10) const;
+
+  /// §4.2.2 composite statistics: frequent attribute sets (Apriori) with
+  /// support >= min_support, up to sets of size max_size.
+  std::vector<FrequentStructure> FrequentAttributeSets(
+      size_t min_support, size_t max_size = 4) const;
+
+  /// Estimated support of an arbitrary attribute set: exact when mined,
+  /// otherwise estimated from pairwise statistics ("we will maintain
+  /// only statistics on partial structures that appear frequently ...
+  /// and estimate the statistics for other partial structures").
+  double EstimateSupport(const std::set<std::string>& attributes) const;
+
+  size_t vocabulary_size() const { return usage_.size(); }
+  size_t relation_count() const { return relation_count_; }
+
+ private:
+  StatisticsOptions options_;
+  std::map<std::string, TermUsage> usage_;
+  // Normalized attribute sets, one per corpus relation.
+  std::vector<std::set<std::string>> relation_attribute_sets_;
+  // attr -> relation-name -> count.
+  std::map<std::string, std::map<std::string, size_t>> attr_to_relations_;
+  // Pairwise co-occurrence counts (keyed a<b).
+  std::map<std::pair<std::string, std::string>, size_t> pair_counts_;
+  std::map<std::string, size_t> attr_counts_;
+  size_t relation_count_ = 0;
+};
+
+}  // namespace revere::corpus
+
+#endif  // REVERE_CORPUS_STATISTICS_H_

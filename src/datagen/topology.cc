@@ -1,0 +1,146 @@
+#include "src/datagen/topology.h"
+
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/datagen/university.h"
+#include "src/piazza/peer.h"
+
+namespace revere::datagen {
+
+namespace {
+
+using piazza::PeerMapping;
+using piazza::QualifiedName;
+using query::ConjunctiveQuery;
+
+const std::vector<const char*>& RelationNamePool() {
+  static const std::vector<const char*>* kNames =
+      new std::vector<const char*>{"course",  "subject", "class",
+                                   "corso",   "kurs",    "lecture",
+                                   "offering", "unit"};
+  return *kNames;
+}
+
+std::vector<std::pair<size_t, size_t>> TopologyEdges(
+    const PdmsGenOptions& options, size_t n, Rng* rng) {
+  std::vector<std::pair<size_t, size_t>> edges;
+  switch (options.topology) {
+    case Topology::kChain:
+      for (size_t i = 1; i < n; ++i) edges.emplace_back(i - 1, i);
+      break;
+    case Topology::kStar:
+      for (size_t i = 1; i < n; ++i) edges.emplace_back(0, i);
+      break;
+    case Topology::kRandom: {
+      // Random spanning tree (each node attaches to a random earlier
+      // one), then extra edges.
+      for (size_t i = 1; i < n; ++i) {
+        edges.emplace_back(rng->Index(i), i);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = i + 1; j < n; ++j) {
+          bool exists = false;
+          for (const auto& [a, b] : edges) {
+            if ((a == i && b == j) || (a == j && b == i)) exists = true;
+          }
+          if (!exists && rng->Bernoulli(options.extra_edge_prob)) {
+            edges.emplace_back(i, j);
+          }
+        }
+      }
+      break;
+    }
+    case Topology::kFigure2:
+      // Figure 2 shows six universities with local mappings forming a
+      // connected graph; the exact edge set is not specified in the
+      // text, so we use the ring the drawing suggests plus the
+      // Stanford-MIT chord: "as long as the mapping graph is connected,
+      // any peer can access data at any other peer".
+      edges = {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {0, 2}};
+      break;
+  }
+  return edges;
+}
+
+}  // namespace
+
+Result<PdmsGenReport> BuildUniversityPdms(piazza::PdmsNetwork* net,
+                                          const PdmsGenOptions& options) {
+  PdmsGenReport report;
+  Rng rng(options.seed);
+  size_t n = options.topology == Topology::kFigure2 ? 6 : options.peers;
+  if (n == 0) return Status::InvalidArgument("need at least one peer");
+
+  if (options.topology == Topology::kFigure2) {
+    report.peer_names = {"stanford", "oxford",   "mit",
+                         "tsinghua", "roma",     "berkeley"};
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      report.peer_names.push_back("peer" + std::to_string(i));
+    }
+  }
+  const auto& pool = RelationNamePool();
+  for (size_t i = 0; i < n; ++i) {
+    report.relation_names.push_back(pool[i % pool.size()]);
+  }
+
+  // Peers + stored relations + data.
+  for (size_t i = 0; i < n; ++i) {
+    REVERE_ASSIGN_OR_RETURN(piazza::Peer * peer,
+                            net->AddPeer(report.peer_names[i]));
+    peer->DeclarePeerRelation(report.relation_names[i], 3);
+    REVERE_ASSIGN_OR_RETURN(
+        storage::Table * table,
+        net->AddStoredRelation(
+            report.peer_names[i],
+            storage::TableSchema::AllStrings(
+                report.relation_names[i], {"id", "title", "instructor"})));
+    Rng data_rng = rng.Fork();
+    std::vector<CourseRecord> courses =
+        GenerateCourses(options.rows_per_peer, &data_rng);
+    for (size_t r = 0; r < courses.size(); ++r) {
+      // Globally unique ids: peer name prefixed.
+      std::string id = report.peer_names[i] + "/" + std::to_string(r);
+      REVERE_RETURN_IF_ERROR(
+          table->Insert({storage::Value(id),
+                         storage::Value(courses[r].title),
+                         storage::Value(courses[r].instructor)}));
+      ++report.total_rows;
+    }
+    REVERE_RETURN_IF_ERROR(table->CreateIndex(0));
+  }
+
+  // Mappings along edges.
+  for (const auto& [a, b] : TopologyEdges(options, n, &rng)) {
+    std::string rel_a =
+        QualifiedName(report.peer_names[a], report.relation_names[a]);
+    std::string rel_b =
+        QualifiedName(report.peer_names[b], report.relation_names[b]);
+    auto source =
+        ConjunctiveQuery::Parse("m(I, T, P) :- " + rel_a + "(I, T, P)");
+    auto target =
+        ConjunctiveQuery::Parse("m(I, T, P) :- " + rel_b + "(I, T, P)");
+    if (!source.ok() || !target.ok()) {
+      return Status::Internal("mapping parse failure");
+    }
+    REVERE_RETURN_IF_ERROR(net->AddMapping(
+        PeerMapping{{report.peer_names[a] + "-" + report.peer_names[b],
+                     source.value(), target.value()},
+                    report.peer_names[a],
+                    report.peer_names[b],
+                    options.bidirectional}));
+    ++report.mapping_count;
+  }
+  return report;
+}
+
+ConjunctiveQuery AllCoursesQuery(const PdmsGenReport& report,
+                                 size_t peer_index) {
+  std::string rel = QualifiedName(report.peer_names[peer_index],
+                                  report.relation_names[peer_index]);
+  auto q = ConjunctiveQuery::Parse("q(I, T, P) :- " + rel + "(I, T, P)");
+  return q.ok() ? q.value() : ConjunctiveQuery();
+}
+
+}  // namespace revere::datagen

@@ -1,0 +1,58 @@
+#ifndef REVERE_DATAGEN_TOPOLOGY_H_
+#define REVERE_DATAGEN_TOPOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/piazza/pdms.h"
+
+namespace revere::datagen {
+
+/// PDMS overlay shapes for the scaling experiments (bench C3) and the
+/// Figure-2 reproduction (bench F2).
+enum class Topology {
+  kChain,    // p0 - p1 - ... - pn-1 (worst-case reformulation depth)
+  kStar,     // hub p0 with n-1 spokes (what a mediated schema looks like)
+  kRandom,   // random connected graph (spanning tree + extra edges)
+  kFigure2,  // the paper's six universities, connected as drawn
+};
+
+struct PdmsGenOptions {
+  Topology topology = Topology::kChain;
+  size_t peers = 6;            // ignored for kFigure2 (always 6)
+  size_t rows_per_peer = 50;
+  uint64_t seed = 1;
+  /// kRandom: probability of each extra (non-tree) edge.
+  double extra_edge_prob = 0.15;
+  /// Use equality (bidirectional) mappings — like the paper's example
+  /// where every university both shares and consumes courses.
+  bool bidirectional = true;
+};
+
+/// Metadata about a generated network.
+struct PdmsGenReport {
+  std::vector<std::string> peer_names;
+  /// Unqualified course-relation name at each peer (vocabulary varies).
+  std::vector<std::string> relation_names;
+  size_t total_rows = 0;
+  size_t mapping_count = 0;
+};
+
+/// Populates `net` with a university PDMS: each peer stores one
+/// course-like relation course(id, title, instructor) under a
+/// peer-specific name, plus GLAV mappings along the topology's edges.
+/// Every course id is globally unique, so a transitively complete
+/// reformulation returns exactly `total_rows` answers — the ground
+/// truth for completeness measurements.
+Result<PdmsGenReport> BuildUniversityPdms(piazza::PdmsNetwork* net,
+                                          const PdmsGenOptions& options);
+
+/// The query "all courses, in peer `peer`'s vocabulary" for a network
+/// built by BuildUniversityPdms.
+query::ConjunctiveQuery AllCoursesQuery(const PdmsGenReport& report,
+                                        size_t peer_index);
+
+}  // namespace revere::datagen
+
+#endif  // REVERE_DATAGEN_TOPOLOGY_H_

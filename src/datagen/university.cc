@@ -1,0 +1,278 @@
+#include "src/datagen/university.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/strings.h"
+
+namespace revere::datagen {
+
+namespace {
+
+/// The canonical domain model every generated school perturbs. Each
+/// attribute knows its synonyms, abbreviations, whether it is optional,
+/// and which value pool fills it.
+struct CanonicalAttribute {
+  const char* name;
+  std::vector<const char*> synonyms;
+  const char* abbreviation;
+  bool optional;
+  const char* value_kind;  // key into the value pools
+};
+
+struct CanonicalRelation {
+  const char* name;
+  std::vector<const char*> relation_synonyms;
+  std::vector<CanonicalAttribute> attributes;
+};
+
+const std::vector<CanonicalRelation>& CanonicalModel() {
+  static const std::vector<CanonicalRelation>* kModel = new std::vector<
+      CanonicalRelation>{
+      {"course",
+       {"class", "subject", "offering", "lecture"},
+       {
+           {"number", {"code", "course_no"}, "num", false, "number"},
+           {"title", {"name", "label"}, "ttl", false, "title"},
+           {"instructor",
+            {"teacher", "professor", "lecturer", "faculty"},
+            "instr",
+            false,
+            "person"},
+           {"room", {"location", "venue"}, "rm", true, "room"},
+           {"time", {"schedule", "meeting_time"}, "tm", true, "time"},
+           {"enrollment", {"size", "capacity", "seats"}, "enroll", true,
+            "count"},
+       }},
+      {"ta",
+       {"assistant", "grader", "teaching_assistant"},
+       {
+           {"name", {"fullname"}, "nm", false, "person"},
+           {"email", {"mail", "e_mail"}, "em", false, "email"},
+           {"course_number", {"course_code"}, "crs_num", false, "number"},
+       }},
+      {"person",
+       {"faculty_member", "staff", "employee"},
+       {
+           {"name", {"fullname"}, "nm", false, "person"},
+           {"email", {"mail", "e_mail"}, "em", false, "email"},
+           {"phone", {"telephone", "tel"}, "ph", true, "phone"},
+           {"office", {"room", "bureau"}, "off", true, "room"},
+       }},
+  };
+  return *kModel;
+}
+
+const std::vector<const char*>& Pool(const std::string& kind) {
+  static const std::map<std::string, std::vector<const char*>>* kPools =
+      new std::map<std::string, std::vector<const char*>>{
+          {"number",
+           {"CSE 544", "CSE 403", "HIST 101", "HIST 302", "MATH 126",
+            "PHYS 121", "BIO 180", "CHEM 142", "ECON 200", "ART 110"}},
+          {"title",
+           {"Principles of Database Systems", "Software Engineering",
+            "Ancient History", "Medieval Europe", "Calculus I",
+            "Mechanics", "Introductory Biology", "General Chemistry",
+            "Microeconomics", "Drawing Fundamentals",
+            "Distributed Systems", "Machine Learning"}},
+          {"person",
+           {"Alon Halevy", "Oren Etzioni", "AnHai Doan", "Zack Ives",
+            "Luke McDowell", "Igor Tatarinov", "Jayant Madhavan",
+            "Dan Suciu", "Maya Rodrig", "Peter Mork", "Hank Levy",
+            "Steve Gribble"}},
+          {"room",
+           {"MGH 241", "CSE 403", "Kane 110", "Smith 205", "Gowen 301",
+            "EE1 003", "Loew 101", "Bagley 154"}},
+          {"time",
+           {"MWF 9:30", "MWF 10:30", "MWF 1:30", "TTh 9:00", "TTh 10:30",
+            "TTh 1:30", "TTh 3:00", "MW 2:30"}},
+          {"count", {"30", "45", "60", "80", "120", "150", "200", "240"}},
+          {"email",
+           {"alon@cs.example.edu", "oren@cs.example.edu",
+            "anhai@cs.example.edu", "zives@cs.example.edu",
+            "luke@cs.example.edu", "igor@cs.example.edu"}},
+          {"phone",
+           {"206-543-1695", "206-543-9196", "206-543-4755",
+            "617-253-0001", "650-723-4671", "510-642-1042"}},
+          {"noise", {"n/a", "tbd", "none", "-"}},
+      };
+  auto it = kPools->find(kind);
+  return it == kPools->end() ? kPools->at("noise") : it->second;
+}
+
+std::string PickValue(const std::string& kind, Rng* rng) {
+  const auto& pool = Pool(kind);
+  return pool[rng->Index(pool.size())];
+}
+
+// Noise attributes occasionally added by individual schools.
+const std::vector<const char*>& NoiseAttributes() {
+  static const std::vector<const char*>* kNoise =
+      new std::vector<const char*>{"website", "last_updated", "internal_id",
+                                   "building_access", "notes"};
+  return *kNoise;
+}
+
+}  // namespace
+
+GeneratedSchema UniversityGenerator::GenerateSchema(const std::string& id) {
+  GeneratedSchema out;
+  out.schema.id = id;
+  out.schema.domain = "university";
+
+  bool split_ta = rng_.Bernoulli(options_.split_ta_prob);
+  for (const auto& canonical_rel : CanonicalModel()) {
+    std::string canonical_rel_name = canonical_rel.name;
+    if (canonical_rel_name == "ta" && !split_ta) {
+      // Inline TA contact info into the course relation instead. The
+      // canonical labels stay "ta.*" so DesignAdvisor experiments can
+      // detect the structural deviation.
+      continue;
+    }
+    corpus::RelationDecl rel;
+    // Perturb the relation name.
+    rel.name = canonical_rel_name;
+    if (!canonical_rel.relation_synonyms.empty() &&
+        rng_.Bernoulli(options_.synonym_prob)) {
+      rel.name = canonical_rel.relation_synonyms[rng_.Index(
+          canonical_rel.relation_synonyms.size())];
+    }
+    std::vector<std::string> value_kinds;
+    for (const auto& attr : canonical_rel.attributes) {
+      if (attr.optional && rng_.Bernoulli(options_.drop_attr_prob)) {
+        continue;
+      }
+      std::string name = attr.name;
+      if (!attr.synonyms.empty() && rng_.Bernoulli(options_.synonym_prob)) {
+        name = attr.synonyms[rng_.Index(attr.synonyms.size())];
+      }
+      if (rng_.Bernoulli(options_.abbrev_prob)) {
+        name = attr.abbreviation;
+      }
+      if (!name.empty() && name.back() != 's' &&
+          rng_.Bernoulli(options_.pluralize_prob)) {
+        name += "s";
+      }
+      // Avoid duplicate attribute names after perturbation.
+      bool duplicate = false;
+      for (const auto& existing : rel.attributes) {
+        if (existing == name) duplicate = true;
+      }
+      if (duplicate) name = std::string(attr.name);
+      rel.attributes.push_back(name);
+      value_kinds.push_back(attr.value_kind);
+      out.ground_truth[rel.name + "." + name] =
+          std::string(canonical_rel_name) + "." + attr.name;
+    }
+    if (rng_.Bernoulli(options_.extra_attr_prob)) {
+      const auto& noise = NoiseAttributes();
+      std::string extra = noise[rng_.Index(noise.size())];
+      if (std::find(rel.attributes.begin(), rel.attributes.end(), extra) ==
+          rel.attributes.end()) {
+        rel.attributes.push_back(extra);
+        value_kinds.push_back("noise");
+        // Noise attributes have no canonical counterpart.
+      }
+    }
+    // Data rows.
+    corpus::DataExample data;
+    data.schema_id = id;
+    data.relation = rel.name;
+    for (size_t r = 0; r < options_.rows_per_relation; ++r) {
+      std::vector<std::string> row;
+      row.reserve(value_kinds.size());
+      for (const auto& kind : value_kinds) {
+        row.push_back(PickValue(kind, &rng_));
+      }
+      data.rows.push_back(std::move(row));
+    }
+    out.schema.relations.push_back(std::move(rel));
+    out.data.push_back(std::move(data));
+  }
+
+  if (!split_ta) {
+    // Inline TA fields into the (first) course-like relation.
+    corpus::RelationDecl& course_rel = out.schema.relations.front();
+    corpus::DataExample& course_data = out.data.front();
+    const CanonicalRelation& ta = CanonicalModel()[1];
+    for (const auto& attr : ta.attributes) {
+      if (std::string(attr.value_kind) == "number") continue;  // fk: skip
+      std::string name = "ta_" + std::string(attr.name);
+      course_rel.attributes.push_back(name);
+      out.ground_truth[course_rel.name + "." + name] =
+          "ta." + std::string(attr.name);
+      for (auto& row : course_data.rows) {
+        row.push_back(PickValue(attr.value_kind, &rng_));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<GeneratedSchema> UniversityGenerator::PopulateCorpus(
+    corpus::Corpus* corpus, size_t n) {
+  std::vector<GeneratedSchema> generated;
+  for (size_t i = 0; i < n; ++i) {
+    GeneratedSchema g = GenerateSchema("school" + std::to_string(i));
+    (void)corpus->AddSchema(g.schema);
+    for (const auto& d : g.data) (void)corpus->AddDataExample(d);
+    generated.push_back(std::move(g));
+  }
+  // Known mappings from shared ground truth, between consecutive
+  // schemas (linear, like a PDMS would accrete them).
+  for (size_t i = 1; i < generated.size(); ++i) {
+    corpus::KnownMapping mapping;
+    mapping.schema_a = generated[i - 1].schema.id;
+    mapping.schema_b = generated[i].schema.id;
+    for (const auto& [elem_a, canon_a] : generated[i - 1].ground_truth) {
+      for (const auto& [elem_b, canon_b] : generated[i].ground_truth) {
+        if (canon_a == canon_b) {
+          mapping.element_pairs.emplace_back(elem_a, elem_b);
+        }
+      }
+    }
+    (void)corpus->AddKnownMapping(std::move(mapping));
+  }
+  return generated;
+}
+
+std::vector<CourseRecord> GenerateCourses(size_t n, Rng* rng) {
+  std::vector<CourseRecord> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    CourseRecord c;
+    c.number = PickValue("number", rng);
+    c.id = ToLower(ReplaceAll(c.number, " ", "")) + std::to_string(i);
+    c.title = PickValue("title", rng);
+    c.instructor = PickValue("person", rng);
+    c.room = PickValue("room", rng);
+    c.time = PickValue("time", rng);
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::string RenderCoursePage(const CourseRecord& c) {
+  return "<html><head><title>" + c.number + "</title></head><body>"
+         "<h1>" + c.number + ": " + c.title + "</h1>"
+         "<p>Instructor: " + c.instructor + "</p>"
+         "<p>Meets " + c.time + " in " + c.room + "</p>"
+         "<p>Welcome to the course home page. Homework and readings "
+         "will be posted here.</p></body></html>";
+}
+
+std::string RenderAnnotatedCoursePage(const CourseRecord& c) {
+  return "<html><head><title>" + c.number + "</title></head><body>"
+         "<span m=\"course\" m-id=\"" + c.id + "\">"
+         "<h1><span m=\"number\">" + c.number + "</span>: "
+         "<span m=\"title\">" + c.title + "</span></h1>"
+         "<p>Instructor: <span m=\"instructor\">" + c.instructor +
+         "</span></p>"
+         "<p>Meets <span m=\"time\">" + c.time + "</span> in "
+         "<span m=\"room\">" + c.room + "</span></p>"
+         "</span>"
+         "<p>Welcome to the course home page. Homework and readings "
+         "will be posted here.</p></body></html>";
+}
+
+}  // namespace revere::datagen

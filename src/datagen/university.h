@@ -1,0 +1,90 @@
+#ifndef REVERE_DATAGEN_UNIVERSITY_H_
+#define REVERE_DATAGEN_UNIVERSITY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/corpus/corpus.h"
+
+namespace revere::datagen {
+
+/// Synthetic stand-in for the real-world university course pages and
+/// schemas the paper works over (we have no access to 2003 crawls; see
+/// DESIGN.md substitution table). The generator perturbs one canonical
+/// domain model per school — synonym substitution, abbreviation,
+/// attribute drop/add, structural splits — and keeps the ground-truth
+/// correspondence so matching experiments can be scored.
+struct UniversityGenOptions {
+  uint64_t seed = 1;
+  /// Probability an attribute name is replaced by a domain synonym.
+  double synonym_prob = 0.35;
+  /// Probability a (possibly synonym-substituted) name is abbreviated.
+  double abbrev_prob = 0.2;
+  /// Probability an attribute name is pluralized ("instructor" ->
+  /// "instructors") — exercises the stemming normalization axis.
+  double pluralize_prob = 0.15;
+  /// Probability an optional attribute is dropped entirely.
+  double drop_attr_prob = 0.15;
+  /// Probability a school-specific noise attribute is added.
+  double extra_attr_prob = 0.2;
+  /// Probability TA/assistant info is modeled as a separate relation
+  /// (the paper's DesignAdvisor example) instead of inlined.
+  double split_ta_prob = 0.5;
+  /// Example rows generated per relation.
+  size_t rows_per_relation = 12;
+};
+
+/// A generated schema plus everything needed to score tools against it.
+struct GeneratedSchema {
+  corpus::SchemaEntry schema;
+  std::vector<corpus::DataExample> data;
+  /// Qualified generated element ("crs.instr") -> canonical label
+  /// ("course.instructor").
+  std::map<std::string, std::string> ground_truth;
+};
+
+/// Deterministic generator for one-domain corpora of schemas.
+class UniversityGenerator {
+ public:
+  explicit UniversityGenerator(UniversityGenOptions options = {})
+      : options_(options), rng_(options.seed) {}
+
+  /// Generates one perturbed university schema (+data +ground truth).
+  GeneratedSchema GenerateSchema(const std::string& id);
+
+  /// Fills `corpus` with `n` generated schemas, their data, and the
+  /// known mappings implied by shared ground truth. Returns the
+  /// generated bundles for external scoring.
+  std::vector<GeneratedSchema> PopulateCorpus(corpus::Corpus* corpus,
+                                              size_t n);
+
+ private:
+  UniversityGenOptions options_;
+  Rng rng_;
+};
+
+/// One course record for HTML page generation.
+struct CourseRecord {
+  std::string id;        // "cse544"
+  std::string number;    // "CSE 544"
+  std::string title;
+  std::string instructor;
+  std::string room;
+  std::string time;
+};
+
+/// Deterministic batch of plausible course records.
+std::vector<CourseRecord> GenerateCourses(size_t n, Rng* rng);
+
+/// Renders a plain HTML course page (the "before MANGROVE" state).
+std::string RenderCoursePage(const CourseRecord& course);
+
+/// Renders the same page with MANGROVE annotations embedded (what the
+/// annotation tool would produce).
+std::string RenderAnnotatedCoursePage(const CourseRecord& course);
+
+}  // namespace revere::datagen
+
+#endif  // REVERE_DATAGEN_UNIVERSITY_H_

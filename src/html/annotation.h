@@ -1,0 +1,75 @@
+#ifndef REVERE_HTML_ANNOTATION_H_
+#define REVERE_HTML_ANNOTATION_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/xml/node.h"
+
+namespace revere::html {
+
+/// MANGROVE's annotation carrier (§2.1): semantic tags are embedded in
+/// the page itself so the data is never duplicated, and they are
+/// invisible to the browser because they ride on <span> elements with
+/// REVERE-reserved attributes:
+///
+///   <span m="course" m-id="cse544"> ... <span m="title">DBMS</span> ...
+///
+/// `kTagAttr` holds the (possibly dotted) schema tag; `kIdAttr` an
+/// optional explicit resource id. This header provides the *syntactic*
+/// layer — injecting annotations into markup and enumerating annotated
+/// regions; the semantic extraction into RDF lives in src/mangrove.
+inline constexpr char kTagAttr[] = "m";
+inline constexpr char kIdAttr[] = "m-id";
+
+/// One annotated region found in a parsed page.
+struct AnnotatedRegion {
+  const xml::XmlNode* node = nullptr;  // the carrying element
+  std::string tag;                     // value of the `m` attribute
+  std::string id;                      // value of `m-id`, may be empty
+};
+
+/// All annotated elements in document order (pre-order).
+std::vector<AnnotatedRegion> FindAnnotations(const xml::XmlNode& root);
+
+/// String-level annotation injection — the programmatic analogue of the
+/// GUI's highlight-and-tag gesture: wraps the first occurrence of
+/// `target` in the *text* of `html_source` (never inside a tag) with
+///   <span m="tag_name">target</span>
+/// Returns the modified page, or NotFound when `target` does not occur
+/// as page text.
+Result<std::string> AnnotateFirst(std::string_view html_source,
+                                  std::string_view target,
+                                  std::string_view tag_name);
+
+/// Wraps a region of `html_source` from the first text occurrence of
+/// `from` through the next occurrence of `to` (inclusive) in an
+/// annotated span, e.g. to mark a whole course block. Both endpoints
+/// must be page text.
+Result<std::string> AnnotateRange(std::string_view html_source,
+                                  std::string_view from, std::string_view to,
+                                  std::string_view tag_name,
+                                  std::string_view id = "");
+
+// ---- Offset-level primitives (used by the MANGROVE annotation tool to
+// guarantee properly nested spans) ----
+
+/// First occurrence of `target` at or after `from` that begins in page
+/// text (not inside a tag); npos when absent.
+size_t FindTextOccurrence(std::string_view html, std::string_view target,
+                          size_t from = 0);
+
+/// Builds the open tag `<span m="tag" m-id="id">` (id omitted if empty).
+std::string SpanOpenTag(std::string_view tag_name, std::string_view id = "");
+
+/// Wraps html[begin, end) in an annotated span; offsets must satisfy
+/// begin <= end <= html.size().
+Result<std::string> WrapSpan(std::string_view html, size_t begin, size_t end,
+                             std::string_view tag_name,
+                             std::string_view id = "");
+
+}  // namespace revere::html
+
+#endif  // REVERE_HTML_ANNOTATION_H_

@@ -1,0 +1,48 @@
+#include "src/learn/context_learner.h"
+
+#include "src/text/stemmer.h"
+#include "src/text/tokenizer.h"
+
+namespace revere::learn {
+
+std::vector<std::string> ContextLearner::ContextTokens(
+    const ColumnInstance& c) {
+  std::vector<std::string> tokens;
+  auto add_identifier = [&](const std::string& name) {
+    for (auto& t : text::TokenizeIdentifier(name)) {
+      tokens.push_back(text::PorterStem(t));
+    }
+  };
+  add_identifier(c.relation);
+  for (const auto& sibling : c.sibling_attributes) add_identifier(sibling);
+  return tokens;
+}
+
+Status ContextLearner::Train(const std::vector<TrainingExample>& examples) {
+  // First pass: corpus statistics for idf.
+  for (const auto& [column, label] : examples) {
+    model_.AddDocument(ContextTokens(column));
+  }
+  // Second pass: per-label centroids of tf-idf vectors.
+  for (const auto& [column, label] : examples) {
+    text::SparseVector v = model_.Vectorize(ContextTokens(column));
+    text::SparseVector& centroid = centroids_[label];
+    for (const auto& [term, w] : v) centroid[term] += w;
+    ++counts_[label];
+  }
+  for (auto& [label, centroid] : centroids_) {
+    text::Normalize(&centroid);
+  }
+  return Status::Ok();
+}
+
+Prediction ContextLearner::Predict(const ColumnInstance& column) const {
+  Prediction out;
+  text::SparseVector v = model_.Vectorize(ContextTokens(column));
+  for (const auto& [label, centroid] : centroids_) {
+    out.scores[label] = text::CosineSimilarity(v, centroid);
+  }
+  return out;
+}
+
+}  // namespace revere::learn

@@ -1,0 +1,35 @@
+#ifndef REVERE_LEARN_CONTEXT_LEARNER_H_
+#define REVERE_LEARN_CONTEXT_LEARNER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/learn/learner.h"
+#include "src/text/tfidf.h"
+
+namespace revere::learn {
+
+/// Matches columns by their structural *context*: the relation name and
+/// sibling attribute names ("proximity of attributes, structure of the
+/// schema", §4.3.2). A label's profile is the TF/IDF centroid of its
+/// training contexts; prediction is cosine similarity to that centroid.
+class ContextLearner : public BaseLearner {
+ public:
+  ContextLearner() = default;
+
+  std::string name() const override { return "context"; }
+  Status Train(const std::vector<TrainingExample>& examples) override;
+  Prediction Predict(const ColumnInstance& column) const override;
+
+ private:
+  static std::vector<std::string> ContextTokens(const ColumnInstance& c);
+
+  text::TfIdfModel model_;
+  std::map<Label, text::SparseVector> centroids_;
+  std::map<Label, size_t> counts_;
+};
+
+}  // namespace revere::learn
+
+#endif  // REVERE_LEARN_CONTEXT_LEARNER_H_

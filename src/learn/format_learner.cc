@@ -1,0 +1,79 @@
+#include "src/learn/format_learner.h"
+
+#include <cctype>
+#include <cmath>
+
+namespace revere::learn {
+
+FormatLearner::Features FormatLearner::Featurize(
+    const std::vector<std::string>& values) {
+  Features f{};
+  if (values.empty()) return f;
+  double n = 0.0;
+  for (const auto& v : values) {
+    if (v.empty()) continue;
+    n += 1.0;
+    double len = static_cast<double>(v.size());
+    double digits = 0.0, alphas = 0.0, spaces = 0.0, punct = 0.0;
+    bool has_at = false, has_dash = false, has_colon = false;
+    for (char c : v) {
+      unsigned char uc = static_cast<unsigned char>(c);
+      if (std::isdigit(uc)) {
+        ++digits;
+      } else if (std::isalpha(uc)) {
+        ++alphas;
+      } else if (std::isspace(uc)) {
+        ++spaces;
+      } else {
+        ++punct;
+      }
+      if (c == '@') has_at = true;
+      if (c == '-') has_dash = true;
+      if (c == ':') has_colon = true;
+    }
+    f[0] += std::min(len / 64.0, 1.0);  // normalized length
+    f[1] += digits / len;
+    f[2] += alphas / len;
+    f[3] += spaces / len;
+    f[4] += punct / len;
+    f[5] += has_at ? 1.0 : 0.0;
+    f[6] += has_dash ? 1.0 : 0.0;
+    f[7] += has_colon ? 1.0 : 0.0;
+  }
+  if (n > 0) {
+    for (auto& x : f) x /= n;
+  }
+  return f;
+}
+
+Status FormatLearner::Train(const std::vector<TrainingExample>& examples) {
+  for (const auto& [column, label] : examples) {
+    Features f = Featurize(column.values);
+    Features& centroid = centroids_[label];
+    size_t& count = counts_[label];
+    for (size_t i = 0; i < kFeatureCount; ++i) {
+      centroid[i] = (centroid[i] * static_cast<double>(count) + f[i]) /
+                    static_cast<double>(count + 1);
+    }
+    ++count;
+  }
+  return Status::Ok();
+}
+
+Prediction FormatLearner::Predict(const ColumnInstance& column) const {
+  Prediction out;
+  if (column.values.empty()) return out;
+  Features f = Featurize(column.values);
+  for (const auto& [label, centroid] : centroids_) {
+    double d2 = 0.0;
+    for (size_t i = 0; i < kFeatureCount; ++i) {
+      double d = f[i] - centroid[i];
+      d2 += d * d;
+    }
+    // Distance to similarity in (0, 1].
+    out.scores[label] = 1.0 / (1.0 + std::sqrt(d2) * 4.0);
+  }
+  return out;
+}
+
+}  // namespace revere::learn

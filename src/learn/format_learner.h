@@ -1,0 +1,38 @@
+#ifndef REVERE_LEARN_FORMAT_LEARNER_H_
+#define REVERE_LEARN_FORMAT_LEARNER_H_
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/learn/learner.h"
+
+namespace revere::learn {
+
+/// Matches columns by the *shape* of their values (length, digit/alpha
+/// mix, punctuation like '@' or '-') rather than their vocabulary —
+/// telling a phone column from an email column even when every value is
+/// unseen. Nearest-centroid over a fixed feature vector.
+class FormatLearner : public BaseLearner {
+ public:
+  static constexpr size_t kFeatureCount = 8;
+  using Features = std::array<double, kFeatureCount>;
+
+  FormatLearner() = default;
+
+  std::string name() const override { return "format"; }
+  Status Train(const std::vector<TrainingExample>& examples) override;
+  Prediction Predict(const ColumnInstance& column) const override;
+
+  /// Feature vector of one column's values (exposed for tests).
+  static Features Featurize(const std::vector<std::string>& values);
+
+ private:
+  std::map<Label, Features> centroids_;
+  std::map<Label, size_t> counts_;
+};
+
+}  // namespace revere::learn
+
+#endif  // REVERE_LEARN_FORMAT_LEARNER_H_

@@ -1,0 +1,30 @@
+#include "src/learn/learner.h"
+
+namespace revere::learn {
+
+Label Prediction::Best() const {
+  Label best;
+  double best_score = -1.0;
+  for (const auto& [label, score] : scores) {
+    if (score > best_score) {
+      best_score = score;
+      best = label;
+    }
+  }
+  return best;
+}
+
+double Prediction::BestScore() const {
+  double best = 0.0;
+  for (const auto& [label, score] : scores) {
+    if (score > best) best = score;
+  }
+  return best;
+}
+
+double Prediction::ScoreOf(const Label& label) const {
+  auto it = scores.find(label);
+  return it == scores.end() ? 0.0 : it->second;
+}
+
+}  // namespace revere::learn

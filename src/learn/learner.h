@@ -1,0 +1,60 @@
+#ifndef REVERE_LEARN_LEARNER_H_
+#define REVERE_LEARN_LEARNER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace revere::learn {
+
+/// One schema element presented to the matcher: an attribute (column)
+/// with its name, a sample of its data values, and its structural
+/// context. This is LSD's input unit — the system "can employ multiple
+/// learners, thereby having the ability to learn from different kinds of
+/// information in the input (values of the data instances, names of
+/// attributes, proximity of attributes, structure of the schema)" §4.3.2.
+struct ColumnInstance {
+  std::string schema_id;
+  std::string relation;
+  std::string attribute;
+  std::vector<std::string> values;
+  std::vector<std::string> sibling_attributes;
+
+  std::string QualifiedName() const { return relation + "." + attribute; }
+};
+
+/// A semantic label (mediated-schema element) with training examples.
+using Label = std::string;
+using TrainingExample = std::pair<ColumnInstance, Label>;
+
+/// Per-label confidence scores from one learner. Scores are in [0, 1]
+/// and need not sum to 1.
+struct Prediction {
+  std::map<Label, double> scores;
+
+  /// Highest-scoring label; empty when no scores.
+  Label Best() const;
+  double BestScore() const;
+  double ScoreOf(const Label& label) const;
+};
+
+/// A base learner in the multi-strategy architecture.
+class BaseLearner {
+ public:
+  virtual ~BaseLearner() = default;
+
+  /// Human-readable learner name (for diagnostics and weights).
+  virtual std::string name() const = 0;
+
+  /// Trains on labeled columns. May be called once.
+  virtual Status Train(const std::vector<TrainingExample>& examples) = 0;
+
+  /// Scores an unseen column against every trained label.
+  virtual Prediction Predict(const ColumnInstance& column) const = 0;
+};
+
+}  // namespace revere::learn
+
+#endif  // REVERE_LEARN_LEARNER_H_

@@ -1,0 +1,105 @@
+#include "src/learn/multi_strategy.h"
+
+#include <algorithm>
+
+#include "src/learn/context_learner.h"
+#include "src/learn/format_learner.h"
+#include "src/learn/name_learner.h"
+#include "src/learn/naive_bayes.h"
+
+namespace revere::learn {
+
+void MultiStrategyLearner::AddLearner(std::unique_ptr<BaseLearner> learner) {
+  learners_.push_back(std::move(learner));
+}
+
+std::unique_ptr<MultiStrategyLearner> MultiStrategyLearner::WithDefaultStack(
+    uint64_t seed) {
+  auto multi = std::make_unique<MultiStrategyLearner>(0.25, seed);
+  multi->AddLearner(std::make_unique<NameLearner>());
+  multi->AddLearner(std::make_unique<NaiveBayesLearner>());
+  multi->AddLearner(std::make_unique<FormatLearner>());
+  multi->AddLearner(std::make_unique<ContextLearner>());
+  return multi;
+}
+
+Status MultiStrategyLearner::Train(
+    const std::vector<TrainingExample>& examples) {
+  if (learners_.empty()) {
+    return Status::FailedPrecondition("no base learners registered");
+  }
+  if (examples.empty()) {
+    return Status::InvalidArgument("no training examples");
+  }
+  // Deterministic split into fit/validation.
+  std::vector<size_t> order(examples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng rng(seed_);
+  rng.Shuffle(&order);
+  size_t validation_size = static_cast<size_t>(
+      static_cast<double>(examples.size()) * validation_fraction_);
+  // Keep at least one example on each side when possible.
+  validation_size = std::min(validation_size, examples.size() - 1);
+
+  std::vector<TrainingExample> fit, validation;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i < validation_size) {
+      validation.push_back(examples[order[i]]);
+    } else {
+      fit.push_back(examples[order[i]]);
+    }
+  }
+
+  // Phase 1: train base learners on the fit split; measure held-out
+  // accuracy to derive weights.
+  if (!validation.empty()) {
+    // Base learners support incremental training: fit split first (to
+    // score held-out accuracy), validation split folded in afterwards.
+    for (auto& learner : learners_) {
+      REVERE_RETURN_IF_ERROR(learner->Train(fit));
+    }
+    double total = 0.0;
+    for (const auto& learner : learners_) {
+      size_t correct = 0;
+      for (const auto& [column, label] : validation) {
+        if (learner->Predict(column).Best() == label) ++correct;
+      }
+      // Smoothed accuracy: even a 0-accuracy learner keeps a sliver so
+      // a tiny validation set cannot silence a whole modality.
+      double acc = (static_cast<double>(correct) + 0.5) /
+                   (static_cast<double>(validation.size()) + 1.0);
+      weights_[learner->name()] = acc;
+      total += acc;
+    }
+    for (auto& [name, w] : weights_) w /= total;
+    // Phase 2: the base learners above were only trained on the fit
+    // split; give them the validation examples too (incremental train).
+    for (auto& learner : learners_) {
+      REVERE_RETURN_IF_ERROR(learner->Train(validation));
+    }
+  } else {
+    for (auto& learner : learners_) {
+      REVERE_RETURN_IF_ERROR(learner->Train(examples));
+      weights_[learner->name()] =
+          1.0 / static_cast<double>(learners_.size());
+    }
+  }
+  return Status::Ok();
+}
+
+Prediction MultiStrategyLearner::Predict(const ColumnInstance& column) const {
+  Prediction out;
+  for (const auto& learner : learners_) {
+    auto wit = weights_.find(learner->name());
+    double w = wit == weights_.end()
+                   ? 1.0 / static_cast<double>(learners_.size())
+                   : wit->second;
+    Prediction p = learner->Predict(column);
+    for (const auto& [label, score] : p.scores) {
+      out.scores[label] += w * score;
+    }
+  }
+  return out;
+}
+
+}  // namespace revere::learn

@@ -1,0 +1,51 @@
+#ifndef REVERE_LEARN_MULTI_STRATEGY_H_
+#define REVERE_LEARN_MULTI_STRATEGY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/learn/learner.h"
+
+namespace revere::learn {
+
+/// LSD's multi-strategy architecture (§4.3.2): several base learners are
+/// trained on manually mapped sources; a meta-learner combines their
+/// predictions. Here the meta-learner assigns each base learner a weight
+/// from its accuracy on a held-out validation split (a simplification of
+/// LSD's per-label regression that preserves the architecture).
+class MultiStrategyLearner : public BaseLearner {
+ public:
+  /// `validation_fraction` of the training data is held out to fit the
+  /// combination weights; `seed` makes the split deterministic.
+  explicit MultiStrategyLearner(double validation_fraction = 0.25,
+                                uint64_t seed = 17)
+      : validation_fraction_(validation_fraction), seed_(seed) {}
+
+  /// Registers a base learner (before Train).
+  void AddLearner(std::unique_ptr<BaseLearner> learner);
+
+  /// Builds the default LSD-style stack: name, naive Bayes over values,
+  /// value format, and structural context.
+  static std::unique_ptr<MultiStrategyLearner> WithDefaultStack(
+      uint64_t seed = 17);
+
+  std::string name() const override { return "multi-strategy"; }
+  Status Train(const std::vector<TrainingExample>& examples) override;
+  Prediction Predict(const ColumnInstance& column) const override;
+
+  /// Learned combination weights by learner name (sums to 1).
+  const std::map<std::string, double>& weights() const { return weights_; }
+
+ private:
+  double validation_fraction_;
+  uint64_t seed_;
+  std::vector<std::unique_ptr<BaseLearner>> learners_;
+  std::map<std::string, double> weights_;
+};
+
+}  // namespace revere::learn
+
+#endif  // REVERE_LEARN_MULTI_STRATEGY_H_

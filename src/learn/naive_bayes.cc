@@ -1,0 +1,71 @@
+#include "src/learn/naive_bayes.h"
+
+#include <cmath>
+#include <set>
+
+#include "src/text/tokenizer.h"
+
+namespace revere::learn {
+
+Status NaiveBayesLearner::Train(const std::vector<TrainingExample>& examples) {
+  for (const auto& [column, label] : examples) {
+    ++label_columns_[label];
+    ++total_columns_;
+    for (const auto& value : column.values) {
+      for (const auto& token : text::TokenizeText(value)) {
+        ++token_counts_[label][token];
+        ++total_tokens_[label];
+        vocabulary_.insert(token);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Prediction NaiveBayesLearner::Predict(const ColumnInstance& column) const {
+  Prediction out;
+  if (total_columns_ == 0) return out;
+  std::vector<std::string> tokens;
+  for (const auto& value : column.values) {
+    for (auto& t : text::TokenizeText(value)) tokens.push_back(std::move(t));
+  }
+  if (tokens.empty()) return out;
+
+  // Log-posterior per label with Laplace smoothing, then softmax-style
+  // normalization so scores are comparable across learners.
+  std::map<Label, double> log_posteriors;
+  double max_lp = -1e300;
+  for (const auto& [label, count] : label_columns_) {
+    double lp = std::log(static_cast<double>(count) /
+                         static_cast<double>(total_columns_));
+    auto tc_it = token_counts_.find(label);
+    double denom = static_cast<double>(
+                       total_tokens_.count(label) ? total_tokens_.at(label)
+                                                  : 0) +
+                   static_cast<double>(vocabulary_.size()) + 1.0;
+    for (const auto& token : tokens) {
+      double num = 1.0;
+      if (tc_it != token_counts_.end()) {
+        auto it = tc_it->second.find(token);
+        if (it != tc_it->second.end()) {
+          num += static_cast<double>(it->second);
+        }
+      }
+      lp += std::log(num / denom);
+    }
+    // Length normalization keeps long value samples from saturating.
+    lp /= static_cast<double>(tokens.size());
+    log_posteriors[label] = lp;
+    max_lp = std::max(max_lp, lp);
+  }
+  double z = 0.0;
+  for (const auto& [label, lp] : log_posteriors) {
+    z += std::exp(lp - max_lp);
+  }
+  for (const auto& [label, lp] : log_posteriors) {
+    out.scores[label] = std::exp(lp - max_lp) / z;
+  }
+  return out;
+}
+
+}  // namespace revere::learn

@@ -1,0 +1,35 @@
+#ifndef REVERE_LEARN_NAIVE_BAYES_H_
+#define REVERE_LEARN_NAIVE_BAYES_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/learn/learner.h"
+
+namespace revere::learn {
+
+/// Multinomial naive Bayes over data-value tokens — LSD's content
+/// learner. "The classifiers computed by LSD actually encode a statistic
+/// for a composite structure that includes the set of values in a column
+/// and the column name" (§4.3.2). Posteriors are normalized to [0, 1].
+class NaiveBayesLearner : public BaseLearner {
+ public:
+  NaiveBayesLearner() = default;
+
+  std::string name() const override { return "naive-bayes"; }
+  Status Train(const std::vector<TrainingExample>& examples) override;
+  Prediction Predict(const ColumnInstance& column) const override;
+
+ private:
+  std::map<Label, std::map<std::string, size_t>> token_counts_;
+  std::map<Label, size_t> total_tokens_;
+  std::map<Label, size_t> label_columns_;
+  size_t total_columns_ = 0;
+  std::set<std::string> vocabulary_;  // grows across Train calls
+};
+
+}  // namespace revere::learn
+
+#endif  // REVERE_LEARN_NAIVE_BAYES_H_

@@ -1,0 +1,24 @@
+#include "src/learn/name_learner.h"
+
+#include <algorithm>
+
+namespace revere::learn {
+
+Status NameLearner::Train(const std::vector<TrainingExample>& examples) {
+  for (const auto& [column, label] : examples) {
+    training_names_.emplace_back(column.attribute, label);
+  }
+  return Status::Ok();
+}
+
+Prediction NameLearner::Predict(const ColumnInstance& column) const {
+  Prediction out;
+  for (const auto& [name, label] : training_names_) {
+    double sim = text::NameSimilarity(column.attribute, name, options_);
+    double& slot = out.scores[label];
+    slot = std::max(slot, sim);
+  }
+  return out;
+}
+
+}  // namespace revere::learn

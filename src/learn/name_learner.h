@@ -1,0 +1,32 @@
+#ifndef REVERE_LEARN_NAME_LEARNER_H_
+#define REVERE_LEARN_NAME_LEARNER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/learn/learner.h"
+#include "src/text/similarity.h"
+
+namespace revere::learn {
+
+/// Matches columns by their *names*: the score of a label is the best
+/// NameSimilarity between the input's attribute name (and its
+/// relation-qualified form) and any training name of that label.
+/// Handles synonyms and morphology via the text substrate.
+class NameLearner : public BaseLearner {
+ public:
+  explicit NameLearner(text::NameSimilarityOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "name"; }
+  Status Train(const std::vector<TrainingExample>& examples) override;
+  Prediction Predict(const ColumnInstance& column) const override;
+
+ private:
+  text::NameSimilarityOptions options_;
+  std::vector<std::pair<std::string, Label>> training_names_;
+};
+
+}  // namespace revere::learn
+
+#endif  // REVERE_LEARN_NAME_LEARNER_H_

@@ -1,0 +1,72 @@
+#include "src/mangrove/annotator.h"
+
+#include "src/html/annotation.h"
+
+namespace revere::mangrove {
+
+Result<std::string> AnnotationTool::Annotate(
+    std::string_view html_source, const FieldAnnotation& field) const {
+  if (!schema_->IsValidTag(field.tag)) {
+    return Status::InvalidArgument("tag '" + field.tag +
+                                   "' is not in schema '" + schema_->name() +
+                                   "'");
+  }
+  return html::AnnotateFirst(html_source, field.text, field.tag);
+}
+
+Result<std::string> AnnotationTool::AnnotateConcept(
+    std::string_view html_source, const ConceptAnnotation& request,
+    std::vector<std::string>* missing) const {
+  if (schema_->FindConcept(request.concept_tag) == nullptr) {
+    return Status::InvalidArgument("concept '" + request.concept_tag +
+                                   "' is not in schema '" + schema_->name() +
+                                   "'");
+  }
+  for (const auto& f : request.fields) {
+    auto [c, p] = MangroveSchema::SplitTag(f.tag);
+    if (!c.empty() && c != request.concept_tag) {
+      return Status::InvalidArgument("field tag '" + f.tag +
+                                     "' does not belong to concept '" +
+                                     request.concept_tag + "'");
+    }
+    if (!schema_->IsValidTag(request.concept_tag + "." + p)) {
+      return Status::InvalidArgument("no property '" + p + "' on concept '" +
+                                     request.concept_tag + "'");
+    }
+  }
+  // Locate the concept region first, then mark the fields strictly
+  // inside it — this guarantees properly nested spans even when a field
+  // sits exactly at the region boundary.
+  std::string page(html_source);
+  size_t start = html::FindTextOccurrence(page, request.region_start);
+  if (start == std::string::npos) {
+    return Status::NotFound("region start '" + request.region_start +
+                            "' not found in page");
+  }
+  size_t end_pos = html::FindTextOccurrence(
+      page, request.region_end, start + request.region_start.size());
+  if (end_pos == std::string::npos) {
+    return Status::NotFound("region end '" + request.region_end +
+                            "' not found after start");
+  }
+  size_t stop = end_pos + request.region_end.size();
+
+  for (const auto& f : request.fields) {
+    auto [c, p] = MangroveSchema::SplitTag(f.tag);
+    size_t pos = html::FindTextOccurrence(page, f.text, start);
+    if (pos == std::string::npos || pos + f.text.size() > stop) {
+      if (missing != nullptr) missing->push_back(f.text);
+      continue;
+    }
+    REVERE_ASSIGN_OR_RETURN(page,
+                            html::WrapSpan(page, pos, pos + f.text.size(), p));
+    // The inserted open tag + "</span>" shift the region end.
+    stop += html::SpanOpenTag(p).size() + 7;
+  }
+  REVERE_ASSIGN_OR_RETURN(page, html::WrapSpan(page, start, stop,
+                                               request.concept_tag,
+                                               request.id));
+  return page;
+}
+
+}  // namespace revere::mangrove

@@ -1,0 +1,61 @@
+#ifndef REVERE_MANGROVE_ANNOTATOR_H_
+#define REVERE_MANGROVE_ANNOTATOR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/mangrove/schema.h"
+
+namespace revere::mangrove {
+
+/// One highlight-and-tag gesture: wrap the page text `text` with the
+/// schema tag `tag` ("title" or "course.title").
+struct FieldAnnotation {
+  std::string tag;
+  std::string text;
+};
+
+/// A whole concept block: the region between `region_start` and
+/// `region_end` becomes the concept resource; the listed fields inside
+/// it become its properties.
+struct ConceptAnnotation {
+  std::string concept_tag;  // e.g. "course"
+  std::string id;           // optional explicit resource id
+  std::string region_start;
+  std::string region_end;
+  std::vector<FieldAnnotation> fields;
+};
+
+/// The programmatic analogue of MANGROVE's graphical annotation tool
+/// (§2.1): "Users highlight portions of the HTML document, then annotate
+/// by choosing a corresponding tag name from the schema." It validates
+/// each requested tag against the schema before touching the page, and
+/// edits the page *in place* — the data is never copied out.
+class AnnotationTool {
+ public:
+  explicit AnnotationTool(const MangroveSchema* schema) : schema_(schema) {}
+
+  /// Tags one text occurrence. InvalidArgument when the tag is not in
+  /// the schema; NotFound when the text is absent.
+  Result<std::string> Annotate(std::string_view html_source,
+                               const FieldAnnotation& field) const;
+
+  /// Tags a concept block and its fields. Fields whose text cannot be
+  /// found inside the page are reported in `*missing` (annotation is
+  /// best-effort, like a human skipping a field).
+  Result<std::string> AnnotateConcept(std::string_view html_source,
+                                      const ConceptAnnotation& request,
+                                      std::vector<std::string>* missing =
+                                          nullptr) const;
+
+  const MangroveSchema& schema() const { return *schema_; }
+
+ private:
+  const MangroveSchema* schema_;
+};
+
+}  // namespace revere::mangrove
+
+#endif  // REVERE_MANGROVE_ANNOTATOR_H_

@@ -1,0 +1,207 @@
+#include "src/mangrove/apps.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "src/mangrove/publisher.h"
+#include "src/text/tokenizer.h"
+
+namespace revere::mangrove {
+
+namespace {
+
+// Subjects typed as `concept_name`.
+std::vector<std::string> InstancesOf(const rdf::TripleStore& store,
+                                     const std::string& concept_name) {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  for (const auto& t :
+       store.Match({std::nullopt, kTypePredicate, concept_name})) {
+    if (seen.insert(t.subject).second) out.push_back(t.subject);
+  }
+  return out;
+}
+
+std::string Get(const rdf::TripleStore& store, const std::string& subject,
+                const std::string& predicate, const CleaningPolicy& policy) {
+  return ResolveValue(store, subject, predicate, policy).value_or("");
+}
+
+}  // namespace
+
+std::vector<CalendarEntry> CourseCalendar::Refresh() const {
+  std::vector<CalendarEntry> out;
+  for (const auto& course : InstancesOf(*store_, "course")) {
+    CalendarEntry e;
+    e.course = course;
+    e.title = Get(*store_, course, "title", policy_);
+    e.time = Get(*store_, course, "time", policy_);
+    e.room = Get(*store_, course, "room", policy_);
+    e.instructor = Get(*store_, course, "instructor", policy_);
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CalendarEntry& a, const CalendarEntry& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.course < b.course;
+            });
+  return out;
+}
+
+std::vector<DirectoryEntry> WhosWho::Refresh() const {
+  std::vector<DirectoryEntry> out;
+  for (const auto& person : InstancesOf(*store_, "person")) {
+    DirectoryEntry e;
+    e.person = person;
+    e.name = Get(*store_, person, "name", policy_);
+    e.email = Get(*store_, person, "email", policy_);
+    e.phone = Get(*store_, person, "phone", policy_);
+    e.office = Get(*store_, person, "office", policy_);
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DirectoryEntry& a, const DirectoryEntry& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::vector<PublicationEntry> PublicationDatabase::Refresh() const {
+  CleaningPolicy any;  // publications tolerate dirt: show first value
+  std::vector<PublicationEntry> out;
+  for (const auto& pub : InstancesOf(*store_, "publication")) {
+    PublicationEntry e;
+    e.id = pub;
+    e.title = Get(*store_, pub, "title", any);
+    e.author = Get(*store_, pub, "author", any);
+    e.year = Get(*store_, pub, "year", any);
+    e.venue = Get(*store_, pub, "venue", any);
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PublicationEntry& a, const PublicationEntry& b) {
+              if (a.year != b.year) return a.year > b.year;  // newest first
+              return a.title < b.title;
+            });
+  return out;
+}
+
+std::vector<PublicationEntry> PublicationDatabase::ByAuthor(
+    const std::string& author_name) const {
+  std::vector<PublicationEntry> out;
+  for (const auto& e : Refresh()) {
+    if (e.author.find(author_name) != std::string::npos) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<SearchHit> AnnotationSearch::Search(const std::string& keywords,
+                                                size_t limit) const {
+  std::vector<std::string> query_tokens = text::ContentTokens(keywords);
+  if (query_tokens.empty()) return {};
+
+  // Token -> number of triples containing it (for idf-style weighting).
+  std::map<std::string, size_t> token_frequency;
+  // Subject -> (token -> predicates it appeared under).
+  std::map<std::string, std::map<std::string, std::set<std::string>>> hits;
+
+  for (const auto& t : store_->Match({})) {
+    for (const auto& tok : text::ContentTokens(t.object)) {
+      ++token_frequency[tok];
+      for (const auto& q : query_tokens) {
+        if (tok == q) hits[t.subject][q].insert(t.predicate);
+      }
+    }
+  }
+
+  std::vector<SearchHit> out;
+  double total = static_cast<double>(std::max<size_t>(store_->size(), 1));
+  for (const auto& [subject, token_hits] : hits) {
+    SearchHit hit;
+    hit.subject = subject;
+    std::set<std::string> preds;
+    for (const auto& [tok, pred_set] : token_hits) {
+      double idf =
+          std::log(total / (1.0 + static_cast<double>(token_frequency[tok])))
+          + 1.0;
+      hit.score += idf;
+      preds.insert(pred_set.begin(), pred_set.end());
+    }
+    // Favor resources matching more distinct query tokens.
+    hit.score *= static_cast<double>(token_hits.size()) /
+                 static_cast<double>(query_tokens.size());
+    hit.matched_predicates.assign(preds.begin(), preds.end());
+    out.push_back(std::move(hit));
+  }
+  std::sort(out.begin(), out.end(), [](const SearchHit& a, const SearchHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.subject < b.subject;
+  });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+std::string RenderDepartmentSummary(const rdf::TripleStore& store,
+                                    const CleaningPolicy& policy,
+                                    const std::string& department_name) {
+  auto esc = [](const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      switch (c) {
+        case '&':
+          out += "&amp;";
+          break;
+        case '<':
+          out += "&lt;";
+          break;
+        case '>':
+          out += "&gt;";
+          break;
+        default:
+          out.push_back(c);
+      }
+    }
+    return out;
+  };
+
+  std::string html = "<html><head><title>" + esc(department_name) +
+                     " — Course Summary</title></head><body>";
+  html += "<h1>" + esc(department_name) + "</h1>";
+
+  html += "<h2>Schedule</h2><table>";
+  CourseCalendar calendar(&store, policy);
+  for (const auto& e : calendar.Refresh()) {
+    html += "<tr><td><span m=\"course\" m-id=\"" + esc(e.course) + "\">";
+    html += "<span m=\"title\">" + esc(e.title) + "</span></span></td>";
+    html += "<td>" + esc(e.time) + "</td><td>" + esc(e.room) + "</td>";
+    html += "<td>" + esc(e.instructor) + "</td></tr>";
+  }
+  html += "</table>";
+
+  html += "<h2>People</h2><ul>";
+  WhosWho who(&store, policy);
+  for (const auto& p : who.Refresh()) {
+    html += "<li><span m=\"person\" m-id=\"" + esc(p.person) + "\">";
+    html += "<span m=\"name\">" + esc(p.name) + "</span>";
+    if (!p.phone.empty()) {
+      html += " — <span m=\"phone\">" + esc(p.phone) + "</span>";
+    }
+    html += "</span></li>";
+  }
+  html += "</ul>";
+
+  html += "<h2>Recent publications</h2><ol>";
+  PublicationDatabase pubs(&store);
+  for (const auto& pub : pubs.Refresh()) {
+    html += "<li>" + esc(pub.title) + " (" + esc(pub.venue) + " " +
+            esc(pub.year) + ")</li>";
+  }
+  html += "</ol></body></html>";
+  return html;
+}
+
+}  // namespace revere::mangrove

@@ -1,0 +1,120 @@
+#ifndef REVERE_MANGROVE_APPS_H_
+#define REVERE_MANGROVE_APPS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/mangrove/cleaning.h"
+#include "src/rdf/triple_store.h"
+
+namespace revere::mangrove {
+
+/// The "instant gratification" applications (§2.2): they read the live
+/// annotation repository, so a publish is visible on the very next
+/// refresh — the feedback loop that motivates authors to annotate.
+/// Each application chooses its own cleaning policy (§2.3).
+
+/// One row of the department course calendar.
+struct CalendarEntry {
+  std::string course;      // resource id
+  std::string title;
+  std::string time;
+  std::string room;
+  std::string instructor;
+};
+
+/// Department-wide course schedule assembled from everyone's pages.
+class CourseCalendar {
+ public:
+  CourseCalendar(const rdf::TripleStore* store, CleaningPolicy policy)
+      : store_(store), policy_(std::move(policy)) {}
+
+  /// Recomputes the calendar from the current repository state. Sorted
+  /// by (time, course id) for stable display.
+  std::vector<CalendarEntry> Refresh() const;
+
+ private:
+  const rdf::TripleStore* store_;
+  CleaningPolicy policy_;
+};
+
+/// One entry of the department "Who's Who".
+struct DirectoryEntry {
+  std::string person;
+  std::string name;
+  std::string email;
+  std::string phone;
+  std::string office;
+};
+
+/// The Who's Who / phone directory application.
+class WhosWho {
+ public:
+  WhosWho(const rdf::TripleStore* store, CleaningPolicy policy)
+      : store_(store), policy_(std::move(policy)) {}
+
+  std::vector<DirectoryEntry> Refresh() const;
+
+ private:
+  const rdf::TripleStore* store_;
+  CleaningPolicy policy_;
+};
+
+/// One publication record.
+struct PublicationEntry {
+  std::string id;
+  std::string title;
+  std::string author;
+  std::string year;
+  std::string venue;
+};
+
+/// The departmental paper database.
+class PublicationDatabase {
+ public:
+  explicit PublicationDatabase(const rdf::TripleStore* store)
+      : store_(store) {}
+
+  /// All publications, newest year first.
+  std::vector<PublicationEntry> Refresh() const;
+  /// Publications whose author field contains `author_name`.
+  std::vector<PublicationEntry> ByAuthor(const std::string& author_name) const;
+
+ private:
+  const rdf::TripleStore* store_;
+};
+
+/// A ranked structured-search hit.
+struct SearchHit {
+  std::string subject;
+  double score = 0.0;
+  std::vector<std::string> matched_predicates;
+};
+
+/// The annotation-enabled search engine: keyword search over annotated
+/// values, ranked by how many query tokens a resource's properties
+/// cover (weighted by inverse frequency over the store).
+class AnnotationSearch {
+ public:
+  explicit AnnotationSearch(const rdf::TripleStore* store) : store_(store) {}
+
+  std::vector<SearchHit> Search(const std::string& keywords,
+                                size_t limit = 10) const;
+
+ private:
+  const rdf::TripleStore* store_;
+};
+
+/// Dynamic page generation "in the spirit of systems like Strudel"
+/// (§2.3): renders the department-wide course summary page — the kind
+/// of page that used to be compiled by hand — directly from the live
+/// repository. The returned HTML carries MANGROVE annotations itself,
+/// so the generated page is a first-class citizen of the semantic web
+/// it was derived from.
+std::string RenderDepartmentSummary(const rdf::TripleStore& store,
+                                    const CleaningPolicy& policy,
+                                    const std::string& department_name);
+
+}  // namespace revere::mangrove
+
+#endif  // REVERE_MANGROVE_APPS_H_

@@ -1,0 +1,89 @@
+#include "src/mangrove/cleaning.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/common/strings.h"
+#include "src/mangrove/publisher.h"
+
+namespace revere::mangrove {
+
+std::optional<std::string> ResolveValue(const rdf::TripleStore& store,
+                                        const std::string& subject,
+                                        const std::string& predicate,
+                                        const CleaningPolicy& policy) {
+  std::vector<rdf::Triple> matches =
+      store.Match({subject, predicate, std::nullopt});
+  if (matches.empty()) return std::nullopt;
+  switch (policy.resolution) {
+    case ConflictResolution::kAny:
+      return matches.front().object;
+    case ConflictResolution::kMajority: {
+      std::map<std::string, size_t> counts;
+      std::vector<std::string> order;
+      for (const auto& t : matches) {
+        if (counts[t.object]++ == 0) order.push_back(t.object);
+      }
+      std::string best = order.front();
+      for (const auto& v : order) {
+        if (counts[v] > counts[best]) best = v;
+      }
+      return best;
+    }
+    case ConflictResolution::kTrustedSourceOnly: {
+      for (const auto& t : matches) {
+        if (StartsWith(t.source, policy.trusted_source_prefix)) {
+          return t.object;
+        }
+      }
+      return std::nullopt;
+    }
+    case ConflictResolution::kRejectConflicts: {
+      std::set<std::string> distinct;
+      for (const auto& t : matches) distinct.insert(t.object);
+      if (distinct.size() == 1) return *distinct.begin();
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Inconsistency> FindInconsistencies(
+    const rdf::TripleStore& store, const MangroveSchema& schema) {
+  std::vector<Inconsistency> out;
+  for (const auto& concept_def : schema.concepts()) {
+    for (const auto& prop : concept_def.properties) {
+      if (!prop.single_valued) continue;
+      // For every typed instance of this concept, collect values.
+      for (const auto& subject :
+           store.SubjectsWithPredicate(kTypePredicate)) {
+        bool is_instance = false;
+        for (const auto& t :
+             store.Match({subject, kTypePredicate, std::nullopt})) {
+          if (t.object == concept_def.name) {
+            is_instance = true;
+            break;
+          }
+        }
+        if (!is_instance) continue;
+        std::set<std::string> values;
+        std::set<std::string> sources;
+        for (const auto& t :
+             store.Match({subject, prop.name, std::nullopt})) {
+          values.insert(t.object);
+          sources.insert(t.source);
+        }
+        if (values.size() > 1) {
+          out.push_back(Inconsistency{
+              subject, prop.name,
+              std::vector<std::string>(values.begin(), values.end()),
+              std::vector<std::string>(sources.begin(), sources.end())});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace revere::mangrove

@@ -1,0 +1,60 @@
+#ifndef REVERE_MANGROVE_CLEANING_H_
+#define REVERE_MANGROVE_CLEANING_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/mangrove/schema.h"
+#include "src/rdf/triple_store.h"
+
+namespace revere::mangrove {
+
+/// How an application resolves conflicting values for a single-valued
+/// property (§2.3: "The burden of cleaning up the data is passed to the
+/// application using the data").
+enum class ConflictResolution {
+  /// Take whatever value comes first (cheapest, tolerates dirt).
+  kAny,
+  /// Majority vote over distinct values; ties go to the first seen.
+  kMajority,
+  /// Only accept values published from a source whose URL starts with
+  /// `trusted_source_prefix` — the paper's "extract a phone number from
+  /// the faculty's web space, rather than anywhere on the web".
+  kTrustedSourceOnly,
+  /// Refuse: return nothing when values conflict (strictest).
+  kRejectConflicts,
+};
+
+/// Application-level cleaning configuration.
+struct CleaningPolicy {
+  ConflictResolution resolution = ConflictResolution::kAny;
+  std::string trusted_source_prefix;  // used by kTrustedSourceOnly
+};
+
+/// Resolves the value of (subject, predicate) under `policy`. Returns
+/// nullopt when no acceptable value exists.
+std::optional<std::string> ResolveValue(const rdf::TripleStore& store,
+                                        const std::string& subject,
+                                        const std::string& predicate,
+                                        const CleaningPolicy& policy);
+
+/// One detected inconsistency: a single-valued property with multiple
+/// distinct values.
+struct Inconsistency {
+  std::string subject;
+  std::string predicate;
+  std::vector<std::string> values;
+  std::vector<std::string> sources;  // who to notify (§2.3)
+};
+
+/// The proactive checker the paper suggests: "build special applications
+/// whose goal is to proactively find inconsistencies in the database and
+/// notify the relevant authors." Scans the store for violations of the
+/// schema's single-valued properties.
+std::vector<Inconsistency> FindInconsistencies(const rdf::TripleStore& store,
+                                               const MangroveSchema& schema);
+
+}  // namespace revere::mangrove
+
+#endif  // REVERE_MANGROVE_CLEANING_H_

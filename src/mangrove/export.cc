@@ -1,0 +1,46 @@
+#include "src/mangrove/export.h"
+
+#include "src/mangrove/publisher.h"
+
+namespace revere::mangrove {
+
+Result<storage::TableSchema> ConceptTableSchema(
+    const MangroveSchema& schema, const std::string& concept_name,
+    const std::string& table_name) {
+  const Concept* concept_def = schema.FindConcept(concept_name);
+  if (concept_def == nullptr) {
+    return Status::NotFound("no concept '" + concept_name + "' in schema");
+  }
+  std::vector<std::string> columns{"subject"};
+  for (const auto& p : concept_def->properties) columns.push_back(p.name);
+  return storage::TableSchema::AllStrings(table_name, columns);
+}
+
+Result<size_t> MaterializeConcept(const rdf::TripleStore& store,
+                                  const MangroveSchema& schema,
+                                  const std::string& concept_name,
+                                  const CleaningPolicy& policy,
+                                  storage::Table* out) {
+  const Concept* concept_def = schema.FindConcept(concept_name);
+  if (concept_def == nullptr) {
+    return Status::NotFound("no concept '" + concept_name + "' in schema");
+  }
+  if (out->schema().arity() != concept_def->properties.size() + 1) {
+    return Status::InvalidArgument(
+        "table arity does not match concept '" + concept_name + "'");
+  }
+  size_t exported = 0;
+  for (const auto& triple :
+       store.Match({std::nullopt, kTypePredicate, concept_name})) {
+    storage::Row row{storage::Value(triple.subject)};
+    for (const auto& p : concept_def->properties) {
+      auto value = ResolveValue(store, triple.subject, p.name, policy);
+      row.push_back(storage::Value(value.value_or("")));
+    }
+    REVERE_RETURN_IF_ERROR(out->Insert(std::move(row)));
+    ++exported;
+  }
+  return exported;
+}
+
+}  // namespace revere::mangrove

@@ -1,0 +1,34 @@
+#ifndef REVERE_MANGROVE_EXPORT_H_
+#define REVERE_MANGROVE_EXPORT_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/mangrove/cleaning.h"
+#include "src/mangrove/schema.h"
+#include "src/rdf/triple_store.h"
+#include "src/storage/table.h"
+
+namespace revere::mangrove {
+
+/// Materializes one concept from an annotation repository into a
+/// relational table — the bridge from MANGROVE's web of annotations to
+/// Piazza's stored relations. `out`'s schema must be
+/// (subject, prop1, ..., propK) in the concept's property order; rows
+/// are resolved under `policy` and appended (call out->Clear() first
+/// for replace semantics). Returns the number of instances exported.
+Result<size_t> MaterializeConcept(const rdf::TripleStore& store,
+                                  const MangroveSchema& schema,
+                                  const std::string& concept_name,
+                                  const CleaningPolicy& policy,
+                                  storage::Table* out);
+
+/// The table schema MaterializeConcept expects for `concept_name`,
+/// under the given relation name.
+Result<storage::TableSchema> ConceptTableSchema(
+    const MangroveSchema& schema, const std::string& concept_name,
+    const std::string& table_name);
+
+}  // namespace revere::mangrove
+
+#endif  // REVERE_MANGROVE_EXPORT_H_

@@ -1,0 +1,146 @@
+#include "src/mangrove/publisher.h"
+
+#include <memory>
+
+#include "src/common/strings.h"
+#include "src/html/annotation.h"
+#include "src/html/parser.h"
+#include "src/xml/node.h"
+
+namespace revere::mangrove {
+
+namespace {
+
+struct ExtractionContext {
+  const MangroveSchema* schema;
+  rdf::TripleStore* repository;
+  const std::string* url;
+  PublishReceipt* receipt;
+  int concept_counter = 0;
+  // Page-level property annotations are buffered: if the page declares
+  // exactly one concept instance, they attach to it (a page is usually
+  // *about* its one entity); otherwise they attach to the page URL.
+  std::vector<rdf::Triple> page_level;
+  std::vector<std::pair<std::string, std::string>> instances;  // (subj, type)
+};
+
+// Extracts property annotations beneath `node`, attached to `subject`.
+// Stops descending when hitting a nested concept region (which owns its
+// own properties).
+void ExtractProperties(const xml::XmlNode& node, const std::string& subject,
+                       const std::string& concept_name,
+                       ExtractionContext* ctx);
+
+// Handles one concept region rooted at `node`.
+void ExtractConcept(const xml::XmlNode& node, const std::string& tag,
+                    const std::string& id, ExtractionContext* ctx) {
+  std::string subject =
+      !id.empty() ? id
+                  : *ctx->url + "#" + tag +
+                        std::to_string(ctx->concept_counter++);
+  (void)ctx->repository->Add(subject, kTypePredicate, tag, *ctx->url);
+  ++ctx->receipt->triples_added;
+  ctx->instances.emplace_back(subject, tag);
+  ExtractProperties(node, subject, tag, ctx);
+}
+
+void ExtractProperties(const xml::XmlNode& node, const std::string& subject,
+                       const std::string& concept_name,
+                       ExtractionContext* ctx) {
+  for (const auto& child : node.children()) {
+    if (!child->is_element()) continue;
+    auto tag_attr = child->GetAttribute(html::kTagAttr);
+    if (tag_attr.has_value() && !tag_attr->empty()) {
+      auto [tag_concept, prop] = MangroveSchema::SplitTag(*tag_attr);
+      const Concept* as_concept = ctx->schema->FindConcept(*tag_attr);
+      if (as_concept != nullptr) {
+        // Nested concept region: recurse with a new subject.
+        ExtractConcept(*child,
+                       std::string(*tag_attr),
+                       child->GetAttribute(html::kIdAttr).value_or(""), ctx);
+        continue;
+      }
+      // Property annotation. Valid if it names a property of the
+      // enclosing concept (dotted concept must agree when present).
+      const Concept* owner = ctx->schema->FindConcept(concept_name);
+      bool valid = owner != nullptr && owner->FindProperty(prop) != nullptr &&
+                   (tag_concept.empty() || tag_concept == concept_name);
+      if (valid) {
+        std::string value(Trim(child->InnerText()));
+        (void)ctx->repository->Add(subject, prop, value, *ctx->url);
+        ++ctx->receipt->triples_added;
+      } else {
+        ++ctx->receipt->invalid_tags;
+      }
+      // Properties may contain further annotations (rare); keep walking
+      // with the same subject.
+      ExtractProperties(*child, subject, concept_name, ctx);
+      continue;
+    }
+    ExtractProperties(*child, subject, concept_name, ctx);
+  }
+}
+
+// Walks the page top-down looking for concept regions and stray
+// page-level property annotations.
+void ExtractTopLevel(const xml::XmlNode& node, ExtractionContext* ctx) {
+  for (const auto& child : node.children()) {
+    if (!child->is_element()) continue;
+    auto tag_attr = child->GetAttribute(html::kTagAttr);
+    if (tag_attr.has_value() && !tag_attr->empty()) {
+      if (ctx->schema->FindConcept(*tag_attr) != nullptr) {
+        ExtractConcept(*child, *tag_attr,
+                       child->GetAttribute(html::kIdAttr).value_or(""), ctx);
+        continue;
+      }
+      auto [tag_concept, prop] = MangroveSchema::SplitTag(*tag_attr);
+      if (ctx->schema->IsValidTag(*tag_attr)) {
+        // Page-level property: buffered; final subject decided after the
+        // whole page is seen.
+        std::string value(Trim(child->InnerText()));
+        ctx->page_level.push_back(
+            rdf::Triple{*ctx->url, prop, value, *ctx->url});
+      } else {
+        ++ctx->receipt->invalid_tags;
+      }
+      ExtractTopLevel(*child, ctx);
+      continue;
+    }
+    ExtractTopLevel(*child, ctx);
+  }
+}
+
+}  // namespace
+
+Result<PublishReceipt> Publisher::Publish(const std::string& url,
+                                          std::string_view html_source) {
+  REVERE_ASSIGN_OR_RETURN(std::unique_ptr<xml::XmlNode> doc,
+                          html::ParseHtml(html_source));
+  PublishReceipt receipt;
+  // Republish semantics: this page's previous statements disappear
+  // atomically with the new publish.
+  receipt.triples_removed = repository_->RemoveSource(url);
+  ExtractionContext ctx;
+  ctx.schema = schema_;
+  ctx.repository = repository_;
+  ctx.url = &url;
+  ctx.receipt = &receipt;
+  ExtractTopLevel(*doc, &ctx);
+  // Resolve buffered page-level properties (see ExtractionContext).
+  const Concept* sole_concept =
+      ctx.instances.size() == 1
+          ? schema_->FindConcept(ctx.instances.front().second)
+          : nullptr;
+  for (auto& triple : ctx.page_level) {
+    if (sole_concept != nullptr &&
+        sole_concept->FindProperty(triple.predicate) != nullptr) {
+      triple.subject = ctx.instances.front().first;
+    }
+    (void)repository_->Add(triple);
+    ++receipt.triples_added;
+  }
+  receipt.publish_tick = ++tick_;
+  return receipt;
+}
+
+}  // namespace revere::mangrove

@@ -1,0 +1,64 @@
+#ifndef REVERE_MANGROVE_PUBLISHER_H_
+#define REVERE_MANGROVE_PUBLISHER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/mangrove/schema.h"
+#include "src/rdf/triple_store.h"
+
+namespace revere::mangrove {
+
+/// Result of publishing one page.
+struct PublishReceipt {
+  size_t triples_added = 0;
+  size_t triples_removed = 0;   // stale triples from a previous publish
+  size_t invalid_tags = 0;      // annotations whose tag is not in schema
+  int64_t publish_tick = 0;     // logical time of visibility
+};
+
+/// MANGROVE's publish path (§2.2): when an author hits "publish", the
+/// page's annotations are extracted and stored in the repository *at
+/// that moment* — "the database is typically updated the moment a user
+/// publishes new or revised content". This immediacy powers the instant
+/// gratification applications.
+///
+/// Extraction semantics:
+///   - an annotated element whose tag is a schema concept ("course")
+///     becomes a resource; its subject is its m-id if given, else
+///     "<url>#<concept><ordinal>",
+///   - annotated elements nested inside it whose tag is a property
+///     ("title" or "course.title") yield (subject, property, inner text),
+///   - a property annotation outside any concept region attaches to the
+///     page itself (subject = url),
+///   - tags not in the schema are counted and skipped — never an error:
+///     authors are free to publish anything (§2.3).
+class Publisher {
+ public:
+  Publisher(const MangroveSchema* schema, rdf::TripleStore* repository)
+      : schema_(schema), repository_(repository) {}
+
+  /// Re-publishes `url` from its HTML source: removes the url's previous
+  /// triples, extracts current annotations, inserts them.
+  Result<PublishReceipt> Publish(const std::string& url,
+                                 std::string_view html_source);
+
+  /// Logical clock: increments on every publish. Applications compare
+  /// their refresh tick against this to measure staleness.
+  int64_t current_tick() const { return tick_; }
+
+ private:
+  const MangroveSchema* schema_;
+  rdf::TripleStore* repository_;
+  int64_t tick_ = 0;
+};
+
+/// The predicate used to type resources, e.g. ("x", kTypePredicate,
+/// "course").
+inline constexpr char kTypePredicate[] = "rdf:type";
+
+}  // namespace revere::mangrove
+
+#endif  // REVERE_MANGROVE_PUBLISHER_H_

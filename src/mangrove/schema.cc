@@ -1,0 +1,87 @@
+#include "src/mangrove/schema.h"
+
+namespace revere::mangrove {
+
+const Property* Concept::FindProperty(std::string_view prop) const {
+  for (const auto& p : properties) {
+    if (p.name == prop) return &p;
+  }
+  return nullptr;
+}
+
+Status MangroveSchema::AddConcept(Concept concept_def) {
+  if (FindConcept(concept_def.name) != nullptr) {
+    return Status::AlreadyExists("concept '" + concept_def.name +
+                                 "' already in schema");
+  }
+  concepts_.push_back(std::move(concept_def));
+  return Status::Ok();
+}
+
+const Concept* MangroveSchema::FindConcept(std::string_view concept_name) const {
+  for (const auto& c : concepts_) {
+    if (c.name == concept_name) return &c;
+  }
+  return nullptr;
+}
+
+std::pair<std::string, std::string> MangroveSchema::SplitTag(
+    std::string_view tag) {
+  size_t dot = tag.find('.');
+  if (dot == std::string_view::npos) {
+    return {"", std::string(tag)};
+  }
+  return {std::string(tag.substr(0, dot)), std::string(tag.substr(dot + 1))};
+}
+
+bool MangroveSchema::IsValidTag(std::string_view tag) const {
+  auto [concept_name, prop] = SplitTag(tag);
+  if (!concept_name.empty()) {
+    const Concept* c = FindConcept(concept_name);
+    return c != nullptr && c->FindProperty(prop) != nullptr;
+  }
+  if (FindConcept(prop) != nullptr) return true;  // bare concept tag
+  for (const auto& c : concepts_) {
+    if (c.FindProperty(prop) != nullptr) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> MangroveSchema::AllTags() const {
+  std::vector<std::string> tags;
+  for (const auto& c : concepts_) {
+    tags.push_back(c.name);
+    for (const auto& p : c.properties) {
+      tags.push_back(c.name + "." + p.name);
+    }
+  }
+  return tags;
+}
+
+MangroveSchema MangroveSchema::UniversityDefaults() {
+  MangroveSchema schema("university");
+  (void)schema.AddConcept(Concept{
+      "course",
+      {{"title", false},
+       {"number", true},
+       {"instructor", false},
+       {"time", true},
+       {"room", true},
+       {"textbook", false},
+       {"description", false}}});
+  (void)schema.AddConcept(Concept{"person",
+                                  {{"name", false},
+                                   {"email", true},
+                                   {"phone", true},
+                                   {"office", true},
+                                   {"position", false}}});
+  (void)schema.AddConcept(Concept{
+      "publication",
+      {{"title", false}, {"author", false}, {"year", true}, {"venue", false}}});
+  (void)schema.AddConcept(Concept{
+      "talk", {{"title", false}, {"speaker", false}, {"time", true},
+               {"room", true}}});
+  return schema;
+}
+
+}  // namespace revere::mangrove

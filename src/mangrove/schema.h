@@ -1,0 +1,68 @@
+#ifndef REVERE_MANGROVE_SCHEMA_H_
+#define REVERE_MANGROVE_SCHEMA_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace revere::mangrove {
+
+/// One property of a concept, e.g. course.title.
+struct Property {
+  std::string name;
+  /// Applications may ask the cleaner to enforce single-valuedness for
+  /// this property; MANGROVE itself never does at publish time (§2.3).
+  bool single_valued = false;
+};
+
+/// A top-level concept (class) users can annotate, e.g. "course".
+struct Concept {
+  std::string name;
+  std::vector<Property> properties;
+
+  const Property* FindProperty(std::string_view prop) const;
+};
+
+/// A MANGROVE lightweight schema (§2.1): just standardized tag names and
+/// their allowed nesting. Deliberately *not* a database schema — no keys,
+/// no integrity constraints, no types. "Users are free to provide
+/// partial, redundant, or conflicting information."
+class MangroveSchema {
+ public:
+  MangroveSchema() = default;
+  explicit MangroveSchema(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Adds a concept with its property list; AlreadyExists on duplicates.
+  Status AddConcept(Concept concept_def);
+
+  const Concept* FindConcept(std::string_view concept_name) const;
+  const std::vector<Concept>& concepts() const { return concepts_; }
+
+  /// True when `tag` is valid: a concept name ("course"), a property of
+  /// some concept ("title"), or the dotted form ("course.title").
+  bool IsValidTag(std::string_view tag) const;
+
+  /// Splits "course.title" into (concept, property); a bare property
+  /// yields an empty concept.
+  static std::pair<std::string, std::string> SplitTag(std::string_view tag);
+
+  /// All tag names users may choose from, for the annotation UI.
+  std::vector<std::string> AllTags() const;
+
+  /// The department-domain schema used throughout the paper's examples:
+  /// course, person, publication, talk.
+  static MangroveSchema UniversityDefaults();
+
+ private:
+  std::string name_;
+  std::vector<Concept> concepts_;
+};
+
+}  // namespace revere::mangrove
+
+#endif  // REVERE_MANGROVE_SCHEMA_H_

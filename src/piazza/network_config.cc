@@ -1,0 +1,130 @@
+#include "src/piazza/network_config.h"
+
+#include <optional>
+
+#include "src/common/strings.h"
+#include "src/piazza/peer.h"
+#include "src/query/glav.h"
+
+namespace revere::piazza {
+
+namespace {
+
+struct PendingMapping {
+  std::string name;
+  std::string source_peer;
+  std::string target_peer;
+  bool bidirectional = false;
+};
+
+}  // namespace
+
+Status LoadNetworkConfig(std::string_view config, PdmsNetwork* network) {
+  std::optional<PendingMapping> pending;
+  size_t line_number = 0;
+  for (const std::string& raw : Split(config, '\n')) {
+    ++line_number;
+    std::string line(Trim(raw));
+    if (line.empty() || line[0] == '#') continue;
+    auto fail = [&](const std::string& why) {
+      return Status::ParseError("network config line " +
+                                std::to_string(line_number) + ": " + why);
+    };
+
+    if (pending.has_value()) {
+      // This line must be the pending mapping's GLAV text.
+      REVERE_ASSIGN_OR_RETURN(query::GlavMapping glav,
+                              query::GlavMapping::Parse(line, pending->name));
+      REVERE_RETURN_IF_ERROR(network->AddMapping(
+          PeerMapping{std::move(glav), pending->source_peer,
+                      pending->target_peer, pending->bidirectional}));
+      pending.reset();
+      continue;
+    }
+
+    std::vector<std::string> fields = SplitAny(line, " \t");
+    const std::string& kind = fields[0];
+    if (kind == "peer") {
+      if (fields.size() != 2) return fail("peer needs a name");
+      REVERE_RETURN_IF_ERROR(network->AddPeer(fields[1]).status());
+    } else if (kind == "stored") {
+      if (fields.size() < 4) {
+        return fail("stored needs peer, relation, and columns");
+      }
+      storage::TableSchema schema = storage::TableSchema::AllStrings(
+          fields[2],
+          std::vector<std::string>(fields.begin() + 3, fields.end()));
+      REVERE_RETURN_IF_ERROR(
+          network->AddStoredRelation(fields[1], std::move(schema)).status());
+    } else if (kind == "row") {
+      if (fields.size() < 3) return fail("row needs peer and relation");
+      std::string qualified = QualifiedName(fields[1], fields[2]);
+      REVERE_ASSIGN_OR_RETURN(storage::Table * table,
+                              network->mutable_storage()->GetTable(
+                                  qualified));
+      // Values follow after "<peer> <relation> ", separated by " | ".
+      size_t peer_pos = line.find(fields[1], 3);  // after "row"
+      size_t rel_pos = line.find(fields[2], peer_pos + fields[1].size());
+      size_t prefix = rel_pos + fields[2].size();
+      std::string values_part(Trim(line.substr(prefix)));
+      storage::Row row;
+      if (!values_part.empty()) {
+        for (const std::string& v : Split(values_part, '|')) {
+          row.push_back(storage::Value(std::string(Trim(v))));
+        }
+      }
+      REVERE_RETURN_IF_ERROR(table->Insert(std::move(row)));
+    } else if (kind == "mapping") {
+      if (fields.size() < 4) {
+        return fail("mapping needs name, source peer, target peer");
+      }
+      PendingMapping p;
+      p.name = fields[1];
+      p.source_peer = fields[2];
+      p.target_peer = fields[3];
+      p.bidirectional = fields.size() > 4 && fields[4] == "bidirectional";
+      pending = std::move(p);
+    } else {
+      return fail("unknown directive '" + kind + "'");
+    }
+  }
+  if (pending.has_value()) {
+    return Status::ParseError("mapping '" + pending->name +
+                              "' is missing its GLAV line");
+  }
+  return Status::Ok();
+}
+
+std::string SaveNetworkConfig(const PdmsNetwork& network) {
+  std::string out = "# REVERE network config v1\n";
+  for (const auto& name : network.PeerNames()) {
+    out += "peer " + name + "\n";
+  }
+  for (const auto& table_name : network.storage().TableNames()) {
+    auto table = network.storage().GetTable(table_name);
+    if (!table.ok()) continue;
+    auto [peer, relation] = SplitQualifiedName(table_name);
+    out += "stored " + peer + " " + relation;
+    for (const auto& col : table.value()->schema().columns()) {
+      out += " " + col.name;
+    }
+    out += "\n";
+    for (const auto& row : table.value()->rows()) {
+      out += "row " + peer + " " + relation + " ";
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i > 0) out += " | ";
+        out += row[i].ToString();
+      }
+      out += "\n";
+    }
+  }
+  for (const auto& m : network.mappings()) {
+    out += "mapping " + m.glav.name + " " + m.source_peer + " " +
+           m.target_peer + (m.bidirectional ? " bidirectional" : "") + "\n";
+    out += "  " + m.glav.source.ToString() + " => " +
+           m.glav.target.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace revere::piazza

@@ -1,0 +1,32 @@
+#ifndef REVERE_PIAZZA_NETWORK_CONFIG_H_
+#define REVERE_PIAZZA_NETWORK_CONFIG_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/piazza/pdms.h"
+
+namespace revere::piazza {
+
+/// Loads a PDMS deployment from a line-oriented config — the shape a
+/// real federation would check into version control. Directives:
+///
+///   peer <name>
+///   stored <peer> <relation> <col1> <col2> ...
+///   row <peer> <relation> <v1> | <v2> | ...
+///   mapping <name> <source_peer> <target_peer> [bidirectional]
+///       <glav: source_cq => target_cq>      (one following line)
+///
+/// '#' starts a comment; blank lines are ignored. Values in `row` are
+/// separated by " | " so they may contain spaces.
+Status LoadNetworkConfig(std::string_view config, PdmsNetwork* network);
+
+/// Serializes the network's peers, stored relations (with data), and
+/// mappings back into the config format. Round-trips with
+/// LoadNetworkConfig.
+std::string SaveNetworkConfig(const PdmsNetwork& network);
+
+}  // namespace revere::piazza
+
+#endif  // REVERE_PIAZZA_NETWORK_CONFIG_H_

@@ -1,0 +1,537 @@
+#include "src/piazza/pdms.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <unordered_set>
+
+#include "src/query/containment.h"
+#include "src/query/evaluate.h"
+
+namespace revere::piazza {
+
+namespace {
+
+using query::Atom;
+using query::ConjunctiveQuery;
+using query::QTerm;
+using query::Substitution;
+
+/// Canonical form of a CQ for duplicate pruning: variables renamed by
+/// first occurrence, then body atoms sorted.
+std::string CanonicalKey(const ConjunctiveQuery& q) {
+  Substitution normalize;
+  int counter = 0;
+  auto norm_term = [&](const QTerm& t) {
+    if (!t.is_var()) return;
+    if (normalize.count(t.var()) == 0) {
+      normalize[t.var()] = QTerm::Var("V" + std::to_string(counter++));
+    }
+  };
+  for (const auto& t : q.head()) norm_term(t);
+  for (const auto& a : q.body()) {
+    for (const auto& t : a.args) norm_term(t);
+  }
+  ConjunctiveQuery n = q.Substitute(normalize);
+  std::vector<std::string> atoms;
+  atoms.reserve(n.body().size());
+  for (const auto& a : n.body()) atoms.push_back(a.ToString());
+  std::sort(atoms.begin(), atoms.end());
+  std::string key = n.HeadAtom().ToString() + "|";
+  for (const auto& a : atoms) {
+    key += a;
+    key += ";";
+  }
+  return key;
+}
+
+struct WorkItem {
+  ConjunctiveQuery query;
+  int depth = 0;
+};
+
+}  // namespace
+
+Result<Peer*> PdmsNetwork::AddPeer(const std::string& name) {
+  if (peers_.count(name) > 0) {
+    return Status::AlreadyExists("peer '" + name + "' already in network");
+  }
+  auto peer = std::make_unique<Peer>(name);
+  Peer* ptr = peer.get();
+  peers_[name] = std::move(peer);
+  return ptr;
+}
+
+Result<Peer*> PdmsNetwork::GetPeer(const std::string& name) {
+  auto it = peers_.find(name);
+  if (it == peers_.end()) return Status::NotFound("no peer '" + name + "'");
+  return it->second.get();
+}
+
+bool PdmsNetwork::HasPeer(const std::string& name) const {
+  return peers_.count(name) > 0;
+}
+
+std::vector<std::string> PdmsNetwork::PeerNames() const {
+  std::vector<std::string> names;
+  names.reserve(peers_.size());
+  for (const auto& [name, peer] : peers_) names.push_back(name);
+  return names;
+}
+
+Result<storage::Table*> PdmsNetwork::AddStoredRelation(
+    const std::string& peer, storage::TableSchema schema) {
+  auto peer_it = peers_.find(peer);
+  if (peer_it == peers_.end()) {
+    return Status::NotFound("no peer '" + peer + "'");
+  }
+  std::string unqualified = schema.name();
+  storage::TableSchema qualified(QualifiedName(peer, unqualified),
+                                 schema.columns());
+  REVERE_ASSIGN_OR_RETURN(storage::Table * table,
+                          storage_.CreateTable(std::move(qualified)));
+  peer_it->second->NoteStoredRelation(unqualified);
+  RecomputeProductive();
+  return table;
+}
+
+Status PdmsNetwork::AddMapping(PeerMapping mapping) {
+  REVERE_RETURN_IF_ERROR(mapping.glav.Validate());
+  if (!HasPeer(mapping.source_peer)) {
+    return Status::NotFound("no peer '" + mapping.source_peer + "'");
+  }
+  if (!HasPeer(mapping.target_peer)) {
+    return Status::NotFound("no peer '" + mapping.target_peer + "'");
+  }
+  mappings_.push_back(std::move(mapping));
+  RecomputeProductive();
+  return Status::Ok();
+}
+
+void PdmsNetwork::RecomputeProductive() {
+  productive_.clear();
+  for (const auto& name : storage_.TableNames()) productive_[name] = true;
+  // Fixpoint: a relation R is productive when some mapping can rewrite
+  // an R-atom into a source body whose relations are all productive.
+  bool changed = true;
+  auto body_productive = [this](const ConjunctiveQuery& q) {
+    for (const auto& a : q.body()) {
+      auto it = productive_.find(a.relation);
+      if (it == productive_.end() || !it->second) return false;
+    }
+    return true;
+  };
+  while (changed) {
+    changed = false;
+    for (const auto& m : mappings_) {
+      // Forward use: target atoms rewrite into the source body.
+      if (body_productive(m.glav.source)) {
+        for (const auto& a : m.glav.target.body()) {
+          if (!productive_[a.relation]) {
+            productive_[a.relation] = true;
+            changed = true;
+          }
+        }
+      }
+      // Backward use for equality mappings.
+      if (m.bidirectional && body_productive(m.glav.target)) {
+        for (const auto& a : m.glav.source.body()) {
+          if (!productive_[a.relation]) {
+            productive_[a.relation] = true;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Attempts to rewrite atom `goal_idx` of `q` using one (source→target)
+/// mapping application: unify the goal with a target-body atom, check
+/// that needed variables are exported through the target head, and
+/// splice in the instantiated source body. Appends each successful
+/// rewriting to `out`.
+void ApplyMappingToGoal(const ConjunctiveQuery& q, size_t goal_idx,
+                        const ConjunctiveQuery& map_source,
+                        const ConjunctiveQuery& map_target, int fresh_id,
+                        std::vector<ConjunctiveQuery>* out) {
+  const Atom& goal = q.body()[goal_idx];
+  std::string prefix = "_m" + std::to_string(fresh_id) + "_";
+  ConjunctiveQuery target = map_target.RenameVars(prefix + "t_");
+  ConjunctiveQuery source = map_source.RenameVars(prefix + "s_");
+
+  // Query variables that must survive: head vars and vars shared with
+  // other atoms.
+  std::set<std::string> needed = q.HeadVars();
+  for (size_t i = 0; i < q.body().size(); ++i) {
+    if (i == goal_idx) continue;
+    for (const auto& t : q.body()[i].args) {
+      if (t.is_var()) needed.insert(t.var());
+    }
+  }
+  std::set<std::string> target_head_vars = target.HeadVars();
+
+  for (const auto& target_atom : target.body()) {
+    Substitution sub;
+    if (!query::UnifyAtoms(target_atom, goal, &sub)) continue;
+    sub = query::ResolveSubstitution(sub);
+
+    // Export check: a goal variable the query still needs must bind a
+    // *distinguished* target variable, else its value is lost.
+    bool exportable = true;
+    for (size_t i = 0; i < goal.args.size() && exportable; ++i) {
+      const QTerm& goal_term = goal.args[i];
+      if (!goal_term.is_var() || needed.count(goal_term.var()) == 0) {
+        continue;
+      }
+      const QTerm& raw = target_atom.args[i];
+      if (!raw.is_var()) continue;  // constant position: value is known
+      if (target_head_vars.count(raw.var()) == 0) exportable = false;
+    }
+    if (!exportable) continue;
+
+    // Head correspondence: target.head[j] -> source.head[j].
+    Substitution source_binding;   // source head var -> query-level term
+    Substitution query_binding;    // query var -> constant (specialization)
+    bool consistent = true;
+    int fresh_counter = 0;
+    for (size_t j = 0; j < target.head().size() && consistent; ++j) {
+      QTerm exported = query::Apply(sub, target.head()[j]);
+      if (exported.is_var() && exported.var().rfind(prefix, 0) == 0) {
+        // Unconstrained by the goal: fresh variable on the query side.
+        exported = QTerm::Var(prefix + "f" +
+                              std::to_string(fresh_counter++));
+      }
+      const QTerm& source_head = source.head()[j];
+      if (source_head.is_var()) {
+        auto it = source_binding.find(source_head.var());
+        if (it == source_binding.end()) {
+          source_binding[source_head.var()] = exported;
+        } else if (!(it->second == exported)) {
+          // Repeated source head var must export one value; equate by
+          // substituting one query term for the other when possible.
+          if (exported.is_var()) {
+            query_binding[exported.var()] = it->second;
+          } else if (it->second.is_var()) {
+            query_binding[it->second.var()] = exported;
+          } else {
+            consistent = false;
+          }
+        }
+      } else {
+        // Source head constant: the exported term must equal it.
+        if (exported.is_var()) {
+          query_binding[exported.var()] = source_head;
+        } else if (!(exported == source_head)) {
+          consistent = false;
+        }
+      }
+    }
+    if (!consistent) continue;
+
+    // Also apply any bindings UnifyAtoms imposed on query variables
+    // (target-side constants specializing the goal).
+    for (const auto& [var, term] : sub) {
+      if (var.rfind(prefix, 0) != 0) query_binding[var] = term;
+    }
+
+    std::vector<Atom> new_body;
+    new_body.reserve(q.body().size() - 1 + source.body().size());
+    for (size_t i = 0; i < q.body().size(); ++i) {
+      if (i == goal_idx) {
+        for (const auto& a : source.body()) {
+          new_body.push_back(query::Apply(source_binding, a));
+        }
+      } else {
+        new_body.push_back(q.body()[i]);
+      }
+    }
+    ConjunctiveQuery rewritten(q.name(), q.head(), new_body);
+    if (!query_binding.empty()) {
+      rewritten = rewritten.Substitute(query_binding);
+    }
+    // Dedupe atoms introduced twice.
+    std::vector<Atom> dedup;
+    for (const auto& a : rewritten.body()) {
+      if (std::find(dedup.begin(), dedup.end(), a) == dedup.end()) {
+        dedup.push_back(a);
+      }
+    }
+    out->push_back(
+        ConjunctiveQuery(rewritten.name(), rewritten.head(), dedup));
+  }
+}
+
+}  // namespace
+
+Result<size_t> PdmsNetwork::RegisterView(const std::string& peer,
+                                         query::ConjunctiveQuery definition) {
+  if (!HasPeer(peer)) return Status::NotFound("no peer '" + peer + "'");
+  RegisteredView entry{peer, MaterializedView(std::move(definition))};
+  REVERE_RETURN_IF_ERROR(entry.view.Recompute(storage_));
+  views_.push_back(std::move(entry));
+  return views_.size() - 1;
+}
+
+Result<const MaterializedView*> PdmsNetwork::GetView(size_t index) const {
+  if (index >= views_.size()) {
+    return Status::OutOfRange("no view #" + std::to_string(index));
+  }
+  return &views_[index].view;
+}
+
+Result<PdmsNetwork::PropagationStats> PdmsNetwork::PropagateUpdategram(
+    const Updategram& update) {
+  PropagationStats stats;
+  REVERE_RETURN_IF_ERROR(ApplyToBase(&storage_, update));
+  for (auto& entry : views_) {
+    if (!entry.view.DependsOn(update.relation)) continue;
+    ++stats.views_touched;
+    RefreshCostEstimate estimate =
+        EstimateRefreshCost(storage_, entry.view.definition(), update);
+    if (estimate.choice == RefreshChoice::kIncremental) {
+      REVERE_RETURN_IF_ERROR(entry.view.ApplyUpdategram(storage_, update));
+      ++stats.incremental_refreshes;
+    } else {
+      REVERE_RETURN_IF_ERROR(entry.view.Recompute(storage_));
+      ++stats.full_recomputes;
+    }
+  }
+  return stats;
+}
+
+Status PdmsNetwork::AddXmlMapping(const std::string& source_peer,
+                                  const std::string& target_peer,
+                                  XmlMapping mapping,
+                                  std::string source_doc_name) {
+  if (!HasPeer(source_peer)) {
+    return Status::NotFound("no peer '" + source_peer + "'");
+  }
+  if (!HasPeer(target_peer)) {
+    return Status::NotFound("no peer '" + target_peer + "'");
+  }
+  xml_edges_.push_back(XmlEdge{source_peer, target_peer, std::move(mapping),
+                               std::move(source_doc_name)});
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<xml::XmlNode>> PdmsNetwork::TranslateDocument(
+    const std::string& source_peer, const std::string& target_peer,
+    const xml::XmlNode& input) const {
+  if (source_peer == target_peer) return input.Clone();
+  // BFS over directed XML mapping edges for the shortest hop path.
+  std::map<std::string, size_t> via_edge;  // peer -> incoming edge index
+  std::deque<std::string> frontier{source_peer};
+  std::set<std::string> visited{source_peer};
+  while (!frontier.empty() && visited.count(target_peer) == 0) {
+    std::string current = frontier.front();
+    frontier.pop_front();
+    for (size_t i = 0; i < xml_edges_.size(); ++i) {
+      if (xml_edges_[i].source_peer != current) continue;
+      const std::string& next = xml_edges_[i].target_peer;
+      if (visited.insert(next).second) {
+        via_edge[next] = i;
+        frontier.push_back(next);
+      }
+    }
+  }
+  if (visited.count(target_peer) == 0) {
+    return Status::NotFound("no XML mapping path from '" + source_peer +
+                            "' to '" + target_peer + "'");
+  }
+  // Reconstruct the path backwards, then run the chain.
+  std::vector<size_t> path;
+  for (std::string at = target_peer; at != source_peer;
+       at = xml_edges_[via_edge[at]].source_peer) {
+    path.push_back(via_edge[at]);
+  }
+  std::reverse(path.begin(), path.end());
+  XmlMappingChain chain;
+  for (size_t edge : path) {
+    // Re-parse the template to copy the move-only mapping.
+    chain.AddHop(xml_edges_[edge].mapping.CloneMapping(),
+                 xml_edges_[edge].source_doc_name);
+  }
+  REVERE_ASSIGN_OR_RETURN(std::unique_ptr<xml::XmlNode> result,
+                          chain.Translate(input));
+  // When the target peer declares an XML schema (Figure 3 DTD), the
+  // translated document must conform to it.
+  auto peer_it = peers_.find(target_peer);
+  if (peer_it != peers_.end() &&
+      !peer_it->second->xml_schema().root().empty()) {
+    REVERE_RETURN_IF_ERROR(peer_it->second->xml_schema().Validate(*result));
+  }
+  return result;
+}
+
+Result<std::vector<ConjunctiveQuery>> PdmsNetwork::Reformulate(
+    const ConjunctiveQuery& query, const ReformulationOptions& options,
+    ReformulationStats* stats) const {
+  ReformulationStats local;
+  std::vector<ConjunctiveQuery> results;
+  std::deque<WorkItem> worklist;
+  worklist.push_back({query, 0});
+  std::set<std::string> seen;
+  seen.insert(CanonicalKey(query));
+  int fresh_id = 0;
+
+  while (!worklist.empty() && results.size() < options.max_rewritings) {
+    WorkItem item = std::move(worklist.front());
+    worklist.pop_front();
+    ++local.nodes_expanded;
+
+    // Irrelevant-path pruning: some atom can never reach stored data.
+    if (options.prune_unreachable) {
+      bool dead = false;
+      for (const auto& a : item.query.body()) {
+        if (IsStored(a.relation)) continue;  // live storage is productive
+        auto it = productive_.find(a.relation);
+        if (it == productive_.end() || !it->second) {
+          dead = true;
+          break;
+        }
+      }
+      if (dead) {
+        ++local.pruned_unreachable;
+        continue;
+      }
+    }
+
+    // A query fully grounded in stored relations is an answerable
+    // rewriting — emit it. A peer relation may be stored *and* mapped
+    // (every peer in the paper's example both holds courses and imports
+    // them), so we keep expanding either way.
+    bool all_stored = true;
+    for (const auto& a : item.query.body()) {
+      if (!IsStored(a.relation)) {
+        all_stored = false;
+        break;
+      }
+    }
+    if (all_stored) {
+      bool contained = false;
+      if (options.prune_contained) {
+        for (const auto& prior : results) {
+          if (query::Contains(prior, item.query)) {
+            contained = true;
+            ++local.pruned_contained;
+            break;
+          }
+        }
+      }
+      if (!contained) {
+        results.push_back(item.query);
+        if (results.size() >= options.max_rewritings) break;
+      }
+    }
+    if (item.depth >= options.max_depth) {
+      if (!all_stored) ++local.pruned_depth;
+      continue;
+    }
+
+    std::vector<ConjunctiveQuery> expansions;
+    for (size_t goal_idx = 0; goal_idx < item.query.body().size();
+         ++goal_idx) {
+      for (const auto& m : mappings_) {
+        ApplyMappingToGoal(item.query, goal_idx, m.glav.source,
+                           m.glav.target, fresh_id++, &expansions);
+        if (m.bidirectional) {
+          ApplyMappingToGoal(item.query, goal_idx, m.glav.target,
+                             m.glav.source, fresh_id++, &expansions);
+        }
+      }
+    }
+    for (auto& e : expansions) {
+      std::string key = CanonicalKey(e);
+      if (options.prune_duplicates) {
+        if (!seen.insert(key).second) {
+          ++local.pruned_duplicates;
+          continue;
+        }
+      }
+      worklist.push_back({std::move(e), item.depth + 1});
+    }
+  }
+  local.rewritings = results.size();
+  if (stats != nullptr) *stats = local;
+  return results;
+}
+
+Result<std::vector<storage::Row>> PdmsNetwork::Answer(
+    const ConjunctiveQuery& query, const ReformulationOptions& options,
+    ExecutionStats* stats, const NetworkCostModel& cost) const {
+  REVERE_ASSIGN_OR_RETURN(std::vector<ProvenancedRow> provenanced,
+                          AnswerWithProvenance(query, options, stats, cost));
+  std::vector<storage::Row> out;
+  out.reserve(provenanced.size());
+  for (auto& p : provenanced) out.push_back(std::move(p.row));
+  return out;
+}
+
+Result<std::vector<PdmsNetwork::ProvenancedRow>>
+PdmsNetwork::AnswerWithProvenance(const ConjunctiveQuery& query,
+                                  const ReformulationOptions& options,
+                                  ExecutionStats* stats,
+                                  const NetworkCostModel& cost) const {
+  ExecutionStats local;
+  REVERE_ASSIGN_OR_RETURN(
+      std::vector<ConjunctiveQuery> rewritings,
+      Reformulate(query, options, &local.reformulation));
+
+  auto [query_peer, rel] = SplitQualifiedName(
+      query.body().empty() ? "" : query.body().front().relation);
+
+  std::vector<ProvenancedRow> out;
+  std::unordered_map<storage::Row, size_t, storage::RowHash> row_index;
+  std::set<std::string> all_peers;
+  for (const auto& rw : rewritings) {
+    auto rows = query::EvaluateCQ(storage_, rw);
+    if (!rows.ok()) continue;  // a rewriting over a missing table: skip
+    ++local.rewritings_evaluated;
+    // Peers whose data this rewriting reads (including the query peer's
+    // own storage when referenced).
+    std::set<std::string> rewriting_peers;
+    for (const auto& a : rw.body()) {
+      auto [peer, r] = SplitQualifiedName(a.relation);
+      if (!peer.empty()) rewriting_peers.insert(peer);
+    }
+    // Simulated distribution: every remote peer named in the rewriting
+    // is contacted once. What crosses the wire depends on strategy —
+    // result rows (ship-query) or whole remote base tables (ship-data).
+    std::set<std::string> peers;
+    size_t remote_base_rows = 0;
+    for (const auto& a : rw.body()) {
+      auto [peer, r] = SplitQualifiedName(a.relation);
+      if (!peer.empty() && peer != query_peer) {
+        peers.insert(peer);
+        auto table = storage_.GetTable(a.relation);
+        if (table.ok()) remote_base_rows += table.value()->size();
+      }
+    }
+    all_peers.insert(peers.begin(), peers.end());
+    local.simulated_network_ms +=
+        static_cast<double>(peers.size()) * cost.per_peer_round_trip_ms;
+    size_t shipped = cost.strategy == ExecutionStrategy::kShipQuery
+                         ? rows.value().size()
+                         : remote_base_rows;
+    local.simulated_network_ms +=
+        static_cast<double>(shipped) * cost.per_row_ms;
+    local.rows_shipped += shipped;
+    for (auto& r : rows.value()) {
+      auto [it, inserted] = row_index.emplace(r, out.size());
+      if (inserted) {
+        out.push_back(ProvenancedRow{std::move(r), rewriting_peers});
+      } else {
+        out[it->second].peers.insert(rewriting_peers.begin(),
+                                     rewriting_peers.end());
+      }
+    }
+  }
+  local.peers_contacted = all_peers.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace revere::piazza

@@ -1,0 +1,221 @@
+#ifndef REVERE_PIAZZA_PDMS_H_
+#define REVERE_PIAZZA_PDMS_H_
+
+#include <map>
+#include <set>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/piazza/peer.h"
+#include "src/piazza/views.h"
+#include "src/piazza/xml_mapping.h"
+#include "src/query/cq.h"
+#include "src/storage/catalog.h"
+#include "src/xml/node.h"
+
+namespace revere::piazza {
+
+/// Knobs for transitive-closure query reformulation (§3.1.1).
+struct ReformulationOptions {
+  /// Maximum mapping-application depth along any path.
+  int max_depth = 12;
+  /// Cap on emitted rewritings.
+  size_t max_rewritings = 512;
+  /// Heuristic: drop reformulations syntactically identical (up to
+  /// variable renaming) to ones already seen — "prune redundant paths".
+  bool prune_duplicates = true;
+  /// Heuristic: drop reformulations containing a relation that cannot
+  /// reach stored data through any mapping chain — "prune irrelevant
+  /// paths".
+  bool prune_unreachable = true;
+  /// Stronger (and costlier) redundancy pruning: drop an emitted
+  /// rewriting when it is *semantically contained* in one already
+  /// emitted (Chandra-Merlin check per pair) — evaluating it cannot add
+  /// answers. Off by default; syntactic dedup usually suffices.
+  bool prune_contained = false;
+};
+
+/// Instrumentation from one reformulation (drives bench C3).
+struct ReformulationStats {
+  size_t nodes_expanded = 0;
+  size_t pruned_duplicates = 0;
+  size_t pruned_unreachable = 0;
+  size_t pruned_depth = 0;
+  size_t pruned_contained = 0;
+  size_t rewritings = 0;
+};
+
+/// How a rewriting executes across peers (§3.1.2: "distribute each
+/// query in the PDMS to the peer that will provide the best
+/// performance").
+enum class ExecutionStrategy {
+  /// Ship the (sub)query to each remote peer; only result rows cross
+  /// the wire.
+  kShipQuery,
+  /// Ship every referenced remote base table to the querying peer and
+  /// evaluate locally — the naive baseline.
+  kShipData,
+};
+
+/// Simple network cost model for the simulated distributed execution:
+/// contacting a peer costs a round trip; shipping a row costs transfer
+/// time.
+struct NetworkCostModel {
+  double per_peer_round_trip_ms = 5.0;
+  double per_row_ms = 0.01;
+  ExecutionStrategy strategy = ExecutionStrategy::kShipQuery;
+};
+
+/// Instrumentation from answering a query end to end.
+struct ExecutionStats {
+  ReformulationStats reformulation;
+  size_t rewritings_evaluated = 0;
+  size_t peers_contacted = 0;
+  size_t rows_shipped = 0;
+  double simulated_network_ms = 0.0;
+};
+
+/// The Piazza peer data management system (§3): an overlay of peers
+/// connected by local GLAV mappings. "The PDMS will find all data
+/// sources related through this schema via the transitive closure of
+/// mappings, and it will use these sources to answer the query in the
+/// user's schema."
+///
+/// Data model note: stored relations live in one storage::Catalog under
+/// qualified names ("mit:course"); this models each peer's local store
+/// while letting the reformulation engine speak one vocabulary.
+class PdmsNetwork {
+ public:
+  PdmsNetwork() = default;
+  PdmsNetwork(const PdmsNetwork&) = delete;
+  PdmsNetwork& operator=(const PdmsNetwork&) = delete;
+
+  /// Adds a peer; AlreadyExists on duplicate names.
+  Result<Peer*> AddPeer(const std::string& name);
+  Result<Peer*> GetPeer(const std::string& name);
+  bool HasPeer(const std::string& name) const;
+  size_t peer_count() const { return peers_.size(); }
+  /// All peer names, sorted.
+  std::vector<std::string> PeerNames() const;
+
+  /// Creates a stored relation at `peer`; the schema's name must be the
+  /// unqualified relation name.
+  Result<storage::Table*> AddStoredRelation(const std::string& peer,
+                                            storage::TableSchema schema);
+
+  /// Registers a mapping; validates both sides and peer existence.
+  Status AddMapping(PeerMapping mapping);
+  const std::vector<PeerMapping>& mappings() const { return mappings_; }
+
+  /// Rewrites `query` (posed in some peer's vocabulary, atoms use
+  /// qualified names) into a union of conjunctive queries over *stored*
+  /// relations only, chasing mappings transitively.
+  Result<std::vector<query::ConjunctiveQuery>> Reformulate(
+      const query::ConjunctiveQuery& query,
+      const ReformulationOptions& options = {},
+      ReformulationStats* stats = nullptr) const;
+
+  /// Reformulates, evaluates every rewriting, unions the answers, and
+  /// charges the simulated network cost model.
+  Result<std::vector<storage::Row>> Answer(
+      const query::ConjunctiveQuery& query,
+      const ReformulationOptions& options = {},
+      ExecutionStats* stats = nullptr,
+      const NetworkCostModel& cost = {}) const;
+
+  /// An answer row together with the peers whose data derived it — the
+  /// PDMS analogue of MANGROVE's per-triple source URL (§2.3):
+  /// applications can scope trust by origin.
+  struct ProvenancedRow {
+    storage::Row row;
+    std::set<std::string> peers;
+  };
+
+  /// Like Answer, but each row carries the set of peers that contribute
+  /// it (union across the rewritings that derive it).
+  Result<std::vector<ProvenancedRow>> AnswerWithProvenance(
+      const query::ConjunctiveQuery& query,
+      const ReformulationOptions& options = {},
+      ExecutionStats* stats = nullptr,
+      const NetworkCostModel& cost = {}) const;
+
+  const storage::Catalog& storage() const { return storage_; }
+  storage::Catalog* mutable_storage() { return &storage_; }
+
+  // ---- XML document side (§3.1: "Piazza assumes an XML data model") --
+
+  /// Registers a Figure-4-style template mapping that translates
+  /// documents in `source_peer`'s schema into `target_peer`'s. The
+  /// template reads its input as document(`source_doc_name`).
+  Status AddXmlMapping(const std::string& source_peer,
+                       const std::string& target_peer, XmlMapping mapping,
+                       std::string source_doc_name);
+
+  /// Translates `input` (a document in `source_peer`'s XML schema) into
+  /// `target_peer`'s schema by composing registered XML mappings along
+  /// the shortest mapping path (BFS) — the transitive-reuse story of
+  /// Example 3.1. NotFound when no path exists.
+  Result<std::unique_ptr<xml::XmlNode>> TranslateDocument(
+      const std::string& source_peer, const std::string& target_peer,
+      const xml::XmlNode& input) const;
+
+  /// True when a qualified relation is materialized somewhere.
+  bool IsStored(const std::string& qualified_relation) const {
+    return storage_.HasTable(qualified_relation);
+  }
+
+  // ---- Materialized views and updategram propagation (§3.1.2) ----
+
+  /// Materializes `definition` (over qualified stored relations) at
+  /// `peer` and registers it for updategram-driven maintenance.
+  /// Returns the view's registry index.
+  Result<size_t> RegisterView(const std::string& peer,
+                              query::ConjunctiveQuery definition);
+
+  /// Registered view by index.
+  Result<const MaterializedView*> GetView(size_t index) const;
+  size_t view_count() const { return views_.size(); }
+
+  /// Outcome of one propagation (drives tests and benches).
+  struct PropagationStats {
+    size_t views_touched = 0;
+    size_t incremental_refreshes = 0;
+    size_t full_recomputes = 0;
+  };
+
+  /// Applies `update` to its base relation, then refreshes every
+  /// registered view that depends on it, choosing incrementally-vs-
+  /// recompute per view via the cost model ("the query optimizer
+  /// decides which updategrams to use in a cost-based fashion").
+  Result<PropagationStats> PropagateUpdategram(const Updategram& update);
+
+ private:
+  /// Relations from which stored data is reachable via mapping chains
+  /// (fixpoint; recomputed when mappings change).
+  void RecomputeProductive();
+
+  struct XmlEdge {
+    std::string source_peer;
+    std::string target_peer;
+    XmlMapping mapping;
+    std::string source_doc_name;
+  };
+
+  struct RegisteredView {
+    std::string peer;
+    MaterializedView view;
+  };
+
+  std::map<std::string, std::unique_ptr<Peer>> peers_;
+  std::vector<PeerMapping> mappings_;
+  std::vector<XmlEdge> xml_edges_;
+  std::vector<RegisteredView> views_;
+  storage::Catalog storage_;
+  std::map<std::string, bool> productive_;
+};
+
+}  // namespace revere::piazza
+
+#endif  // REVERE_PIAZZA_PDMS_H_

@@ -1,0 +1,32 @@
+#include "src/piazza/peer.h"
+
+namespace revere::piazza {
+
+std::string QualifiedName(const std::string& peer,
+                          const std::string& relation) {
+  return peer + ":" + relation;
+}
+
+std::pair<std::string, std::string> SplitQualifiedName(
+    const std::string& name) {
+  size_t colon = name.find(':');
+  if (colon == std::string::npos) return {"", name};
+  return {name.substr(0, colon), name.substr(colon + 1)};
+}
+
+void Peer::DeclarePeerRelation(const std::string& relation, size_t arity) {
+  peer_relations_.emplace_back(relation, arity);
+}
+
+bool Peer::HasPeerRelation(const std::string& relation) const {
+  for (const auto& [name, arity] : peer_relations_) {
+    if (name == relation) return true;
+  }
+  return false;
+}
+
+void Peer::NoteStoredRelation(const std::string& relation) {
+  stored_relations_.push_back(relation);
+}
+
+}  // namespace revere::piazza

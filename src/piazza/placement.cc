@@ -1,0 +1,89 @@
+#include "src/piazza/placement.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/piazza/peer.h"
+#include "src/query/containment.h"
+
+namespace revere::piazza {
+
+double EstimateQueryNetworkCost(const PdmsNetwork& network,
+                                const std::string& peer,
+                                const query::ConjunctiveQuery& query,
+                                const NetworkCostModel& cost) {
+  auto rewritings = network.Reformulate(query);
+  if (!rewritings.ok()) return 0.0;
+  double total = 0.0;
+  for (const auto& rw : rewritings.value()) {
+    std::set<std::string> remote;
+    for (const auto& atom : rw.body()) {
+      auto [p, rel] = SplitQualifiedName(atom.relation);
+      if (!p.empty() && p != peer) remote.insert(p);
+    }
+    total += static_cast<double>(remote.size()) * cost.per_peer_round_trip_ms;
+  }
+  return total;
+}
+
+PlacementPlan PlanViewPlacement(const PdmsNetwork& network,
+                                const std::vector<WorkloadEntry>& workload,
+                                const PlacementOptions& options) {
+  PlacementPlan plan;
+
+  // Per workload entry: the network cost it pays per execution today.
+  struct Candidate {
+    size_t workload_index;
+    double gross_benefit;  // frequency * per-execution cost
+  };
+  std::vector<Candidate> candidates;
+  for (size_t i = 0; i < workload.size(); ++i) {
+    double per_exec = EstimateQueryNetworkCost(
+        network, workload[i].peer, workload[i].query, options.cost);
+    plan.baseline_cost += workload[i].frequency * per_exec;
+    candidates.push_back({i, workload[i].frequency * per_exec});
+  }
+  plan.optimized_cost = plan.baseline_cost;
+
+  // Greedy: best net benefit first, respecting per-peer budgets. A view
+  // materialized at a peer also serves that peer's *equivalent* queries.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.gross_benefit > b.gross_benefit;
+            });
+  std::map<std::string, size_t> views_at_peer;
+  std::vector<size_t> served(workload.size(), 0);
+
+  for (const auto& c : candidates) {
+    if (served[c.workload_index]) continue;
+    const WorkloadEntry& entry = workload[c.workload_index];
+    if (views_at_peer[entry.peer] >= options.max_views_per_peer) continue;
+
+    // This view also serves every other unserved equivalent query posed
+    // at the same peer.
+    double gross = 0.0;
+    std::vector<size_t> covered;
+    for (size_t j = 0; j < workload.size(); ++j) {
+      if (served[j] || workload[j].peer != entry.peer) continue;
+      if (query::Equivalent(workload[j].query, entry.query)) {
+        covered.push_back(j);
+        double per_exec = EstimateQueryNetworkCost(
+            network, workload[j].peer, workload[j].query, options.cost);
+        gross += workload[j].frequency * per_exec;
+      }
+    }
+    double net = gross - options.maintenance_cost_per_view;
+    if (net <= 0.0) continue;
+
+    ++views_at_peer[entry.peer];
+    for (size_t j : covered) served[j] = 1;
+    plan.optimized_cost -= gross;
+    plan.optimized_cost += options.maintenance_cost_per_view;
+    plan.decisions.push_back(
+        PlacementDecision{entry.peer, entry.query, net});
+  }
+  return plan;
+}
+
+}  // namespace revere::piazza

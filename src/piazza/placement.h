@@ -1,0 +1,62 @@
+#ifndef REVERE_PIAZZA_PLACEMENT_H_
+#define REVERE_PIAZZA_PLACEMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/piazza/pdms.h"
+#include "src/query/cq.h"
+
+namespace revere::piazza {
+
+/// One recurring query in the network's workload.
+struct WorkloadEntry {
+  std::string peer;               // where the query is posed
+  query::ConjunctiveQuery query;  // over that peer's vocabulary
+  double frequency = 1.0;         // executions per unit time
+};
+
+struct PlacementOptions {
+  /// Storage budget: views materialized per peer.
+  size_t max_views_per_peer = 2;
+  /// Amortized refresh cost charged per materialized view (updategram
+  /// traffic), in the same unit as the network cost model's ms.
+  double maintenance_cost_per_view = 10.0;
+  NetworkCostModel cost;
+};
+
+/// One decision: materialize `view` at `peer`.
+struct PlacementDecision {
+  std::string peer;
+  query::ConjunctiveQuery view;
+  double benefit = 0.0;  // saved ms per unit time, net of maintenance
+};
+
+struct PlacementPlan {
+  std::vector<PlacementDecision> decisions;
+  double baseline_cost = 0.0;   // workload network cost with no views
+  double optimized_cost = 0.0;  // after materialization
+};
+
+/// Greedy view placement (§3.1.2: "Our ultimate goal is to materialize
+/// the best views at each peer to allow answering queries most
+/// efficiently, given network constraints"). Candidate views are the
+/// workload queries themselves; a query whose result is materialized at
+/// its posing peer costs nothing at run time but pays the amortized
+/// maintenance charge. Greedily picks the highest net-benefit
+/// (view, peer) pairs within each peer's budget.
+PlacementPlan PlanViewPlacement(const PdmsNetwork& network,
+                                const std::vector<WorkloadEntry>& workload,
+                                const PlacementOptions& options = {});
+
+/// Simulated network cost of running `query` once at `peer` with no
+/// materialized views: round trips to every remote peer named in any
+/// rewriting (the same model PdmsNetwork::Answer charges).
+double EstimateQueryNetworkCost(const PdmsNetwork& network,
+                                const std::string& peer,
+                                const query::ConjunctiveQuery& query,
+                                const NetworkCostModel& cost);
+
+}  // namespace revere::piazza
+
+#endif  // REVERE_PIAZZA_PLACEMENT_H_

@@ -1,0 +1,259 @@
+#include "src/piazza/views.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace revere::piazza {
+
+namespace {
+
+using query::Atom;
+using query::ConjunctiveQuery;
+using query::QTerm;
+using storage::Row;
+using storage::Table;
+using storage::Value;
+
+/// Enumerates every derivation (complete body binding) of `cq` over
+/// `catalog`, invoking `emit` with the head row once per derivation —
+/// bag semantics, which the counting maintenance algorithm needs.
+Status EnumerateDerivations(const storage::Catalog& catalog,
+                            const ConjunctiveQuery& cq,
+                            const std::function<void(const Row&)>& emit) {
+  std::vector<const Table*> tables;
+  for (const auto& atom : cq.body()) {
+    REVERE_ASSIGN_OR_RETURN(const Table* t, catalog.GetTable(atom.relation));
+    if (t->schema().arity() != atom.args.size()) {
+      return Status::InvalidArgument("arity mismatch on " + atom.relation);
+    }
+    tables.push_back(t);
+  }
+  std::map<std::string, Value> binding;
+  std::function<void(size_t)> recurse = [&](size_t i) {
+    if (i == cq.body().size()) {
+      Row head;
+      head.reserve(cq.head().size());
+      for (const auto& t : cq.head()) {
+        if (t.is_var()) {
+          auto it = binding.find(t.var());
+          head.push_back(it == binding.end() ? Value() : it->second);
+        } else {
+          head.push_back(t.value());
+        }
+      }
+      emit(head);
+      return;
+    }
+    const Atom& atom = cq.body()[i];
+    for (const Row& row : tables[i]->rows()) {
+      // Try to extend the binding with this row.
+      std::vector<std::pair<std::string, Value>> added;
+      bool ok = true;
+      for (size_t p = 0; p < atom.args.size() && ok; ++p) {
+        const QTerm& t = atom.args[p];
+        if (t.is_var()) {
+          auto it = binding.find(t.var());
+          if (it == binding.end()) {
+            binding.emplace(t.var(), row[p]);
+            added.emplace_back(t.var(), row[p]);
+          } else if (!(it->second == row[p])) {
+            ok = false;
+          }
+        } else if (!(t.value() == row[p])) {
+          ok = false;
+        }
+      }
+      if (ok) recurse(i + 1);
+      for (const auto& [var, v] : added) binding.erase(var);
+    }
+  };
+  recurse(0);
+  return Status::Ok();
+}
+
+/// Builds a scratch catalog exposing, for the updated relation R:
+///   R#old — the pre-update state, R#ins — inserted rows, R#del —
+///   deleted rows; every other relation aliases the live (post-update)
+///   table contents.
+Status BuildDeltaCatalog(const storage::Catalog& catalog,
+                         const ConjunctiveQuery& view,
+                         const Updategram& update,
+                         storage::Catalog* scratch) {
+  std::set<std::string> relations;
+  for (const auto& a : view.body()) relations.insert(a.relation);
+  for (const auto& rel : relations) {
+    REVERE_ASSIGN_OR_RETURN(const Table* live, catalog.GetTable(rel));
+    REVERE_ASSIGN_OR_RETURN(Table * copy,
+                            scratch->CreateTable(live->schema()));
+    REVERE_RETURN_IF_ERROR(copy->InsertAll(live->rows()));
+  }
+  REVERE_ASSIGN_OR_RETURN(const Table* live,
+                          catalog.GetTable(update.relation));
+  // R#old = live − inserts + deletes (bag arithmetic).
+  storage::TableSchema old_schema(update.relation + "#old",
+                                  live->schema().columns());
+  REVERE_ASSIGN_OR_RETURN(Table * old_table,
+                          scratch->CreateTable(std::move(old_schema)));
+  std::vector<Row> old_rows = live->rows();
+  for (const auto& ins : update.inserts) {
+    auto it = std::find(old_rows.begin(), old_rows.end(), ins);
+    if (it != old_rows.end()) old_rows.erase(it);
+  }
+  for (const auto& del : update.deletes) old_rows.push_back(del);
+  REVERE_RETURN_IF_ERROR(old_table->InsertAll(old_rows));
+
+  storage::TableSchema ins_schema(update.relation + "#ins",
+                                  live->schema().columns());
+  REVERE_ASSIGN_OR_RETURN(Table * ins_table,
+                          scratch->CreateTable(std::move(ins_schema)));
+  REVERE_RETURN_IF_ERROR(ins_table->InsertAll(update.inserts));
+
+  storage::TableSchema del_schema(update.relation + "#del",
+                                  live->schema().columns());
+  REVERE_ASSIGN_OR_RETURN(Table * del_table,
+                          scratch->CreateTable(std::move(del_schema)));
+  REVERE_RETURN_IF_ERROR(del_table->InsertAll(update.deletes));
+  return Status::Ok();
+}
+
+/// Computes the per-derivation view delta of `update` on `view`: calls
+/// `emit(row, +1)` / `emit(row, -1)` once per gained / lost derivation.
+Status ComputeDelta(const storage::Catalog& catalog,
+                    const ConjunctiveQuery& view, const Updategram& update,
+                    const std::function<void(const Row&, int)>& emit) {
+  storage::Catalog scratch;
+  REVERE_RETURN_IF_ERROR(BuildDeltaCatalog(catalog, view, update, &scratch));
+  // Delta rule: for each occurrence p of the updated relation,
+  //   Δ = old(<p) ⋈ δ(p) ⋈ new(>p)
+  // summed over p; inserts contribute +, deletes −.
+  for (size_t p = 0; p < view.body().size(); ++p) {
+    if (view.body()[p].relation != update.relation) continue;
+    for (bool is_insert : {true, false}) {
+      std::vector<Atom> body = view.body();
+      for (size_t i = 0; i < body.size(); ++i) {
+        if (body[i].relation != update.relation) continue;
+        if (i < p) {
+          body[i].relation = update.relation + "#old";
+        } else if (i == p) {
+          body[i].relation =
+              update.relation + (is_insert ? "#ins" : "#del");
+        }  // i > p keeps the live (new) relation
+      }
+      ConjunctiveQuery delta_query(view.name(), view.head(), body);
+      REVERE_RETURN_IF_ERROR(EnumerateDerivations(
+          scratch, delta_query, [&](const Row& row) {
+            emit(row, is_insert ? 1 : -1);
+          }));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ApplyToBase(storage::Catalog* catalog, const Updategram& update) {
+  REVERE_ASSIGN_OR_RETURN(Table * table,
+                          catalog->GetTable(update.relation));
+  for (const auto& del : update.deletes) {
+    REVERE_RETURN_IF_ERROR(table->Delete(del));
+  }
+  return table->InsertAll(update.inserts);
+}
+
+MaterializedView::MaterializedView(ConjunctiveQuery definition)
+    : definition_(std::move(definition)) {}
+
+Status MaterializedView::Recompute(const storage::Catalog& catalog) {
+  counts_.clear();
+  return EnumerateDerivations(catalog, definition_, [this](const Row& row) {
+    ++counts_[row];
+  });
+}
+
+Status MaterializedView::ApplyUpdategram(const storage::Catalog& catalog,
+                                         const Updategram& update) {
+  if (!DependsOn(update.relation)) return Status::Ok();
+  return ComputeDelta(catalog, definition_, update,
+                      [this](const Row& row, int delta) {
+                        int64_t& c = counts_[row];
+                        c += delta;
+                        if (c <= 0) counts_.erase(row);
+                      });
+}
+
+Result<Updategram> MaterializedView::DeriveViewDelta(
+    const storage::Catalog& catalog, const Updategram& update) const {
+  Updategram out;
+  out.relation = definition_.name();
+  if (!DependsOn(update.relation)) return out;
+  // Track multiplicity transitions: a row enters the view when its count
+  // crosses 0 -> positive and leaves on positive -> 0.
+  std::unordered_map<Row, int64_t, storage::RowHash> delta_counts;
+  REVERE_RETURN_IF_ERROR(
+      ComputeDelta(catalog, definition_, update,
+                   [&](const Row& row, int delta) {
+                     delta_counts[row] += delta;
+                   }));
+  for (const auto& [row, delta] : delta_counts) {
+    auto it = counts_.find(row);
+    int64_t before = it == counts_.end() ? 0 : it->second;
+    int64_t after = before + delta;
+    if (before <= 0 && after > 0) out.inserts.push_back(row);
+    if (before > 0 && after <= 0) out.deletes.push_back(row);
+  }
+  return out;
+}
+
+std::vector<Row> MaterializedView::Contents() const {
+  std::vector<Row> out;
+  out.reserve(counts_.size());
+  for (const auto& [row, count] : counts_) {
+    if (count > 0) out.push_back(row);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t MaterializedView::size() const {
+  size_t n = 0;
+  for (const auto& [row, count] : counts_) {
+    if (count > 0) ++n;
+  }
+  return n;
+}
+
+bool MaterializedView::DependsOn(const std::string& relation) const {
+  for (const auto& a : definition_.body()) {
+    if (a.relation == relation) return true;
+  }
+  return false;
+}
+
+RefreshCostEstimate EstimateRefreshCost(const storage::Catalog& catalog,
+                                        const ConjunctiveQuery& view,
+                                        const Updategram& update) {
+  RefreshCostEstimate est;
+  size_t max_table = 0;
+  size_t occurrences = 0;
+  for (const auto& a : view.body()) {
+    auto t = catalog.GetTable(a.relation);
+    size_t n = t.ok() ? t.value()->size() : 0;
+    max_table = std::max(max_table, n);
+    if (a.relation == update.relation) ++occurrences;
+  }
+  double body = static_cast<double>(view.body().size());
+  // Incremental: each delta row drives one join probe chain, once per
+  // occurrence of the updated relation.
+  est.incremental_cost = static_cast<double>(update.size()) *
+                         static_cast<double>(occurrences) * body;
+  // Recompute: re-join everything, driven by the largest relation.
+  est.recompute_cost = static_cast<double>(max_table) * body;
+  est.choice = est.incremental_cost <= est.recompute_cost
+                   ? RefreshChoice::kIncremental
+                   : RefreshChoice::kRecompute;
+  return est;
+}
+
+}  // namespace revere::piazza

@@ -1,0 +1,85 @@
+#ifndef REVERE_PIAZZA_VIEWS_H_
+#define REVERE_PIAZZA_VIEWS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/query/cq.h"
+#include "src/storage/catalog.h"
+
+namespace revere::piazza {
+
+/// An updategram (§3.1.2, [36]): a first-class description of a change
+/// to one base relation — inserted and deleted tuples. "Updategrams on
+/// base data can be combined to create updategrams for views."
+struct Updategram {
+  std::string relation;
+  std::vector<storage::Row> inserts;
+  std::vector<storage::Row> deletes;
+
+  size_t size() const { return inserts.size() + deletes.size(); }
+};
+
+/// Applies an updategram to its base table in `catalog`.
+Status ApplyToBase(storage::Catalog* catalog, const Updategram& update);
+
+/// A view materialized at a peer "to replicate data for performance or
+/// reliability" (§3.1). Maintains tuple multiplicities (the counting
+/// algorithm) so deletions are handled exactly without recomputation.
+class MaterializedView {
+ public:
+  /// Defines the view; call Recompute() to populate.
+  MaterializedView(query::ConjunctiveQuery definition);
+
+  const query::ConjunctiveQuery& definition() const { return definition_; }
+
+  /// Full refresh: re-evaluates the definition over `catalog`.
+  Status Recompute(const storage::Catalog& catalog);
+
+  /// Incremental refresh: folds one base updategram into the view using
+  /// delta rules (semi-naive): for each body atom over the updated
+  /// relation, join the delta with the rest of the body. `catalog` must
+  /// reflect the state *after* the updategram has been applied to base
+  /// tables.
+  Status ApplyUpdategram(const storage::Catalog& catalog,
+                         const Updategram& update);
+
+  /// Derives the view-level updategram a base updategram would cause,
+  /// without applying it (used to propagate deltas onward to other
+  /// peers). Same post-state convention as ApplyUpdategram.
+  Result<Updategram> DeriveViewDelta(const storage::Catalog& catalog,
+                                     const Updategram& update) const;
+
+  /// Visible view contents (rows with positive multiplicity).
+  std::vector<storage::Row> Contents() const;
+  size_t size() const;
+
+  /// True if the view's definition references `relation` — i.e. the
+  /// updategram is relevant to it at all.
+  bool DependsOn(const std::string& relation) const;
+
+ private:
+  query::ConjunctiveQuery definition_;
+  std::unordered_map<storage::Row, int64_t, storage::RowHash> counts_;
+};
+
+/// The cost-based refresh decision (§3.1.2: "the query optimizer decides
+/// which updategrams to use in a cost-based fashion"): estimates whether
+/// folding `update` in incrementally beats recomputing from scratch.
+enum class RefreshChoice { kIncremental, kRecompute };
+
+struct RefreshCostEstimate {
+  double incremental_cost = 0.0;  // ~ delta size × join work per delta row
+  double recompute_cost = 0.0;    // ~ full join work
+  RefreshChoice choice = RefreshChoice::kIncremental;
+};
+
+RefreshCostEstimate EstimateRefreshCost(const storage::Catalog& catalog,
+                                        const query::ConjunctiveQuery& view,
+                                        const Updategram& update);
+
+}  // namespace revere::piazza
+
+#endif  // REVERE_PIAZZA_VIEWS_H_

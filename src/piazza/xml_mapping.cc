@@ -1,0 +1,274 @@
+#include "src/piazza/xml_mapping.h"
+
+#include <vector>
+
+#include "src/common/strings.h"
+#include "src/xml/parser.h"
+#include "src/xml/path.h"
+
+namespace revere::piazza {
+
+namespace {
+
+using xml::PathExpr;
+using xml::XmlNode;
+
+/// A parsed binding annotation: $var = document("name")/path  or
+/// $var = $base/path.
+struct Binding {
+  std::string var;
+  std::string document;  // non-empty for document(...) roots
+  std::string base_var;  // non-empty for $base/... roots
+  std::string path;      // the path expression text (may be empty)
+};
+
+/// A parsed value reference: $var/path/text().
+struct ValueRef {
+  std::string var;
+  std::string path;  // includes the trailing text() step
+};
+
+// Parses "{$c = document(\"B.xml\")/schedule/college/dept}" (the braces
+// already stripped).
+Result<Binding> ParseBinding(std::string_view body) {
+  Binding b;
+  std::string_view t = Trim(body);
+  if (t.empty() || t.front() != '$') {
+    return Status::ParseError("binding must start with $: " +
+                              std::string(body));
+  }
+  size_t eq = t.find('=');
+  if (eq == std::string_view::npos) {
+    return Status::ParseError("binding missing '=': " + std::string(body));
+  }
+  b.var = std::string(Trim(t.substr(1, eq - 1)));
+  std::string_view rhs = Trim(t.substr(eq + 1));
+  if (StartsWith(rhs, "document(")) {
+    size_t close = rhs.find(')');
+    if (close == std::string_view::npos) {
+      return Status::ParseError("unterminated document(): " +
+                                std::string(body));
+    }
+    std::string_view name = Trim(rhs.substr(9, close - 9));
+    if (name.size() >= 2 && name.front() == '"' && name.back() == '"') {
+      name = name.substr(1, name.size() - 2);
+    }
+    b.document = std::string(name);
+    b.path = std::string(Trim(rhs.substr(close + 1)));
+  } else if (!rhs.empty() && rhs.front() == '$') {
+    size_t slash = rhs.find('/');
+    if (slash == std::string_view::npos) {
+      b.base_var = std::string(Trim(rhs.substr(1)));
+      b.path = "";
+    } else {
+      b.base_var = std::string(Trim(rhs.substr(1, slash - 1)));
+      b.path = std::string(Trim(rhs.substr(slash + 1)));
+    }
+  } else {
+    return Status::ParseError("binding rhs must be document() or $var: " +
+                              std::string(body));
+  }
+  if (b.var.empty()) {
+    return Status::ParseError("empty binding variable: " + std::string(body));
+  }
+  return b;
+}
+
+// Recognizes "$s/title/text()" in a text node; returns nullopt for
+// ordinary text.
+std::optional<ValueRef> ParseValueRef(std::string_view text) {
+  std::string_view t = Trim(text);
+  if (t.empty() || t.front() != '$') return std::nullopt;
+  if (!EndsWith(t, "text()")) return std::nullopt;
+  size_t slash = t.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  ValueRef ref;
+  ref.var = std::string(Trim(t.substr(1, slash - 1)));
+  ref.path = std::string(Trim(t.substr(slash + 1)));
+  return ref;
+}
+
+// Extracts a leading "{...}" annotation from an element's first text
+// child, if present. Returns the annotation body and strips it from the
+// working copy during instantiation (parsing happens lazily here).
+std::optional<std::string> LeadingAnnotation(const XmlNode& element) {
+  for (const auto& child : element.children()) {
+    if (child->is_text()) {
+      std::string_view t = Trim(child->text());
+      if (!t.empty() && t.front() == '{') {
+        size_t close = t.find('}');
+        if (close != std::string_view::npos) {
+          return std::string(t.substr(1, close - 1));
+        }
+      }
+      return std::nullopt;  // first text child is ordinary text
+    }
+    if (child->is_element()) return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+using Environment = std::map<std::string, const XmlNode*>;
+
+Status InstantiateChildren(
+    const XmlNode& template_el, XmlNode* out, const Environment& env,
+    const std::map<std::string, const XmlNode*>& documents);
+
+/// Instantiates one template element under `env`, appending results to
+/// `parent`. Handles its own binding annotation (possibly fanning out).
+Status InstantiateElement(
+    const XmlNode& template_el, XmlNode* parent, const Environment& env,
+    const std::map<std::string, const XmlNode*>& documents) {
+  std::optional<std::string> annotation = LeadingAnnotation(template_el);
+  if (!annotation.has_value()) {
+    XmlNode* copy = parent->AddChild(XmlNode::Element(template_el.tag()));
+    for (const auto& [n, v] : template_el.attributes()) {
+      copy->SetAttribute(n, v);
+    }
+    return InstantiateChildren(template_el, copy, env, documents);
+  }
+
+  REVERE_ASSIGN_OR_RETURN(Binding binding, ParseBinding(*annotation));
+  // Resolve the node set the binding ranges over.
+  std::vector<const XmlNode*> nodes;
+  if (!binding.document.empty()) {
+    auto doc_it = documents.find(binding.document);
+    if (doc_it == documents.end()) {
+      return Status::NotFound("mapping references unknown document '" +
+                              binding.document + "'");
+    }
+    if (binding.path.empty()) {
+      nodes.push_back(doc_it->second);
+    } else {
+      REVERE_ASSIGN_OR_RETURN(PathExpr path, PathExpr::Parse(binding.path));
+      nodes = path.SelectNodes(*doc_it->second);
+    }
+  } else {
+    auto var_it = env.find(binding.base_var);
+    if (var_it == env.end()) {
+      return Status::InvalidArgument("unbound variable $" + binding.base_var +
+                                     " in mapping");
+    }
+    if (binding.path.empty()) {
+      nodes.push_back(var_it->second);
+    } else {
+      REVERE_ASSIGN_OR_RETURN(PathExpr path, PathExpr::Parse(binding.path));
+      nodes = path.SelectNodes(*var_it->second);
+    }
+  }
+
+  for (const XmlNode* node : nodes) {
+    Environment child_env = env;
+    child_env[binding.var] = node;
+    XmlNode* copy = parent->AddChild(XmlNode::Element(template_el.tag()));
+    for (const auto& [n, v] : template_el.attributes()) {
+      copy->SetAttribute(n, v);
+    }
+    REVERE_RETURN_IF_ERROR(
+        InstantiateChildren(template_el, copy, child_env, documents));
+  }
+  return Status::Ok();
+}
+
+Status InstantiateChildren(
+    const XmlNode& template_el, XmlNode* out, const Environment& env,
+    const std::map<std::string, const XmlNode*>& documents) {
+  bool skipped_annotation = false;
+  for (const auto& child : template_el.children()) {
+    if (child->is_text()) {
+      std::string_view raw = Trim(child->text());
+      // Drop the binding annotation text itself (first "{...}").
+      if (!skipped_annotation && !raw.empty() && raw.front() == '{') {
+        size_t close = raw.find('}');
+        if (close != std::string_view::npos) {
+          skipped_annotation = true;
+          std::string_view rest = Trim(raw.substr(close + 1));
+          if (rest.empty()) continue;
+          raw = rest;  // annotation followed by real content
+        }
+      }
+      auto ref = ParseValueRef(raw);
+      if (ref.has_value()) {
+        auto var_it = env.find(ref->var);
+        if (var_it == env.end()) {
+          return Status::InvalidArgument("unbound variable $" + ref->var +
+                                         " in value expression");
+        }
+        REVERE_ASSIGN_OR_RETURN(PathExpr path, PathExpr::Parse(ref->path));
+        for (const std::string& text : path.SelectText(*var_it->second)) {
+          out->AddText(text);
+        }
+      } else if (!raw.empty()) {
+        out->AddText(std::string(raw));
+      }
+      continue;
+    }
+    REVERE_RETURN_IF_ERROR(
+        InstantiateElement(*child, out, env, documents));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<XmlMapping> XmlMapping::Parse(std::string_view mapping_text) {
+  REVERE_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> doc,
+                          xml::ParseXml(mapping_text));
+  auto tops = doc->ChildElements();
+  if (tops.size() != 1) {
+    return Status::ParseError("mapping template must have one root element");
+  }
+  XmlMapping mapping;
+  mapping.template_ = tops[0]->Clone();
+  return mapping;
+}
+
+Result<std::unique_ptr<XmlNode>> XmlMapping::Translate(
+    const std::map<std::string, const XmlNode*>& documents) const {
+  auto holder = XmlNode::Element("#document");
+  Environment env;
+  REVERE_RETURN_IF_ERROR(
+      InstantiateElement(*template_, holder.get(), env, documents));
+  auto tops = holder->ChildElements();
+  if (tops.size() != 1) {
+    return Status::Internal("template instantiation produced " +
+                            std::to_string(tops.size()) + " roots");
+  }
+  return tops[0]->Clone();
+}
+
+void XmlMappingChain::AddHop(XmlMapping mapping,
+                             std::string source_document_name) {
+  hops_.push_back(Hop{std::move(mapping), std::move(source_document_name)});
+}
+
+Result<std::unique_ptr<XmlNode>> XmlMappingChain::Translate(
+    const XmlNode& input) const {
+  if (hops_.empty()) {
+    return Status::FailedPrecondition("empty mapping chain");
+  }
+  // Absolute paths inside templates address the *document*, whose root
+  // element is one level down — wrap bare elements accordingly.
+  auto as_document = [](const XmlNode& node) {
+    if (node.tag() == "#document") return node.Clone();
+    auto doc = XmlNode::Element("#document");
+    doc->AddChild(node.Clone());
+    return doc;
+  };
+  std::unique_ptr<XmlNode> current = as_document(input);
+  for (const auto& hop : hops_) {
+    REVERE_ASSIGN_OR_RETURN(
+        std::unique_ptr<XmlNode> next,
+        hop.mapping.Translate(
+            {{hop.source_document_name, current.get()}}));
+    current = as_document(*next);
+  }
+  // Return the root element, not the wrapper.
+  auto tops = current->ChildElements();
+  if (tops.size() != 1) {
+    return Status::Internal("chain output has no single root");
+  }
+  return tops[0]->Clone();
+}
+
+}  // namespace revere::piazza

@@ -1,0 +1,95 @@
+#ifndef REVERE_PIAZZA_XML_MAPPING_H_
+#define REVERE_PIAZZA_XML_MAPPING_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/xml/node.h"
+
+namespace revere::piazza {
+
+/// Piazza's XML mapping language (§3.1.1, Figure 4): "a 'template'
+/// defined from a peer's schema; the peer's database administrator will
+/// annotate portions of this template with query information defining
+/// how to extract the required data".
+///
+/// Syntax (exactly the paper's):
+///
+///   <catalog>
+///     <course> {$c = document("Berkeley.xml")/schedule/college/dept}
+///       <name> $c/name/text() </name>
+///       <subject> {$s = $c/course}
+///         <title> $s/title/text() </title>
+///         <enrollment> $s/size/text() </enrollment>
+///       </subject>
+///     </course>
+///   </catalog>
+///
+/// Semantics: an element carrying a brace annotation {$v = expr} is
+/// instantiated once per node `expr` selects, with $v bound to that node
+/// in its subtree; a text occurrence `$v/path/text()` is replaced by the
+/// selected text. `document("name")` roots a path in a named source
+/// document; `$v/path` is relative to a bound variable.
+class XmlMapping {
+ public:
+  /// Parses the mapping text. ParseError on malformed markup or
+  /// annotations.
+  static Result<XmlMapping> Parse(std::string_view mapping_text);
+
+  /// Instantiates the template against the given source documents
+  /// (name -> document root, e.g. {"Berkeley.xml", <doc>}).
+  Result<std::unique_ptr<xml::XmlNode>> Translate(
+      const std::map<std::string, const xml::XmlNode*>& documents) const;
+
+  /// The parsed template (for inspection/tests).
+  const xml::XmlNode& template_root() const { return *template_; }
+
+  /// Deep copy (the class is move-only by default because of the owned
+  /// template tree; chains over shared mappings need explicit copies).
+  XmlMapping CloneMapping() const {
+    XmlMapping copy;
+    copy.template_ = template_->Clone();
+    return copy;
+  }
+
+ private:
+  XmlMapping() = default;
+  std::unique_ptr<xml::XmlNode> template_;
+};
+
+/// Transitive mapping composition — the reuse argument of Example 3.1:
+/// "It would be much easier for Trento to provide a mapping to the Rome
+/// schema and leverage their previous mapping efforts." A chain holds
+/// the hops (Trento→Rome, Rome→mediated, ...); Translate() feeds each
+/// hop's output to the next as its named source document.
+class XmlMappingChain {
+ public:
+  XmlMappingChain() = default;
+
+  /// Appends a hop. `source_document_name` is the document() name the
+  /// hop's template reads, to be satisfied by the previous hop's output
+  /// (or by the initial input for the first hop).
+  void AddHop(XmlMapping mapping, std::string source_document_name);
+
+  size_t size() const { return hops_.size(); }
+
+  /// Runs the chain: `input` satisfies hop 0's document name; each
+  /// subsequent hop reads the previous output.
+  Result<std::unique_ptr<xml::XmlNode>> Translate(
+      const xml::XmlNode& input) const;
+
+ private:
+  struct Hop {
+    XmlMapping mapping;
+    std::string source_document_name;
+  };
+  std::vector<Hop> hops_;
+};
+
+}  // namespace revere::piazza
+
+#endif  // REVERE_PIAZZA_XML_MAPPING_H_

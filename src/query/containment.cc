@@ -1,0 +1,83 @@
+#include "src/query/containment.h"
+
+namespace revere::query {
+
+namespace {
+
+// Backtracking: map from_atoms[i..] into to_atoms (any target, reuse
+// allowed), extending `sub`.
+bool ExtendMapping(const std::vector<Atom>& from_atoms, size_t i,
+                   const std::vector<Atom>& to_atoms, Substitution* sub) {
+  if (i == from_atoms.size()) return true;
+  for (const auto& target : to_atoms) {
+    Substitution local = *sub;
+    if (MatchAtom(from_atoms[i], target, &local)) {
+      if (ExtendMapping(from_atoms, i + 1, to_atoms, &local)) {
+        *sub = std::move(local);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<Substitution> FindContainmentMapping(
+    const ConjunctiveQuery& from, const ConjunctiveQuery& to) {
+  if (from.head().size() != to.head().size()) return std::nullopt;
+  // Freeze `to`'s variables into opaque constants (the canonical
+  // database construction): the mapping may only bind `from`'s
+  // variables, never the target's.
+  Substitution freeze;
+  for (const auto& v : to.AllVars()) {
+    freeze[v] = QTerm::Const(storage::Value("\x01frozen:" + v));
+  }
+  ConjunctiveQuery frozen_to = to.Substitute(freeze);
+  // Head must map position-wise; encode as a synthetic atom match.
+  Substitution sub;
+  Atom from_head{"#head", from.head()};
+  Atom to_head{"#head", frozen_to.head()};
+  if (!MatchAtom(from_head, to_head, &sub)) return std::nullopt;
+  if (!ExtendMapping(from.body(), 0, frozen_to.body(), &sub)) {
+    return std::nullopt;
+  }
+  return sub;
+}
+
+bool Contains(const ConjunctiveQuery& outer, const ConjunctiveQuery& inner) {
+  return FindContainmentMapping(outer, inner).has_value();
+}
+
+bool Equivalent(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
+  return Contains(a, b) && Contains(b, a);
+}
+
+ConjunctiveQuery Minimize(const ConjunctiveQuery& query) {
+  ConjunctiveQuery current = query;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const std::vector<Atom>& body = current.body();
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (body.size() == 1) break;  // keep at least one atom
+      std::vector<Atom> reduced;
+      reduced.reserve(body.size() - 1);
+      for (size_t j = 0; j < body.size(); ++j) {
+        if (j != i) reduced.push_back(body[j]);
+      }
+      ConjunctiveQuery candidate(current.name(), current.head(), reduced);
+      if (!candidate.IsSafe()) continue;
+      // reduced has fewer constraints, so current ⊆ candidate always;
+      // equivalence needs candidate ⊆ current.
+      if (Contains(current, candidate)) {
+        current = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace revere::query

@@ -1,0 +1,31 @@
+#ifndef REVERE_QUERY_CONTAINMENT_H_
+#define REVERE_QUERY_CONTAINMENT_H_
+
+#include <optional>
+
+#include "src/query/cq.h"
+
+namespace revere::query {
+
+/// Searches for a containment mapping (homomorphism) from `from` to
+/// `to`: a substitution on `from`'s variables under which from's head
+/// equals to's head and every from-body atom appears in to's body.
+/// By the Chandra–Merlin theorem its existence is equivalent to
+/// containment to ⊆ from. Returns the substitution when found.
+std::optional<Substitution> FindContainmentMapping(
+    const ConjunctiveQuery& from, const ConjunctiveQuery& to);
+
+/// True iff `inner` ⊆ `outer` (every answer of inner is an answer of
+/// outer, on all databases). Set semantics.
+bool Contains(const ConjunctiveQuery& outer, const ConjunctiveQuery& inner);
+
+/// True iff the two queries are equivalent (mutual containment).
+bool Equivalent(const ConjunctiveQuery& a, const ConjunctiveQuery& b);
+
+/// Removes redundant body atoms: the smallest equivalent sub-query (the
+/// core, computed greedily atom-by-atom).
+ConjunctiveQuery Minimize(const ConjunctiveQuery& query);
+
+}  // namespace revere::query
+
+#endif  // REVERE_QUERY_CONTAINMENT_H_

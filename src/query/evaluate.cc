@@ -1,0 +1,164 @@
+#include "src/query/evaluate.h"
+
+#include <map>
+#include <unordered_set>
+
+namespace revere::query {
+
+namespace {
+
+using storage::Row;
+using storage::Table;
+using storage::Value;
+
+using ValueBinding = std::map<std::string, Value>;
+
+// Number of argument positions of `atom` fixed under `binding`.
+int BoundPositions(const Atom& atom, const ValueBinding& binding) {
+  int n = 0;
+  for (const auto& t : atom.args) {
+    if (!t.is_var() || binding.count(t.var()) > 0) ++n;
+  }
+  return n;
+}
+
+// Tries to extend `binding` so that `row` matches `atom`; returns false
+// (leaving binding untouched) on mismatch.
+bool MatchRow(const Atom& atom, const Row& row, ValueBinding* binding) {
+  ValueBinding local = *binding;
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    const QTerm& t = atom.args[i];
+    if (t.is_var()) {
+      auto it = local.find(t.var());
+      if (it == local.end()) {
+        local[t.var()] = row[i];
+      } else if (!(it->second == row[i])) {
+        return false;
+      }
+    } else if (!(t.value() == row[i])) {
+      return false;
+    }
+  }
+  *binding = std::move(local);
+  return true;
+}
+
+void Search(const storage::Catalog& catalog,
+            const std::vector<std::pair<const Table*, const Atom*>>& atoms,
+            std::vector<bool>* done, const ValueBinding& binding,
+            const std::vector<QTerm>& head,
+            std::unordered_set<Row, storage::RowHash>* seen,
+            std::vector<Row>* out) {
+  // All atoms satisfied: emit the head tuple.
+  size_t remaining = 0;
+  for (bool d : *done) {
+    if (!d) ++remaining;
+  }
+  if (remaining == 0) {
+    Row result;
+    result.reserve(head.size());
+    for (const auto& t : head) {
+      if (t.is_var()) {
+        auto it = binding.find(t.var());
+        result.push_back(it == binding.end() ? Value() : it->second);
+      } else {
+        result.push_back(t.value());
+      }
+    }
+    if (seen->insert(result).second) out->push_back(std::move(result));
+    return;
+  }
+
+  // Pick the unsolved atom with the most bound positions.
+  size_t best = atoms.size();
+  int best_bound = -1;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if ((*done)[i]) continue;
+    int b = BoundPositions(*atoms[i].second, binding);
+    if (b > best_bound) {
+      best_bound = b;
+      best = i;
+    }
+  }
+  const Table* table = atoms[best].first;
+  const Atom& atom = *atoms[best].second;
+  (*done)[best] = true;
+
+  // If some position is bound and indexed, probe; else scan.
+  std::optional<size_t> probe_col;
+  Value probe_key;
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    const QTerm& t = atom.args[i];
+    Value key;
+    bool bound = false;
+    if (!t.is_var()) {
+      key = t.value();
+      bound = true;
+    } else {
+      auto it = binding.find(t.var());
+      if (it != binding.end()) {
+        key = it->second;
+        bound = true;
+      }
+    }
+    if (bound && table->HasIndex(i)) {
+      probe_col = i;
+      probe_key = key;
+      break;
+    }
+  }
+
+  auto consider = [&](const Row& row) {
+    ValueBinding next = binding;
+    if (MatchRow(atom, row, &next)) {
+      Search(catalog, atoms, done, next, head, seen, out);
+    }
+  };
+  if (probe_col) {
+    for (size_t idx : table->LookupIndices(*probe_col, probe_key)) {
+      consider(table->rows()[idx]);
+    }
+  } else {
+    for (const Row& row : table->rows()) consider(row);
+  }
+  (*done)[best] = false;
+}
+
+}  // namespace
+
+Result<std::vector<Row>> EvaluateCQ(const storage::Catalog& catalog,
+                                    const ConjunctiveQuery& query) {
+  std::vector<std::pair<const Table*, const Atom*>> atoms;
+  for (const auto& atom : query.body()) {
+    REVERE_ASSIGN_OR_RETURN(const Table* table,
+                            catalog.GetTable(atom.relation));
+    if (table->schema().arity() != atom.args.size()) {
+      return Status::InvalidArgument(
+          "atom " + atom.ToString() + " has arity " +
+          std::to_string(atom.args.size()) + " but relation has " +
+          std::to_string(table->schema().arity()));
+    }
+    atoms.emplace_back(table, &atom);
+  }
+  std::vector<Row> out;
+  std::unordered_set<Row, storage::RowHash> seen;
+  std::vector<bool> done(atoms.size(), false);
+  Search(catalog, atoms, &done, {}, query.head(), &seen, &out);
+  return out;
+}
+
+Result<std::vector<Row>> EvaluateUnion(
+    const storage::Catalog& catalog,
+    const std::vector<ConjunctiveQuery>& queries) {
+  std::vector<Row> out;
+  std::unordered_set<Row, storage::RowHash> seen;
+  for (const auto& q : queries) {
+    REVERE_ASSIGN_OR_RETURN(std::vector<Row> rows, EvaluateCQ(catalog, q));
+    for (auto& r : rows) {
+      if (seen.insert(r).second) out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+}  // namespace revere::query

@@ -1,0 +1,28 @@
+#ifndef REVERE_QUERY_EVALUATE_H_
+#define REVERE_QUERY_EVALUATE_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/query/cq.h"
+#include "src/storage/catalog.h"
+
+namespace revere::query {
+
+/// Evaluates a conjunctive query against stored relations. Each body
+/// atom's relation must exist in `catalog` with matching arity. Returns
+/// the set (duplicates eliminated) of head tuples. Join strategy:
+/// backtracking binding with greedy most-bound-first atom ordering,
+/// probing table hash indexes where available.
+Result<std::vector<storage::Row>> EvaluateCQ(const storage::Catalog& catalog,
+                                             const ConjunctiveQuery& query);
+
+/// Evaluates a union of conjunctive queries (set union of results). All
+/// members must share head arity.
+Result<std::vector<storage::Row>> EvaluateUnion(
+    const storage::Catalog& catalog,
+    const std::vector<ConjunctiveQuery>& queries);
+
+}  // namespace revere::query
+
+#endif  // REVERE_QUERY_EVALUATE_H_

@@ -1,0 +1,25 @@
+#include "src/query/glav.h"
+
+#include "src/common/strings.h"
+
+namespace revere::query {
+
+Result<GlavMapping> GlavMapping::Parse(std::string_view text,
+                                       std::string name) {
+  size_t arrow = text.find("=>");
+  if (arrow == std::string_view::npos) {
+    return Status::ParseError("GLAV mapping needs 'source => target': " +
+                              std::string(text));
+  }
+  REVERE_ASSIGN_OR_RETURN(ConjunctiveQuery source,
+                          ConjunctiveQuery::Parse(
+                              Trim(text.substr(0, arrow))));
+  REVERE_ASSIGN_OR_RETURN(ConjunctiveQuery target,
+                          ConjunctiveQuery::Parse(
+                              Trim(text.substr(arrow + 2))));
+  GlavMapping mapping{std::move(name), std::move(source), std::move(target)};
+  REVERE_RETURN_IF_ERROR(mapping.Validate());
+  return mapping;
+}
+
+}  // namespace revere::query

@@ -1,0 +1,54 @@
+#ifndef REVERE_QUERY_GLAV_H_
+#define REVERE_QUERY_GLAV_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/query/cq.h"
+
+namespace revere::query {
+
+/// A GLAV (global-local-as-view) inclusion assertion [Friedman/Levy/
+/// Millstein 1999], the mapping formalism Piazza uses (§3.1.1):
+///
+///     source_query(X̄)  ⊆  target_query(X̄)
+///
+/// Both sides are conjunctive queries with the same head arity; the
+/// source side ranges over one peer's relations and the target side over
+/// another's. GAV is the special case where target_query is a single
+/// atom; LAV where source_query is a single atom.
+struct GlavMapping {
+  std::string name;
+  ConjunctiveQuery source;
+  ConjunctiveQuery target;
+
+  /// Parses the textual form "source_cq => target_cq", e.g.
+  ///   m(I, T) :- mit:course(I, T) => m(I, T) :- berkeley:course(I, T)
+  /// The result is validated.
+  static Result<GlavMapping> Parse(std::string_view text,
+                                   std::string name = "");
+
+  /// Checks head arities match and both sides are safe.
+  Status Validate() const {
+    if (source.head().size() != target.head().size()) {
+      return Status::InvalidArgument("GLAV mapping '" + name +
+                                     "': head arity mismatch");
+    }
+    if (!source.IsSafe() || !target.IsSafe()) {
+      return Status::InvalidArgument("GLAV mapping '" + name +
+                                     "': unsafe side");
+    }
+    return Status::Ok();
+  }
+
+  bool IsGavLike() const { return target.body().size() == 1; }
+  bool IsLavLike() const { return source.body().size() == 1; }
+
+  std::string ToString() const {
+    return source.ToString() + "  =>  " + target.ToString();
+  }
+};
+
+}  // namespace revere::query
+
+#endif  // REVERE_QUERY_GLAV_H_

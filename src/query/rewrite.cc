@@ -1,0 +1,257 @@
+#include "src/query/rewrite.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/query/containment.h"
+
+namespace revere::query {
+
+namespace {
+
+// One bucket entry: a view-head atom that can cover a given subgoal,
+// plus any bindings the unification imposed on *query* variables (a
+// view constant can specialize a query variable).
+struct BucketEntry {
+  Atom view_atom;
+  Substitution query_binding;
+};
+
+// Builds the bucket for subgoal `goal`: for every view and every body
+// atom of that view unifiable with the goal, emit the view's head under
+// that unifier (unbound head vars become fresh variables).
+std::vector<BucketEntry> BuildBucket(
+    const Atom& goal, const std::vector<ConjunctiveQuery>& views,
+    int* fresh_counter) {
+  std::vector<BucketEntry> bucket;
+  for (const auto& view : views) {
+    std::string prefix = "_b" + std::to_string((*fresh_counter)++) + "_";
+    ConjunctiveQuery v = view.RenameVars(prefix);
+    for (const auto& body_atom : v.body()) {
+      // Two-way unification: the goal's variables may bind to view
+      // constants (specialization) and vice versa. The final containment
+      // check keeps only sound combinations.
+      Substitution sub;
+      if (!UnifyAtoms(body_atom, goal, &sub)) continue;
+      sub = ResolveSubstitution(sub);
+      Atom head = Apply(sub, v.HeadAtom());
+      // Freshen view variables that remain unbound in the head (head
+      // vars not constrained by this subgoal).
+      Substitution freshen;
+      for (auto& t : head.args) {
+        if (t.is_var() && t.var().rfind(prefix, 0) == 0 &&
+            freshen.count(t.var()) == 0) {
+          freshen[t.var()] =
+              QTerm::Var("_f" + std::to_string((*fresh_counter)++));
+        }
+      }
+      head = Apply(freshen, head);
+      // Keep only the bindings that touch query variables.
+      Substitution query_binding;
+      for (const auto& [var, term] : sub) {
+        if (var.rfind("_b", 0) != 0) {
+          query_binding[var] = Apply(freshen, term);
+        }
+      }
+      bucket.push_back(BucketEntry{std::move(head), std::move(query_binding)});
+    }
+  }
+  return bucket;
+}
+
+// Expansion-containment test for a candidate rewriting.
+bool ExpansionContained(const ConjunctiveQuery& candidate,
+                        const std::vector<ConjunctiveQuery>& views,
+                        const ConjunctiveQuery& query) {
+  auto expansion = ExpandRewriting(candidate, views);
+  return expansion.ok() && Contains(query, expansion.value());
+}
+
+// The bucket method introduces fresh variables ("_f*") for view head
+// positions not constrained by the covered subgoal. A valid rewriting
+// may require *equating* such a variable with a query term (the case
+// where one view covers several subgoals through a shared existential —
+// MiniCon's C-clauses). We recover those rewritings by a bounded search
+// over specializations of the fresh variables; soundness is preserved
+// because every specialization is re-verified by the containment check.
+std::optional<ConjunctiveQuery> TrySpecialize(
+    const ConjunctiveQuery& candidate,
+    const std::vector<ConjunctiveQuery>& views,
+    const ConjunctiveQuery& query) {
+  std::vector<std::string> fresh;
+  for (const auto& v : candidate.AllVars()) {
+    if (v.rfind("_f", 0) == 0) fresh.push_back(v);
+  }
+  if (fresh.empty() || fresh.size() > 4) return std::nullopt;
+
+  // Specialization targets: the query's variables and constants.
+  std::vector<QTerm> targets;
+  for (const auto& v : query.AllVars()) targets.push_back(QTerm::Var(v));
+  for (const auto& a : query.body()) {
+    for (const auto& t : a.args) {
+      if (!t.is_var() &&
+          std::find(targets.begin(), targets.end(), t) == targets.end()) {
+        targets.push_back(t);
+      }
+    }
+  }
+  if (targets.empty()) return std::nullopt;
+
+  size_t combos = 1;
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    combos *= targets.size() + 1;  // +1 = leave untouched
+    if (combos > 4096) return std::nullopt;
+  }
+  for (size_t mask = 1; mask < combos; ++mask) {
+    Substitution theta;
+    size_t m = mask;
+    for (const auto& fv : fresh) {
+      size_t pick = m % (targets.size() + 1);
+      m /= targets.size() + 1;
+      if (pick > 0) theta[fv] = targets[pick - 1];
+    }
+    ConjunctiveQuery specialized = candidate.Substitute(theta);
+    // Dedupe body atoms the substitution may have merged.
+    std::vector<Atom> body;
+    for (const auto& a : specialized.body()) {
+      if (std::find(body.begin(), body.end(), a) == body.end()) {
+        body.push_back(a);
+      }
+    }
+    specialized =
+        ConjunctiveQuery(specialized.name(), specialized.head(), body);
+    if (specialized.IsSafe() &&
+        ExpansionContained(specialized, views, query)) {
+      return specialized;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string CanonicalBodyKey(std::vector<Atom> body) {
+  std::vector<std::string> parts;
+  parts.reserve(body.size());
+  for (const auto& a : body) parts.push_back(a.ToString());
+  std::sort(parts.begin(), parts.end());
+  std::string key;
+  for (const auto& p : parts) {
+    key += p;
+    key += ";";
+  }
+  return key;
+}
+
+}  // namespace
+
+Result<ConjunctiveQuery> ExpandRewriting(
+    const ConjunctiveQuery& rewriting,
+    const std::vector<ConjunctiveQuery>& views) {
+  ViewRegistry registry;
+  for (const auto& v : views) registry.Add(v);
+  // View names are unique per rewriting atom here; if a name has several
+  // definitions the union unfolding would apply, which is not meaningful
+  // for an expansion check, so require uniqueness.
+  return UnfoldQueryUnique(rewriting, registry);
+}
+
+Result<std::vector<ConjunctiveQuery>> RewriteUsingViews(
+    const ConjunctiveQuery& query, const std::vector<ConjunctiveQuery>& views,
+    const RewriteOptions& options, RewriteStats* stats) {
+  RewriteStats local_stats;
+  // Build one bucket per subgoal.
+  int fresh_counter = 0;
+  std::vector<std::vector<BucketEntry>> buckets;
+  buckets.reserve(query.body().size());
+  for (const auto& goal : query.body()) {
+    buckets.push_back(BuildBucket(goal, views, &fresh_counter));
+    local_stats.bucket_entries += buckets.back().size();
+    if (buckets.back().empty()) {
+      // Some subgoal is uncoverable: no conjunctive rewriting exists.
+      if (stats != nullptr) *stats = local_stats;
+      return std::vector<ConjunctiveQuery>{};
+    }
+  }
+
+  const std::set<std::string> head_vars = query.HeadVars();
+  std::vector<ConjunctiveQuery> kept;
+  std::set<std::string> seen_bodies;
+
+  // Enumerate the cross product of buckets.
+  std::vector<size_t> choice(buckets.size(), 0);
+  while (true) {
+    if (local_stats.candidates_examined >= options.max_candidates) break;
+    ++local_stats.candidates_examined;
+
+    // Merge the query-variable bindings imposed by the chosen entries.
+    Substitution merged;
+    bool consistent = true;
+    for (size_t i = 0; consistent && i < buckets.size(); ++i) {
+      for (const auto& [var, term] : buckets[i][choice[i]].query_binding) {
+        auto it = merged.find(var);
+        if (it == merged.end()) {
+          merged[var] = term;
+        } else if (!(it->second == term)) {
+          consistent = false;
+          break;
+        }
+      }
+    }
+
+    // Assemble candidate body (set semantics: dedupe atoms).
+    std::vector<Atom> body;
+    if (consistent) {
+      for (size_t i = 0; i < buckets.size(); ++i) {
+        Atom a = Apply(merged, buckets[i][choice[i]].view_atom);
+        if (std::find(body.begin(), body.end(), a) == body.end()) {
+          body.push_back(std::move(a));
+        }
+      }
+    }
+    std::vector<QTerm> head;
+    head.reserve(query.head().size());
+    for (const auto& t : query.head()) head.push_back(Apply(merged, t));
+    ConjunctiveQuery candidate(query.name(), std::move(head), body);
+
+    std::string key = CanonicalBodyKey(body);
+    if (consistent && seen_bodies.insert(key).second) {
+      std::optional<ConjunctiveQuery> accepted;
+      if (candidate.IsSafe() && ExpansionContained(candidate, views, query)) {
+        accepted = candidate;
+      } else {
+        accepted = TrySpecialize(candidate, views, query);
+      }
+      if (accepted.has_value()) {
+        bool redundant = false;
+        auto expansion = ExpandRewriting(*accepted, views);
+        if (options.prune_contained && expansion.ok()) {
+          for (const auto& prior : kept) {
+            auto prior_exp = ExpandRewriting(prior, views);
+            if (prior_exp.ok() &&
+                Contains(prior_exp.value(), expansion.value())) {
+              redundant = true;
+              break;
+            }
+          }
+        }
+        if (!redundant) {
+          kept.push_back(std::move(*accepted));
+          ++local_stats.candidates_kept;
+        }
+      }
+    }
+
+    // Advance odometer.
+    size_t i = 0;
+    while (i < choice.size()) {
+      if (++choice[i] < buckets[i].size()) break;
+      choice[i] = 0;
+      ++i;
+    }
+    if (i == choice.size()) break;
+  }
+  (void)head_vars;
+  if (stats != nullptr) *stats = local_stats;
+  return kept;
+}
+
+}  // namespace revere::query

@@ -1,0 +1,47 @@
+#ifndef REVERE_QUERY_REWRITE_H_
+#define REVERE_QUERY_REWRITE_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/query/cq.h"
+#include "src/query/unfold.h"
+
+namespace revere::query {
+
+/// Controls for answering-queries-using-views.
+struct RewriteOptions {
+  /// Cap on candidate combinations examined (cross product of buckets).
+  size_t max_candidates = 20000;
+  /// Drop rewritings contained in an already-kept rewriting.
+  bool prune_contained = true;
+};
+
+/// Statistics from one rewriting run (used by the C9 benchmark).
+struct RewriteStats {
+  size_t candidates_examined = 0;
+  size_t candidates_kept = 0;
+  size_t bucket_entries = 0;
+};
+
+/// Answering queries using views (local-as-view): given `query` over a
+/// "mediated" vocabulary and `views` (each a CQ over that vocabulary,
+/// named by its view relation), produces the union of conjunctive
+/// rewritings over the *view* relations whose expansions are contained
+/// in `query` — the maximally-contained rewriting restricted to
+/// conjunctive combinations, computed with the bucket method plus a
+/// Chandra–Merlin containment check (the classical approach surveyed in
+/// Halevy's "Answering queries using views", which the paper builds on).
+Result<std::vector<ConjunctiveQuery>> RewriteUsingViews(
+    const ConjunctiveQuery& query, const std::vector<ConjunctiveQuery>& views,
+    const RewriteOptions& options = {}, RewriteStats* stats = nullptr);
+
+/// Expands a rewriting over view heads back into the base vocabulary by
+/// unfolding each view atom with its definition.
+Result<ConjunctiveQuery> ExpandRewriting(
+    const ConjunctiveQuery& rewriting,
+    const std::vector<ConjunctiveQuery>& views);
+
+}  // namespace revere::query
+
+#endif  // REVERE_QUERY_REWRITE_H_

@@ -1,0 +1,101 @@
+#include "src/query/unfold.h"
+
+namespace revere::query {
+
+void ViewRegistry::Add(ConjunctiveQuery view) {
+  views_[view.name()].push_back(std::move(view));
+}
+
+bool ViewRegistry::Defines(const std::string& relation) const {
+  return views_.count(relation) > 0;
+}
+
+const std::vector<ConjunctiveQuery>* ViewRegistry::Definitions(
+    const std::string& relation) const {
+  auto it = views_.find(relation);
+  return it == views_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+// Replaces body atom `pos` of `q` with `def`'s body, unifying def's head
+// with the atom. Returns nullopt if the head does not unify (arity or
+// constant clash).
+std::optional<ConjunctiveQuery> SubstituteDefinition(
+    const ConjunctiveQuery& q, size_t pos, const ConjunctiveQuery& def,
+    int* fresh_counter) {
+  const Atom& goal = q.body()[pos];
+  ConjunctiveQuery fresh =
+      def.RenameVars("_u" + std::to_string((*fresh_counter)++) + "_");
+  // Unify the definition's head with the goal atom: bind fresh's head
+  // vars to the goal's terms.
+  Substitution sub;
+  if (!MatchAtom(fresh.HeadAtom(), goal, &sub)) return std::nullopt;
+  std::vector<Atom> new_body;
+  new_body.reserve(q.body().size() - 1 + fresh.body().size());
+  for (size_t i = 0; i < q.body().size(); ++i) {
+    if (i == pos) {
+      for (const Atom& a : fresh.body()) new_body.push_back(Apply(sub, a));
+    } else {
+      new_body.push_back(q.body()[i]);
+    }
+  }
+  return ConjunctiveQuery(q.name(), q.head(), std::move(new_body));
+}
+
+}  // namespace
+
+Result<std::vector<ConjunctiveQuery>> UnfoldQuery(
+    const ConjunctiveQuery& query, const ViewRegistry& views,
+    int max_depth) {
+  std::vector<ConjunctiveQuery> frontier{query};
+  std::vector<ConjunctiveQuery> done;
+  int fresh_counter = 0;
+  for (int depth = 0; depth <= max_depth; ++depth) {
+    std::vector<ConjunctiveQuery> next;
+    for (const auto& q : frontier) {
+      // Find the first defined relation in the body.
+      size_t pos = q.body().size();
+      for (size_t i = 0; i < q.body().size(); ++i) {
+        if (views.Defines(q.body()[i].relation)) {
+          pos = i;
+          break;
+        }
+      }
+      if (pos == q.body().size()) {
+        done.push_back(q);
+        continue;
+      }
+      const auto* defs = views.Definitions(q.body()[pos].relation);
+      for (const auto& def : *defs) {
+        auto expanded = SubstituteDefinition(q, pos, def, &fresh_counter);
+        if (expanded.has_value()) next.push_back(std::move(*expanded));
+      }
+    }
+    if (next.empty()) return done;
+    frontier = std::move(next);
+  }
+  return Status::FailedPrecondition(
+      "unfolding exceeded max depth (cyclic view definitions?)");
+}
+
+Result<ConjunctiveQuery> UnfoldQueryUnique(const ConjunctiveQuery& query,
+                                           const ViewRegistry& views,
+                                           int max_depth) {
+  for (const auto& atom : query.body()) {
+    const auto* defs = views.Definitions(atom.relation);
+    if (defs != nullptr && defs->size() > 1) {
+      return Status::InvalidArgument("relation '" + atom.relation +
+                                     "' has multiple definitions");
+    }
+  }
+  REVERE_ASSIGN_OR_RETURN(std::vector<ConjunctiveQuery> result,
+                          UnfoldQuery(query, views, max_depth));
+  if (result.size() != 1) {
+    return Status::Internal("expected exactly one unfolding, got " +
+                            std::to_string(result.size()));
+  }
+  return result.front();
+}
+
+}  // namespace revere::query

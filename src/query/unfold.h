@@ -1,0 +1,51 @@
+#ifndef REVERE_QUERY_UNFOLD_H_
+#define REVERE_QUERY_UNFOLD_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/query/cq.h"
+
+namespace revere::query {
+
+/// A set of global-as-view definitions: relation name -> defining query
+/// whose head is that relation. Used for GAV-style query unfolding
+/// (§3.1.1: "our query answering algorithm ... performs query unfolding
+/// and query reformulation using views").
+class ViewRegistry {
+ public:
+  ViewRegistry() = default;
+
+  /// Registers `view` under its head name. A name may have several
+  /// definitions (union views); unfolding then produces one result per
+  /// combination.
+  void Add(ConjunctiveQuery view);
+
+  bool Defines(const std::string& relation) const;
+  const std::vector<ConjunctiveQuery>* Definitions(
+      const std::string& relation) const;
+  size_t size() const { return views_.size(); }
+
+ private:
+  std::map<std::string, std::vector<ConjunctiveQuery>> views_;
+};
+
+/// Unfolds `query` over `views` until no defined relation remains in any
+/// body (or `max_depth` substitution rounds pass — cycles are cut there
+/// and reported as FailedPrecondition). Because a relation may have
+/// multiple definitions, the result is a union of conjunctive queries.
+Result<std::vector<ConjunctiveQuery>> UnfoldQuery(
+    const ConjunctiveQuery& query, const ViewRegistry& views,
+    int max_depth = 16);
+
+/// Single-definition convenience: unfolds assuming every defined
+/// relation has exactly one definition; InvalidArgument otherwise.
+Result<ConjunctiveQuery> UnfoldQueryUnique(const ConjunctiveQuery& query,
+                                           const ViewRegistry& views,
+                                           int max_depth = 16);
+
+}  // namespace revere::query
+
+#endif  // REVERE_QUERY_UNFOLD_H_

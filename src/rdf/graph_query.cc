@@ -1,0 +1,103 @@
+#include "src/rdf/graph_query.h"
+
+#include <algorithm>
+
+namespace revere::rdf {
+
+Term Term::Parse(std::string_view s) {
+  if (!s.empty() && s.front() == '?') {
+    return Term{true, std::string(s.substr(1))};
+  }
+  return Term{false, std::string(s)};
+}
+
+GraphQuery& GraphQuery::Where(std::string_view s, std::string_view p,
+                              std::string_view o) {
+  patterns_.push_back(
+      QueryTriple{Term::Parse(s), Term::Parse(p), Term::Parse(o)});
+  return *this;
+}
+
+GraphQuery& GraphQuery::Select(std::vector<std::string> variables) {
+  select_ = std::move(variables);
+  return *this;
+}
+
+namespace {
+
+// Resolves a term under bindings: returns a constant if the term is a
+// constant or a bound variable, nullopt if it is an unbound variable.
+std::optional<std::string> Resolve(const Term& t, const Binding& binding) {
+  if (!t.is_variable) return t.text;
+  auto it = binding.find(t.text);
+  if (it != binding.end()) return it->second;
+  return std::nullopt;
+}
+
+int BoundCount(const QueryTriple& p, const Binding& binding) {
+  int n = 0;
+  if (Resolve(p.subject, binding)) ++n;
+  if (Resolve(p.predicate, binding)) ++n;
+  if (Resolve(p.object, binding)) ++n;
+  return n;
+}
+
+void Search(const TripleStore& store, std::vector<QueryTriple> remaining,
+            const Binding& binding, std::vector<Binding>* out) {
+  if (remaining.empty()) {
+    out->push_back(binding);
+    return;
+  }
+  // Greedy join ordering: most-bound pattern first (fewest matches).
+  size_t best = 0;
+  int best_bound = -1;
+  for (size_t i = 0; i < remaining.size(); ++i) {
+    int b = BoundCount(remaining[i], binding);
+    if (b > best_bound) {
+      best_bound = b;
+      best = i;
+    }
+  }
+  QueryTriple pat = remaining[best];
+  remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(best));
+
+  TriplePattern probe{Resolve(pat.subject, binding),
+                      Resolve(pat.predicate, binding),
+                      Resolve(pat.object, binding)};
+  for (const Triple& t : store.Match(probe)) {
+    Binding next = binding;
+    bool ok = true;
+    auto bind = [&](const Term& term, const std::string& value) {
+      if (!term.is_variable) return;
+      auto [it, inserted] = next.emplace(term.text, value);
+      if (!inserted && it->second != value) ok = false;
+    };
+    bind(pat.subject, t.subject);
+    if (ok) bind(pat.predicate, t.predicate);
+    if (ok) bind(pat.object, t.object);
+    if (ok) Search(store, remaining, next, out);
+  }
+}
+
+}  // namespace
+
+std::vector<Binding> GraphQuery::Run(const TripleStore& store) const {
+  std::vector<Binding> all;
+  Search(store, patterns_, Binding{}, &all);
+  if (select_.empty()) return all;
+  // Project to selected variables, de-duplicating.
+  std::vector<Binding> projected;
+  for (const auto& b : all) {
+    Binding p;
+    for (const auto& v : select_) {
+      auto it = b.find(v);
+      if (it != b.end()) p[v] = it->second;
+    }
+    if (std::find(projected.begin(), projected.end(), p) == projected.end()) {
+      projected.push_back(std::move(p));
+    }
+  }
+  return projected;
+}
+
+}  // namespace revere::rdf

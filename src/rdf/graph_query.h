@@ -1,0 +1,66 @@
+#ifndef REVERE_RDF_GRAPH_QUERY_H_
+#define REVERE_RDF_GRAPH_QUERY_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/rdf/triple_store.h"
+
+namespace revere::rdf {
+
+/// A position in a graph pattern: either a constant or a variable.
+/// Variables are written with a leading '?', e.g. "?course".
+struct Term {
+  bool is_variable = false;
+  std::string text;
+
+  /// Parses "?x" into a variable, anything else into a constant.
+  static Term Parse(std::string_view s);
+  static Term Var(std::string name) { return Term{true, std::move(name)}; }
+  static Term Const(std::string value) {
+    return Term{false, std::move(value)};
+  }
+};
+
+/// One pattern in a basic graph pattern (BGP) query.
+struct QueryTriple {
+  Term subject;
+  Term predicate;
+  Term object;
+};
+
+/// Variable bindings produced by query evaluation.
+using Binding = std::map<std::string, std::string>;
+
+/// An RDF-style conjunctive query over the triple store — our analogue
+/// of the Jena/RDQL queries MANGROVE poses (§2.2). Patterns share
+/// variables; evaluation joins them.
+class GraphQuery {
+ public:
+  GraphQuery() = default;
+
+  /// Adds a pattern from three terms, each parsed with Term::Parse.
+  GraphQuery& Where(std::string_view s, std::string_view p,
+                    std::string_view o);
+
+  /// Restricts output bindings to these variables (without '?'). Empty
+  /// selection returns all variables.
+  GraphQuery& Select(std::vector<std::string> variables);
+
+  /// Evaluates against `store` via index-backed backtracking join. The
+  /// pattern order is chosen greedily: at each step the pattern with the
+  /// most positions bound (under current bindings) runs first.
+  std::vector<Binding> Run(const TripleStore& store) const;
+
+  const std::vector<QueryTriple>& patterns() const { return patterns_; }
+
+ private:
+  std::vector<QueryTriple> patterns_;
+  std::vector<std::string> select_;
+};
+
+}  // namespace revere::rdf
+
+#endif  // REVERE_RDF_GRAPH_QUERY_H_

@@ -1,0 +1,30 @@
+#ifndef REVERE_RDF_TRIPLE_H_
+#define REVERE_RDF_TRIPLE_H_
+
+#include <string>
+
+namespace revere::rdf {
+
+/// One (subject, predicate, object) statement plus its provenance: the
+/// URL of the page the annotation came from. MANGROVE stores the source
+/// URL with every fact (§2.3) so applications can scope or clean data by
+/// origin.
+struct Triple {
+  std::string subject;
+  std::string predicate;
+  std::string object;
+  std::string source;  // URL of the publishing page; may be empty
+
+  bool operator==(const Triple& other) const {
+    return subject == other.subject && predicate == other.predicate &&
+           object == other.object && source == other.source;
+  }
+
+  std::string ToString() const {
+    return "(" + subject + ", " + predicate + ", " + object + ")@" + source;
+  }
+};
+
+}  // namespace revere::rdf
+
+#endif  // REVERE_RDF_TRIPLE_H_

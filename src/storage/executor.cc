@@ -1,0 +1,336 @@
+#include "src/storage/executor.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace revere::storage {
+
+bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs) {
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs < rhs || lhs == rhs;
+    case CompareOp::kGt:
+      return rhs < lhs;
+    case CompareOp::kGe:
+      return rhs < lhs || lhs == rhs;
+  }
+  return false;
+}
+
+namespace {
+std::vector<std::string> SchemaColumnNames(const TableSchema& schema) {
+  std::vector<std::string> names;
+  names.reserve(schema.arity());
+  for (const auto& c : schema.columns()) names.push_back(c.name);
+  return names;
+}
+}  // namespace
+
+// ---------------------------------------------------------------- ScanOp
+
+ScanOp::ScanOp(const Table* table)
+    : table_(table), columns_(SchemaColumnNames(table->schema())) {}
+
+bool ScanOp::Next(Row* out) {
+  if (pos_ >= table_->size()) return false;
+  *out = table_->rows()[pos_++];
+  return true;
+}
+
+// --------------------------------------------------------- IndexLookupOp
+
+IndexLookupOp::IndexLookupOp(const Table* table, size_t column, Value key)
+    : table_(table),
+      column_(column),
+      key_(std::move(key)),
+      columns_(SchemaColumnNames(table->schema())) {}
+
+void IndexLookupOp::Open() {
+  matches_ = table_->LookupIndices(column_, key_);
+  pos_ = 0;
+  opened_ = true;
+}
+
+bool IndexLookupOp::Next(Row* out) {
+  assert(opened_);
+  if (pos_ >= matches_.size()) return false;
+  *out = table_->rows()[matches_[pos_++]];
+  return true;
+}
+
+// -------------------------------------------------------------- FilterOp
+
+FilterOp::FilterOp(OperatorPtr child, std::function<bool(const Row&)> pred)
+    : child_(std::move(child)), pred_(std::move(pred)) {}
+
+OperatorPtr FilterOp::Compare(OperatorPtr child, size_t column, CompareOp op,
+                              Value rhs) {
+  return std::make_unique<FilterOp>(
+      std::move(child), [column, op, rhs = std::move(rhs)](const Row& r) {
+        return column < r.size() && EvalCompare(r[column], op, rhs);
+      });
+}
+
+bool FilterOp::Next(Row* out) {
+  while (child_->Next(out)) {
+    if (pred_(*out)) return true;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------- ProjectOp
+
+ProjectOp::ProjectOp(OperatorPtr child, std::vector<size_t> keep,
+                     std::vector<std::string> names)
+    : child_(std::move(child)), keep_(std::move(keep)) {
+  if (!names.empty()) {
+    columns_ = std::move(names);
+  } else {
+    const auto& in = child_->output_columns();
+    for (size_t k : keep_) {
+      columns_.push_back(k < in.size() ? in[k] : "?");
+    }
+  }
+}
+
+bool ProjectOp::Next(Row* out) {
+  Row in;
+  if (!child_->Next(&in)) return false;
+  out->clear();
+  out->reserve(keep_.size());
+  for (size_t k : keep_) {
+    out->push_back(k < in.size() ? in[k] : Value());
+  }
+  return true;
+}
+
+// ------------------------------------------------------------ HashJoinOp
+
+HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right, size_t left_key,
+                       size_t right_key)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_key_(left_key),
+      right_key_(right_key) {
+  columns_ = left_->output_columns();
+  for (const auto& c : right_->output_columns()) columns_.push_back(c);
+}
+
+void HashJoinOp::Open() {
+  left_->Open();
+  right_->Open();
+  build_.clear();
+  Row r;
+  while (right_->Next(&r)) {
+    build_[r[right_key_]].push_back(r);
+  }
+  built_ = true;
+  probe_matches_ = nullptr;
+  probe_pos_ = 0;
+}
+
+bool HashJoinOp::Next(Row* out) {
+  assert(built_);
+  while (true) {
+    if (probe_matches_ != nullptr && probe_pos_ < probe_matches_->size()) {
+      const Row& rhs = (*probe_matches_)[probe_pos_++];
+      *out = current_left_;
+      out->insert(out->end(), rhs.begin(), rhs.end());
+      return true;
+    }
+    if (!left_->Next(&current_left_)) return false;
+    auto it = build_.find(current_left_[left_key_]);
+    probe_matches_ = it == build_.end() ? nullptr : &it->second;
+    probe_pos_ = 0;
+  }
+}
+
+// ----------------------------------------------------------- AggregateOp
+
+AggregateOp::AggregateOp(OperatorPtr child, std::vector<size_t> group_by,
+                         std::vector<AggregateSpec> aggs)
+    : child_(std::move(child)),
+      group_by_(std::move(group_by)),
+      aggs_(std::move(aggs)) {
+  const auto& in = child_->output_columns();
+  for (size_t g : group_by_) {
+    columns_.push_back(g < in.size() ? in[g] : "?");
+  }
+  for (const auto& a : aggs_) columns_.push_back(a.output_name);
+}
+
+void AggregateOp::Open() {
+  child_->Open();
+  results_.clear();
+  pos_ = 0;
+
+  struct AggState {
+    double sum = 0.0;
+    size_t count = 0;
+    Value min, max;
+    bool has_extreme = false;
+  };
+  std::unordered_map<Row, std::vector<AggState>, RowHash> groups;
+  std::vector<Row> group_order;  // deterministic output order
+
+  Row r;
+  while (child_->Next(&r)) {
+    Row key;
+    key.reserve(group_by_.size());
+    for (size_t g : group_by_) key.push_back(r[g]);
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      it = groups.emplace(key, std::vector<AggState>(aggs_.size())).first;
+      group_order.push_back(key);
+    }
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      AggState& st = it->second[i];
+      ++st.count;
+      if (aggs_[i].func == AggFunc::kCount) continue;
+      const Value& v = r[aggs_[i].column];
+      st.sum += v.AsNumber();
+      if (!st.has_extreme) {
+        st.min = v;
+        st.max = v;
+        st.has_extreme = true;
+      } else {
+        if (v < st.min) st.min = v;
+        if (st.max < v) st.max = v;
+      }
+    }
+  }
+  for (const auto& key : group_order) {
+    const auto& states = groups[key];
+    Row out = key;
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      const AggState& st = states[i];
+      switch (aggs_[i].func) {
+        case AggFunc::kCount:
+          out.push_back(Value(static_cast<int64_t>(st.count)));
+          break;
+        case AggFunc::kSum:
+          out.push_back(Value(st.sum));
+          break;
+        case AggFunc::kAvg:
+          out.push_back(
+              Value(st.count == 0 ? 0.0 : st.sum / double(st.count)));
+          break;
+        case AggFunc::kMin:
+          out.push_back(st.min);
+          break;
+        case AggFunc::kMax:
+          out.push_back(st.max);
+          break;
+      }
+    }
+    results_.push_back(std::move(out));
+  }
+  computed_ = true;
+}
+
+bool AggregateOp::Next(Row* out) {
+  assert(computed_);
+  if (pos_ >= results_.size()) return false;
+  *out = results_[pos_++];
+  return true;
+}
+
+// ---------------------------------------------------------------- SortOp
+
+SortOp::SortOp(OperatorPtr child, std::vector<size_t> keys)
+    : child_(std::move(child)), keys_(std::move(keys)) {}
+
+void SortOp::Open() {
+  child_->Open();
+  sorted_.clear();
+  Row r;
+  while (child_->Next(&r)) sorted_.push_back(r);
+  std::stable_sort(sorted_.begin(), sorted_.end(),
+                   [this](const Row& a, const Row& b) {
+                     for (size_t k : keys_) {
+                       if (a[k] < b[k]) return true;
+                       if (b[k] < a[k]) return false;
+                     }
+                     return false;
+                   });
+  pos_ = 0;
+  materialized_ = true;
+}
+
+bool SortOp::Next(Row* out) {
+  assert(materialized_);
+  if (pos_ >= sorted_.size()) return false;
+  *out = sorted_[pos_++];
+  return true;
+}
+
+// ------------------------------------------------------------ DistinctOp
+
+DistinctOp::DistinctOp(OperatorPtr child) : child_(std::move(child)) {}
+
+void DistinctOp::Open() {
+  child_->Open();
+  seen_.clear();
+}
+
+bool DistinctOp::Next(Row* out) {
+  while (child_->Next(out)) {
+    if (seen_.insert(*out).second) return true;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------ UnionAllOp
+
+UnionAllOp::UnionAllOp(std::vector<OperatorPtr> children)
+    : children_(std::move(children)) {
+  if (!children_.empty()) columns_ = children_.front()->output_columns();
+}
+
+void UnionAllOp::Open() {
+  for (auto& c : children_) c->Open();
+  current_ = 0;
+}
+
+bool UnionAllOp::Next(Row* out) {
+  while (current_ < children_.size()) {
+    if (children_[current_]->Next(out)) return true;
+    ++current_;
+  }
+  return false;
+}
+
+// --------------------------------------------------------------- LimitOp
+
+LimitOp::LimitOp(OperatorPtr child, size_t limit)
+    : child_(std::move(child)), limit_(limit) {}
+
+void LimitOp::Open() {
+  child_->Open();
+  produced_ = 0;
+}
+
+bool LimitOp::Next(Row* out) {
+  if (produced_ >= limit_) return false;
+  if (!child_->Next(out)) return false;
+  ++produced_;
+  return true;
+}
+
+// ----------------------------------------------------------------- misc
+
+std::vector<Row> Collect(Operator* op) {
+  std::vector<Row> out;
+  op->Open();
+  Row r;
+  while (op->Next(&r)) out.push_back(r);
+  return out;
+}
+
+}  // namespace revere::storage

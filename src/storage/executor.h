@@ -1,0 +1,238 @@
+#ifndef REVERE_STORAGE_EXECUTOR_H_
+#define REVERE_STORAGE_EXECUTOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/storage/table.h"
+#include "src/storage/value.h"
+
+namespace revere::storage {
+
+/// Comparison operators for declarative predicates.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Evaluates `lhs op rhs` using Value's total order.
+bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs);
+
+/// Pull-based (Volcano) operator. Call Open() once, then Next() until it
+/// returns false. Operators own their children.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Output column names, positionally aligned with produced rows.
+  virtual const std::vector<std::string>& output_columns() const = 0;
+
+  /// Resets the operator (and children) to the start of its stream.
+  virtual void Open() = 0;
+
+  /// Produces the next row into `*out`; false at end of stream.
+  virtual bool Next(Row* out) = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Full-table scan.
+class ScanOp : public Operator {
+ public:
+  explicit ScanOp(const Table* table);
+  const std::vector<std::string>& output_columns() const override {
+    return columns_;
+  }
+  void Open() override { pos_ = 0; }
+  bool Next(Row* out) override;
+
+ private:
+  const Table* table_;
+  std::vector<std::string> columns_;
+  size_t pos_ = 0;
+};
+
+/// Index-assisted scan of rows where table[column] == key.
+class IndexLookupOp : public Operator {
+ public:
+  IndexLookupOp(const Table* table, size_t column, Value key);
+  const std::vector<std::string>& output_columns() const override {
+    return columns_;
+  }
+  void Open() override;
+  bool Next(Row* out) override;
+
+ private:
+  const Table* table_;
+  size_t column_;
+  Value key_;
+  std::vector<std::string> columns_;
+  std::vector<size_t> matches_;
+  size_t pos_ = 0;
+  bool opened_ = false;
+};
+
+/// Filters by an arbitrary row predicate.
+class FilterOp : public Operator {
+ public:
+  FilterOp(OperatorPtr child, std::function<bool(const Row&)> pred);
+
+  /// Convenience: column-vs-constant comparison filter.
+  static OperatorPtr Compare(OperatorPtr child, size_t column, CompareOp op,
+                             Value rhs);
+
+  const std::vector<std::string>& output_columns() const override {
+    return child_->output_columns();
+  }
+  void Open() override { child_->Open(); }
+  bool Next(Row* out) override;
+
+ private:
+  OperatorPtr child_;
+  std::function<bool(const Row&)> pred_;
+};
+
+/// Projects (and optionally renames) a subset of columns.
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(OperatorPtr child, std::vector<size_t> keep,
+            std::vector<std::string> names = {});
+  const std::vector<std::string>& output_columns() const override {
+    return columns_;
+  }
+  void Open() override { child_->Open(); }
+  bool Next(Row* out) override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<size_t> keep_;
+  std::vector<std::string> columns_;
+};
+
+/// Hash equi-join on one key column per side. Builds on the right input.
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(OperatorPtr left, OperatorPtr right, size_t left_key,
+             size_t right_key);
+  const std::vector<std::string>& output_columns() const override {
+    return columns_;
+  }
+  void Open() override;
+  bool Next(Row* out) override;
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  size_t left_key_;
+  size_t right_key_;
+  std::vector<std::string> columns_;
+  std::unordered_map<Value, std::vector<Row>, ValueHash> build_;
+  Row current_left_;
+  const std::vector<Row>* probe_matches_ = nullptr;
+  size_t probe_pos_ = 0;
+  bool built_ = false;
+};
+
+/// Aggregate functions.
+enum class AggFunc { kCount, kSum, kMin, kMax, kAvg };
+
+struct AggregateSpec {
+  AggFunc func = AggFunc::kCount;
+  size_t column = 0;  // ignored for kCount
+  std::string output_name = "agg";
+};
+
+/// Hash group-by with aggregates. Output columns: group columns (in the
+/// given order) followed by one column per aggregate.
+class AggregateOp : public Operator {
+ public:
+  AggregateOp(OperatorPtr child, std::vector<size_t> group_by,
+              std::vector<AggregateSpec> aggs);
+  const std::vector<std::string>& output_columns() const override {
+    return columns_;
+  }
+  void Open() override;
+  bool Next(Row* out) override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<size_t> group_by_;
+  std::vector<AggregateSpec> aggs_;
+  std::vector<std::string> columns_;
+  std::vector<Row> results_;
+  size_t pos_ = 0;
+  bool computed_ = false;
+};
+
+/// In-memory sort by the given key columns (ascending; stable).
+class SortOp : public Operator {
+ public:
+  SortOp(OperatorPtr child, std::vector<size_t> keys);
+  const std::vector<std::string>& output_columns() const override {
+    return child_->output_columns();
+  }
+  void Open() override;
+  bool Next(Row* out) override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<size_t> keys_;
+  std::vector<Row> sorted_;
+  size_t pos_ = 0;
+  bool materialized_ = false;
+};
+
+/// Set-semantics duplicate elimination.
+class DistinctOp : public Operator {
+ public:
+  explicit DistinctOp(OperatorPtr child);
+  const std::vector<std::string>& output_columns() const override {
+    return child_->output_columns();
+  }
+  void Open() override;
+  bool Next(Row* out) override;
+
+ private:
+  OperatorPtr child_;
+  std::unordered_set<Row, RowHash> seen_;
+};
+
+/// Concatenation of same-arity inputs (bag union).
+class UnionAllOp : public Operator {
+ public:
+  explicit UnionAllOp(std::vector<OperatorPtr> children);
+  const std::vector<std::string>& output_columns() const override {
+    return columns_;
+  }
+  void Open() override;
+  bool Next(Row* out) override;
+
+ private:
+  std::vector<OperatorPtr> children_;
+  std::vector<std::string> columns_;
+  size_t current_ = 0;
+};
+
+/// First `limit` rows.
+class LimitOp : public Operator {
+ public:
+  LimitOp(OperatorPtr child, size_t limit);
+  const std::vector<std::string>& output_columns() const override {
+    return child_->output_columns();
+  }
+  void Open() override;
+  bool Next(Row* out) override;
+
+ private:
+  OperatorPtr child_;
+  size_t limit_;
+  size_t produced_ = 0;
+};
+
+/// Drains `op` (Open + Next loop) into a vector.
+std::vector<Row> Collect(Operator* op);
+
+}  // namespace revere::storage
+
+#endif  // REVERE_STORAGE_EXECUTOR_H_

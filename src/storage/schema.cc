@@ -1,0 +1,66 @@
+#include "src/storage/schema.h"
+
+namespace revere::storage {
+
+TableSchema TableSchema::AllStrings(
+    std::string name, const std::vector<std::string>& column_names) {
+  std::vector<Column> cols;
+  cols.reserve(column_names.size());
+  for (const auto& cn : column_names) {
+    cols.push_back(Column{cn, ValueType::kString});
+  }
+  return TableSchema(std::move(name), std::move(cols));
+}
+
+std::optional<size_t> TableSchema::ColumnIndex(
+    const std::string& column_name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == column_name) return i;
+  }
+  return std::nullopt;
+}
+
+Status TableSchema::ValidateRow(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(columns_.size()) + " for " + name_);
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    if (row[i].type() != columns_[i].type) {
+      return Status::InvalidArgument(
+          "column '" + columns_[i].name + "' expects " +
+          ValueTypeToString(columns_[i].type) + ", got " +
+          ValueTypeToString(row[i].type()));
+    }
+  }
+  return Status::Ok();
+}
+
+std::string TableSchema::ToString() const {
+  std::string out = name_ + "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += ValueTypeToString(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+bool TableSchema::operator==(const TableSchema& other) const {
+  if (name_ != other.name_ || columns_.size() != other.columns_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name != other.columns_[i].name ||
+        columns_[i].type != other.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace revere::storage

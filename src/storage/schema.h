@@ -1,0 +1,53 @@
+#ifndef REVERE_STORAGE_SCHEMA_H_
+#define REVERE_STORAGE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/storage/value.h"
+
+namespace revere::storage {
+
+/// One column of a relational schema.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kString;
+};
+
+/// Schema of one relation: a name plus an ordered list of typed columns.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string name, std::vector<Column> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  /// Convenience: all-string columns from names alone (the common case in
+  /// REVERE, where annotation data is textual).
+  static TableSchema AllStrings(std::string name,
+                                const std::vector<std::string>& column_names);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t arity() const { return columns_.size(); }
+
+  /// Index of `column_name`, or nullopt.
+  std::optional<size_t> ColumnIndex(const std::string& column_name) const;
+
+  /// Checks `row` against arity and column types (null always allowed).
+  Status ValidateRow(const Row& row) const;
+
+  /// "name(col1:TYPE, col2:TYPE, ...)".
+  std::string ToString() const;
+
+  bool operator==(const TableSchema& other) const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace revere::storage
+
+#endif  // REVERE_STORAGE_SCHEMA_H_

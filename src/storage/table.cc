@@ -1,0 +1,104 @@
+#include "src/storage/table.h"
+
+#include <algorithm>
+
+namespace revere::storage {
+
+Status Table::Insert(Row row) {
+  REVERE_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  size_t idx = rows_.size();
+  if (!index_dirty_) {
+    for (auto& [col, index] : indexes_) {
+      index[row[col]].push_back(idx);
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::Ok();
+}
+
+Status Table::InsertAll(const std::vector<Row>& rows) {
+  for (const auto& r : rows) {
+    REVERE_RETURN_IF_ERROR(Insert(r));
+  }
+  return Status::Ok();
+}
+
+Status Table::Delete(const Row& row) {
+  auto it = std::find(rows_.begin(), rows_.end(), row);
+  if (it == rows_.end()) {
+    return Status::NotFound("row not present in " + schema_.name());
+  }
+  rows_.erase(it);
+  index_dirty_ = true;
+  return Status::Ok();
+}
+
+size_t Table::DeleteWhere(size_t column, const Value& key) {
+  if (column >= schema_.arity()) return 0;
+  size_t before = rows_.size();
+  rows_.erase(std::remove_if(rows_.begin(), rows_.end(),
+                             [&](const Row& r) { return r[column] == key; }),
+              rows_.end());
+  size_t removed = before - rows_.size();
+  if (removed > 0) index_dirty_ = true;
+  return removed;
+}
+
+void Table::Clear() {
+  rows_.clear();
+  for (auto& [col, index] : indexes_) index.clear();
+  index_dirty_ = false;
+}
+
+Status Table::CreateIndex(size_t column) {
+  if (column >= schema_.arity()) {
+    return Status::OutOfRange("no column " + std::to_string(column) + " in " +
+                              schema_.name());
+  }
+  auto& index = indexes_[column];
+  index.clear();
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    index[rows_[i][column]].push_back(i);
+  }
+  return Status::Ok();
+}
+
+bool Table::HasIndex(size_t column) const {
+  return indexes_.count(column) > 0;
+}
+
+void Table::ReindexIfDirty() const {
+  if (!index_dirty_) return;
+  for (auto& [col, index] : indexes_) {
+    index.clear();
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      index[rows_[i][col]].push_back(i);
+    }
+  }
+  index_dirty_ = false;
+}
+
+std::vector<size_t> Table::LookupIndices(size_t column,
+                                         const Value& key) const {
+  std::vector<size_t> out;
+  if (column >= schema_.arity()) return out;
+  auto idx_it = indexes_.find(column);
+  if (idx_it != indexes_.end()) {
+    ReindexIfDirty();
+    auto hit = idx_it->second.find(key);
+    if (hit != idx_it->second.end()) return hit->second;
+    return out;
+  }
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i][column] == key) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<Row> Table::Lookup(size_t column, const Value& key) const {
+  std::vector<Row> out;
+  for (size_t i : LookupIndices(column, key)) out.push_back(rows_[i]);
+  return out;
+}
+
+}  // namespace revere::storage

@@ -1,0 +1,64 @@
+#ifndef REVERE_STORAGE_TABLE_H_
+#define REVERE_STORAGE_TABLE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/storage/schema.h"
+#include "src/storage/value.h"
+
+namespace revere::storage {
+
+/// One stored relation: a schema, a row store, and optional per-column
+/// hash indexes. Bag semantics (duplicates allowed) — REVERE's MANGROVE
+/// layer deliberately defers uniqueness constraints to applications.
+class Table {
+ public:
+  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+
+  const TableSchema& schema() const { return schema_; }
+  size_t size() const { return rows_.size(); }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Appends `row` after schema validation.
+  Status Insert(Row row);
+  /// Appends all rows; stops at the first invalid one.
+  Status InsertAll(const std::vector<Row>& rows);
+
+  /// Removes the first row equal to `row`; NotFound if absent.
+  Status Delete(const Row& row);
+  /// Removes every row whose `column`-th value equals `key`; returns the
+  /// number removed.
+  size_t DeleteWhere(size_t column, const Value& key);
+  /// Drops all rows (indexes are kept but emptied).
+  void Clear();
+
+  /// Builds (or rebuilds) a hash index on `column`.
+  Status CreateIndex(size_t column);
+  bool HasIndex(size_t column) const;
+
+  /// All rows whose `column` equals `key`. Uses the hash index when one
+  /// exists, else scans.
+  std::vector<Row> Lookup(size_t column, const Value& key) const;
+
+  /// Row indices for Lookup — used by executors that need positions.
+  std::vector<size_t> LookupIndices(size_t column, const Value& key) const;
+
+ private:
+  void ReindexIfDirty() const;
+
+  TableSchema schema_;
+  std::vector<Row> rows_;
+  // column -> (value -> row indices). Rebuilt lazily after deletions.
+  mutable std::unordered_map<size_t,
+                             std::unordered_map<Value, std::vector<size_t>,
+                                                ValueHash>>
+      indexes_;
+  mutable bool index_dirty_ = false;
+};
+
+}  // namespace revere::storage
+
+#endif  // REVERE_STORAGE_TABLE_H_

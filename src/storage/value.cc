@@ -1,0 +1,108 @@
+#include "src/storage/value.h"
+
+#include "src/common/hash.h"
+#include "src/common/strings.h"
+
+namespace revere::storage {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return "BOOL";
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  switch (data_.index()) {
+    case 0:
+      return ValueType::kNull;
+    case 1:
+      return ValueType::kBool;
+    case 2:
+      return ValueType::kInt;
+    case 3:
+      return ValueType::kDouble;
+    case 4:
+      return ValueType::kString;
+  }
+  return ValueType::kNull;
+}
+
+double Value::AsNumber() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return static_cast<double>(as_int());
+    case ValueType::kDouble:
+      return as_double();
+    case ValueType::kBool:
+      return as_bool() ? 1.0 : 0.0;
+    default:
+      return 0.0;
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return as_bool() ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(as_int());
+    case ValueType::kDouble:
+      return FormatDouble(as_double(), 6);
+    case ValueType::kString:
+      return as_string();
+  }
+  return "";
+}
+
+bool Value::operator<(const Value& other) const {
+  if (data_.index() != other.data_.index()) {
+    // Numeric types compare by value across int/double.
+    bool a_num = type() == ValueType::kInt || type() == ValueType::kDouble;
+    bool b_num =
+        other.type() == ValueType::kInt || other.type() == ValueType::kDouble;
+    if (a_num && b_num) return AsNumber() < other.AsNumber();
+    return data_.index() < other.data_.index();
+  }
+  return data_ < other.data_;
+}
+
+size_t Value::Hash() const {
+  size_t seed = data_.index();
+  switch (type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      HashCombine(&seed, as_bool());
+      break;
+    case ValueType::kInt:
+      HashCombine(&seed, as_int());
+      break;
+    case ValueType::kDouble:
+      HashCombine(&seed, as_double());
+      break;
+    case ValueType::kString:
+      HashCombine(&seed, as_string());
+      break;
+  }
+  return seed;
+}
+
+size_t HashRow(const Row& row) {
+  size_t seed = row.size();
+  for (const auto& v : row) HashCombine(&seed, v.Hash());
+  return seed;
+}
+
+}  // namespace revere::storage

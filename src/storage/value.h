@@ -1,0 +1,71 @@
+#ifndef REVERE_STORAGE_VALUE_H_
+#define REVERE_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace revere::storage {
+
+/// Column/value types supported by the relational substrate.
+enum class ValueType { kNull, kBool, kInt, kDouble, kString };
+
+const char* ValueTypeToString(ValueType type);
+
+/// A single typed cell. Values are small, copyable, and totally ordered
+/// (nulls sort first; cross-type comparison orders by type tag so sorting
+/// heterogeneous columns is still deterministic).
+class Value {
+ public:
+  /// Null value.
+  Value() : data_(std::monostate{}) {}
+  explicit Value(bool b) : data_(b) {}
+  explicit Value(int64_t i) : data_(i) {}
+  explicit Value(int i) : data_(static_cast<int64_t>(i)) {}
+  explicit Value(double d) : data_(d) {}
+  explicit Value(std::string s) : data_(std::move(s)) {}
+  explicit Value(const char* s) : data_(std::string(s)) {}
+
+  ValueType type() const;
+
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool as_bool() const { return std::get<bool>(data_); }
+  int64_t as_int() const { return std::get<int64_t>(data_); }
+  double as_double() const { return std::get<double>(data_); }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+
+  /// Numeric view: ints widen to double; other types return 0.
+  double AsNumber() const;
+
+  /// Render for display/serialization ("NULL" for nulls).
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const;
+
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string> data_;
+};
+
+/// One relational tuple.
+using Row = std::vector<Value>;
+
+/// Hash of a full row (order-sensitive).
+size_t HashRow(const Row& row);
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+struct RowHash {
+  size_t operator()(const Row& r) const { return HashRow(r); }
+};
+
+}  // namespace revere::storage
+
+#endif  // REVERE_STORAGE_VALUE_H_

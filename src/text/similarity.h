@@ -1,0 +1,44 @@
+#ifndef REVERE_TEXT_SIMILARITY_H_
+#define REVERE_TEXT_SIMILARITY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/text/synonyms.h"
+
+namespace revere::text {
+
+/// Levenshtein edit distance (insert/delete/substitute, unit costs).
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// 1 - EditDistance/max(|a|,|b|); 1.0 for two empty strings.
+double EditSimilarity(std::string_view a, std::string_view b);
+
+/// Jaccard similarity of two token multiset *supports* (set semantics).
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b);
+
+/// Character n-gram (default trigram) Jaccard similarity, robust to
+/// abbreviation and truncation ("enroll" vs "enrollment").
+double NGramSimilarity(std::string_view a, std::string_view b, size_t n = 3);
+
+/// Options controlling NameSimilarity's normalization pipeline —
+/// these are exactly the "versions" of statistics the paper keeps
+/// (stemming on/off, synonyms on/off).
+struct NameSimilarityOptions {
+  bool use_stemming = true;
+  bool use_synonyms = true;
+  const SynonymTable* synonyms = nullptr;  // nullptr -> no table
+};
+
+/// Composite similarity between two schema identifiers: tokenizes each
+/// (camelCase/snake_case aware), normalizes tokens (stemming, synonym
+/// canonicalization), then combines token-set Jaccard with whole-string
+/// n-gram similarity. Returns a score in [0, 1].
+double NameSimilarity(std::string_view a, std::string_view b,
+                      const NameSimilarityOptions& opts = {});
+
+}  // namespace revere::text
+
+#endif  // REVERE_TEXT_SIMILARITY_H_

@@ -1,0 +1,298 @@
+#include "src/text/stemmer.h"
+
+#include <cstring>
+
+namespace revere::text {
+
+namespace {
+
+// Implementation follows Porter's original description. `b` holds the
+// word; k is the index of its last character.
+class PorterContext {
+ public:
+  explicit PorterContext(std::string_view word) : b_(word) {
+    k_ = static_cast<int>(b_.size()) - 1;
+  }
+
+  std::string Run() {
+    if (k_ <= 1) return b_;  // words of length <= 2 are left alone
+    Step1ab();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5();
+    b_.resize(static_cast<size_t>(k_) + 1);
+    return b_;
+  }
+
+ private:
+  bool IsConsonant(int i) const {
+    switch (b_[static_cast<size_t>(i)]) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measures the number of consonant sequences between 0 and j.
+  int Measure(int j) const {
+    int n = 0;
+    int i = 0;
+    while (true) {
+      if (i > j) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      while (true) {
+        if (i > j) return n;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      while (true) {
+        if (i > j) return n;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  bool VowelInStem(int j) const {
+    for (int i = 0; i <= j; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  bool DoubleConsonant(int j) const {
+    if (j < 1) return false;
+    if (b_[static_cast<size_t>(j)] != b_[static_cast<size_t>(j - 1)])
+      return false;
+    return IsConsonant(j);
+  }
+
+  // cvc, where the second c is not w, x, or y.
+  bool Cvc(int i) const {
+    if (i < 2 || !IsConsonant(i) || IsConsonant(i - 1) || !IsConsonant(i - 2))
+      return false;
+    char ch = b_[static_cast<size_t>(i)];
+    return ch != 'w' && ch != 'x' && ch != 'y';
+  }
+
+  bool EndsWith(const char* s) {
+    int len = static_cast<int>(std::strlen(s));
+    if (len > k_ + 1) return false;
+    if (b_.compare(static_cast<size_t>(k_ - len + 1), static_cast<size_t>(len),
+                   s) != 0) {
+      return false;
+    }
+    j_ = k_ - len;
+    return true;
+  }
+
+  void SetTo(const char* s) {
+    int len = static_cast<int>(std::strlen(s));
+    b_.resize(static_cast<size_t>(j_ + 1));
+    b_.append(s);
+    k_ = j_ + len;
+  }
+
+  void ReplaceIfM(const char* s) {
+    if (Measure(j_) > 0) SetTo(s);
+  }
+
+  void Step1ab() {
+    if (b_[static_cast<size_t>(k_)] == 's') {
+      if (EndsWith("sses")) {
+        k_ -= 2;
+      } else if (EndsWith("ies")) {
+        SetTo("i");
+      } else if (b_[static_cast<size_t>(k_ - 1)] != 's') {
+        --k_;
+      }
+    }
+    if (EndsWith("eed")) {
+      if (Measure(j_) > 0) --k_;
+    } else if ((EndsWith("ed") || EndsWith("ing")) && VowelInStem(j_)) {
+      k_ = j_;
+      if (EndsWith("at")) {
+        SetTo("ate");
+      } else if (EndsWith("bl")) {
+        SetTo("ble");
+      } else if (EndsWith("iz")) {
+        SetTo("ize");
+      } else if (DoubleConsonant(k_)) {
+        char ch = b_[static_cast<size_t>(k_)];
+        if (ch != 'l' && ch != 's' && ch != 'z') --k_;
+      } else if (Measure(k_) == 1 && Cvc(k_)) {
+        j_ = k_;
+        SetTo("e");
+      }
+    }
+  }
+
+  void Step1c() {
+    if (EndsWith("y") && VowelInStem(j_)) {
+      b_[static_cast<size_t>(k_)] = 'i';
+    }
+  }
+
+  void Step2() {
+    if (k_ < 1) return;
+    switch (b_[static_cast<size_t>(k_ - 1)]) {
+      case 'a':
+        if (EndsWith("ational")) { ReplaceIfM("ate"); break; }
+        if (EndsWith("tional")) { ReplaceIfM("tion"); break; }
+        break;
+      case 'c':
+        if (EndsWith("enci")) { ReplaceIfM("ence"); break; }
+        if (EndsWith("anci")) { ReplaceIfM("ance"); break; }
+        break;
+      case 'e':
+        if (EndsWith("izer")) { ReplaceIfM("ize"); break; }
+        break;
+      case 'l':
+        if (EndsWith("bli")) { ReplaceIfM("ble"); break; }
+        if (EndsWith("alli")) { ReplaceIfM("al"); break; }
+        if (EndsWith("entli")) { ReplaceIfM("ent"); break; }
+        if (EndsWith("eli")) { ReplaceIfM("e"); break; }
+        if (EndsWith("ousli")) { ReplaceIfM("ous"); break; }
+        break;
+      case 'o':
+        if (EndsWith("ization")) { ReplaceIfM("ize"); break; }
+        if (EndsWith("ation")) { ReplaceIfM("ate"); break; }
+        if (EndsWith("ator")) { ReplaceIfM("ate"); break; }
+        break;
+      case 's':
+        if (EndsWith("alism")) { ReplaceIfM("al"); break; }
+        if (EndsWith("iveness")) { ReplaceIfM("ive"); break; }
+        if (EndsWith("fulness")) { ReplaceIfM("ful"); break; }
+        if (EndsWith("ousness")) { ReplaceIfM("ous"); break; }
+        break;
+      case 't':
+        if (EndsWith("aliti")) { ReplaceIfM("al"); break; }
+        if (EndsWith("iviti")) { ReplaceIfM("ive"); break; }
+        if (EndsWith("biliti")) { ReplaceIfM("ble"); break; }
+        break;
+      case 'g':
+        if (EndsWith("logi")) { ReplaceIfM("log"); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Step3() {
+    switch (b_[static_cast<size_t>(k_)]) {
+      case 'e':
+        if (EndsWith("icate")) { ReplaceIfM("ic"); break; }
+        if (EndsWith("ative")) { ReplaceIfM(""); break; }
+        if (EndsWith("alize")) { ReplaceIfM("al"); break; }
+        break;
+      case 'i':
+        if (EndsWith("iciti")) { ReplaceIfM("ic"); break; }
+        break;
+      case 'l':
+        if (EndsWith("ical")) { ReplaceIfM("ic"); break; }
+        if (EndsWith("ful")) { ReplaceIfM(""); break; }
+        break;
+      case 's':
+        if (EndsWith("ness")) { ReplaceIfM(""); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Step4() {
+    if (k_ < 1) return;
+    switch (b_[static_cast<size_t>(k_ - 1)]) {
+      case 'a':
+        if (EndsWith("al")) break;
+        return;
+      case 'c':
+        if (EndsWith("ance")) break;
+        if (EndsWith("ence")) break;
+        return;
+      case 'e':
+        if (EndsWith("er")) break;
+        return;
+      case 'i':
+        if (EndsWith("ic")) break;
+        return;
+      case 'l':
+        if (EndsWith("able")) break;
+        if (EndsWith("ible")) break;
+        return;
+      case 'n':
+        if (EndsWith("ant")) break;
+        if (EndsWith("ement")) break;
+        if (EndsWith("ment")) break;
+        if (EndsWith("ent")) break;
+        return;
+      case 'o':
+        if (EndsWith("ion") && j_ >= 0 &&
+            (b_[static_cast<size_t>(j_)] == 's' ||
+             b_[static_cast<size_t>(j_)] == 't')) {
+          break;
+        }
+        if (EndsWith("ou")) break;
+        return;
+      case 's':
+        if (EndsWith("ism")) break;
+        return;
+      case 't':
+        if (EndsWith("ate")) break;
+        if (EndsWith("iti")) break;
+        return;
+      case 'u':
+        if (EndsWith("ous")) break;
+        return;
+      case 'v':
+        if (EndsWith("ive")) break;
+        return;
+      case 'z':
+        if (EndsWith("ize")) break;
+        return;
+      default:
+        return;
+    }
+    if (Measure(j_) > 1) k_ = j_;
+  }
+
+  void Step5() {
+    j_ = k_;
+    if (b_[static_cast<size_t>(k_)] == 'e') {
+      int a = Measure(k_);
+      if (a > 1 || (a == 1 && !Cvc(k_ - 1))) --k_;
+    }
+    if (b_[static_cast<size_t>(k_)] == 'l' && DoubleConsonant(k_) &&
+        Measure(k_) > 1) {
+      --k_;
+    }
+  }
+
+  std::string b_;
+  int k_ = 0;
+  int j_ = 0;
+};
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  return PorterContext(word).Run();
+}
+
+}  // namespace revere::text

@@ -1,0 +1,17 @@
+#ifndef REVERE_TEXT_STEMMER_H_
+#define REVERE_TEXT_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace revere::text {
+
+/// Porter stemming algorithm (Porter, 1980). Reduces English word forms
+/// to a common stem so corpus statistics can fold "course"/"courses" and
+/// "teaching"/"teaches" together — the exact U-WORLD trick the paper
+/// imports into the S-WORLD. Input should be a lower-case token.
+std::string PorterStem(std::string_view word);
+
+}  // namespace revere::text
+
+#endif  // REVERE_TEXT_STEMMER_H_

@@ -1,0 +1,101 @@
+#include "src/text/synonyms.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace revere::text {
+
+void SynonymTable::AddGroup(const std::vector<std::string>& group) {
+  if (group.empty()) return;
+  // Find any existing group a member already belongs to; merge into it.
+  size_t target = groups_.size();
+  std::vector<std::string> lowered;
+  lowered.reserve(group.size());
+  for (const auto& t : group) lowered.push_back(ToLower(t));
+  for (const auto& t : lowered) {
+    auto it = term_to_group_.find(t);
+    if (it != term_to_group_.end()) {
+      target = it->second;
+      break;
+    }
+  }
+  if (target == groups_.size()) groups_.emplace_back();
+  for (const auto& t : lowered) {
+    auto it = term_to_group_.find(t);
+    if (it == term_to_group_.end()) {
+      term_to_group_[t] = target;
+      groups_[target].push_back(t);
+    } else if (it->second != target) {
+      // Transitive merge: move the other group's members over.
+      size_t old = it->second;
+      for (const auto& member : groups_[old]) {
+        term_to_group_[member] = target;
+        groups_[target].push_back(member);
+      }
+      groups_[old].clear();
+    }
+  }
+  std::sort(groups_[target].begin(), groups_[target].end());
+  groups_[target].erase(
+      std::unique(groups_[target].begin(), groups_[target].end()),
+      groups_[target].end());
+}
+
+std::string SynonymTable::Canonical(std::string_view term) const {
+  std::string lower = ToLower(term);
+  auto it = term_to_group_.find(lower);
+  if (it == term_to_group_.end() || groups_[it->second].empty()) return lower;
+  return groups_[it->second].front();
+}
+
+bool SynonymTable::AreSynonyms(std::string_view a, std::string_view b) const {
+  std::string la = ToLower(a), lb = ToLower(b);
+  if (la == lb) return true;
+  auto ia = term_to_group_.find(la);
+  auto ib = term_to_group_.find(lb);
+  return ia != term_to_group_.end() && ib != term_to_group_.end() &&
+         ia->second == ib->second;
+}
+
+std::vector<std::string> SynonymTable::Group(std::string_view term) const {
+  std::string lower = ToLower(term);
+  auto it = term_to_group_.find(lower);
+  if (it == term_to_group_.end()) return {lower};
+  return groups_[it->second];
+}
+
+SynonymTable SynonymTable::UniversityDomainDefaults() {
+  SynonymTable table;
+  table.AddGroup({"course", "class", "subject"});
+  table.AddGroup({"instructor", "teacher", "professor", "faculty", "lecturer"});
+  table.AddGroup({"phone", "telephone", "tel"});
+  table.AddGroup({"email", "mail", "e-mail"});
+  table.AddGroup({"department", "dept", "division"});
+  table.AddGroup({"enrollment", "size", "capacity", "seats"});
+  table.AddGroup({"title", "name", "label"});
+  table.AddGroup({"room", "location", "venue", "place"});
+  table.AddGroup({"schedule", "timetable", "calendar"});
+  table.AddGroup({"student", "pupil"});
+  table.AddGroup({"grade", "mark", "score"});
+  table.AddGroup({"assignment", "homework", "problem-set"});
+  table.AddGroup({"paper", "publication", "article"});
+  table.AddGroup({"ta", "assistant", "grader"});
+  table.AddGroup({"prerequisite", "prereq", "requirement"});
+  table.AddGroup({"semester", "term", "quarter"});
+  table.AddGroup({"college", "school", "university"});
+  table.AddGroup({"catalog", "catalogue", "listing"});
+  table.AddGroup({"office", "bureau"});
+  table.AddGroup({"textbook", "book", "text"});
+  // Inter-language dictionary entries (§4.2.1 keeps statistics versions
+  // under "inter-language dictionaries"; §3's example maps the
+  // University of Rome's Italian-term schema).
+  table.AddGroup({"course", "corso", "kurs", "cours"});
+  table.AddGroup({"university", "universita", "universitaet", "universite"});
+  table.AddGroup({"student", "studente", "etudiant"});
+  table.AddGroup({"instructor", "docente", "dozent", "enseignant"});
+  table.AddGroup({"title", "titolo", "titel", "titre"});
+  return table;
+}
+
+}  // namespace revere::text

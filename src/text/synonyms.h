@@ -1,0 +1,50 @@
+#ifndef REVERE_TEXT_SYNONYMS_H_
+#define REVERE_TEXT_SYNONYMS_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace revere::text {
+
+/// Groups of interchangeable terms. The paper's corpus statistics keep
+/// variants "depending on whether we take into consideration word
+/// stemming, synonym tables, inter-language dictionaries"; this is the
+/// synonym-table substrate. Groups are symmetric and transitive: adding
+/// {a,b} and {b,c} puts a,b,c in one group.
+class SynonymTable {
+ public:
+  SynonymTable() = default;
+
+  /// Declares all terms in `group` synonyms of one another. Terms are
+  /// stored lower-cased.
+  void AddGroup(const std::vector<std::string>& group);
+
+  /// Canonical representative of `term`'s group (the lexicographically
+  /// smallest member); `term` itself (lower-cased) when unknown.
+  std::string Canonical(std::string_view term) const;
+
+  /// True if `a` and `b` are in the same group (or equal ignoring case).
+  bool AreSynonyms(std::string_view a, std::string_view b) const;
+
+  /// All members of `term`'s group, including itself. Singleton when
+  /// unknown.
+  std::vector<std::string> Group(std::string_view term) const;
+
+  /// A table preloaded with common database/university-domain synonym
+  /// groups (course/class/subject, instructor/teacher/professor/faculty,
+  /// phone/telephone, ...), used as the default by corpus tools.
+  static SynonymTable UniversityDomainDefaults();
+
+  size_t group_count() const { return groups_.size(); }
+
+ private:
+  // term -> group id; groups_ holds members per id.
+  std::unordered_map<std::string, size_t> term_to_group_;
+  std::vector<std::vector<std::string>> groups_;
+};
+
+}  // namespace revere::text
+
+#endif  // REVERE_TEXT_SYNONYMS_H_

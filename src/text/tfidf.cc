@@ -1,0 +1,72 @@
+#include "src/text/tfidf.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace revere::text {
+
+double CosineSimilarity(const SparseVector& a, const SparseVector& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (ia->first < ib->first) {
+      na += ia->second * ia->second;
+      ++ia;
+    } else if (ib->first < ia->first) {
+      nb += ib->second * ib->second;
+      ++ib;
+    } else {
+      dot += ia->second * ib->second;
+      na += ia->second * ia->second;
+      nb += ib->second * ib->second;
+      ++ia;
+      ++ib;
+    }
+  }
+  for (; ia != a.end(); ++ia) na += ia->second * ia->second;
+  for (; ib != b.end(); ++ib) nb += ib->second * ib->second;
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+void Normalize(SparseVector* v) {
+  double norm = 0.0;
+  for (const auto& [term, w] : *v) norm += w * w;
+  if (norm == 0.0) return;
+  norm = std::sqrt(norm);
+  for (auto& [term, w] : *v) w /= norm;
+}
+
+SparseVector TermFrequency(const std::vector<std::string>& tokens) {
+  SparseVector tf;
+  for (const auto& t : tokens) tf[t] += 1.0;
+  return tf;
+}
+
+void TfIdfModel::AddDocument(const std::vector<std::string>& tokens) {
+  ++num_documents_;
+  std::unordered_set<std::string> seen;
+  for (const auto& t : tokens) {
+    if (seen.insert(t).second) ++document_frequency_[t];
+  }
+}
+
+double TfIdfModel::Idf(const std::string& term) const {
+  auto it = document_frequency_.find(term);
+  size_t df = it == document_frequency_.end() ? 0 : it->second;
+  return std::log((1.0 + static_cast<double>(num_documents_)) /
+                  (1.0 + static_cast<double>(df))) +
+         1.0;
+}
+
+SparseVector TfIdfModel::Vectorize(
+    const std::vector<std::string>& tokens) const {
+  SparseVector v = TermFrequency(tokens);
+  for (auto& [term, w] : v) w *= Idf(term);
+  Normalize(&v);
+  return v;
+}
+
+}  // namespace revere::text

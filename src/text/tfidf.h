@@ -1,0 +1,51 @@
+#ifndef REVERE_TEXT_TFIDF_H_
+#define REVERE_TEXT_TFIDF_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace revere::text {
+
+/// Sparse term-weight vector (term -> weight). Ordered map so iteration
+/// and merging are deterministic.
+using SparseVector = std::map<std::string, double>;
+
+/// Cosine similarity between two sparse vectors; 0 when either is empty.
+double CosineSimilarity(const SparseVector& a, const SparseVector& b);
+
+/// L2-normalizes `v` in place (no-op on the zero vector).
+void Normalize(SparseVector* v);
+
+/// Raw term-frequency vector of `tokens`.
+SparseVector TermFrequency(const std::vector<std::string>& tokens);
+
+/// The paper's motivating U-WORLD statistic (§4): TF/IDF over a corpus
+/// of documents. Documents are added as token vectors; Vectorize() then
+/// weighs a document by tf * log(N / df).
+class TfIdfModel {
+ public:
+  TfIdfModel() = default;
+
+  /// Adds one document's tokens to the corpus (updates df counts).
+  void AddDocument(const std::vector<std::string>& tokens);
+
+  /// tf-idf weighted, L2-normalized vector for `tokens` under the
+  /// current corpus statistics. Unknown terms get df=0 -> smoothed idf.
+  SparseVector Vectorize(const std::vector<std::string>& tokens) const;
+
+  /// Inverse document frequency of `term` with add-one smoothing.
+  double Idf(const std::string& term) const;
+
+  size_t document_count() const { return num_documents_; }
+  size_t vocabulary_size() const { return document_frequency_.size(); }
+
+ private:
+  size_t num_documents_ = 0;
+  std::unordered_map<std::string, size_t> document_frequency_;
+};
+
+}  // namespace revere::text
+
+#endif  // REVERE_TEXT_TFIDF_H_

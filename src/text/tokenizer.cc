@@ -1,0 +1,102 @@
+#include "src/text/tokenizer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace revere::text {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+char LowerChar(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+}  // namespace
+
+std::vector<std::string> TokenizeText(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char c : text) {
+    if (IsWordChar(c)) {
+      cur.push_back(LowerChar(c));
+    } else if (!cur.empty()) {
+      tokens.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) tokens.push_back(std::move(cur));
+  return tokens;
+}
+
+std::vector<std::string> TokenizeIdentifier(std::string_view name) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  auto flush = [&] {
+    if (!cur.empty()) {
+      tokens.push_back(cur);
+      cur.clear();
+    }
+  };
+  for (size_t i = 0; i < name.size(); ++i) {
+    char c = name[i];
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (!IsWordChar(c)) {
+      flush();  // separator (underscore, dash, dot, space, ...)
+      continue;
+    }
+    bool is_upper = std::isupper(uc) != 0;
+    bool is_digit = std::isdigit(uc) != 0;
+    if (!cur.empty()) {
+      unsigned char prev = static_cast<unsigned char>(name[i - 1]);
+      bool prev_digit = std::isdigit(prev) != 0;
+      bool prev_lower = std::islower(prev) != 0;
+      bool prev_upper = std::isupper(prev) != 0;
+      // Boundaries: lower->Upper (camelCase), letter<->digit, and
+      // UPPERCase run ending before a lower ("XMLFile" -> "xml","file").
+      bool boundary = false;
+      if (is_upper && prev_lower) boundary = true;
+      if (is_digit != prev_digit) boundary = true;
+      if (!is_digit && !is_upper && prev_upper && i + 0 < name.size()) {
+        // prev was upper, current lower: if the run before prev was also
+        // upper, prev starts this token ("XMLFile": boundary before 'F').
+        if (i >= 2 &&
+            std::isupper(static_cast<unsigned char>(name[i - 2])) != 0) {
+          // Move prev from cur into a new token.
+          char moved = cur.back();
+          cur.pop_back();
+          flush();
+          cur.push_back(moved);
+        }
+      }
+      if (boundary) flush();
+    }
+    cur.push_back(LowerChar(c));
+  }
+  flush();
+  return tokens;
+}
+
+bool IsStopword(std::string_view token) {
+  static const std::unordered_set<std::string_view> kStopwords = {
+      "a",    "an",   "and",  "are",  "as",   "at",   "be",   "by",
+      "for",  "from", "has",  "he",   "in",   "is",   "it",   "its",
+      "of",   "on",   "or",   "that", "the",  "to",   "was",  "were",
+      "will", "with", "this", "these", "those", "their", "which"};
+  return kStopwords.count(token) > 0;
+}
+
+std::vector<std::string> ContentTokens(std::string_view text) {
+  std::vector<std::string> all = TokenizeText(text);
+  std::vector<std::string> out;
+  out.reserve(all.size());
+  for (auto& t : all) {
+    if (!IsStopword(t)) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace revere::text

@@ -1,0 +1,29 @@
+#ifndef REVERE_TEXT_TOKENIZER_H_
+#define REVERE_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace revere::text {
+
+/// Splits free-running text into lower-cased word tokens (letters and
+/// digits; everything else is a separator).
+std::vector<std::string> TokenizeText(std::string_view text);
+
+/// Splits a schema identifier into lower-cased word tokens, handling the
+/// conventions found in real schemas: camelCase, PascalCase, snake_case,
+/// dash-case, dotted.names, and digit boundaries. E.g.
+/// "courseTitle_v2" -> {"course", "title", "v", "2"}.
+std::vector<std::string> TokenizeIdentifier(std::string_view name);
+
+/// True for common English stopwords ("the", "of", ...), used when
+/// computing corpus statistics over data values.
+bool IsStopword(std::string_view token);
+
+/// TokenizeText minus stopwords.
+std::vector<std::string> ContentTokens(std::string_view text);
+
+}  // namespace revere::text
+
+#endif  // REVERE_TEXT_TOKENIZER_H_

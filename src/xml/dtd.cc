@@ -1,0 +1,230 @@
+#include "src/xml/dtd.h"
+
+#include <unordered_set>
+
+#include "src/common/strings.h"
+
+namespace revere::xml {
+
+namespace {
+
+// Parses "college*, dept?, name" into particles.
+Result<std::vector<ContentParticle>> ParseContentList(std::string_view body) {
+  std::vector<ContentParticle> particles;
+  for (const std::string& raw : Split(body, ',')) {
+    std::string item(Trim(raw));
+    if (item.empty()) continue;
+    Occurrence occ = Occurrence::kOne;
+    if (EndsWith(item, "*")) {
+      occ = Occurrence::kStar;
+      item.pop_back();
+    } else if (EndsWith(item, "+")) {
+      occ = Occurrence::kPlus;
+      item.pop_back();
+    } else if (EndsWith(item, "?")) {
+      occ = Occurrence::kOptional;
+      item.pop_back();
+    }
+    item = std::string(Trim(item));
+    if (item.empty()) {
+      return Status::ParseError("empty element name in content model");
+    }
+    particles.push_back(ContentParticle{item, occ});
+  }
+  return particles;
+}
+
+// Parses one declaration in either syntax; returns nullopt for blank
+// lines or comments.
+Result<std::optional<ElementDecl>> ParseDeclLine(std::string_view line) {
+  std::string_view t = Trim(line);
+  if (t.empty() || StartsWith(t, "<!--") || StartsWith(t, "//")) {
+    return std::optional<ElementDecl>(std::nullopt);
+  }
+  std::string work(t);
+  // Standard: <!ELEMENT name (content)>
+  if (StartsWith(work, "<!ELEMENT") || StartsWith(work, "<!element")) {
+    work = work.substr(9);
+    if (EndsWith(Trim(work), ">")) {
+      work = std::string(Trim(work));
+      work.pop_back();
+    }
+  } else if (StartsWith(ToLower(work), "element ") ||
+             StartsWith(ToLower(work), "element\t")) {
+    // Paper shorthand: Element name(content)
+    work = work.substr(8);
+  } else {
+    return Status::ParseError("unrecognized DTD line: " + std::string(t));
+  }
+  work = std::string(Trim(work));
+  size_t paren = work.find('(');
+  if (paren == std::string::npos) {
+    // Element with no content model: treat as PCDATA leaf.
+    ElementDecl decl;
+    decl.name = std::string(Trim(work));
+    decl.is_pcdata = true;
+    return std::optional<ElementDecl>(decl);
+  }
+  ElementDecl decl;
+  decl.name = std::string(Trim(work.substr(0, paren)));
+  if (decl.name.empty()) return Status::ParseError("missing element name");
+  size_t close = work.rfind(')');
+  if (close == std::string::npos || close < paren) {
+    return Status::ParseError("unbalanced parentheses in: " +
+                              std::string(t));
+  }
+  std::string body(Trim(work.substr(paren + 1, close - paren - 1)));
+  if (body == "#PCDATA" || body == "#pcdata" || body.empty()) {
+    decl.is_pcdata = true;
+  } else {
+    REVERE_ASSIGN_OR_RETURN(decl.children, ParseContentList(body));
+  }
+  return std::optional<ElementDecl>(decl);
+}
+
+}  // namespace
+
+Result<Dtd> Dtd::Parse(std::string_view text) {
+  Dtd dtd;
+  for (const std::string& line : Split(text, '\n')) {
+    REVERE_ASSIGN_OR_RETURN(std::optional<ElementDecl> decl,
+                            ParseDeclLine(line));
+    if (decl.has_value()) {
+      REVERE_RETURN_IF_ERROR(dtd.AddElement(std::move(*decl)));
+    }
+  }
+  if (dtd.elements_.empty()) {
+    return Status::ParseError("no element declarations found");
+  }
+  return dtd;
+}
+
+Status Dtd::AddElement(ElementDecl decl) {
+  if (Find(decl.name) != nullptr) {
+    return Status::AlreadyExists("element '" + decl.name +
+                                 "' declared twice");
+  }
+  if (root_.empty()) root_ = decl.name;
+  elements_.push_back(std::move(decl));
+  return Status::Ok();
+}
+
+const ElementDecl* Dtd::Find(std::string_view name) const {
+  for (const auto& e : elements_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Dtd::AllElementNames() const {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  for (const auto& e : elements_) {
+    if (seen.insert(e.name).second) out.push_back(e.name);
+    for (const auto& p : e.children) {
+      if (seen.insert(p.element).second) out.push_back(p.element);
+    }
+  }
+  return out;
+}
+
+Status Dtd::ValidateElement(const XmlNode& node) const {
+  const ElementDecl* decl = Find(node.tag());
+  if (decl == nullptr || decl->is_pcdata) {
+    // Undeclared or PCDATA leaf: must not contain element children.
+    if (!node.ChildElements().empty()) {
+      return Status::InvalidArgument("element '" + node.tag() +
+                                     "' must be a text leaf");
+    }
+    return Status::Ok();
+  }
+  // Sequence matching with occurrence counts.
+  std::vector<XmlNode*> kids = node.ChildElements();
+  size_t k = 0;
+  for (const auto& particle : decl->children) {
+    size_t count = 0;
+    while (k < kids.size() && kids[k]->tag() == particle.element) {
+      REVERE_RETURN_IF_ERROR(ValidateElement(*kids[k]));
+      ++k;
+      ++count;
+      if (particle.occurrence == Occurrence::kOne ||
+          particle.occurrence == Occurrence::kOptional) {
+        break;
+      }
+    }
+    bool ok = true;
+    switch (particle.occurrence) {
+      case Occurrence::kOne:
+        ok = count == 1;
+        break;
+      case Occurrence::kOptional:
+        ok = count <= 1;
+        break;
+      case Occurrence::kPlus:
+        ok = count >= 1;
+        break;
+      case Occurrence::kStar:
+        break;
+    }
+    if (!ok) {
+      return Status::InvalidArgument(
+          "element '" + node.tag() + "' expects " + particle.element +
+          " with occurrence constraint violated (saw " +
+          std::to_string(count) + ")");
+    }
+  }
+  if (k < kids.size()) {
+    return Status::InvalidArgument("unexpected child '" + kids[k]->tag() +
+                                   "' in element '" + node.tag() + "'");
+  }
+  return Status::Ok();
+}
+
+Status Dtd::Validate(const XmlNode& root_node) const {
+  const XmlNode* el = &root_node;
+  if (root_node.tag() == "#document") {
+    auto tops = root_node.ChildElements();
+    if (tops.size() != 1) {
+      return Status::InvalidArgument("document must have one root element");
+    }
+    el = tops[0];
+  }
+  if (el->tag() != root_) {
+    return Status::InvalidArgument("root element '" + el->tag() +
+                                   "' does not match DTD root '" + root_ +
+                                   "'");
+  }
+  return ValidateElement(*el);
+}
+
+std::string Dtd::ToString() const {
+  std::string out;
+  for (const auto& e : elements_) {
+    out += "<!ELEMENT " + e.name + " (";
+    if (e.is_pcdata) {
+      out += "#PCDATA";
+    } else {
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += e.children[i].element;
+        switch (e.children[i].occurrence) {
+          case Occurrence::kOne:
+            break;
+          case Occurrence::kOptional:
+            out += "?";
+            break;
+          case Occurrence::kStar:
+            out += "*";
+            break;
+          case Occurrence::kPlus:
+            out += "+";
+            break;
+        }
+      }
+    }
+    out += ")>\n";
+  }
+  return out;
+}
+
+}  // namespace revere::xml

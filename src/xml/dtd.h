@@ -1,0 +1,72 @@
+#ifndef REVERE_XML_DTD_H_
+#define REVERE_XML_DTD_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/xml/node.h"
+
+namespace revere::xml {
+
+/// How often a child element may occur in a content model.
+enum class Occurrence { kOne, kOptional, kStar, kPlus };
+
+/// One slot in a sequence content model, e.g. "college*".
+struct ContentParticle {
+  std::string element;
+  Occurrence occurrence = Occurrence::kOne;
+};
+
+/// Declaration of one element type. Elements referenced but never
+/// declared are implicitly #PCDATA leaves (as in the paper's Figure 3,
+/// where `title` and `size` carry text).
+struct ElementDecl {
+  std::string name;
+  bool is_pcdata = false;                 // leaf holding character data
+  std::vector<ContentParticle> children;  // sequence model
+};
+
+/// A peer schema in DTD form (Figure 3). Supports both standard syntax
+///   <!ELEMENT schedule (college*)>  and  <!ELEMENT title (#PCDATA)>
+/// and the paper's shorthand
+///   Element schedule(college*)
+/// one declaration per line. The first declared element is the root.
+class Dtd {
+ public:
+  Dtd() = default;
+
+  /// Parses a whole schema text (either syntax, mixed allowed).
+  static Result<Dtd> Parse(std::string_view text);
+
+  /// Adds one declaration programmatically.
+  Status AddElement(ElementDecl decl);
+
+  const ElementDecl* Find(std::string_view name) const;
+  const std::vector<ElementDecl>& elements() const { return elements_; }
+  /// Root element name (first declared), empty if none.
+  const std::string& root() const { return root_; }
+
+  /// Every element name mentioned (declared or referenced).
+  std::vector<std::string> AllElementNames() const;
+
+  /// Validates `root_node` (an element) against this DTD: its tag must be
+  /// the DTD root, sequences and occurrences must match, and undeclared
+  /// leaves may only hold text.
+  Status Validate(const XmlNode& root_node) const;
+
+  /// Serializes back to standard DTD syntax.
+  std::string ToString() const;
+
+ private:
+  Status ValidateElement(const XmlNode& node) const;
+
+  std::vector<ElementDecl> elements_;
+  std::string root_;
+};
+
+}  // namespace revere::xml
+
+#endif  // REVERE_XML_DTD_H_

@@ -1,0 +1,100 @@
+#include "src/xml/path.h"
+
+#include "src/common/strings.h"
+
+namespace revere::xml {
+
+Result<PathExpr> PathExpr::Parse(std::string_view expr) {
+  PathExpr out;
+  out.source_ = std::string(expr);
+  std::string_view rest = Trim(expr);
+  if (rest.empty()) return Status::ParseError("empty path expression");
+
+  bool next_descendant = false;
+  if (StartsWith(rest, "//")) {
+    out.absolute_ = true;
+    next_descendant = true;
+    rest = rest.substr(2);
+  } else if (StartsWith(rest, "/")) {
+    out.absolute_ = true;
+    rest = rest.substr(1);
+  }
+
+  while (!rest.empty()) {
+    size_t slash = rest.find('/');
+    std::string_view step = slash == std::string_view::npos
+                                ? rest
+                                : rest.substr(0, slash);
+    if (step.empty()) return Status::ParseError("empty step in: " +
+                                                out.source_);
+    if (step == "text()") {
+      if (slash != std::string_view::npos) {
+        return Status::ParseError("text() must be the final step");
+      }
+      out.yields_text_ = true;
+      break;
+    }
+    out.steps_.push_back(Step{next_descendant, std::string(step)});
+    next_descendant = false;
+    if (slash == std::string_view::npos) {
+      rest = {};
+    } else {
+      rest = rest.substr(slash + 1);
+      if (StartsWith(rest, "/")) {  // "a//b"
+        next_descendant = true;
+        rest = rest.substr(1);
+      }
+    }
+  }
+  if (out.steps_.empty() && !out.yields_text_) {
+    return Status::ParseError("no steps in: " + out.source_);
+  }
+  return out;
+}
+
+std::vector<const XmlNode*> PathExpr::SelectNodes(
+    const XmlNode& context) const {
+  std::vector<const XmlNode*> frontier{&context};
+  for (const auto& step : steps_) {
+    std::vector<const XmlNode*> next;
+    for (const XmlNode* node : frontier) {
+      if (step.descendant) {
+        if (step.name == "*") {
+          // All descendants.
+          std::vector<const XmlNode*> stack{node};
+          while (!stack.empty()) {
+            const XmlNode* cur = stack.back();
+            stack.pop_back();
+            for (const auto& c : cur->children()) {
+              if (c->is_element()) {
+                next.push_back(c.get());
+                stack.push_back(c.get());
+              }
+            }
+          }
+        } else {
+          for (XmlNode* d : node->Descendants(step.name)) next.push_back(d);
+        }
+      } else {
+        for (const auto& c : node->children()) {
+          if (c->is_element() &&
+              (step.name == "*" || c->tag() == step.name)) {
+            next.push_back(c.get());
+          }
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return frontier;
+}
+
+std::vector<std::string> PathExpr::SelectText(const XmlNode& context) const {
+  std::vector<std::string> out;
+  for (const XmlNode* n : SelectNodes(context)) {
+    out.push_back(n->InnerText());
+  }
+  return out;
+}
+
+}  // namespace revere::xml

@@ -1,0 +1,56 @@
+#ifndef REVERE_XML_PATH_H_
+#define REVERE_XML_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/xml/node.h"
+
+namespace revere::xml {
+
+/// A limited path expression over the XML model — the subset Piazza's
+/// mapping language uses (§3.1.1, Figure 4): child steps, descendant
+/// steps ("//"), wildcard "*", and a trailing "text()".
+///
+/// Grammar examples:
+///   /schedule/college/dept     absolute child path
+///   name/text()                relative, yields text values
+///   //course                   any-depth descendant
+///   dept/*                     wildcard child step
+class PathExpr {
+ public:
+  /// Parses an expression; ParseError on malformed input.
+  static Result<PathExpr> Parse(std::string_view expr);
+
+  /// True when the expression ends in text() — results are strings.
+  bool yields_text() const { return yields_text_; }
+  bool is_absolute() const { return absolute_; }
+
+  /// Element nodes selected from `context`. For absolute paths the
+  /// context should be the document (or root element). If the path
+  /// yields_text(), this returns the parents of the selected text.
+  std::vector<const XmlNode*> SelectNodes(const XmlNode& context) const;
+
+  /// Text values selected from `context`: InnerText of each selected
+  /// node (expressions with or without a trailing text() both work).
+  std::vector<std::string> SelectText(const XmlNode& context) const;
+
+  const std::string& source() const { return source_; }
+
+ private:
+  struct Step {
+    bool descendant = false;  // "//" axis
+    std::string name;         // "*" is a wildcard
+  };
+
+  std::vector<Step> steps_;
+  bool absolute_ = false;
+  bool yields_text_ = false;
+  std::string source_;
+};
+
+}  // namespace revere::xml
+
+#endif  // REVERE_XML_PATH_H_

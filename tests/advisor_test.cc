@@ -1,0 +1,398 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/advisor/design_advisor.h"
+#include "src/advisor/mapping_synthesis.h"
+#include "src/advisor/matcher.h"
+#include "src/corpus/corpus.h"
+#include "src/learn/multi_strategy.h"
+#include "src/piazza/pdms.h"
+
+namespace revere::advisor {
+namespace {
+
+using corpus::Corpus;
+using corpus::DataExample;
+using corpus::SchemaEntry;
+
+Corpus MakeCorpus() {
+  Corpus c;
+  EXPECT_TRUE(
+      c.AddSchema(SchemaEntry{
+           "uw",
+           "university",
+           {{"course", {"title", "instructor", "room", "time"}},
+            {"ta", {"name", "email", "course_id"}}}})
+          .ok());
+  EXPECT_TRUE(
+      c.AddSchema(SchemaEntry{
+           "mit",
+           "university",
+           {{"subject", {"title", "lecturer", "room", "enrollment"}},
+            {"assistant", {"name", "email", "subject_id"}}}})
+          .ok());
+  EXPECT_TRUE(c.AddSchema(SchemaEntry{
+                   "library",
+                   "library",
+                   {{"book", {"isbn", "title", "author", "publisher"}},
+                    {"loan", {"member", "isbn", "due_date"}}}})
+                  .ok());
+  EXPECT_TRUE(c.AddDataExample(
+                   DataExample{"uw",
+                               "course",
+                               {{"Databases", "Halevy", "MGH 241", "MWF"},
+                                {"AI", "Etzioni", "CSE 403", "TTh"}}})
+                  .ok());
+  EXPECT_TRUE(c.AddDataExample(
+                   DataExample{"mit",
+                               "subject",
+                               {{"Databases", "Madden", "32-123", "120"},
+                                {"Systems", "Kaashoek", "32-044", "80"}}})
+                  .ok());
+  EXPECT_TRUE(c.AddKnownMapping(corpus::KnownMapping{
+                   "uw", "mit", {{"course.title", "subject.title"}}})
+                  .ok());
+  return c;
+}
+
+learn::ColumnInstance Col(const std::string& rel, const std::string& attr,
+                          std::vector<std::string> values = {},
+                          std::vector<std::string> siblings = {}) {
+  learn::ColumnInstance c;
+  c.schema_id = "draft";
+  c.relation = rel;
+  c.attribute = attr;
+  c.values = std::move(values);
+  c.sibling_attributes = std::move(siblings);
+  return c;
+}
+
+TEST(MatcherTest, NameOnlyMatch) {
+  SchemaMatcher matcher;
+  double same = matcher.ElementSimilarity(Col("a", "title"),
+                                          Col("b", "course_title"));
+  double diff = matcher.ElementSimilarity(Col("a", "title"),
+                                          Col("b", "due_date"));
+  EXPECT_GT(same, diff);
+}
+
+TEST(MatcherTest, ValueOverlapBoostsScore) {
+  SchemaMatcher matcher;
+  double with_values = matcher.ElementSimilarity(
+      Col("a", "teacher", {"Halevy", "Etzioni"}),
+      Col("b", "prof", {"Halevy", "Suciu"}));
+  double without = matcher.ElementSimilarity(Col("a", "teacher"),
+                                             Col("b", "prof"));
+  EXPECT_GT(with_values, without);
+}
+
+TEST(MatcherTest, MatchIsOneToOne) {
+  MatcherOptions loose;
+  loose.threshold = 0.2;
+  SchemaMatcher matcher(loose);
+  std::vector<learn::ColumnInstance> a = {Col("c", "title"),
+                                          Col("c", "instructor")};
+  std::vector<learn::ColumnInstance> b = {Col("s", "title"),
+                                          Col("s", "lecturer"),
+                                          Col("s", "title_code")};
+  auto matches = matcher.Match(a, b);
+  std::set<std::string> used_a, used_b;
+  for (const auto& m : matches) {
+    EXPECT_TRUE(used_a.insert(m.a).second);
+    EXPECT_TRUE(used_b.insert(m.b).second);
+  }
+  // title must match title (the best-scoring pair).
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(matches[0].a, "c.title");
+  EXPECT_EQ(matches[0].b, "s.title");
+}
+
+TEST(MatcherTest, ThresholdFiltersWeakPairs) {
+  MatcherOptions tight;
+  tight.threshold = 0.95;
+  SchemaMatcher strict(tight);
+  auto matches = strict.Match({Col("a", "title")}, {Col("b", "isbn")});
+  EXPECT_TRUE(matches.empty());
+}
+
+TEST(MatcherTest, SynonymTableBridgesVocabulary) {
+  text::SynonymTable table = text::SynonymTable::UniversityDomainDefaults();
+  MatcherOptions opts;
+  opts.name_options.use_synonyms = true;
+  opts.name_options.synonyms = &table;
+  SchemaMatcher with(opts);
+  SchemaMatcher without;
+  double s_with = with.ElementSimilarity(Col("a", "instructor"),
+                                         Col("b", "lecturer"));
+  double s_without = without.ElementSimilarity(Col("a", "instructor"),
+                                               Col("b", "lecturer"));
+  EXPECT_GT(s_with, s_without);
+  EXPECT_GT(s_with, 0.6);
+}
+
+TEST(MatcherTest, CorpusClassifierRouteImprovesHardCase) {
+  // Train the LSD stack on corpus-like examples, then match two columns
+  // with unrelated names but same semantics.
+  std::vector<learn::TrainingExample> train = {
+      {Col("course", "instructor", {"Halevy", "Etzioni", "Doan"},
+           {"title"}),
+       "instructor"},
+      {Col("subject", "lecturer", {"Ives", "Suciu", "Tatarinov"},
+           {"title"}),
+       "instructor"},
+      {Col("course", "title", {"Databases", "Compilers", "AI"},
+           {"instructor"}),
+       "title"},
+      {Col("subject", "name", {"Systems", "Networks", "Graphics"},
+           {"lecturer"}),
+       "title"},
+  };
+  auto classifiers = learn::MultiStrategyLearner::WithDefaultStack(3);
+  ASSERT_TRUE(classifiers->Train(train).ok());
+
+  MatcherOptions opts;
+  opts.corpus_classifiers = classifiers.get();
+  SchemaMatcher with(opts);
+  SchemaMatcher without;
+  // Names disagree ("prof" vs "taught_by") and values don't overlap,
+  // but both *look like* instructor columns to the corpus classifiers.
+  learn::ColumnInstance x =
+      Col("klass", "prof", {"Halevy", "Levy"}, {"title"});
+  learn::ColumnInstance y =
+      Col("unit", "taught_by", {"Suciu", "Ives"}, {"name"});
+  EXPECT_GT(with.ElementSimilarity(x, y),
+            without.ElementSimilarity(x, y));
+}
+
+TEST(MatcherTest, RelaxationRecoversStructurallyImpliedPair) {
+  // course.code vs subject.number: no lexical evidence at all, but
+  // their siblings (title, room) match perfectly — relaxation labeling
+  // (the GLUE direction) pulls the pair over the threshold.
+  std::vector<learn::ColumnInstance> a = {Col("course", "title"),
+                                          Col("course", "room"),
+                                          Col("course", "code")};
+  std::vector<learn::ColumnInstance> b = {Col("subject", "title"),
+                                          Col("subject", "room"),
+                                          Col("subject", "number")};
+  MatcherOptions base;
+  SchemaMatcher without(base);
+  auto plain = without.Match(a, b);
+  bool plain_has_code = false;
+  for (const auto& m : plain) {
+    if (m.a == "course.code") plain_has_code = true;
+  }
+  EXPECT_FALSE(plain_has_code);
+
+  MatcherOptions relaxed_opts;
+  relaxed_opts.relaxation_iterations = 2;
+  relaxed_opts.relaxation_weight = 0.45;
+  SchemaMatcher with(relaxed_opts);
+  auto relaxed = with.Match(a, b);
+  bool relaxed_pairs_code = false;
+  for (const auto& m : relaxed) {
+    if (m.a == "course.code" && m.b == "subject.number") {
+      relaxed_pairs_code = true;
+    }
+  }
+  EXPECT_TRUE(relaxed_pairs_code);
+  // The unambiguous pairs survive relaxation.
+  bool title_ok = false;
+  for (const auto& m : relaxed) {
+    if (m.a == "course.title" && m.b == "subject.title") title_ok = true;
+  }
+  EXPECT_TRUE(title_ok);
+}
+
+TEST(MatcherTest, RelaxationDoesNotInventCrossRelationPairs) {
+  // Elements in unrelated relations get no neighborhood support and
+  // stay unmatched.
+  std::vector<learn::ColumnInstance> a = {Col("course", "title"),
+                                          Col("course", "room"),
+                                          Col("loan", "due")};
+  std::vector<learn::ColumnInstance> b = {Col("subject", "title"),
+                                          Col("subject", "room"),
+                                          Col("subject", "number")};
+  MatcherOptions opts;
+  opts.relaxation_iterations = 2;
+  SchemaMatcher matcher(opts);
+  for (const auto& m : matcher.Match(a, b)) {
+    EXPECT_NE(m.a, "loan.due");
+  }
+}
+
+TEST(MappingSynthesisTest, CorrespondencesBecomeExecutableMappings) {
+  // The DElearning workflow end to end: match two schemas, synthesize
+  // GLAV mappings, load them into a PDMS, and answer across peers.
+  Corpus c = MakeCorpus();
+  const SchemaEntry* uw = c.FindSchema("uw");
+  const SchemaEntry* mit = c.FindSchema("mit");
+  text::SynonymTable table = text::SynonymTable::UniversityDomainDefaults();
+  MatcherOptions mopts;
+  mopts.name_options.use_synonyms = true;
+  mopts.name_options.synonyms = &table;
+  SchemaMatcher matcher(mopts);
+  auto matches = matcher.Match(ColumnsOf(c, *uw), ColumnsOf(c, *mit));
+  ASSERT_FALSE(matches.empty());
+
+  auto mappings = SynthesizeGlavMappings(*uw, *mit, matches, "uw", "mit");
+  ASSERT_FALSE(mappings.empty());
+  // A course<->subject mapping must exist and export title.
+  const query::GlavMapping* course_mapping = nullptr;
+  for (const auto& m : mappings) {
+    if (m.name == "course-subject") course_mapping = &m;
+  }
+  ASSERT_NE(course_mapping, nullptr);
+  EXPECT_GE(course_mapping->source.head().size(), 2u);
+  EXPECT_EQ(course_mapping->source.body()[0].relation, "uw:course");
+  EXPECT_EQ(course_mapping->target.body()[0].relation, "mit:subject");
+
+  // Execute: a network where uw stores courses, mit queries them.
+  piazza::PdmsNetwork net;
+  ASSERT_TRUE(net.AddPeer("uw").ok());
+  ASSERT_TRUE(net.AddPeer("mit").ok());
+  auto tbl = net.AddStoredRelation(
+      "uw", storage::TableSchema::AllStrings(
+                "course", uw->FindRelation("course")->attributes));
+  ASSERT_TRUE(tbl.ok());
+  ASSERT_TRUE((*tbl)
+                  ->Insert({storage::Value("Databases"),
+                            storage::Value("Halevy"),
+                            storage::Value("MGH 241"),
+                            storage::Value("MWF")})
+                  .ok());
+  ASSERT_TRUE(net.AddMapping(piazza::PeerMapping{*course_mapping, "uw",
+                                                 "mit", false})
+                  .ok());
+  // Query MIT's vocabulary for subject titles; the answer must flow
+  // from UW through the synthesized mapping. (Unmatched positions are
+  // existential on the target side, so only matched attributes are
+  // retrievable — by design.)
+  auto probe = query::ConjunctiveQuery::Parse(
+      "q(A) :- mit:subject(A, B, C, D)");
+  ASSERT_TRUE(probe.ok());
+  auto rows = net.Answer(probe.value());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 1u);
+  EXPECT_EQ(rows.value()[0][0].as_string(), "Databases");
+}
+
+TEST(MappingSynthesisTest, MinCorrespondencesFilters) {
+  Corpus c = MakeCorpus();
+  const SchemaEntry* uw = c.FindSchema("uw");
+  const SchemaEntry* mit = c.FindSchema("mit");
+  std::vector<MatchCorrespondence> one = {
+      {"course.title", "subject.title", 1.0}};
+  EXPECT_TRUE(
+      SynthesizeGlavMappings(*uw, *mit, one, "", "", 2).empty());
+  EXPECT_EQ(SynthesizeGlavMappings(*uw, *mit, one, "", "", 1).size(), 1u);
+  // Bogus correspondences are skipped silently.
+  std::vector<MatchCorrespondence> bogus = {
+      {"nope.title", "subject.title", 1.0},
+      {"course.nothere", "subject.title", 1.0}};
+  EXPECT_TRUE(SynthesizeGlavMappings(*uw, *mit, bogus).empty());
+}
+
+TEST(ColumnsOfTest, AttachesCorpusData) {
+  Corpus c = MakeCorpus();
+  auto cols = ColumnsOf(c, *c.FindSchema("uw"));
+  ASSERT_EQ(cols.size(), 7u);
+  // course.title has the two example values.
+  bool found = false;
+  for (const auto& col : cols) {
+    if (col.QualifiedName() == "course.title") {
+      found = true;
+      EXPECT_EQ(col.values.size(), 2u);
+      EXPECT_EQ(col.sibling_attributes.size(), 3u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+class DesignAdvisorTest : public ::testing::Test {
+ protected:
+  Corpus corpus_ = MakeCorpus();
+};
+
+TEST_F(DesignAdvisorTest, SuggestsDomainSchemasFirst) {
+  DesignAdvisor advisor(&corpus_);
+  // The DElearning coordinator's partial schema (§4.3.1).
+  SchemaEntry partial{"draft",
+                      "university",
+                      {{"course", {"title", "instructor"}}}};
+  auto suggestions = advisor.SuggestSchemas(partial);
+  ASSERT_GE(suggestions.size(), 2u);
+  // University schemas must outrank the library schema.
+  EXPECT_NE(suggestions[0].schema_id, "library");
+  EXPECT_GT(suggestions[0].fit, 0.0);
+  EXPECT_FALSE(suggestions[0].correspondences.empty());
+  // Ranked by similarity.
+  for (size_t i = 1; i < suggestions.size(); ++i) {
+    EXPECT_GE(suggestions[i - 1].similarity, suggestions[i].similarity);
+  }
+}
+
+TEST_F(DesignAdvisorTest, AlphaBetaWeightsApplied) {
+  DesignAdvisorOptions opts;
+  opts.alpha = 1.0;
+  opts.beta = 0.0;
+  DesignAdvisor fit_only(&corpus_, opts);
+  SchemaEntry partial{"draft", "university", {{"course", {"title"}}}};
+  for (const auto& s : fit_only.SuggestSchemas(partial)) {
+    EXPECT_NEAR(s.similarity, s.fit, 1e-9);
+  }
+}
+
+TEST_F(DesignAdvisorTest, SuggestAttributesAutocompletes) {
+  DesignAdvisor advisor(&corpus_);
+  // Coordinator typed title+instructor; corpus says room/time/enrollment
+  // co-occur.
+  auto suggestions =
+      advisor.SuggestAttributes("course", {"title", "instructor"});
+  ASSERT_FALSE(suggestions.empty());
+  std::set<std::string> terms;
+  for (const auto& s : suggestions) terms.insert(s.term);
+  EXPECT_TRUE(terms.count(advisor.statistics().Normalize("room")) > 0);
+  // Present attributes are never re-suggested.
+  EXPECT_EQ(terms.count(advisor.statistics().Normalize("title")), 0u);
+}
+
+TEST_F(DesignAdvisorTest, AdviseStructureFlagsTaInCourse) {
+  DesignAdvisor advisor(&corpus_);
+  // The paper's scenario: the coordinator added TA contact info to the
+  // course table, but the corpus models name/email in ta/assistant
+  // tables.
+  SchemaEntry draft{
+      "draft",
+      "university",
+      {{"course", {"title", "instructor", "email"}}}};
+  auto advice = advisor.AdviseStructure(draft);
+  ASSERT_FALSE(advice.empty());
+  bool flagged_email = false;
+  for (const auto& a : advice) {
+    if (a.attribute == "email") {
+      flagged_email = true;
+      EXPECT_EQ(a.relation, "course");
+      EXPECT_GE(a.confidence, 0.6);
+    }
+  }
+  EXPECT_TRUE(flagged_email);
+}
+
+TEST_F(DesignAdvisorTest, NoAdviceWhenConforming) {
+  DesignAdvisor advisor(&corpus_);
+  SchemaEntry draft{"draft",
+                    "university",
+                    {{"course", {"title", "instructor", "room"}}}};
+  EXPECT_TRUE(advisor.AdviseStructure(draft).empty());
+}
+
+TEST_F(DesignAdvisorTest, KLimitsResults) {
+  DesignAdvisor advisor(&corpus_);
+  SchemaEntry partial{"draft", "university", {{"course", {"title"}}}};
+  EXPECT_LE(advisor.SuggestSchemas(partial, {}, 1).size(), 1u);
+}
+
+}  // namespace
+}  // namespace revere::advisor

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/advisor/query_assistant.h"
+#include "src/corpus/statistics.h"
+#include "src/datagen/university.h"
+#include "src/query/cq.h"
+#include "src/storage/catalog.h"
+
+namespace revere::advisor {
+namespace {
+
+using query::ConjunctiveQuery;
+using storage::Catalog;
+using storage::TableSchema;
+using storage::Value;
+
+ConjunctiveQuery MustParse(const std::string& text) {
+  auto r = ConjunctiveQuery::Parse(text);
+  EXPECT_TRUE(r.ok()) << text;
+  return r.value();
+}
+
+class QueryAssistantTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto course = catalog_.CreateTable(
+        TableSchema::AllStrings("course", {"id", "title", "instructor"}));
+    ASSERT_TRUE(course.ok());
+    ASSERT_TRUE((*course)
+                    ->InsertAll({{Value("c1"), Value("Databases"),
+                                  Value("Halevy")},
+                                 {Value("c2"), Value("AI"),
+                                  Value("Etzioni")}})
+                    .ok());
+    auto dept = catalog_.CreateTable(
+        TableSchema::AllStrings("department", {"name", "chair"}));
+    ASSERT_TRUE(dept.ok());
+    ASSERT_TRUE((*dept)->Insert({Value("CSE"), Value("Levy")}).ok());
+  }
+  Catalog catalog_;
+};
+
+TEST_F(QueryAssistantTest, WellFormedQueryPassesThrough) {
+  QueryAssistant assistant(&catalog_);
+  auto suggestions =
+      assistant.Reformulate(MustParse("q(X) :- course(X, T, P)"));
+  ASSERT_FALSE(suggestions.empty());
+  EXPECT_NEAR(suggestions[0].score, 1.0, 1e-9);
+  EXPECT_TRUE(suggestions[0].repairs.empty());
+}
+
+TEST_F(QueryAssistantTest, RepairsSynonymRelation) {
+  // User says "classes"; schema says "course". (§4.4: "pose a query
+  // using her own terminology".)
+  text::SynonymTable table = text::SynonymTable::UniversityDomainDefaults();
+  QueryAssistantOptions opts;
+  opts.name_options.use_synonyms = true;
+  opts.name_options.synonyms = &table;
+  QueryAssistant assistant(&catalog_, opts);
+  auto suggestions =
+      assistant.Reformulate(MustParse("q(X, T) :- classes(X, T, P)"));
+  ASSERT_FALSE(suggestions.empty());
+  EXPECT_EQ(suggestions[0].query.body()[0].relation, "course");
+  ASSERT_EQ(suggestions[0].repairs.size(), 1u);
+  EXPECT_EQ(suggestions[0].repairs[0], "classes -> course");
+  EXPECT_GT(suggestions[0].score, 0.5);
+}
+
+TEST_F(QueryAssistantTest, RepairsAbbreviatedRelation) {
+  QueryAssistant assistant(&catalog_);
+  auto suggestions =
+      assistant.Reformulate(MustParse("q(N) :- dept(N, C)"));
+  ASSERT_FALSE(suggestions.empty());
+  EXPECT_EQ(suggestions[0].query.body()[0].relation, "department");
+}
+
+TEST_F(QueryAssistantTest, ArityGuardsRepairs) {
+  // "dept" with 3 args cannot repair to department (arity 2) and course
+  // doesn't clear the similarity bar.
+  QueryAssistant assistant(&catalog_);
+  auto suggestions =
+      assistant.Reformulate(MustParse("q(N) :- dept(N, C, Z)"));
+  EXPECT_TRUE(suggestions.empty());
+}
+
+TEST_F(QueryAssistantTest, UnrepairableReturnsEmpty) {
+  QueryAssistant assistant(&catalog_);
+  EXPECT_TRUE(
+      assistant.Reformulate(MustParse("q(X) :- zebra(X, Y)")).empty());
+}
+
+TEST_F(QueryAssistantTest, MultiAtomRepair) {
+  text::SynonymTable table = text::SynonymTable::UniversityDomainDefaults();
+  QueryAssistantOptions opts;
+  opts.name_options.use_synonyms = true;
+  opts.name_options.synonyms = &table;
+  QueryAssistant assistant(&catalog_, opts);
+  auto suggestions = assistant.Reformulate(
+      MustParse("q(T, C) :- subject(X, T, P), dept(D, C)"));
+  ASSERT_FALSE(suggestions.empty());
+  EXPECT_EQ(suggestions[0].query.body()[0].relation, "course");
+  EXPECT_EQ(suggestions[0].query.body()[1].relation, "department");
+  EXPECT_EQ(suggestions[0].repairs.size(), 2u);
+}
+
+TEST_F(QueryAssistantTest, AnswerFlexiblyEvaluatesBestRepair) {
+  text::SynonymTable table = text::SynonymTable::UniversityDomainDefaults();
+  QueryAssistantOptions opts;
+  opts.name_options.use_synonyms = true;
+  opts.name_options.synonyms = &table;
+  QueryAssistant assistant(&catalog_, opts);
+  QuerySuggestion used;
+  auto rows = assistant.AnswerFlexibly(
+      MustParse("q(T) :- classes(X, T, \"Halevy\")"), &used);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows.value().size(), 1u);
+  EXPECT_EQ(rows.value()[0][0].as_string(), "Databases");
+  EXPECT_FALSE(used.repairs.empty());
+}
+
+TEST_F(QueryAssistantTest, AnswerFlexiblyFailsGracefully) {
+  QueryAssistant assistant(&catalog_);
+  auto rows = assistant.AnswerFlexibly(MustParse("q(X) :- zebra(X)"));
+  EXPECT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(QueryAssistantTest, CorpusStatisticsBreakTies) {
+  // Two candidate relations with similar names; corpus usage should
+  // favor the one actually used as a relation name.
+  auto courses2 = catalog_.CreateTable(
+      TableSchema::AllStrings("courses_archive", {"id", "title", "who"}));
+  ASSERT_TRUE(courses2.ok());
+
+  corpus::Corpus corpus;
+  ASSERT_TRUE(corpus
+                  .AddSchema(corpus::SchemaEntry{
+                      "s1", "university",
+                      {{"course", {"id", "title", "instructor"}}}})
+                  .ok());
+  corpus::CorpusStatistics stats(corpus);
+  QueryAssistantOptions opts;
+  opts.statistics = &stats;
+  QueryAssistant assistant(&catalog_, opts);
+  auto suggestions =
+      assistant.Reformulate(MustParse("q(X) :- cours(X, T, P)"));
+  ASSERT_GE(suggestions.size(), 2u);
+  EXPECT_EQ(suggestions[0].query.body()[0].relation, "course");
+}
+
+TEST_F(QueryAssistantTest, MaxSuggestionsRespected) {
+  QueryAssistantOptions opts;
+  opts.max_suggestions = 1;
+  opts.min_term_similarity = 0.1;
+  QueryAssistant assistant(&catalog_, opts);
+  auto suggestions =
+      assistant.Reformulate(MustParse("q(X) :- cors(X, T, P)"));
+  EXPECT_LE(suggestions.size(), 1u);
+}
+
+}  // namespace
+}  // namespace revere::advisor

@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/corpus/corpus.h"
+#include "src/corpus/serialization.h"
+#include "src/corpus/statistics.h"
+#include "src/datagen/university.h"
+
+namespace revere::corpus {
+namespace {
+
+Corpus MakeUniversityCorpus() {
+  Corpus c;
+  EXPECT_TRUE(
+      c.AddSchema(SchemaEntry{
+           "uw",
+           "university",
+           {{"course", {"title", "instructor", "room", "time"}},
+            {"ta", {"name", "email", "course_id"}}}})
+          .ok());
+  EXPECT_TRUE(
+      c.AddSchema(SchemaEntry{
+           "mit",
+           "university",
+           {{"subject", {"title", "lecturer", "room", "enrollment"}},
+            {"assistant", {"name", "email", "subject_id"}}}})
+          .ok());
+  EXPECT_TRUE(
+      c.AddSchema(SchemaEntry{
+           "stanford",
+           "university",
+           {{"class", {"title", "instructor", "units"}},
+            {"ta", {"name", "email", "class_id"}}}})
+          .ok());
+  EXPECT_TRUE(c.AddDataExample(DataExample{
+                   "uw",
+                   "course",
+                   {{"Databases", "Halevy", "MGH 241", "MWF 10:30"},
+                    {"AI", "Etzioni", "CSE 403", "TTh 1:30"}}})
+                  .ok());
+  EXPECT_TRUE(c.AddKnownMapping(KnownMapping{
+                   "uw",
+                   "mit",
+                   {{"course.title", "subject.title"},
+                    {"course.instructor", "subject.lecturer"}}})
+                  .ok());
+  return c;
+}
+
+TEST(CorpusTest, AddAndFind) {
+  Corpus c = MakeUniversityCorpus();
+  EXPECT_EQ(c.size(), 3u);
+  ASSERT_NE(c.FindSchema("uw"), nullptr);
+  EXPECT_EQ(c.FindSchema("uw")->relations.size(), 2u);
+  EXPECT_EQ(c.FindSchema("nope"), nullptr);
+}
+
+TEST(CorpusTest, DuplicateSchemaRejected) {
+  Corpus c = MakeUniversityCorpus();
+  EXPECT_FALSE(c.AddSchema(SchemaEntry{"uw", "university", {}}).ok());
+}
+
+TEST(CorpusTest, DataValidation) {
+  Corpus c = MakeUniversityCorpus();
+  // Unknown schema.
+  EXPECT_FALSE(
+      c.AddDataExample(DataExample{"nope", "course", {}}).ok());
+  // Unknown relation.
+  EXPECT_FALSE(c.AddDataExample(DataExample{"uw", "nope", {}}).ok());
+  // Arity mismatch.
+  EXPECT_FALSE(
+      c.AddDataExample(DataExample{"uw", "course", {{"just-one"}}}).ok());
+}
+
+TEST(CorpusTest, ElementsAndCounts) {
+  Corpus c = MakeUniversityCorpus();
+  const SchemaEntry* uw = c.FindSchema("uw");
+  EXPECT_EQ(uw->ElementCount(), 2u + 4u + 3u);
+  auto elements = uw->Elements();
+  EXPECT_NE(std::find(elements.begin(), elements.end(), "course.title"),
+            elements.end());
+}
+
+TEST(CorpusTest, MappingDegree) {
+  Corpus c = MakeUniversityCorpus();
+  EXPECT_EQ(c.MappingDegree("uw"), 1u);
+  EXPECT_EQ(c.MappingDegree("mit"), 1u);
+  EXPECT_EQ(c.MappingDegree("stanford"), 0u);
+}
+
+TEST(CorpusTest, KnownMappingValidation) {
+  Corpus c = MakeUniversityCorpus();
+  EXPECT_FALSE(c.AddKnownMapping(KnownMapping{"uw", "nowhere", {}}).ok());
+}
+
+class StatisticsTest : public ::testing::Test {
+ protected:
+  Corpus corpus_ = MakeUniversityCorpus();
+};
+
+TEST_F(StatisticsTest, TermUsageRoles) {
+  CorpusStatistics stats(corpus_);
+  // "title" is an attribute in all 3 schemas, never a relation.
+  TermUsage title = stats.Usage("title");
+  EXPECT_EQ(title.as_attribute, 3u);
+  EXPECT_EQ(title.as_relation, 0u);
+  EXPECT_EQ(title.schemas_containing, 3u);
+  EXPECT_NEAR(title.AttributeShare(), 1.0, 1e-9);
+  // "course" is a relation name at uw (and appears in ta.course_id, but
+  // normalization keeps course_id distinct).
+  TermUsage course = stats.Usage("course");
+  EXPECT_GE(course.as_relation, 1u);
+}
+
+TEST_F(StatisticsTest, DataTokensCounted) {
+  CorpusStatistics stats(corpus_);
+  TermUsage halevy = stats.Usage("Halevy");
+  EXPECT_EQ(halevy.as_data, 1u);
+  EXPECT_EQ(halevy.as_relation, 0u);
+  EXPECT_NEAR(halevy.DataShare(), 1.0, 1e-9);
+}
+
+TEST_F(StatisticsTest, UnknownTermIsZero) {
+  CorpusStatistics stats(corpus_);
+  EXPECT_EQ(stats.Usage("flibbertigibbet").total(), 0u);
+}
+
+TEST_F(StatisticsTest, CoOccurringAttributes) {
+  CorpusStatistics stats(corpus_);
+  auto co = stats.CoOccurringAttributes("title");
+  ASSERT_FALSE(co.empty());
+  // room co-occurs with title in 2 of title's 3 relations.
+  bool found_room = false;
+  for (const auto& t : co) {
+    if (t.term == stats.Normalize("room")) {
+      found_room = true;
+      EXPECT_NEAR(t.score, 2.0 / 3.0, 1e-9);
+    }
+  }
+  EXPECT_TRUE(found_room);
+}
+
+TEST_F(StatisticsTest, RelationsContaining) {
+  CorpusStatistics stats(corpus_);
+  auto rels = stats.RelationsContaining("email");
+  ASSERT_FALSE(rels.empty());
+  // email lives in ta/assistant relations, never course.
+  for (const auto& r : rels) {
+    EXPECT_NE(r.term, stats.Normalize("course"));
+  }
+}
+
+TEST_F(StatisticsTest, SimilarAttributesFindsCrossSchemaSynonyms) {
+  CorpusStatistics stats(corpus_);
+  // "lecturer" (mit) and "instructor" (uw/stanford) co-occur with the
+  // same attributes (title, room) — distributional similarity should
+  // surface one for the other even without a synonym table.
+  auto similar = stats.SimilarAttributes("lecturer", 5);
+  ASSERT_FALSE(similar.empty());
+  bool found = false;
+  for (const auto& s : similar) {
+    if (s.term == stats.Normalize("instructor")) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(StatisticsTest, SynonymOptionFoldsTerms) {
+  text::SynonymTable table = text::SynonymTable::UniversityDomainDefaults();
+  StatisticsOptions opts;
+  opts.use_synonyms = true;
+  opts.synonyms = &table;
+  CorpusStatistics stats(corpus_, opts);
+  // With synonyms, instructor/lecturer fold into one term whose
+  // attribute count covers all three schemas.
+  TermUsage usage = stats.Usage("instructor");
+  EXPECT_EQ(usage.as_attribute, 3u);
+}
+
+TEST_F(StatisticsTest, FrequentAttributeSets) {
+  CorpusStatistics stats(corpus_);
+  auto frequent = stats.FrequentAttributeSets(3);
+  // {name, email} appears in all 3 TA-like relations -> support 3.
+  bool found_pair = false;
+  for (const auto& f : frequent) {
+    if (f.attributes ==
+        std::set<std::string>{stats.Normalize("name"),
+                              stats.Normalize("email")}) {
+      found_pair = true;
+      EXPECT_EQ(f.support, 3u);
+    }
+  }
+  EXPECT_TRUE(found_pair);
+  // Ordered by support descending.
+  for (size_t i = 1; i < frequent.size(); ++i) {
+    EXPECT_GE(frequent[i - 1].support, frequent[i].support);
+  }
+}
+
+TEST_F(StatisticsTest, FrequentSetsRespectMinSupport) {
+  CorpusStatistics stats(corpus_);
+  for (const auto& f : stats.FrequentAttributeSets(2)) {
+    EXPECT_GE(f.support, 2u);
+  }
+}
+
+TEST_F(StatisticsTest, EstimateSupportExactWhenPresent) {
+  CorpusStatistics stats(corpus_);
+  double support = stats.EstimateSupport(
+      {stats.Normalize("name"), stats.Normalize("email")});
+  EXPECT_NEAR(support, 3.0, 1e-9);
+}
+
+TEST_F(StatisticsTest, EstimateSupportApproximatesUnseen) {
+  CorpusStatistics stats(corpus_);
+  // title+email never co-occur: estimate should be 0 (no pair count).
+  double support = stats.EstimateSupport(
+      {stats.Normalize("title"), stats.Normalize("email")});
+  EXPECT_NEAR(support, 0.0, 1e-9);
+}
+
+TEST_F(StatisticsTest, VocabularyAndRelationCounts) {
+  CorpusStatistics stats(corpus_);
+  EXPECT_EQ(stats.relation_count(), 6u);
+  EXPECT_GT(stats.vocabulary_size(), 10u);
+}
+
+TEST(SerializationTest, RoundTripHandMadeCorpus) {
+  Corpus original = MakeUniversityCorpus();
+  std::string text = SerializeCorpus(original);
+  auto parsed = ParseCorpus(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(SerializeCorpus(parsed.value()), text);
+  EXPECT_EQ(parsed.value().size(), original.size());
+  EXPECT_EQ(parsed.value().known_mappings().size(),
+            original.known_mappings().size());
+  EXPECT_EQ(parsed.value().data_examples().size(),
+            original.data_examples().size());
+}
+
+TEST(SerializationTest, RoundTripGeneratedCorpus) {
+  revere::datagen::UniversityGenerator gen(
+      revere::datagen::UniversityGenOptions{.seed = 99});
+  Corpus original;
+  gen.PopulateCorpus(&original, 8);
+  auto parsed = ParseCorpus(SerializeCorpus(original));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(SerializeCorpus(parsed.value()), SerializeCorpus(original));
+}
+
+TEST(SerializationTest, EscapesSpecialCharacters) {
+  Corpus c;
+  ASSERT_TRUE(
+      c.AddSchema(SchemaEntry{"s\tid", "dom\\ain", {{"rel", {"a"}}}}).ok());
+  ASSERT_TRUE(c.AddDataExample(
+                   DataExample{"s\tid", "rel", {{"line1\nline2\twith tab"}}})
+                  .ok());
+  auto parsed = ParseCorpus(SerializeCorpus(c));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().size(), 1u);
+  EXPECT_EQ(parsed.value().schemas()[0].id, "s\tid");
+  EXPECT_EQ(parsed.value().data_examples()[0].rows[0][0],
+            "line1\nline2\twith tab");
+}
+
+TEST(SerializationTest, MalformedInputsRejected) {
+  EXPECT_FALSE(ParseCorpus("relation\torphan\ta\n").ok());
+  EXPECT_FALSE(ParseCorpus("row\tv\n").ok());
+  EXPECT_FALSE(ParseCorpus("pair\ta\tb\n").ok());
+  EXPECT_FALSE(ParseCorpus("schema\tonly-id\n").ok());
+  EXPECT_FALSE(ParseCorpus("wat\tis\tthis\n").ok());
+  // Empty / comment-only inputs are a valid empty corpus.
+  auto empty = ParseCorpus("# nothing here\n\n");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty.value().size(), 0u);
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  Corpus original = MakeUniversityCorpus();
+  const std::string path = "/tmp/revere_corpus_test.txt";
+  ASSERT_TRUE(SaveCorpusToFile(original, path).ok());
+  auto loaded = LoadCorpusFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(SerializeCorpus(loaded.value()), SerializeCorpus(original));
+  EXPECT_FALSE(LoadCorpusFromFile("/tmp/does/not/exist").ok());
+}
+
+}  // namespace
+}  // namespace revere::corpus

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+#include "src/datagen/topology.h"
+#include "src/datagen/university.h"
+#include "src/html/parser.h"
+#include "src/mangrove/publisher.h"
+#include "src/mangrove/schema.h"
+#include "src/rdf/triple_store.h"
+
+namespace revere::datagen {
+namespace {
+
+TEST(UniversityGeneratorTest, Deterministic) {
+  UniversityGenerator a(UniversityGenOptions{.seed = 5});
+  UniversityGenerator b(UniversityGenOptions{.seed = 5});
+  GeneratedSchema ga = a.GenerateSchema("x");
+  GeneratedSchema gb = b.GenerateSchema("x");
+  EXPECT_EQ(ga.ground_truth, gb.ground_truth);
+  ASSERT_EQ(ga.schema.relations.size(), gb.schema.relations.size());
+  for (size_t i = 0; i < ga.schema.relations.size(); ++i) {
+    EXPECT_EQ(ga.schema.relations[i].name, gb.schema.relations[i].name);
+    EXPECT_EQ(ga.schema.relations[i].attributes,
+              gb.schema.relations[i].attributes);
+  }
+}
+
+TEST(UniversityGeneratorTest, GroundTruthCoversAttributes) {
+  UniversityGenerator gen(UniversityGenOptions{.seed = 2});
+  GeneratedSchema g = gen.GenerateSchema("s");
+  // Every non-noise attribute must have a canonical label.
+  size_t labeled = 0, total = 0;
+  for (const auto& rel : g.schema.relations) {
+    for (const auto& attr : rel.attributes) {
+      ++total;
+      if (g.ground_truth.count(rel.name + "." + attr) > 0) ++labeled;
+    }
+  }
+  EXPECT_GE(labeled, total - g.schema.relations.size());  // ≤1 noise/rel
+  EXPECT_GT(labeled, 0u);
+}
+
+TEST(UniversityGeneratorTest, DataMatchesSchema) {
+  UniversityGenerator gen(UniversityGenOptions{.seed = 3});
+  GeneratedSchema g = gen.GenerateSchema("s");
+  ASSERT_EQ(g.data.size(), g.schema.relations.size());
+  for (size_t i = 0; i < g.data.size(); ++i) {
+    EXPECT_EQ(g.data[i].relation, g.schema.relations[i].name);
+    for (const auto& row : g.data[i].rows) {
+      EXPECT_EQ(row.size(), g.schema.relations[i].attributes.size());
+    }
+  }
+}
+
+TEST(UniversityGeneratorTest, PerturbationVariesSchemas) {
+  UniversityGenerator gen(UniversityGenOptions{.seed = 7});
+  corpus::Corpus corpus;
+  auto generated = gen.PopulateCorpus(&corpus, 10);
+  EXPECT_EQ(corpus.size(), 10u);
+  // Across ten schools the course relation should not always carry the
+  // same name (synonym perturbation).
+  std::set<std::string> first_relation_names;
+  for (const auto& g : generated) {
+    first_relation_names.insert(g.schema.relations.front().name);
+  }
+  EXPECT_GT(first_relation_names.size(), 1u);
+  // Consecutive schemas got known mappings.
+  EXPECT_EQ(corpus.known_mappings().size(), 9u);
+  EXPECT_FALSE(corpus.known_mappings()[0].element_pairs.empty());
+}
+
+TEST(UniversityGeneratorTest, ZeroPerturbationIsCanonical) {
+  UniversityGenOptions opts;
+  opts.seed = 1;
+  opts.synonym_prob = 0.0;
+  opts.abbrev_prob = 0.0;
+  opts.drop_attr_prob = 0.0;
+  opts.extra_attr_prob = 0.0;
+  opts.split_ta_prob = 1.0;
+  UniversityGenerator gen(opts);
+  GeneratedSchema g = gen.GenerateSchema("s");
+  ASSERT_EQ(g.schema.relations.size(), 3u);
+  EXPECT_EQ(g.schema.relations[0].name, "course");
+  EXPECT_EQ(g.schema.relations[1].name, "ta");
+  // Identity ground truth.
+  for (const auto& [elem, canon] : g.ground_truth) {
+    EXPECT_EQ(elem, canon);
+  }
+}
+
+TEST(CoursePageTest, RendersAndAnnotates) {
+  Rng rng(11);
+  auto courses = GenerateCourses(3, &rng);
+  ASSERT_EQ(courses.size(), 3u);
+  std::string plain = RenderCoursePage(courses[0]);
+  std::string annotated = RenderAnnotatedCoursePage(courses[0]);
+  EXPECT_TRUE(Contains(plain, courses[0].title));
+  EXPECT_FALSE(Contains(plain, "m=\""));
+  EXPECT_TRUE(Contains(annotated, "m=\"course\""));
+  // Annotated page publishes cleanly against the university schema.
+  mangrove::MangroveSchema schema =
+      mangrove::MangroveSchema::UniversityDefaults();
+  rdf::TripleStore store;
+  mangrove::Publisher publisher(&schema, &store);
+  auto receipt = publisher.Publish("http://u/" + courses[0].id, annotated);
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_EQ(receipt.value().invalid_tags, 0u);
+  EXPECT_EQ(receipt.value().triples_added, 6u);  // type + 5 properties
+}
+
+class TopologyTest : public ::testing::Test {};
+
+TEST_F(TopologyTest, ChainIsTransitivelyComplete) {
+  piazza::PdmsNetwork net;
+  PdmsGenOptions opts;
+  opts.topology = Topology::kChain;
+  opts.peers = 4;
+  opts.rows_per_peer = 5;
+  auto report = BuildUniversityPdms(&net, opts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().total_rows, 20u);
+  EXPECT_EQ(report.value().mapping_count, 3u);
+  // Query at the far end of the chain sees everything.
+  auto rows = net.Answer(AllCoursesQuery(report.value(), 0));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().size(), 20u);
+}
+
+TEST_F(TopologyTest, EveryPeerSeesAllDataInFigure2) {
+  piazza::PdmsNetwork net;
+  PdmsGenOptions opts;
+  opts.topology = Topology::kFigure2;
+  opts.rows_per_peer = 4;
+  auto report = BuildUniversityPdms(&net, opts);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report.value().peer_names.size(), 6u);
+  EXPECT_EQ(report.value().peer_names[3], "tsinghua");
+  for (size_t i = 0; i < 6; ++i) {
+    auto rows = net.Answer(AllCoursesQuery(report.value(), i));
+    ASSERT_TRUE(rows.ok());
+    EXPECT_EQ(rows.value().size(), 24u) << "peer " << i;
+  }
+}
+
+TEST_F(TopologyTest, StarTopology) {
+  piazza::PdmsNetwork net;
+  PdmsGenOptions opts;
+  opts.topology = Topology::kStar;
+  opts.peers = 5;
+  opts.rows_per_peer = 2;
+  auto report = BuildUniversityPdms(&net, opts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().mapping_count, 4u);
+  // A spoke peer reaches every other spoke through the hub.
+  auto rows = net.Answer(AllCoursesQuery(report.value(), 4));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().size(), 10u);
+}
+
+TEST_F(TopologyTest, RandomTopologyIsConnected) {
+  piazza::PdmsNetwork net;
+  PdmsGenOptions opts;
+  opts.topology = Topology::kRandom;
+  opts.peers = 7;
+  opts.rows_per_peer = 3;
+  opts.seed = 99;
+  auto report = BuildUniversityPdms(&net, opts);
+  ASSERT_TRUE(report.ok());
+  auto rows = net.Answer(AllCoursesQuery(report.value(), 0));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().size(), 21u);
+}
+
+TEST_F(TopologyTest, DirectionalMappingsLimitFlow) {
+  piazza::PdmsNetwork net;
+  PdmsGenOptions opts;
+  opts.topology = Topology::kChain;
+  opts.peers = 3;
+  opts.rows_per_peer = 2;
+  opts.bidirectional = false;  // inclusions point peer(i) -> peer(i+1)
+  auto report = BuildUniversityPdms(&net, opts);
+  ASSERT_TRUE(report.ok());
+  // With inclusions a:rel ⊆ b:rel, a query at b can pull a's data, but a
+  // query at a cannot see b's.
+  auto at_end = net.Answer(AllCoursesQuery(report.value(), 2));
+  ASSERT_TRUE(at_end.ok());
+  EXPECT_EQ(at_end.value().size(), 6u);
+  auto at_start = net.Answer(AllCoursesQuery(report.value(), 0));
+  ASSERT_TRUE(at_start.ok());
+  EXPECT_EQ(at_start.value().size(), 2u);
+}
+
+TEST_F(TopologyTest, ZeroPeersRejected) {
+  piazza::PdmsNetwork net;
+  PdmsGenOptions opts;
+  opts.topology = Topology::kChain;
+  opts.peers = 0;
+  EXPECT_FALSE(BuildUniversityPdms(&net, opts).ok());
+}
+
+}  // namespace
+}  // namespace revere::datagen

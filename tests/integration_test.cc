@@ -1,0 +1,164 @@
+// Full-stack integration: three universities each run MANGROVE locally
+// (annotated pages -> triple repository), materialize their course
+// concept into one shared Piazza network under their own vocabularies,
+// connect via local GLAV mappings only, and answer each other's
+// queries — the complete "crossing the chasm" pipeline of Figure 1.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/datagen/university.h"
+#include "src/mangrove/export.h"
+#include "src/mangrove/publisher.h"
+#include "src/mangrove/schema.h"
+#include "src/piazza/pdms.h"
+#include "src/piazza/peer.h"
+#include "src/query/glav.h"
+#include "src/rdf/triple_store.h"
+
+namespace revere {
+namespace {
+
+using mangrove::CleaningPolicy;
+using mangrove::ConflictResolution;
+using mangrove::MangroveSchema;
+using mangrove::Publisher;
+using piazza::PdmsNetwork;
+using piazza::PeerMapping;
+using piazza::QualifiedName;
+
+struct Org {
+  explicit Org(std::string name)
+      : name(std::move(name)),
+        schema(MangroveSchema::UniversityDefaults()),
+        publisher(&schema, &repository) {}
+
+  std::string name;
+  MangroveSchema schema;
+  rdf::TripleStore repository;
+  Publisher publisher;
+};
+
+class FullStackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Three organizations publish their course pages locally.
+    const char* names[] = {"uw", "mit", "roma"};
+    Rng rng(2026);
+    for (const char* name : names) {
+      orgs_.push_back(std::make_unique<Org>(name));
+      Org& org = *orgs_.back();
+      for (const auto& course : datagen::GenerateCourses(4, &rng)) {
+        std::string url =
+            "http://" + org.name + ".example.edu/" + course.id;
+        auto receipt = org.publisher.Publish(
+            url, datagen::RenderAnnotatedCoursePage(course));
+        ASSERT_TRUE(receipt.ok());
+        ASSERT_EQ(receipt.value().invalid_tags, 0u);
+      }
+      ASSERT_TRUE(net_.AddPeer(org.name).ok());
+    }
+
+    // Each org materializes its course concept into the shared network
+    // under its OWN relation name (vocabulary differences are real).
+    const char* relation_names[] = {"course", "subject", "corso"};
+    for (size_t i = 0; i < orgs_.size(); ++i) {
+      Org& org = *orgs_[i];
+      auto schema = mangrove::ConceptTableSchema(
+          org.schema, "course",
+          QualifiedName(org.name, relation_names[i]));
+      ASSERT_TRUE(schema.ok());
+      auto table = net_.mutable_storage()->CreateTable(schema.value());
+      ASSERT_TRUE(table.ok());
+      auto exported = mangrove::MaterializeConcept(
+          org.repository, org.schema, "course",
+          {ConflictResolution::kAny, ""}, table.value());
+      ASSERT_TRUE(exported.ok());
+      ASSERT_EQ(exported.value(), 4u);
+    }
+
+    // Local mappings only: uw<->mit, mit<->roma (roma never talks to uw
+    // directly). The exported relation has 8 columns:
+    // subject, title, number, instructor, time, room, textbook, descr.
+    auto add_mapping = [&](const std::string& a, const std::string& ra,
+                           const std::string& b, const std::string& rb) {
+      std::string vars = "(S, T, N, I, M, R, B, D)";
+      auto glav = query::GlavMapping::Parse(
+          "m" + vars + " :- " + QualifiedName(a, ra) + vars + " => m" +
+              vars + " :- " + QualifiedName(b, rb) + vars,
+          a + "-" + b);
+      ASSERT_TRUE(glav.ok()) << glav.status().ToString();
+      ASSERT_TRUE(net_.AddMapping(PeerMapping{std::move(glav).value(), a,
+                                              b, /*bidirectional=*/true})
+                      .ok());
+    };
+    add_mapping("uw", "course", "mit", "subject");
+    add_mapping("mit", "subject", "roma", "corso");
+  }
+
+  std::vector<std::unique_ptr<Org>> orgs_;
+  PdmsNetwork net_;
+};
+
+TEST_F(FullStackTest, EveryOrgSeesTheWholeInventory) {
+  struct Probe {
+    const char* peer;
+    const char* relation;
+  };
+  for (const Probe& probe : {Probe{"uw", "course"}, Probe{"mit", "subject"},
+                             Probe{"roma", "corso"}}) {
+    auto q = query::ConjunctiveQuery::Parse(
+        "q(S, T) :- " + QualifiedName(probe.peer, probe.relation) +
+        "(S, T, N, I, M, R, B, D)");
+    ASSERT_TRUE(q.ok());
+    auto rows = net_.Answer(q.value());
+    ASSERT_TRUE(rows.ok());
+    EXPECT_EQ(rows.value().size(), 12u) << probe.peer;
+  }
+}
+
+TEST_F(FullStackTest, RepublishFlowsThroughToRemotePeers) {
+  // UW updates a page: after re-export, Roma's view reflects it.
+  Org& uw = *orgs_[0];
+  auto receipt = uw.publisher.Publish(
+      "http://uw.example.edu/new-course",
+      "<body><span m=\"course\" m-id=\"uw-new\">"
+      "<span m=\"title\">Peer Data Management</span></span></body>");
+  ASSERT_TRUE(receipt.ok());
+  auto table = net_.mutable_storage()->GetTable("uw:course");
+  ASSERT_TRUE(table.ok());
+  table.value()->Clear();
+  auto exported = mangrove::MaterializeConcept(
+      uw.repository, uw.schema, "course", {ConflictResolution::kAny, ""},
+      table.value());
+  ASSERT_TRUE(exported.ok());
+  EXPECT_EQ(exported.value(), 5u);
+
+  auto q = query::ConjunctiveQuery::Parse(
+      "q(S) :- roma:corso(S, \"Peer Data Management\", N, I, M, R, B, D)");
+  ASSERT_TRUE(q.ok());
+  auto rows = net_.Answer(q.value());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 1u);
+  EXPECT_EQ(rows.value()[0][0].as_string(), "uw-new");
+}
+
+TEST_F(FullStackTest, SelectiveQueryContactsOnlyNeededPeers) {
+  // A query for a UW-specific subject id, asked at Roma: answers exist
+  // only at UW, two mapping hops away.
+  auto any_uw = query::ConjunctiveQuery::Parse(
+      "q(S, T) :- roma:corso(S, T, N, I, M, R, B, D)");
+  ASSERT_TRUE(any_uw.ok());
+  piazza::ExecutionStats stats;
+  auto rows = net_.Answer(any_uw.value(), {}, &stats);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(stats.peers_contacted, 2u);  // uw and mit are remote
+  EXPECT_GT(stats.simulated_network_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace revere

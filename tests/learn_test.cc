@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/learn/context_learner.h"
+#include "src/learn/format_learner.h"
+#include "src/learn/learner.h"
+#include "src/learn/multi_strategy.h"
+#include "src/learn/name_learner.h"
+#include "src/learn/naive_bayes.h"
+
+namespace revere::learn {
+namespace {
+
+ColumnInstance Column(const std::string& relation,
+                      const std::string& attribute,
+                      std::vector<std::string> values,
+                      std::vector<std::string> siblings = {}) {
+  ColumnInstance c;
+  c.schema_id = "test";
+  c.relation = relation;
+  c.attribute = attribute;
+  c.values = std::move(values);
+  c.sibling_attributes = std::move(siblings);
+  return c;
+}
+
+// A small university-domain training set: columns labeled with the
+// mediated element they correspond to.
+std::vector<TrainingExample> TrainingSet() {
+  return {
+      {Column("course", "title",
+              {"Intro to Databases", "Operating Systems",
+               "Ancient History"},
+              {"instructor", "room"}),
+       "course-title"},
+      {Column("subject", "name",
+              {"Compilers", "Machine Learning", "Modern History"},
+              {"lecturer", "enrollment"}),
+       "course-title"},
+      {Column("course", "instructor",
+              {"Alon Halevy", "Oren Etzioni", "AnHai Doan"},
+              {"title", "room"}),
+       "instructor-name"},
+      {Column("subject", "lecturer",
+              {"Zack Ives", "Luke McDowell", "Igor Tatarinov"},
+              {"name", "enrollment"}),
+       "instructor-name"},
+      {Column("faculty", "phone", {"206-543-1695", "206-543-9196"},
+              {"name", "office"}),
+       "phone"},
+      {Column("staff", "telephone", {"617-253-0001", "617-253-4421"},
+              {"name", "room"}),
+       "phone"},
+      {Column("faculty", "email",
+              {"alon@cs.washington.edu", "etzioni@cs.washington.edu"},
+              {"name", "phone"}),
+       "email"},
+      {Column("staff", "mail", {"ives@mit.edu", "luke@mit.edu"},
+              {"name", "telephone"}),
+       "email"},
+  };
+}
+
+TEST(PredictionTest, BestAndScores) {
+  Prediction p;
+  p.scores = {{"a", 0.2}, {"b", 0.9}, {"c", 0.5}};
+  EXPECT_EQ(p.Best(), "b");
+  EXPECT_NEAR(p.BestScore(), 0.9, 1e-9);
+  EXPECT_NEAR(p.ScoreOf("c"), 0.5, 1e-9);
+  EXPECT_NEAR(p.ScoreOf("zzz"), 0.0, 1e-9);
+  EXPECT_EQ(Prediction{}.Best(), "");
+}
+
+TEST(NameLearnerTest, MatchesByName) {
+  NameLearner learner;
+  ASSERT_TRUE(learner.Train(TrainingSet()).ok());
+  // "tel" is a prefix/abbreviation of telephone.
+  Prediction p = learner.Predict(Column("emp", "telephone_number", {}));
+  EXPECT_EQ(p.Best(), "phone");
+  Prediction q = learner.Predict(Column("emp", "course_title", {}));
+  EXPECT_EQ(q.Best(), "course-title");
+}
+
+TEST(NaiveBayesTest, MatchesByValues) {
+  NaiveBayesLearner learner;
+  ASSERT_TRUE(learner.Train(TrainingSet()).ok());
+  // The column name is deliberately useless; values carry the signal.
+  Prediction p = learner.Predict(
+      Column("t", "col7", {"Alon Halevy", "Oren Etzioni"}));
+  EXPECT_EQ(p.Best(), "instructor-name");
+  Prediction q = learner.Predict(
+      Column("t", "col9", {"Intro to Databases", "Ancient History"}));
+  EXPECT_EQ(q.Best(), "course-title");
+}
+
+TEST(NaiveBayesTest, EmptyValuesGiveEmptyPrediction) {
+  NaiveBayesLearner learner;
+  ASSERT_TRUE(learner.Train(TrainingSet()).ok());
+  EXPECT_TRUE(learner.Predict(Column("t", "x", {})).scores.empty());
+}
+
+TEST(FormatLearnerTest, FeaturesDiscriminate) {
+  auto phone = FormatLearner::Featurize({"206-543-1695"});
+  auto email = FormatLearner::Featurize({"alon@cs.washington.edu"});
+  auto title = FormatLearner::Featurize({"Intro to Databases"});
+  EXPECT_GT(phone[1], 0.5);   // digit-heavy
+  EXPECT_EQ(email[5], 1.0);   // has '@'
+  EXPECT_GT(title[3], 0.0);   // has spaces
+  EXPECT_EQ(title[5], 0.0);
+}
+
+TEST(FormatLearnerTest, ClassifiesUnseenVocabularyByShape) {
+  FormatLearner learner;
+  ASSERT_TRUE(learner.Train(TrainingSet()).ok());
+  // Completely unseen numbers, phone-like shape.
+  Prediction p = learner.Predict(Column("x", "y", {"415-555-0000"}));
+  EXPECT_EQ(p.Best(), "phone");
+  Prediction q =
+      learner.Predict(Column("x", "y", {"someone@berkeley.edu"}));
+  EXPECT_EQ(q.Best(), "email");
+}
+
+TEST(ContextLearnerTest, UsesSiblingsAndRelation) {
+  ContextLearner learner;
+  ASSERT_TRUE(learner.Train(TrainingSet()).ok());
+  // No values, but siblings look like a course relation.
+  Prediction p = learner.Predict(
+      Column("course", "x", {}, {"instructor", "room"}));
+  EXPECT_GT(p.ScoreOf("course-title"), 0.0);
+}
+
+TEST(MultiStrategyTest, DefaultStackTrainsAndPredicts) {
+  auto multi = MultiStrategyLearner::WithDefaultStack(7);
+  ASSERT_TRUE(multi->Train(TrainingSet()).ok());
+  EXPECT_EQ(multi->weights().size(), 4u);
+  double sum = 0.0;
+  for (const auto& [name, w] : multi->weights()) {
+    EXPECT_GT(w, 0.0);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+
+  Prediction p = multi->Predict(
+      Column("klass", "teacher", {"Alon Halevy", "Dan Suciu"}));
+  EXPECT_EQ(p.Best(), "instructor-name");
+}
+
+TEST(MultiStrategyTest, CombinesComplementaryEvidence) {
+  auto multi = MultiStrategyLearner::WithDefaultStack(7);
+  ASSERT_TRUE(multi->Train(TrainingSet()).ok());
+  // Name says nothing ("col3"), values are phone-shaped but unseen:
+  // only the combination gets this right.
+  Prediction p = multi->Predict(Column("x", "col3", {"312-555-8888"}));
+  EXPECT_EQ(p.Best(), "phone");
+}
+
+TEST(MultiStrategyTest, ErrorsWithoutLearnersOrData) {
+  MultiStrategyLearner empty;
+  EXPECT_FALSE(empty.Train(TrainingSet()).ok());
+  auto multi = MultiStrategyLearner::WithDefaultStack();
+  EXPECT_FALSE(multi->Train({}).ok());
+}
+
+TEST(NaiveBayesTest, IncrementalTrainingEqualsBatch) {
+  // The meta-learner trains base learners in two phases (fit split,
+  // then validation split); the result must equal one-shot training.
+  auto examples = TrainingSet();
+  NaiveBayesLearner batch;
+  ASSERT_TRUE(batch.Train(examples).ok());
+  NaiveBayesLearner incremental;
+  std::vector<TrainingExample> first(examples.begin(),
+                                     examples.begin() + 4);
+  std::vector<TrainingExample> second(examples.begin() + 4,
+                                      examples.end());
+  ASSERT_TRUE(incremental.Train(first).ok());
+  ASSERT_TRUE(incremental.Train(second).ok());
+  ColumnInstance probe =
+      Column("t", "x", {"Alon Halevy", "206-543-1695"});
+  Prediction a = batch.Predict(probe);
+  Prediction b = incremental.Predict(probe);
+  ASSERT_EQ(a.scores.size(), b.scores.size());
+  for (const auto& [label, score] : a.scores) {
+    EXPECT_NEAR(score, b.ScoreOf(label), 1e-12) << label;
+  }
+}
+
+TEST(NaiveBayesTest, PosteriorsAreNormalized) {
+  NaiveBayesLearner learner;
+  ASSERT_TRUE(learner.Train(TrainingSet()).ok());
+  Prediction p = learner.Predict(Column("t", "x", {"some text here"}));
+  double sum = 0.0;
+  for (const auto& [label, score] : p.scores) {
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+    sum += score;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(NameLearnerTest, IncrementalTrainingEqualsBatch) {
+  auto examples = TrainingSet();
+  NameLearner batch;
+  ASSERT_TRUE(batch.Train(examples).ok());
+  NameLearner incremental;
+  std::vector<TrainingExample> first(examples.begin(),
+                                     examples.begin() + 3);
+  std::vector<TrainingExample> second(examples.begin() + 3,
+                                      examples.end());
+  ASSERT_TRUE(incremental.Train(first).ok());
+  ASSERT_TRUE(incremental.Train(second).ok());
+  ColumnInstance probe = Column("t", "tel", {});
+  EXPECT_EQ(batch.Predict(probe).Best(), incremental.Predict(probe).Best());
+}
+
+TEST(FormatLearnerTest, EmptyValuesYieldEmptyPrediction) {
+  FormatLearner learner;
+  ASSERT_TRUE(learner.Train(TrainingSet()).ok());
+  EXPECT_TRUE(learner.Predict(Column("t", "x", {})).scores.empty());
+}
+
+TEST(MultiStrategyTest, DeterministicAcrossRuns) {
+  auto a = MultiStrategyLearner::WithDefaultStack(42);
+  auto b = MultiStrategyLearner::WithDefaultStack(42);
+  ASSERT_TRUE(a->Train(TrainingSet()).ok());
+  ASSERT_TRUE(b->Train(TrainingSet()).ok());
+  EXPECT_EQ(a->weights(), b->weights());
+}
+
+}  // namespace
+}  // namespace revere::learn

@@ -1,0 +1,450 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/html/annotation.h"
+#include "src/html/parser.h"
+#include "src/mangrove/annotator.h"
+#include "src/mangrove/apps.h"
+#include "src/mangrove/cleaning.h"
+#include "src/mangrove/publisher.h"
+#include "src/mangrove/schema.h"
+#include "src/rdf/triple_store.h"
+
+namespace revere::mangrove {
+namespace {
+
+TEST(MangroveSchemaTest, DefaultsAndTags) {
+  MangroveSchema s = MangroveSchema::UniversityDefaults();
+  EXPECT_NE(s.FindConcept("course"), nullptr);
+  EXPECT_EQ(s.FindConcept("starship"), nullptr);
+  EXPECT_TRUE(s.IsValidTag("course"));
+  EXPECT_TRUE(s.IsValidTag("course.title"));
+  EXPECT_TRUE(s.IsValidTag("title"));  // bare property
+  EXPECT_FALSE(s.IsValidTag("course.salary"));
+  EXPECT_FALSE(s.IsValidTag("starship.warp"));
+}
+
+TEST(MangroveSchemaTest, SplitTag) {
+  auto [c, p] = MangroveSchema::SplitTag("course.title");
+  EXPECT_EQ(c, "course");
+  EXPECT_EQ(p, "title");
+  auto [c2, p2] = MangroveSchema::SplitTag("title");
+  EXPECT_EQ(c2, "");
+  EXPECT_EQ(p2, "title");
+}
+
+TEST(MangroveSchemaTest, DuplicateConceptRejected) {
+  MangroveSchema s("x");
+  EXPECT_TRUE(s.AddConcept(Concept{"a", {}}).ok());
+  EXPECT_FALSE(s.AddConcept(Concept{"a", {}}).ok());
+}
+
+TEST(MangroveSchemaTest, SingleValuedFlag) {
+  MangroveSchema s = MangroveSchema::UniversityDefaults();
+  EXPECT_TRUE(s.FindConcept("person")->FindProperty("phone")->single_valued);
+  EXPECT_FALSE(s.FindConcept("person")->FindProperty("name")->single_valued);
+}
+
+class AnnotatorTest : public ::testing::Test {
+ protected:
+  MangroveSchema schema_ = MangroveSchema::UniversityDefaults();
+  AnnotationTool tool_{&schema_};
+};
+
+TEST_F(AnnotatorTest, RejectsUnknownTag) {
+  EXPECT_FALSE(tool_.Annotate("<p>x</p>", {"warp", "x"}).ok());
+}
+
+TEST_F(AnnotatorTest, AnnotatesKnownTag) {
+  auto out = tool_.Annotate("<p>DB Systems</p>", {"course.title",
+                                                  "DB Systems"});
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out.value().find("m=\"course.title\""), std::string::npos);
+}
+
+TEST_F(AnnotatorTest, AnnotateConceptNestsProperly) {
+  std::string page =
+      "<body><h2>CSE 544: Principles of DBMS</h2>"
+      "<p>Taught by Alon Halevy in MGH 241 at MWF 10:30</p></body>";
+  ConceptAnnotation req;
+  req.concept_tag = "course";
+  req.id = "cse544";
+  req.region_start = "CSE 544";
+  req.region_end = "10:30";
+  req.fields = {{"title", "Principles of DBMS"},
+                {"instructor", "Alon Halevy"},
+                {"room", "MGH 241"},
+                {"time", "MWF 10:30"}};
+  auto out = tool_.AnnotateConcept(page, req);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  // The result must parse into: course span containing 4 property spans.
+  auto doc = html::ParseHtml(out.value());
+  ASSERT_TRUE(doc.ok());
+  auto regions = html::FindAnnotations(*doc.value());
+  ASSERT_EQ(regions.size(), 5u);
+  EXPECT_EQ(regions[0].tag, "course");
+  EXPECT_EQ(regions[0].id, "cse544");
+}
+
+TEST_F(AnnotatorTest, FieldAtRegionBoundaryStaysNested) {
+  std::string page = "<p>CSE 544 meets MWF 10:30 in MGH 241</p>";
+  ConceptAnnotation req;
+  req.concept_tag = "course";
+  req.region_start = "CSE 544";
+  req.region_end = "MGH 241";
+  req.fields = {{"number", "CSE 544"}, {"room", "MGH 241"}};
+  auto out = tool_.AnnotateConcept(page, req);
+  ASSERT_TRUE(out.ok());
+  auto doc = html::ParseHtml(out.value());
+  ASSERT_TRUE(doc.ok());
+  auto regions = html::FindAnnotations(*doc.value());
+  ASSERT_EQ(regions.size(), 3u);
+  // Both fields must be descendants of the course span.
+  const xml::XmlNode* course = regions[0].node;
+  EXPECT_EQ(regions[0].tag, "course");
+  EXPECT_EQ(course->Descendants("span").size(), 2u);
+}
+
+TEST_F(AnnotatorTest, MissingFieldReported) {
+  ConceptAnnotation req;
+  req.concept_tag = "course";
+  req.region_start = "CSE";
+  req.region_end = "544";
+  req.fields = {{"title", "Nonexistent Text"}};
+  std::vector<std::string> missing;
+  auto out = tool_.AnnotateConcept("<p>CSE 544</p>", req, &missing);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing[0], "Nonexistent Text");
+}
+
+TEST_F(AnnotatorTest, FieldOutsideRegionCountsAsMissing) {
+  ConceptAnnotation req;
+  req.concept_tag = "course";
+  req.region_start = "Start";
+  req.region_end = "End";
+  req.fields = {{"title", "Outside"}};
+  std::vector<std::string> missing;
+  auto out =
+      tool_.AnnotateConcept("<p>Start middle End ... Outside</p>", req,
+                            &missing);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(missing.size(), 1u);
+}
+
+class PublisherTest : public ::testing::Test {
+ protected:
+  std::string AnnotatedCoursePage() {
+    return "<body><span m=\"course\" m-id=\"cse544\">"
+           "<span m=\"title\">Principles of DBMS</span> taught by "
+           "<span m=\"instructor\">Alon Halevy</span> at "
+           "<span m=\"time\">MWF 10:30</span></span></body>";
+  }
+
+  MangroveSchema schema_ = MangroveSchema::UniversityDefaults();
+  rdf::TripleStore store_;
+  Publisher publisher_{&schema_, &store_};
+};
+
+TEST_F(PublisherTest, ExtractsConceptAndProperties) {
+  auto receipt = publisher_.Publish("http://uw.edu/cse544",
+                                    AnnotatedCoursePage());
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_EQ(receipt.value().triples_added, 4u);  // type + 3 properties
+  EXPECT_EQ(store_.ObjectOf("cse544", kTypePredicate).value(), "course");
+  EXPECT_EQ(store_.ObjectOf("cse544", "title").value(),
+            "Principles of DBMS");
+  EXPECT_EQ(store_.ObjectOf("cse544", "instructor").value(), "Alon Halevy");
+}
+
+TEST_F(PublisherTest, ProvenanceRecorded) {
+  ASSERT_TRUE(
+      publisher_.Publish("http://uw.edu/cse544", AnnotatedCoursePage()).ok());
+  auto triples = store_.Match({"cse544", "title", std::nullopt});
+  ASSERT_EQ(triples.size(), 1u);
+  EXPECT_EQ(triples[0].source, "http://uw.edu/cse544");
+}
+
+TEST_F(PublisherTest, RepublishReplacesOldTriples) {
+  ASSERT_TRUE(
+      publisher_.Publish("http://uw.edu/cse544", AnnotatedCoursePage()).ok());
+  std::string updated =
+      "<body><span m=\"course\" m-id=\"cse544\">"
+      "<span m=\"title\">Advanced DBMS</span></span></body>";
+  auto receipt = publisher_.Publish("http://uw.edu/cse544", updated);
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_EQ(receipt.value().triples_removed, 4u);
+  EXPECT_EQ(store_.ObjectOf("cse544", "title").value(), "Advanced DBMS");
+  EXPECT_TRUE(store_.ObjectsOf("cse544", "instructor").empty());
+}
+
+TEST_F(PublisherTest, GeneratedSubjectWhenNoId) {
+  std::string page =
+      "<body><span m=\"course\"><span m=\"title\">OS</span></span></body>";
+  ASSERT_TRUE(publisher_.Publish("http://uw.edu/os", page).ok());
+  auto subjects = store_.Match({std::nullopt, kTypePredicate, "course"});
+  ASSERT_EQ(subjects.size(), 1u);
+  EXPECT_EQ(subjects[0].subject, "http://uw.edu/os#course0");
+}
+
+TEST_F(PublisherTest, InvalidTagsCountedNotFatal) {
+  std::string page =
+      "<body><span m=\"course\"><span m=\"warp\">9</span>"
+      "<span m=\"title\">DB</span></span></body>";
+  auto receipt = publisher_.Publish("http://x", page);
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_EQ(receipt.value().invalid_tags, 1u);
+  EXPECT_EQ(receipt.value().triples_added, 2u);
+}
+
+TEST_F(PublisherTest, PageLevelPropertyAttachesToUrl) {
+  std::string page =
+      "<body><p>Call me: <span m=\"person.phone\">206-555</span></p></body>";
+  ASSERT_TRUE(publisher_.Publish("http://uw.edu/alon", page).ok());
+  EXPECT_EQ(store_.ObjectOf("http://uw.edu/alon", "phone").value(),
+            "206-555");
+}
+
+TEST_F(PublisherTest, MultipleConceptsOnOnePage) {
+  std::string page =
+      "<body>"
+      "<span m=\"course\"><span m=\"title\">DB</span></span>"
+      "<span m=\"course\"><span m=\"title\">OS</span></span>"
+      "<span m=\"person\"><span m=\"name\">Alon</span></span>"
+      "</body>";
+  auto receipt = publisher_.Publish("http://x", page);
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_EQ(receipt.value().triples_added, 6u);
+  EXPECT_EQ(store_.Match({std::nullopt, kTypePredicate, "course"}).size(),
+            2u);
+}
+
+TEST_F(PublisherTest, DottedTagMustMatchEnclosingConcept) {
+  // person.phone inside a course region is invalid.
+  std::string page =
+      "<body><span m=\"course\"><span m=\"person.phone\">206</span>"
+      "</span></body>";
+  auto receipt = publisher_.Publish("http://x", page);
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_EQ(receipt.value().invalid_tags, 1u);
+}
+
+TEST_F(PublisherTest, PublishTickAdvances) {
+  ASSERT_TRUE(publisher_.Publish("http://a", "<p/>").ok());
+  auto r = publisher_.Publish("http://b", "<p/>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().publish_tick, 2);
+  EXPECT_EQ(publisher_.current_tick(), 2);
+}
+
+class CleaningTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Conflicting phone numbers from three sources; majority says 111.
+    ASSERT_TRUE(store_.Add("alon", "phone", "111", "http://uw.edu/a").ok());
+    ASSERT_TRUE(store_.Add("alon", "phone", "111", "http://uw.edu/b").ok());
+    ASSERT_TRUE(
+        store_.Add("alon", "phone", "999", "http://evil.com/x").ok());
+    ASSERT_TRUE(store_.Add("alon", kTypePredicate, "person",
+                           "http://uw.edu/a")
+                    .ok());
+  }
+  rdf::TripleStore store_;
+};
+
+TEST_F(CleaningTest, AnyTakesFirst) {
+  auto v = ResolveValue(store_, "alon", "phone",
+                        {ConflictResolution::kAny, ""});
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "111");
+}
+
+TEST_F(CleaningTest, MajorityWins) {
+  auto v = ResolveValue(store_, "alon", "phone",
+                        {ConflictResolution::kMajority, ""});
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "111");
+}
+
+TEST_F(CleaningTest, TrustedSourceFiltersMalicious) {
+  auto v = ResolveValue(
+      store_, "alon", "phone",
+      {ConflictResolution::kTrustedSourceOnly, "http://uw.edu/"});
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "111");
+  // Trusting only evil.com returns the planted value — policy is the
+  // application's choice.
+  auto evil = ResolveValue(
+      store_, "alon", "phone",
+      {ConflictResolution::kTrustedSourceOnly, "http://evil.com/"});
+  ASSERT_TRUE(evil.has_value());
+  EXPECT_EQ(*evil, "999");
+}
+
+TEST_F(CleaningTest, RejectConflictsReturnsNothing) {
+  auto v = ResolveValue(store_, "alon", "phone",
+                        {ConflictResolution::kRejectConflicts, ""});
+  EXPECT_FALSE(v.has_value());
+  // But a clean property resolves.
+  ASSERT_TRUE(store_.Add("alon", "email", "alon@uw", "http://uw.edu/a").ok());
+  auto e = ResolveValue(store_, "alon", "email",
+                        {ConflictResolution::kRejectConflicts, ""});
+  ASSERT_TRUE(e.has_value());
+}
+
+TEST_F(CleaningTest, MissingValueIsNullopt) {
+  EXPECT_FALSE(ResolveValue(store_, "alon", "fax",
+                            {ConflictResolution::kAny, ""})
+                   .has_value());
+}
+
+TEST_F(CleaningTest, FindInconsistenciesFlagsSingleValuedConflicts) {
+  MangroveSchema schema = MangroveSchema::UniversityDefaults();
+  auto problems = FindInconsistencies(store_, schema);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_EQ(problems[0].subject, "alon");
+  EXPECT_EQ(problems[0].predicate, "phone");
+  EXPECT_EQ(problems[0].values.size(), 2u);
+  EXPECT_EQ(problems[0].sources.size(), 3u);
+}
+
+class AppsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = MangroveSchema::UniversityDefaults();
+    publisher_ = std::make_unique<Publisher>(&schema_, &store_);
+    ASSERT_TRUE(
+        publisher_
+            ->Publish("http://uw.edu/cse544",
+                      "<body><span m=\"course\" m-id=\"cse544\">"
+                      "<span m=\"title\">DBMS</span>"
+                      "<span m=\"time\">MWF 10:30</span>"
+                      "<span m=\"room\">MGH 241</span>"
+                      "<span m=\"instructor\">Halevy</span></span></body>")
+            .ok());
+    ASSERT_TRUE(
+        publisher_
+            ->Publish("http://uw.edu/cse403",
+                      "<body><span m=\"course\" m-id=\"cse403\">"
+                      "<span m=\"title\">Software Engineering</span>"
+                      "<span m=\"time\">TTh 9:00</span></span></body>")
+            .ok());
+    ASSERT_TRUE(
+        publisher_
+            ->Publish("http://uw.edu/alon",
+                      "<body><span m=\"person\" m-id=\"alon\">"
+                      "<span m=\"name\">Alon Halevy</span>"
+                      "<span m=\"phone\">206-111</span></span>"
+                      "<span m=\"publication\" m-id=\"p1\">"
+                      "<span m=\"title\">Crossing the Structure Chasm</span>"
+                      "<span m=\"author\">Alon Halevy</span>"
+                      "<span m=\"year\">2003</span>"
+                      "<span m=\"venue\">CIDR</span></span></body>")
+            .ok());
+  }
+
+  MangroveSchema schema_;
+  rdf::TripleStore store_;
+  std::unique_ptr<Publisher> publisher_;
+};
+
+TEST_F(AppsTest, CalendarAggregatesAcrossPages) {
+  CourseCalendar calendar(&store_, {ConflictResolution::kAny, ""});
+  auto entries = calendar.Refresh();
+  ASSERT_EQ(entries.size(), 2u);
+  // Sorted by time: "MWF 10:30" < "TTh 9:00" lexicographically.
+  EXPECT_EQ(entries[0].course, "cse544");
+  EXPECT_EQ(entries[0].room, "MGH 241");
+  EXPECT_EQ(entries[1].title, "Software Engineering");
+}
+
+TEST_F(AppsTest, InstantGratification) {
+  // A publish is visible on the very next refresh — no crawl delay.
+  CourseCalendar calendar(&store_, {ConflictResolution::kAny, ""});
+  ASSERT_EQ(calendar.Refresh().size(), 2u);
+  ASSERT_TRUE(publisher_
+                  ->Publish("http://uw.edu/new",
+                            "<body><span m=\"course\" m-id=\"new1\">"
+                            "<span m=\"title\">Fresh Course</span>"
+                            "</span></body>")
+                  .ok());
+  EXPECT_EQ(calendar.Refresh().size(), 3u);
+}
+
+TEST_F(AppsTest, WhosWhoDirectory) {
+  WhosWho who(&store_, {ConflictResolution::kAny, ""});
+  auto entries = who.Refresh();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].name, "Alon Halevy");
+  EXPECT_EQ(entries[0].phone, "206-111");
+}
+
+TEST_F(AppsTest, PublicationDatabase) {
+  PublicationDatabase pubs(&store_);
+  auto all = pubs.Refresh();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].venue, "CIDR");
+  EXPECT_EQ(pubs.ByAuthor("Halevy").size(), 1u);
+  EXPECT_TRUE(pubs.ByAuthor("Codd").empty());
+}
+
+TEST_F(AppsTest, SearchRanksRelevantSubjects) {
+  AnnotationSearch search(&store_);
+  auto hits = search.Search("structure chasm");
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].subject, "p1");
+  // A query matching many resources ranks the one matching more tokens
+  // first.
+  auto halevy = search.Search("Halevy");
+  ASSERT_GE(halevy.size(), 2u);  // person page + course + publication
+}
+
+TEST_F(AppsTest, SearchEmptyQuery) {
+  AnnotationSearch search(&store_);
+  EXPECT_TRUE(search.Search("").empty());
+  EXPECT_TRUE(search.Search("the of and").empty());  // all stopwords
+}
+
+TEST_F(AppsTest, SearchLimitRespected) {
+  AnnotationSearch search(&store_);
+  EXPECT_LE(search.Search("Halevy", 1).size(), 1u);
+}
+
+TEST_F(AppsTest, DepartmentSummaryIsAnnotatedAndRepublishable) {
+  // Strudel-style dynamic page generation (§2.3): the generated summary
+  // is itself an annotated MANGROVE page — publishing it into a second
+  // repository reconstructs the structured data.
+  std::string page = RenderDepartmentSummary(
+      store_, {ConflictResolution::kAny, ""}, "UW CSE");
+  EXPECT_NE(page.find("DBMS"), std::string::npos);
+  EXPECT_NE(page.find("Alon Halevy"), std::string::npos);
+  EXPECT_NE(page.find("m=\"course\""), std::string::npos);
+
+  rdf::TripleStore second;
+  Publisher republisher(&schema_, &second);
+  auto receipt = republisher.Publish("http://uw.edu/summary", page);
+  ASSERT_TRUE(receipt.ok());
+  CourseCalendar calendar(&second, {ConflictResolution::kAny, ""});
+  // Both courses survive the round trip (titles only: the summary page
+  // carries title spans inside each course block).
+  EXPECT_EQ(calendar.Refresh().size(), 2u);
+}
+
+TEST_F(AppsTest, SummaryEscapesMarkup) {
+  rdf::TripleStore store;
+  Publisher pub(&schema_, &store);
+  ASSERT_TRUE(pub.Publish("http://x",
+                          "<body><span m=\"course\" m-id=\"c\">"
+                          "<span m=\"title\">Logic &amp; Sets</span>"
+                          "</span></body>")
+                  .ok());
+  std::string page = RenderDepartmentSummary(
+      store, {ConflictResolution::kAny, ""}, "Math <Dept>");
+  EXPECT_NE(page.find("Logic &amp; Sets"), std::string::npos);
+  EXPECT_NE(page.find("Math &lt;Dept&gt;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace revere::mangrove

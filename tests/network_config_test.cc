@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/piazza/network_config.h"
+#include "src/piazza/pdms.h"
+#include "src/query/cq.h"
+
+namespace revere::piazza {
+namespace {
+
+constexpr char kConfig[] = R"(# Two-university federation
+peer uw
+peer mit
+
+stored uw course id title instructor
+stored mit subject id title instructor
+
+row uw course cse544 | Principles of DBMS | Alon Halevy
+row uw course cse403 | Software Engineering | Oren Etzioni
+row mit subject 6.830 | Database Systems | Sam Madden
+
+mapping uw-mit uw mit bidirectional
+  m(I, T, P) :- uw:course(I, T, P) => m(I, T, P) :- mit:subject(I, T, P)
+)";
+
+TEST(NetworkConfigTest, LoadBuildsWorkingNetwork) {
+  PdmsNetwork net;
+  ASSERT_TRUE(LoadNetworkConfig(kConfig, &net).ok());
+  EXPECT_EQ(net.peer_count(), 2u);
+  EXPECT_EQ(net.mappings().size(), 1u);
+  EXPECT_TRUE(net.mappings()[0].bidirectional);
+  // The loaded network answers transitively.
+  auto q = query::ConjunctiveQuery::Parse(
+      "q(I, T) :- mit:subject(I, T, P)");
+  ASSERT_TRUE(q.ok());
+  auto rows = net.Answer(q.value());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().size(), 3u);  // MIT's own + two UW courses
+}
+
+TEST(NetworkConfigTest, ValuesWithSpacesSurvive) {
+  PdmsNetwork net;
+  ASSERT_TRUE(LoadNetworkConfig(kConfig, &net).ok());
+  auto q = query::ConjunctiveQuery::Parse(
+      "q(I) :- uw:course(I, \"Principles of DBMS\", P)");
+  ASSERT_TRUE(q.ok());
+  auto rows = net.Answer(q.value());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 1u);
+  EXPECT_EQ(rows.value()[0][0].as_string(), "cse544");
+}
+
+TEST(NetworkConfigTest, SaveLoadRoundTrip) {
+  PdmsNetwork original;
+  ASSERT_TRUE(LoadNetworkConfig(kConfig, &original).ok());
+  std::string saved = SaveNetworkConfig(original);
+  PdmsNetwork reloaded;
+  ASSERT_TRUE(LoadNetworkConfig(saved, &reloaded).ok()) << saved;
+  EXPECT_EQ(SaveNetworkConfig(reloaded), saved);
+}
+
+TEST(NetworkConfigTest, Errors) {
+  PdmsNetwork net;
+  EXPECT_FALSE(LoadNetworkConfig("peer\n", &net).ok());
+  PdmsNetwork net2;
+  EXPECT_FALSE(LoadNetworkConfig("stored uw course\n", &net2).ok());
+  PdmsNetwork net3;
+  EXPECT_FALSE(
+      LoadNetworkConfig("row uw course a | b\n", &net3).ok());  // no table
+  PdmsNetwork net4;
+  EXPECT_FALSE(LoadNetworkConfig("mapping m a b\n", &net4).ok());  // no glav
+  PdmsNetwork net5;
+  EXPECT_FALSE(LoadNetworkConfig("frobnicate x\n", &net5).ok());
+  PdmsNetwork net6;
+  // Mapping referencing unknown peers fails at AddMapping.
+  EXPECT_FALSE(LoadNetworkConfig(
+                   "mapping m a b\n  m(X) :- a:r(X) => m(X) :- b:s(X)\n",
+                   &net6)
+                   .ok());
+}
+
+TEST(NetworkConfigTest, ArityMismatchOnRowRejected) {
+  PdmsNetwork net;
+  EXPECT_FALSE(LoadNetworkConfig(
+                   "peer uw\nstored uw course id title\n"
+                   "row uw course only-one-value\n",
+                   &net)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace revere::piazza

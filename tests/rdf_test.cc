@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/rdf/graph_query.h"
+#include "src/rdf/triple.h"
+#include "src/rdf/triple_store.h"
+
+namespace revere::rdf {
+namespace {
+
+TripleStore MakeDepartmentStore() {
+  TripleStore store;
+  auto add = [&](const std::string& s, const std::string& p,
+                 const std::string& o, const std::string& src) {
+    ASSERT_TRUE(store.Add(s, p, o, src).ok());
+  };
+  add("course/cse544", "rdf:type", "Course", "http://uw.edu/cse544");
+  add("course/cse544", "title", "Principles of DBMS", "http://uw.edu/cse544");
+  add("course/cse544", "instructor", "person/halevy", "http://uw.edu/cse544");
+  add("course/cse403", "rdf:type", "Course", "http://uw.edu/cse403");
+  add("course/cse403", "title", "Software Engineering",
+      "http://uw.edu/cse403");
+  add("course/cse403", "instructor", "person/etzioni", "http://uw.edu/cse403");
+  add("person/halevy", "rdf:type", "Person", "http://uw.edu/halevy");
+  add("person/halevy", "name", "Alon Halevy", "http://uw.edu/halevy");
+  add("person/halevy", "phone", "206-123", "http://uw.edu/halevy");
+  add("person/etzioni", "rdf:type", "Person", "http://uw.edu/etzioni");
+  add("person/etzioni", "name", "Oren Etzioni", "http://uw.edu/etzioni");
+  return store;
+}
+
+TEST(TripleStoreTest, AddAndSize) {
+  TripleStore store = MakeDepartmentStore();
+  EXPECT_EQ(store.size(), 11u);
+}
+
+TEST(TripleStoreTest, MatchBySubject) {
+  TripleStore store = MakeDepartmentStore();
+  auto ts = store.Match({"course/cse544", std::nullopt, std::nullopt});
+  EXPECT_EQ(ts.size(), 3u);
+}
+
+TEST(TripleStoreTest, MatchByPredicate) {
+  TripleStore store = MakeDepartmentStore();
+  EXPECT_EQ(store.Match({std::nullopt, "title", std::nullopt}).size(), 2u);
+}
+
+TEST(TripleStoreTest, MatchByObject) {
+  TripleStore store = MakeDepartmentStore();
+  EXPECT_EQ(store.Match({std::nullopt, std::nullopt, "Course"}).size(), 2u);
+}
+
+TEST(TripleStoreTest, MatchFullyBound) {
+  TripleStore store = MakeDepartmentStore();
+  EXPECT_EQ(store.Match({"person/halevy", "name", "Alon Halevy"}).size(), 1u);
+  EXPECT_EQ(store.Match({"person/halevy", "name", "Wrong"}).size(), 0u);
+}
+
+TEST(TripleStoreTest, MatchWildcardAll) {
+  TripleStore store = MakeDepartmentStore();
+  EXPECT_EQ(store.Match({std::nullopt, std::nullopt, std::nullopt}).size(),
+            11u);
+}
+
+TEST(TripleStoreTest, DuplicatesAllowed) {
+  TripleStore store;
+  ASSERT_TRUE(store.Add("s", "p", "o", "src").ok());
+  ASSERT_TRUE(store.Add("s", "p", "o", "src").ok());
+  EXPECT_EQ(store.size(), 2u);  // dirty data is legal (paper §2.3)
+}
+
+TEST(TripleStoreTest, RemoveSourceImplementsRepublish) {
+  TripleStore store = MakeDepartmentStore();
+  // Republishing a page first clears its old annotations.
+  EXPECT_EQ(store.RemoveSource("http://uw.edu/cse544"), 3u);
+  EXPECT_EQ(store.size(), 8u);
+  EXPECT_TRUE(
+      store.Match({"course/cse544", std::nullopt, std::nullopt}).empty());
+  // Index must still work after deletions (lazy rebuild path).
+  EXPECT_EQ(store.Match({std::nullopt, std::nullopt, "Course"}).size(), 1u);
+}
+
+TEST(TripleStoreTest, ObjectOfAndObjectsOf) {
+  TripleStore store = MakeDepartmentStore();
+  EXPECT_EQ(store.ObjectOf("person/halevy", "name").value(), "Alon Halevy");
+  EXPECT_FALSE(store.ObjectOf("person/halevy", "fax").has_value());
+  EXPECT_EQ(store.ObjectsOf("course/cse544", "instructor").size(), 1u);
+}
+
+TEST(TripleStoreTest, SubjectsWithPredicateDeduplicates) {
+  TripleStore store = MakeDepartmentStore();
+  auto subs = store.SubjectsWithPredicate("rdf:type");
+  EXPECT_EQ(subs.size(), 4u);
+}
+
+TEST(TermTest, Parse) {
+  EXPECT_TRUE(Term::Parse("?x").is_variable);
+  EXPECT_EQ(Term::Parse("?x").text, "x");
+  EXPECT_FALSE(Term::Parse("Course").is_variable);
+}
+
+TEST(GraphQueryTest, SinglePattern) {
+  TripleStore store = MakeDepartmentStore();
+  GraphQuery q;
+  q.Where("?c", "rdf:type", "Course");
+  auto results = q.Run(store);
+  EXPECT_EQ(results.size(), 2u);
+}
+
+TEST(GraphQueryTest, JoinAcrossPatterns) {
+  TripleStore store = MakeDepartmentStore();
+  // Courses with their instructor's display name — a two-hop join.
+  GraphQuery q;
+  q.Where("?c", "rdf:type", "Course")
+      .Where("?c", "instructor", "?p")
+      .Where("?p", "name", "?n");
+  auto results = q.Run(store);
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& b : results) {
+    EXPECT_TRUE(b.count("c"));
+    EXPECT_TRUE(b.count("n"));
+  }
+}
+
+TEST(GraphQueryTest, SelectProjectsAndDeduplicates) {
+  TripleStore store = MakeDepartmentStore();
+  GraphQuery q;
+  q.Where("?s", "rdf:type", "?t").Select({"t"});
+  auto results = q.Run(store);
+  EXPECT_EQ(results.size(), 2u);  // Course, Person
+}
+
+TEST(GraphQueryTest, SharedVariableConstrains) {
+  TripleStore store = MakeDepartmentStore();
+  // Who teaches cse544 AND has a phone?
+  GraphQuery q;
+  q.Where("course/cse544", "instructor", "?p").Where("?p", "phone", "?tel");
+  auto results = q.Run(store);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].at("tel"), "206-123");
+}
+
+TEST(GraphQueryTest, NoMatchesYieldsEmpty) {
+  TripleStore store = MakeDepartmentStore();
+  GraphQuery q;
+  q.Where("?p", "fax", "?f");
+  EXPECT_TRUE(q.Run(store).empty());
+}
+
+TEST(GraphQueryTest, EmptyQueryYieldsOneEmptyBinding) {
+  TripleStore store = MakeDepartmentStore();
+  GraphQuery q;
+  auto results = q.Run(store);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].empty());
+}
+
+TEST(GraphQueryTest, RepeatedVariableInOnePattern) {
+  TripleStore store;
+  ASSERT_TRUE(store.Add("a", "linksTo", "a").ok());
+  ASSERT_TRUE(store.Add("a", "linksTo", "b").ok());
+  GraphQuery q;
+  q.Where("?x", "linksTo", "?x");  // self-links only
+  auto results = q.Run(store);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].at("x"), "a");
+}
+
+}  // namespace
+}  // namespace revere::rdf

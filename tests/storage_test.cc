@@ -1,0 +1,334 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/storage/catalog.h"
+#include "src/storage/executor.h"
+#include "src/storage/schema.h"
+#include "src/storage/table.h"
+#include "src/storage/value.h"
+
+namespace revere::storage {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value().type(), ValueType::kNull);
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(true).type(), ValueType::kBool);
+  EXPECT_EQ(Value(int64_t{7}).type(), ValueType::kInt);
+  EXPECT_EQ(Value(3.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value("hi").type(), ValueType::kString);
+  EXPECT_EQ(Value("hi").as_string(), "hi");
+  EXPECT_EQ(Value(int64_t{7}).as_int(), 7);
+}
+
+TEST(ValueTest, OrderingWithinType) {
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_FALSE(Value("b") < Value("a"));
+}
+
+TEST(ValueTest, NumericCrossTypeOrdering) {
+  EXPECT_LT(Value(int64_t{1}), Value(1.5));
+  EXPECT_LT(Value(0.5), Value(int64_t{1}));
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value(), Value(int64_t{0}));
+  EXPECT_LT(Value(), Value(""));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value("x").ToString(), "x");
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value("abc").Hash(), Value("abc").Hash());
+  EXPECT_EQ(Value(int64_t{5}).Hash(), Value(int64_t{5}).Hash());
+  // Different types with "same" content should not collide by design.
+  EXPECT_NE(Value(int64_t{0}).Hash(), Value(false).Hash());
+}
+
+TEST(SchemaTest, ColumnIndexAndValidate) {
+  TableSchema s("course", {{"id", ValueType::kInt},
+                           {"title", ValueType::kString},
+                           {"size", ValueType::kInt}});
+  EXPECT_EQ(s.ColumnIndex("title").value(), 1u);
+  EXPECT_FALSE(s.ColumnIndex("nope").has_value());
+  EXPECT_TRUE(
+      s.ValidateRow({Value(int64_t{1}), Value("DB"), Value(int64_t{30})})
+          .ok());
+  // Wrong arity.
+  EXPECT_FALSE(s.ValidateRow({Value(int64_t{1})}).ok());
+  // Wrong type.
+  EXPECT_FALSE(
+      s.ValidateRow({Value("x"), Value("DB"), Value(int64_t{30})}).ok());
+  // Nulls allowed anywhere.
+  EXPECT_TRUE(s.ValidateRow({Value(), Value(), Value()}).ok());
+}
+
+TEST(SchemaTest, AllStringsAndToString) {
+  TableSchema s = TableSchema::AllStrings("t", {"a", "b"});
+  EXPECT_EQ(s.arity(), 2u);
+  EXPECT_EQ(s.ToString(), "t(a:STRING, b:STRING)");
+}
+
+Table MakeCourses() {
+  Table t(TableSchema("course", {{"id", ValueType::kInt},
+                                 {"title", ValueType::kString},
+                                 {"dept", ValueType::kString},
+                                 {"size", ValueType::kInt}}));
+  EXPECT_TRUE(t.Insert({Value(1), Value("Databases"), Value("CSE"),
+                        Value(120)})
+                  .ok());
+  EXPECT_TRUE(
+      t.Insert({Value(2), Value("Compilers"), Value("CSE"), Value(60)}).ok());
+  EXPECT_TRUE(
+      t.Insert({Value(3), Value("Ancient History"), Value("HIST"), Value(45)})
+          .ok());
+  EXPECT_TRUE(
+      t.Insert({Value(4), Value("Medieval History"), Value("HIST"),
+                Value(30)})
+          .ok());
+  return t;
+}
+
+TEST(TableTest, InsertValidatesSchema) {
+  Table t = MakeCourses();
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_FALSE(t.Insert({Value("bad"), Value("x"), Value("y"), Value(1)})
+                   .ok());
+}
+
+TEST(TableTest, IndexedLookup) {
+  Table t = MakeCourses();
+  ASSERT_TRUE(t.CreateIndex(2).ok());
+  EXPECT_TRUE(t.HasIndex(2));
+  auto rows = t.Lookup(2, Value("CSE"));
+  EXPECT_EQ(rows.size(), 2u);
+  EXPECT_EQ(t.Lookup(2, Value("MATH")).size(), 0u);
+}
+
+TEST(TableTest, UnindexedLookupScans) {
+  Table t = MakeCourses();
+  EXPECT_FALSE(t.HasIndex(1));
+  EXPECT_EQ(t.Lookup(1, Value("Compilers")).size(), 1u);
+}
+
+TEST(TableTest, IndexMaintainedAcrossInsert) {
+  Table t = MakeCourses();
+  ASSERT_TRUE(t.CreateIndex(2).ok());
+  ASSERT_TRUE(
+      t.Insert({Value(5), Value("Calculus"), Value("MATH"), Value(200)})
+          .ok());
+  EXPECT_EQ(t.Lookup(2, Value("MATH")).size(), 1u);
+}
+
+TEST(TableTest, DeleteAndReindex) {
+  Table t = MakeCourses();
+  ASSERT_TRUE(t.CreateIndex(2).ok());
+  Row victim{Value(2), Value("Compilers"), Value("CSE"), Value(60)};
+  ASSERT_TRUE(t.Delete(victim).ok());
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.Lookup(2, Value("CSE")).size(), 1u);
+  EXPECT_FALSE(t.Delete(victim).ok());  // already gone
+}
+
+TEST(TableTest, DeleteWhere) {
+  Table t = MakeCourses();
+  ASSERT_TRUE(t.CreateIndex(2).ok());
+  EXPECT_EQ(t.DeleteWhere(2, Value("HIST")), 2u);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_TRUE(t.Lookup(2, Value("HIST")).empty());
+}
+
+TEST(TableTest, CreateIndexOutOfRange) {
+  Table t = MakeCourses();
+  EXPECT_FALSE(t.CreateIndex(99).ok());
+}
+
+TEST(CatalogTest, CreateGetDrop) {
+  Catalog c;
+  auto created = c.CreateTable(TableSchema::AllStrings("t1", {"a"}));
+  ASSERT_TRUE(created.ok());
+  EXPECT_TRUE(c.HasTable("t1"));
+  EXPECT_FALSE(c.CreateTable(TableSchema::AllStrings("t1", {"a"})).ok());
+  EXPECT_TRUE(c.GetTable("t1").ok());
+  EXPECT_FALSE(c.GetTable("missing").ok());
+  EXPECT_TRUE(c.DropTable("t1").ok());
+  EXPECT_FALSE(c.DropTable("t1").ok());
+  EXPECT_EQ(c.table_count(), 0u);
+}
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    courses_ = std::make_unique<Table>(
+        TableSchema("course", {{"id", ValueType::kInt},
+                               {"title", ValueType::kString},
+                               {"dept", ValueType::kString},
+                               {"size", ValueType::kInt}}));
+    ASSERT_TRUE(courses_
+                    ->InsertAll({{Value(1), Value("Databases"), Value("CSE"),
+                                  Value(120)},
+                                 {Value(2), Value("Compilers"), Value("CSE"),
+                                  Value(60)},
+                                 {Value(3), Value("Ancient History"),
+                                  Value("HIST"), Value(45)}})
+                    .ok());
+    teaches_ = std::make_unique<Table>(TableSchema(
+        "teaches",
+        {{"course_id", ValueType::kInt}, {"prof", ValueType::kString}}));
+    ASSERT_TRUE(teaches_
+                    ->InsertAll({{Value(1), Value("Halevy")},
+                                 {Value(2), Value("Etzioni")},
+                                 {Value(3), Value("Doan")},
+                                 {Value(1), Value("Ives")}})
+                    .ok());
+  }
+
+  std::unique_ptr<Table> courses_;
+  std::unique_ptr<Table> teaches_;
+};
+
+TEST_F(ExecutorTest, ScanProducesAllRows) {
+  ScanOp scan(courses_.get());
+  auto rows = Collect(&scan);
+  EXPECT_EQ(rows.size(), 3u);
+  EXPECT_EQ(scan.output_columns(),
+            (std::vector<std::string>{"id", "title", "dept", "size"}));
+}
+
+TEST_F(ExecutorTest, FilterCompare) {
+  auto plan = FilterOp::Compare(std::make_unique<ScanOp>(courses_.get()), 3,
+                                CompareOp::kGt, Value(50));
+  auto rows = Collect(plan.get());
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, FilterLambda) {
+  FilterOp plan(std::make_unique<ScanOp>(courses_.get()), [](const Row& r) {
+    return r[2].as_string() == "HIST";
+  });
+  EXPECT_EQ(Collect(&plan).size(), 1u);
+}
+
+TEST_F(ExecutorTest, ProjectRenames) {
+  ProjectOp plan(std::make_unique<ScanOp>(courses_.get()), {1, 3},
+                 {"name", "enrollment"});
+  auto rows = Collect(&plan);
+  EXPECT_EQ(plan.output_columns(),
+            (std::vector<std::string>{"name", "enrollment"}));
+  EXPECT_EQ(rows[0].size(), 2u);
+  EXPECT_EQ(rows[0][0].as_string(), "Databases");
+}
+
+TEST_F(ExecutorTest, HashJoin) {
+  HashJoinOp join(std::make_unique<ScanOp>(courses_.get()),
+                  std::make_unique<ScanOp>(teaches_.get()), 0, 0);
+  auto rows = Collect(&join);
+  EXPECT_EQ(rows.size(), 4u);  // course 1 joins twice
+  for (const auto& r : rows) {
+    EXPECT_EQ(r.size(), 6u);
+    EXPECT_EQ(r[0], r[4]);  // join keys equal
+  }
+}
+
+TEST_F(ExecutorTest, JoinThenFilterThenProject) {
+  auto join = std::make_unique<HashJoinOp>(
+      std::make_unique<ScanOp>(courses_.get()),
+      std::make_unique<ScanOp>(teaches_.get()), 0, 0);
+  auto filter = FilterOp::Compare(std::move(join), 2, CompareOp::kEq,
+                                  Value("CSE"));
+  ProjectOp plan(std::move(filter), {1, 5}, {"title", "prof"});
+  auto rows = Collect(&plan);
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST_F(ExecutorTest, AggregateCountAndAvg) {
+  AggregateOp plan(
+      std::make_unique<ScanOp>(courses_.get()), {2},
+      {{AggFunc::kCount, 0, "n"}, {AggFunc::kAvg, 3, "avg_size"}});
+  auto rows = Collect(&plan);
+  ASSERT_EQ(rows.size(), 2u);
+  // Deterministic order: first group encountered first (CSE).
+  EXPECT_EQ(rows[0][0].as_string(), "CSE");
+  EXPECT_EQ(rows[0][1].as_int(), 2);
+  EXPECT_NEAR(rows[0][2].as_double(), 90.0, 1e-9);
+  EXPECT_EQ(rows[1][0].as_string(), "HIST");
+}
+
+TEST_F(ExecutorTest, AggregateMinMaxSumGlobal) {
+  AggregateOp plan(std::make_unique<ScanOp>(courses_.get()), {},
+                   {{AggFunc::kMin, 3, "min"},
+                    {AggFunc::kMax, 3, "max"},
+                    {AggFunc::kSum, 3, "sum"}});
+  auto rows = Collect(&plan);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].as_int(), 45);
+  EXPECT_EQ(rows[0][1].as_int(), 120);
+  EXPECT_NEAR(rows[0][2].as_double(), 225.0, 1e-9);
+}
+
+TEST_F(ExecutorTest, SortAscending) {
+  SortOp plan(std::make_unique<ScanOp>(courses_.get()), {3});
+  auto rows = Collect(&plan);
+  EXPECT_EQ(rows[0][3].as_int(), 45);
+  EXPECT_EQ(rows[2][3].as_int(), 120);
+}
+
+TEST_F(ExecutorTest, DistinctRemovesDuplicates) {
+  ProjectOp* inner = nullptr;
+  auto project =
+      std::make_unique<ProjectOp>(std::make_unique<ScanOp>(courses_.get()),
+                                  std::vector<size_t>{2});
+  inner = project.get();
+  (void)inner;
+  DistinctOp plan(std::move(project));
+  EXPECT_EQ(Collect(&plan).size(), 2u);
+}
+
+TEST_F(ExecutorTest, UnionAllConcatenates) {
+  std::vector<OperatorPtr> kids;
+  kids.push_back(std::make_unique<ScanOp>(courses_.get()));
+  kids.push_back(std::make_unique<ScanOp>(courses_.get()));
+  UnionAllOp plan(std::move(kids));
+  EXPECT_EQ(Collect(&plan).size(), 6u);
+}
+
+TEST_F(ExecutorTest, LimitTruncates) {
+  LimitOp plan(std::make_unique<ScanOp>(courses_.get()), 2);
+  EXPECT_EQ(Collect(&plan).size(), 2u);
+  LimitOp zero(std::make_unique<ScanOp>(courses_.get()), 0);
+  EXPECT_EQ(Collect(&zero).size(), 0u);
+}
+
+TEST_F(ExecutorTest, IndexLookupOp) {
+  ASSERT_TRUE(courses_->CreateIndex(2).ok());
+  IndexLookupOp plan(courses_.get(), 2, Value("CSE"));
+  EXPECT_EQ(Collect(&plan).size(), 2u);
+}
+
+TEST_F(ExecutorTest, ReopenRestartsStream) {
+  ScanOp scan(courses_.get());
+  EXPECT_EQ(Collect(&scan).size(), 3u);
+  EXPECT_EQ(Collect(&scan).size(), 3u);  // Collect re-opens
+}
+
+TEST(EvalCompareTest, AllOps) {
+  Value a(int64_t{1}), b(int64_t{2});
+  EXPECT_TRUE(EvalCompare(a, CompareOp::kLt, b));
+  EXPECT_TRUE(EvalCompare(a, CompareOp::kLe, a));
+  EXPECT_TRUE(EvalCompare(b, CompareOp::kGt, a));
+  EXPECT_TRUE(EvalCompare(b, CompareOp::kGe, b));
+  EXPECT_TRUE(EvalCompare(a, CompareOp::kEq, a));
+  EXPECT_TRUE(EvalCompare(a, CompareOp::kNe, b));
+}
+
+}  // namespace
+}  // namespace revere::storage

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/text/similarity.h"
+#include "src/text/stemmer.h"
+#include "src/text/synonyms.h"
+#include "src/text/tfidf.h"
+#include "src/text/tokenizer.h"
+
+namespace revere::text {
+namespace {
+
+TEST(TokenizerTest, TextBasic) {
+  EXPECT_EQ(TokenizeText("Intro to Ancient History, CSE-101!"),
+            (std::vector<std::string>{"intro", "to", "ancient", "history",
+                                      "cse", "101"}));
+  EXPECT_TRUE(TokenizeText("").empty());
+  EXPECT_TRUE(TokenizeText("  ,.;  ").empty());
+}
+
+TEST(TokenizerTest, IdentifierCamelCase) {
+  EXPECT_EQ(TokenizeIdentifier("courseTitle"),
+            (std::vector<std::string>{"course", "title"}));
+  EXPECT_EQ(TokenizeIdentifier("CourseTitle"),
+            (std::vector<std::string>{"course", "title"}));
+}
+
+TEST(TokenizerTest, IdentifierSnakeAndDash) {
+  EXPECT_EQ(TokenizeIdentifier("course_title"),
+            (std::vector<std::string>{"course", "title"}));
+  EXPECT_EQ(TokenizeIdentifier("course-title"),
+            (std::vector<std::string>{"course", "title"}));
+  EXPECT_EQ(TokenizeIdentifier("course.title"),
+            (std::vector<std::string>{"course", "title"}));
+}
+
+TEST(TokenizerTest, IdentifierDigitsAndAcronyms) {
+  EXPECT_EQ(TokenizeIdentifier("courseTitle_v2"),
+            (std::vector<std::string>{"course", "title", "v", "2"}));
+  EXPECT_EQ(TokenizeIdentifier("XMLFile"),
+            (std::vector<std::string>{"xml", "file"}));
+  EXPECT_EQ(TokenizeIdentifier("cse101"),
+            (std::vector<std::string>{"cse", "101"}));
+}
+
+TEST(TokenizerTest, Stopwords) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_FALSE(IsStopword("course"));
+  EXPECT_EQ(ContentTokens("the name of the course"),
+            (std::vector<std::string>{"name", "course"}));
+}
+
+TEST(StemmerTest, ClassicExamples) {
+  EXPECT_EQ(PorterStem("caresses"), "caress");
+  EXPECT_EQ(PorterStem("ponies"), "poni");
+  EXPECT_EQ(PorterStem("cats"), "cat");
+  EXPECT_EQ(PorterStem("feed"), "feed");
+  EXPECT_EQ(PorterStem("agreed"), "agre");
+  EXPECT_EQ(PorterStem("plastered"), "plaster");
+  EXPECT_EQ(PorterStem("motoring"), "motor");
+  EXPECT_EQ(PorterStem("sing"), "sing");
+  EXPECT_EQ(PorterStem("conflated"), "conflat");
+  EXPECT_EQ(PorterStem("troubled"), "troubl");
+  EXPECT_EQ(PorterStem("sized"), "size");
+  EXPECT_EQ(PorterStem("hopping"), "hop");
+  EXPECT_EQ(PorterStem("falling"), "fall");
+  EXPECT_EQ(PorterStem("hissing"), "hiss");
+  EXPECT_EQ(PorterStem("happy"), "happi");
+  EXPECT_EQ(PorterStem("relational"), "relat");
+  EXPECT_EQ(PorterStem("rational"), "ration");
+  EXPECT_EQ(PorterStem("digitizer"), "digit");
+  EXPECT_EQ(PorterStem("operator"), "oper");
+  EXPECT_EQ(PorterStem("triplicate"), "triplic");
+  EXPECT_EQ(PorterStem("hopeful"), "hope");
+  EXPECT_EQ(PorterStem("goodness"), "good");
+  EXPECT_EQ(PorterStem("revival"), "reviv");
+  EXPECT_EQ(PorterStem("adjustable"), "adjust");
+  EXPECT_EQ(PorterStem("adoption"), "adopt");
+  EXPECT_EQ(PorterStem("probate"), "probat");
+  EXPECT_EQ(PorterStem("rate"), "rate");
+  EXPECT_EQ(PorterStem("cease"), "ceas");
+  EXPECT_EQ(PorterStem("controll"), "control");
+}
+
+TEST(StemmerTest, DomainWordsFold) {
+  // The property corpus statistics rely on: morphological variants of a
+  // schema term share a stem.
+  EXPECT_EQ(PorterStem("course"), PorterStem("courses"));
+  EXPECT_EQ(PorterStem("instructor"), PorterStem("instructors"));
+  EXPECT_EQ(PorterStem("enrollment"), PorterStem("enrollments"));
+  EXPECT_EQ(PorterStem("teaching"), PorterStem("teaches"));
+}
+
+TEST(StemmerTest, ShortWordsUntouched) {
+  EXPECT_EQ(PorterStem("a"), "a");
+  EXPECT_EQ(PorterStem("is"), "is");
+  EXPECT_EQ(PorterStem(""), "");
+}
+
+TEST(SynonymsTest, GroupsAndCanonical) {
+  SynonymTable t;
+  t.AddGroup({"course", "class"});
+  EXPECT_TRUE(t.AreSynonyms("course", "class"));
+  EXPECT_TRUE(t.AreSynonyms("Course", "CLASS"));
+  EXPECT_FALSE(t.AreSynonyms("course", "instructor"));
+  EXPECT_EQ(t.Canonical("course"), t.Canonical("class"));
+  EXPECT_EQ(t.Canonical("unknown"), "unknown");
+}
+
+TEST(SynonymsTest, TransitiveMerge) {
+  SynonymTable t;
+  t.AddGroup({"a", "b"});
+  t.AddGroup({"b", "c"});
+  EXPECT_TRUE(t.AreSynonyms("a", "c"));
+  EXPECT_EQ(t.Group("a").size(), 3u);
+}
+
+TEST(SynonymsTest, InterLanguageDictionary) {
+  // §3's example: the University of Rome's schema uses Italian terms;
+  // the default table bridges them (and German/French) to English.
+  SynonymTable t = SynonymTable::UniversityDomainDefaults();
+  EXPECT_TRUE(t.AreSynonyms("corso", "course"));
+  EXPECT_TRUE(t.AreSynonyms("corso", "kurs"));
+  EXPECT_TRUE(t.AreSynonyms("docente", "professor"));
+  EXPECT_TRUE(t.AreSynonyms("titolo", "title"));
+}
+
+TEST(SynonymsTest, DefaultsCoverPaperVocabulary) {
+  SynonymTable t = SynonymTable::UniversityDomainDefaults();
+  // Figure 3 uses both "size" (Berkeley) and "enrollment" (MIT) for the
+  // same concept; the default table must bridge them.
+  EXPECT_TRUE(t.AreSynonyms("size", "enrollment"));
+  EXPECT_TRUE(t.AreSynonyms("course", "subject"));
+  EXPECT_TRUE(t.AreSynonyms("instructor", "professor"));
+}
+
+TEST(TfIdfTest, IdfOrdersByRarity) {
+  TfIdfModel model;
+  model.AddDocument({"course", "title", "instructor"});
+  model.AddDocument({"course", "room"});
+  model.AddDocument({"course", "schedule"});
+  EXPECT_LT(model.Idf("course"), model.Idf("room"));
+  EXPECT_EQ(model.document_count(), 3u);
+  EXPECT_EQ(model.vocabulary_size(), 5u);
+}
+
+TEST(TfIdfTest, VectorizeIsNormalized) {
+  TfIdfModel model;
+  model.AddDocument({"a", "b"});
+  model.AddDocument({"a", "c"});
+  SparseVector v = model.Vectorize({"a", "b", "b"});
+  double norm = 0.0;
+  for (const auto& [t, w] : v) norm += w * w;
+  EXPECT_NEAR(norm, 1.0, 1e-9);
+}
+
+TEST(TfIdfTest, CosineProperties) {
+  SparseVector a{{"x", 1.0}, {"y", 2.0}};
+  SparseVector b{{"x", 1.0}, {"y", 2.0}};
+  SparseVector c{{"z", 3.0}};
+  EXPECT_NEAR(CosineSimilarity(a, b), 1.0, 1e-9);
+  EXPECT_NEAR(CosineSimilarity(a, c), 0.0, 1e-9);
+  EXPECT_NEAR(CosineSimilarity(a, SparseVector{}), 0.0, 1e-9);
+  // Symmetry.
+  SparseVector d{{"x", 2.0}, {"z", 1.0}};
+  EXPECT_NEAR(CosineSimilarity(a, d), CosineSimilarity(d, a), 1e-12);
+}
+
+TEST(SimilarityTest, EditDistance) {
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0u);
+  EXPECT_EQ(EditDistance("course", "courses"), 1u);
+}
+
+TEST(SimilarityTest, EditSimilarityRange) {
+  EXPECT_NEAR(EditSimilarity("", ""), 1.0, 1e-9);
+  EXPECT_NEAR(EditSimilarity("abc", "abc"), 1.0, 1e-9);
+  EXPECT_NEAR(EditSimilarity("abc", "xyz"), 0.0, 1e-9);
+}
+
+TEST(SimilarityTest, Jaccard) {
+  EXPECT_NEAR(JaccardSimilarity({"a", "b"}, {"b", "c"}), 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(JaccardSimilarity({}, {}), 1.0, 1e-9);
+  EXPECT_NEAR(JaccardSimilarity({"a"}, {}), 0.0, 1e-9);
+}
+
+TEST(SimilarityTest, NGramCatchesAbbreviation) {
+  EXPECT_GT(NGramSimilarity("enrollment", "enroll"), 0.4);
+  EXPECT_LT(NGramSimilarity("enrollment", "zzz"), 0.05);
+}
+
+TEST(SimilarityTest, NameSimilarityExactAndVariants) {
+  EXPECT_NEAR(NameSimilarity("courseTitle", "CourseTitle"), 1.0, 1e-9);
+  EXPECT_NEAR(NameSimilarity("course_title", "courseTitle"), 1.0, 1e-9);
+  // Stemming folds plural.
+  EXPECT_NEAR(NameSimilarity("courses", "course"), 1.0, 1e-9);
+}
+
+TEST(SimilarityTest, NameSimilarityUsesSynonyms) {
+  SynonymTable table = SynonymTable::UniversityDomainDefaults();
+  NameSimilarityOptions with{.use_stemming = true,
+                             .use_synonyms = true,
+                             .synonyms = &table};
+  NameSimilarityOptions without{.use_stemming = true,
+                                .use_synonyms = false,
+                                .synonyms = nullptr};
+  double s_with = NameSimilarity("size", "enrollment", with);
+  double s_without = NameSimilarity("size", "enrollment", without);
+  EXPECT_GT(s_with, 0.69);
+  EXPECT_LT(s_without, 0.3);
+}
+
+TEST(SimilarityTest, NameSimilarityOrdersSensibly) {
+  // A related name should score above an unrelated one.
+  double related = NameSimilarity("instructor_name", "instructorName");
+  double unrelated = NameSimilarity("instructor_name", "room_number");
+  EXPECT_GT(related, unrelated);
+}
+
+}  // namespace
+}  // namespace revere::text
