@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_annotation_store.dir/bench_annotation_store.cc.o"
+  "CMakeFiles/bench_annotation_store.dir/bench_annotation_store.cc.o.d"
+  "bench_annotation_store"
+  "bench_annotation_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_annotation_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_instant_gratification.dir/bench_instant_gratification.cc.o"
+  "CMakeFiles/bench_instant_gratification.dir/bench_instant_gratification.cc.o.d"
+  "bench_instant_gratification"
+  "bench_instant_gratification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_instant_gratification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

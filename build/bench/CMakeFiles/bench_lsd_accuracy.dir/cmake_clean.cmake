@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lsd_accuracy.dir/bench_lsd_accuracy.cc.o"
+  "CMakeFiles/bench_lsd_accuracy.dir/bench_lsd_accuracy.cc.o.d"
+  "bench_lsd_accuracy"
+  "bench_lsd_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lsd_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

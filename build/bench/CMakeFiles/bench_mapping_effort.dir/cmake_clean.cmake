@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mapping_effort.dir/bench_mapping_effort.cc.o"
+  "CMakeFiles/bench_mapping_effort.dir/bench_mapping_effort.cc.o.d"
+  "bench_mapping_effort"
+  "bench_mapping_effort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mapping_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

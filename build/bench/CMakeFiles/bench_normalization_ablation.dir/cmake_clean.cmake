@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_normalization_ablation.dir/bench_normalization_ablation.cc.o"
+  "CMakeFiles/bench_normalization_ablation.dir/bench_normalization_ablation.cc.o.d"
+  "bench_normalization_ablation"
+  "bench_normalization_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_normalization_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

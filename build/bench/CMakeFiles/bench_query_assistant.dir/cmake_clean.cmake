@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_assistant.dir/bench_query_assistant.cc.o"
+  "CMakeFiles/bench_query_assistant.dir/bench_query_assistant.cc.o.d"
+  "bench_query_assistant"
+  "bench_query_assistant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_assistant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

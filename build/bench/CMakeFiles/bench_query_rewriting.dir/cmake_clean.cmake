@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_rewriting.dir/bench_query_rewriting.cc.o"
+  "CMakeFiles/bench_query_rewriting.dir/bench_query_rewriting.cc.o.d"
+  "bench_query_rewriting"
+  "bench_query_rewriting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_rewriting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

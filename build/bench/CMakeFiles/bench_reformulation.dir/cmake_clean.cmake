@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reformulation.dir/bench_reformulation.cc.o"
+  "CMakeFiles/bench_reformulation.dir/bench_reformulation.cc.o.d"
+  "bench_reformulation"
+  "bench_reformulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reformulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_updategrams.dir/bench_updategrams.cc.o"
+  "CMakeFiles/bench_updategrams.dir/bench_updategrams.cc.o.d"
+  "bench_updategrams"
+  "bench_updategrams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_updategrams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_view_placement.dir/bench_view_placement.cc.o"
+  "CMakeFiles/bench_view_placement.dir/bench_view_placement.cc.o.d"
+  "bench_view_placement"
+  "bench_view_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_view_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

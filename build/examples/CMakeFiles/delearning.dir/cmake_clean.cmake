@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delearning.dir/delearning.cpp.o"
+  "CMakeFiles/delearning.dir/delearning.cpp.o.d"
+  "delearning"
+  "delearning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delearning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

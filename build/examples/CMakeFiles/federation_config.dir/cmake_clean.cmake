@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federation_config.dir/federation_config.cpp.o"
+  "CMakeFiles/federation_config.dir/federation_config.cpp.o.d"
+  "federation_config"
+  "federation_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federation_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_matching_tour.dir/schema_matching_tour.cpp.o"
+  "CMakeFiles/schema_matching_tour.dir/schema_matching_tour.cpp.o.d"
+  "schema_matching_tour"
+  "schema_matching_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_matching_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,74 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/advisor/design_advisor.cc" "src/CMakeFiles/revere.dir/advisor/design_advisor.cc.o" "gcc" "src/CMakeFiles/revere.dir/advisor/design_advisor.cc.o.d"
+  "/root/repo/src/advisor/mapping_synthesis.cc" "src/CMakeFiles/revere.dir/advisor/mapping_synthesis.cc.o" "gcc" "src/CMakeFiles/revere.dir/advisor/mapping_synthesis.cc.o.d"
+  "/root/repo/src/advisor/matcher.cc" "src/CMakeFiles/revere.dir/advisor/matcher.cc.o" "gcc" "src/CMakeFiles/revere.dir/advisor/matcher.cc.o.d"
+  "/root/repo/src/advisor/query_assistant.cc" "src/CMakeFiles/revere.dir/advisor/query_assistant.cc.o" "gcc" "src/CMakeFiles/revere.dir/advisor/query_assistant.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/revere.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/revere.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/revere.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/revere.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/revere.dir/common/status.cc.o" "gcc" "src/CMakeFiles/revere.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/revere.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/revere.dir/common/strings.cc.o.d"
+  "/root/repo/src/core/revere.cc" "src/CMakeFiles/revere.dir/core/revere.cc.o" "gcc" "src/CMakeFiles/revere.dir/core/revere.cc.o.d"
+  "/root/repo/src/corpus/corpus.cc" "src/CMakeFiles/revere.dir/corpus/corpus.cc.o" "gcc" "src/CMakeFiles/revere.dir/corpus/corpus.cc.o.d"
+  "/root/repo/src/corpus/serialization.cc" "src/CMakeFiles/revere.dir/corpus/serialization.cc.o" "gcc" "src/CMakeFiles/revere.dir/corpus/serialization.cc.o.d"
+  "/root/repo/src/corpus/statistics.cc" "src/CMakeFiles/revere.dir/corpus/statistics.cc.o" "gcc" "src/CMakeFiles/revere.dir/corpus/statistics.cc.o.d"
+  "/root/repo/src/datagen/topology.cc" "src/CMakeFiles/revere.dir/datagen/topology.cc.o" "gcc" "src/CMakeFiles/revere.dir/datagen/topology.cc.o.d"
+  "/root/repo/src/datagen/university.cc" "src/CMakeFiles/revere.dir/datagen/university.cc.o" "gcc" "src/CMakeFiles/revere.dir/datagen/university.cc.o.d"
+  "/root/repo/src/html/annotation.cc" "src/CMakeFiles/revere.dir/html/annotation.cc.o" "gcc" "src/CMakeFiles/revere.dir/html/annotation.cc.o.d"
+  "/root/repo/src/html/parser.cc" "src/CMakeFiles/revere.dir/html/parser.cc.o" "gcc" "src/CMakeFiles/revere.dir/html/parser.cc.o.d"
+  "/root/repo/src/learn/context_learner.cc" "src/CMakeFiles/revere.dir/learn/context_learner.cc.o" "gcc" "src/CMakeFiles/revere.dir/learn/context_learner.cc.o.d"
+  "/root/repo/src/learn/format_learner.cc" "src/CMakeFiles/revere.dir/learn/format_learner.cc.o" "gcc" "src/CMakeFiles/revere.dir/learn/format_learner.cc.o.d"
+  "/root/repo/src/learn/learner.cc" "src/CMakeFiles/revere.dir/learn/learner.cc.o" "gcc" "src/CMakeFiles/revere.dir/learn/learner.cc.o.d"
+  "/root/repo/src/learn/multi_strategy.cc" "src/CMakeFiles/revere.dir/learn/multi_strategy.cc.o" "gcc" "src/CMakeFiles/revere.dir/learn/multi_strategy.cc.o.d"
+  "/root/repo/src/learn/naive_bayes.cc" "src/CMakeFiles/revere.dir/learn/naive_bayes.cc.o" "gcc" "src/CMakeFiles/revere.dir/learn/naive_bayes.cc.o.d"
+  "/root/repo/src/learn/name_learner.cc" "src/CMakeFiles/revere.dir/learn/name_learner.cc.o" "gcc" "src/CMakeFiles/revere.dir/learn/name_learner.cc.o.d"
+  "/root/repo/src/mangrove/annotator.cc" "src/CMakeFiles/revere.dir/mangrove/annotator.cc.o" "gcc" "src/CMakeFiles/revere.dir/mangrove/annotator.cc.o.d"
+  "/root/repo/src/mangrove/apps.cc" "src/CMakeFiles/revere.dir/mangrove/apps.cc.o" "gcc" "src/CMakeFiles/revere.dir/mangrove/apps.cc.o.d"
+  "/root/repo/src/mangrove/cleaning.cc" "src/CMakeFiles/revere.dir/mangrove/cleaning.cc.o" "gcc" "src/CMakeFiles/revere.dir/mangrove/cleaning.cc.o.d"
+  "/root/repo/src/mangrove/export.cc" "src/CMakeFiles/revere.dir/mangrove/export.cc.o" "gcc" "src/CMakeFiles/revere.dir/mangrove/export.cc.o.d"
+  "/root/repo/src/mangrove/publisher.cc" "src/CMakeFiles/revere.dir/mangrove/publisher.cc.o" "gcc" "src/CMakeFiles/revere.dir/mangrove/publisher.cc.o.d"
+  "/root/repo/src/mangrove/schema.cc" "src/CMakeFiles/revere.dir/mangrove/schema.cc.o" "gcc" "src/CMakeFiles/revere.dir/mangrove/schema.cc.o.d"
+  "/root/repo/src/piazza/network_config.cc" "src/CMakeFiles/revere.dir/piazza/network_config.cc.o" "gcc" "src/CMakeFiles/revere.dir/piazza/network_config.cc.o.d"
+  "/root/repo/src/piazza/pdms.cc" "src/CMakeFiles/revere.dir/piazza/pdms.cc.o" "gcc" "src/CMakeFiles/revere.dir/piazza/pdms.cc.o.d"
+  "/root/repo/src/piazza/peer.cc" "src/CMakeFiles/revere.dir/piazza/peer.cc.o" "gcc" "src/CMakeFiles/revere.dir/piazza/peer.cc.o.d"
+  "/root/repo/src/piazza/placement.cc" "src/CMakeFiles/revere.dir/piazza/placement.cc.o" "gcc" "src/CMakeFiles/revere.dir/piazza/placement.cc.o.d"
+  "/root/repo/src/piazza/views.cc" "src/CMakeFiles/revere.dir/piazza/views.cc.o" "gcc" "src/CMakeFiles/revere.dir/piazza/views.cc.o.d"
+  "/root/repo/src/piazza/xml_mapping.cc" "src/CMakeFiles/revere.dir/piazza/xml_mapping.cc.o" "gcc" "src/CMakeFiles/revere.dir/piazza/xml_mapping.cc.o.d"
+  "/root/repo/src/query/containment.cc" "src/CMakeFiles/revere.dir/query/containment.cc.o" "gcc" "src/CMakeFiles/revere.dir/query/containment.cc.o.d"
+  "/root/repo/src/query/cq.cc" "src/CMakeFiles/revere.dir/query/cq.cc.o" "gcc" "src/CMakeFiles/revere.dir/query/cq.cc.o.d"
+  "/root/repo/src/query/evaluate.cc" "src/CMakeFiles/revere.dir/query/evaluate.cc.o" "gcc" "src/CMakeFiles/revere.dir/query/evaluate.cc.o.d"
+  "/root/repo/src/query/glav.cc" "src/CMakeFiles/revere.dir/query/glav.cc.o" "gcc" "src/CMakeFiles/revere.dir/query/glav.cc.o.d"
+  "/root/repo/src/query/rewrite.cc" "src/CMakeFiles/revere.dir/query/rewrite.cc.o" "gcc" "src/CMakeFiles/revere.dir/query/rewrite.cc.o.d"
+  "/root/repo/src/query/unfold.cc" "src/CMakeFiles/revere.dir/query/unfold.cc.o" "gcc" "src/CMakeFiles/revere.dir/query/unfold.cc.o.d"
+  "/root/repo/src/rdf/graph_query.cc" "src/CMakeFiles/revere.dir/rdf/graph_query.cc.o" "gcc" "src/CMakeFiles/revere.dir/rdf/graph_query.cc.o.d"
+  "/root/repo/src/rdf/triple_store.cc" "src/CMakeFiles/revere.dir/rdf/triple_store.cc.o" "gcc" "src/CMakeFiles/revere.dir/rdf/triple_store.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/revere.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/revere.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/executor.cc" "src/CMakeFiles/revere.dir/storage/executor.cc.o" "gcc" "src/CMakeFiles/revere.dir/storage/executor.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/revere.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/revere.dir/storage/schema.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/revere.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/revere.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/CMakeFiles/revere.dir/storage/value.cc.o" "gcc" "src/CMakeFiles/revere.dir/storage/value.cc.o.d"
+  "/root/repo/src/text/similarity.cc" "src/CMakeFiles/revere.dir/text/similarity.cc.o" "gcc" "src/CMakeFiles/revere.dir/text/similarity.cc.o.d"
+  "/root/repo/src/text/stemmer.cc" "src/CMakeFiles/revere.dir/text/stemmer.cc.o" "gcc" "src/CMakeFiles/revere.dir/text/stemmer.cc.o.d"
+  "/root/repo/src/text/synonyms.cc" "src/CMakeFiles/revere.dir/text/synonyms.cc.o" "gcc" "src/CMakeFiles/revere.dir/text/synonyms.cc.o.d"
+  "/root/repo/src/text/tfidf.cc" "src/CMakeFiles/revere.dir/text/tfidf.cc.o" "gcc" "src/CMakeFiles/revere.dir/text/tfidf.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/revere.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/revere.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/xml/dtd.cc" "src/CMakeFiles/revere.dir/xml/dtd.cc.o" "gcc" "src/CMakeFiles/revere.dir/xml/dtd.cc.o.d"
+  "/root/repo/src/xml/node.cc" "src/CMakeFiles/revere.dir/xml/node.cc.o" "gcc" "src/CMakeFiles/revere.dir/xml/node.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "src/CMakeFiles/revere.dir/xml/parser.cc.o" "gcc" "src/CMakeFiles/revere.dir/xml/parser.cc.o.d"
+  "/root/repo/src/xml/path.cc" "src/CMakeFiles/revere.dir/xml/path.cc.o" "gcc" "src/CMakeFiles/revere.dir/xml/path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

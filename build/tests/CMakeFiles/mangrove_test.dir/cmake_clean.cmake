@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mangrove_test.dir/mangrove_test.cc.o"
+  "CMakeFiles/mangrove_test.dir/mangrove_test.cc.o.d"
+  "mangrove_test"
+  "mangrove_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mangrove_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

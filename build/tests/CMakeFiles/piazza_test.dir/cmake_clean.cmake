@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piazza_test.dir/piazza_test.cc.o"
+  "CMakeFiles/piazza_test.dir/piazza_test.cc.o.d"
+  "piazza_test"
+  "piazza_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piazza_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
