@@ -1,0 +1,194 @@
+// Experiment R1: fault-tolerant query answering on the Figure-2
+// six-university PDMS.
+//
+// Sweeps the peer failure rate from 0% to 50% and measures answer
+// completeness and simulated latency under three policies:
+//
+//   fail-fast            — any unreachable peer aborts the answer
+//   best-effort          — skip rewritings touching dead peers
+//   best-effort + retry  — 4 attempts, exponential backoff
+//
+// Predicted shape (recorded in EXPERIMENTS.md): fail-fast returns
+// kUnavailable at any nonzero permanent-failure rate; best-effort
+// completeness degrades smoothly and monotonically (each down peer
+// costs exactly its share of the inventory, never wrong rows); under
+// purely *transient* (flaky) failures, retries restore >=90%
+// completeness at a bounded simulated-latency cost.
+//
+// Every run is deterministic: failures are drawn from a seeded
+// FaultInjector and all time is simulated through NetworkCostModel, so
+// counters are byte-identical across runs with the same seed.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/datagen/topology.h"
+#include "src/piazza/fault.h"
+#include "src/piazza/pdms.h"
+#include "src/query/cq.h"
+
+namespace {
+
+using revere::datagen::AllCoursesQuery;
+using revere::datagen::BuildUniversityPdms;
+using revere::datagen::PdmsGenOptions;
+using revere::datagen::PdmsGenReport;
+using revere::datagen::Topology;
+using revere::piazza::ExecutionStats;
+using revere::piazza::FailurePolicy;
+using revere::piazza::FaultInjector;
+using revere::piazza::FaultMode;
+using revere::piazza::NetworkCostModel;
+using revere::piazza::PdmsNetwork;
+using revere::piazza::PeerFault;
+using revere::StatusCode;
+
+constexpr uint64_t kFaultSeed = 4242;
+
+struct FaultFixture {
+  FaultFixture() {
+    PdmsGenOptions options;
+    options.topology = Topology::kFigure2;
+    options.rows_per_peer = 200;
+    options.seed = 2003;
+    auto r = BuildUniversityPdms(&net, options);
+    if (r.ok()) report = r.value();
+  }
+  PdmsNetwork net;
+  PdmsGenReport report;
+};
+
+FaultFixture& Fixture() {
+  static FaultFixture* fixture = new FaultFixture();
+  return *fixture;
+}
+
+/// Peers other than the querying peer (index 0) — the candidates for
+/// failure injection.
+std::vector<std::string> RemotePeers(const FaultFixture& f) {
+  return {f.report.peer_names.begin() + 1, f.report.peer_names.end()};
+}
+
+struct RunResult {
+  StatusCode code = StatusCode::kOk;
+  size_t answers = 0;
+  ExecutionStats stats;
+};
+
+/// One deterministic Answer at peer 0. A fresh injector per call (same
+/// seed) keeps every invocation — and every benchmark iteration —
+/// byte-identical.
+RunResult RunOnce(FaultFixture& f, double rate, FaultMode mode,
+                  FailurePolicy policy, int max_attempts) {
+  FaultInjector inj(kFaultSeed);
+  std::vector<std::string> remote = RemotePeers(f);
+  if (mode == FaultMode::kDown) {
+    // Deterministic failure *count* — round(rate * 5) peers down; the
+    // shared seed makes the down-sets nested across rates, so the
+    // completeness sweep is exactly monotone.
+    inj.InjectFraction(remote, rate, PeerFault{FaultMode::kDown, 0.0, 0.0});
+  } else {
+    // Transient: every remote peer drops each contact with prob `rate`.
+    for (const auto& peer : remote) inj.SetFlaky(peer, rate);
+  }
+  NetworkCostModel cost;
+  cost.faults = &inj;
+  cost.failure_policy = policy;
+  cost.retry.max_attempts = max_attempts;
+  cost.retry.base_backoff_ms = 1.0;
+  cost.retry.deadline_ms = 50.0;
+
+  RunResult result;
+  auto rows = f.net.Answer(AllCoursesQuery(f.report, 0), {}, &result.stats,
+                           cost);
+  result.code = rows.ok() ? StatusCode::kOk : rows.status().code();
+  result.answers = rows.ok() ? rows.value().size() : 0;
+  return result;
+}
+
+void ReportCounters(benchmark::State& state, FaultFixture& f,
+                    const RunResult& r) {
+  state.counters["completeness"] =
+      static_cast<double>(r.answers) / static_cast<double>(f.report.total_rows);
+  state.counters["unavailable"] = r.code == StatusCode::kOk ? 0.0 : 1.0;
+  state.counters["skipped"] =
+      static_cast<double>(r.stats.completeness.rewritings_skipped);
+  state.counters["retries"] =
+      static_cast<double>(r.stats.completeness.retries_attempted);
+  state.counters["simulated_net_ms"] = r.stats.simulated_network_ms;
+  state.counters["backoff_ms"] = r.stats.completeness.backoff_ms;
+  state.counters["unreachable_peers"] =
+      static_cast<double>(r.stats.completeness.unreachable_peers.size());
+}
+
+/// arg0: permanent-failure rate in tenths (0..5 -> 0%..50%).
+void BM_Fault_PermanentFailFast(benchmark::State& state) {
+  FaultFixture& f = Fixture();
+  double rate = static_cast<double>(state.range(0)) / 10.0;
+  RunResult r;
+  for (auto _ : state) {
+    r = RunOnce(f, rate, FaultMode::kDown, FailurePolicy::kFailFast, 1);
+    benchmark::DoNotOptimize(r.answers);
+  }
+  ReportCounters(state, f, r);
+}
+BENCHMARK(BM_Fault_PermanentFailFast)->DenseRange(0, 5, 1);
+
+void BM_Fault_PermanentBestEffort(benchmark::State& state) {
+  FaultFixture& f = Fixture();
+  double rate = static_cast<double>(state.range(0)) / 10.0;
+  RunResult r;
+  for (auto _ : state) {
+    r = RunOnce(f, rate, FaultMode::kDown, FailurePolicy::kBestEffort, 1);
+    benchmark::DoNotOptimize(r.answers);
+  }
+  ReportCounters(state, f, r);
+}
+BENCHMARK(BM_Fault_PermanentBestEffort)->DenseRange(0, 5, 1);
+
+/// Retries cannot resurrect a permanently down peer; they only add
+/// bounded backoff latency. Included to show that cost.
+void BM_Fault_PermanentBestEffortRetry(benchmark::State& state) {
+  FaultFixture& f = Fixture();
+  double rate = static_cast<double>(state.range(0)) / 10.0;
+  RunResult r;
+  for (auto _ : state) {
+    r = RunOnce(f, rate, FaultMode::kDown, FailurePolicy::kBestEffort, 4);
+    benchmark::DoNotOptimize(r.answers);
+  }
+  ReportCounters(state, f, r);
+}
+BENCHMARK(BM_Fault_PermanentBestEffortRetry)->DenseRange(0, 5, 1);
+
+/// Transient (flaky) failures without retry: completeness tracks the
+/// per-contact survival rate.
+void BM_Fault_TransientBestEffort(benchmark::State& state) {
+  FaultFixture& f = Fixture();
+  double rate = static_cast<double>(state.range(0)) / 10.0;
+  RunResult r;
+  for (auto _ : state) {
+    r = RunOnce(f, rate, FaultMode::kFlaky, FailurePolicy::kBestEffort, 1);
+    benchmark::DoNotOptimize(r.answers);
+  }
+  ReportCounters(state, f, r);
+}
+BENCHMARK(BM_Fault_TransientBestEffort)->DenseRange(0, 5, 1);
+
+/// Transient failures with 4 attempts + exponential backoff: the
+/// acceptance shape — >=90% completeness restored at every rate.
+void BM_Fault_TransientBestEffortRetry(benchmark::State& state) {
+  FaultFixture& f = Fixture();
+  double rate = static_cast<double>(state.range(0)) / 10.0;
+  RunResult r;
+  for (auto _ : state) {
+    r = RunOnce(f, rate, FaultMode::kFlaky, FailurePolicy::kBestEffort, 4);
+    benchmark::DoNotOptimize(r.answers);
+  }
+  ReportCounters(state, f, r);
+}
+BENCHMARK(BM_Fault_TransientBestEffortRetry)->DenseRange(0, 5, 1);
+
+}  // namespace

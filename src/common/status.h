@@ -21,6 +21,11 @@ enum class StatusCode {
   kUnimplemented,
   kParseError,
   kInternal,
+  /// A required participant (e.g. a PDMS peer) cannot be reached right
+  /// now; the operation may succeed if retried later.
+  kUnavailable,
+  /// The operation's (simulated) time budget elapsed before completion.
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for `code` ("Ok", "NotFound", ...).
@@ -59,6 +64,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

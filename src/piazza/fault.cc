@@ -1,0 +1,113 @@
+#include "src/piazza/fault.h"
+
+#include <algorithm>
+
+namespace revere::piazza {
+
+const char* FaultModeToString(FaultMode mode) {
+  switch (mode) {
+    case FaultMode::kHealthy:
+      return "healthy";
+    case FaultMode::kDown:
+      return "down";
+    case FaultMode::kFlaky:
+      return "flaky";
+    case FaultMode::kSlow:
+      return "slow";
+  }
+  return "unknown";
+}
+
+void FaultInjector::SetDown(const std::string& peer) {
+  faults_[peer] = PeerFault{FaultMode::kDown, 0.0, 0.0};
+}
+
+void FaultInjector::SetFlaky(const std::string& peer,
+                             double failure_probability) {
+  faults_[peer] =
+      PeerFault{FaultMode::kFlaky, std::clamp(failure_probability, 0.0, 1.0),
+                0.0};
+}
+
+void FaultInjector::SetSlow(const std::string& peer, double extra_latency_ms) {
+  faults_[peer] =
+      PeerFault{FaultMode::kSlow, 0.0, std::max(0.0, extra_latency_ms)};
+}
+
+void FaultInjector::Restore(const std::string& peer) { faults_.erase(peer); }
+
+void FaultInjector::RestoreAll() { faults_.clear(); }
+
+PeerFault FaultInjector::GetFault(const std::string& peer) const {
+  auto it = faults_.find(peer);
+  return it == faults_.end() ? PeerFault{} : it->second;
+}
+
+std::vector<std::string> FaultInjector::FaultyPeers() const {
+  std::vector<std::string> out;
+  out.reserve(faults_.size());
+  for (const auto& [peer, fault] : faults_) {
+    if (fault.mode != FaultMode::kHealthy) out.push_back(peer);
+  }
+  return out;
+}
+
+ContactOutcome FaultInjector::Contact(const std::string& peer,
+                                      double base_round_trip_ms,
+                                      double deadline_ms) {
+  ++contacts_attempted_;
+  // A failed contact is only *detected* once the caller stops waiting:
+  // after the per-contact deadline when one is set, else after the time
+  // a healthy round trip would have taken.
+  double failure_cost = deadline_ms > 0.0 ? deadline_ms : base_round_trip_ms;
+  PeerFault fault = GetFault(peer);
+  switch (fault.mode) {
+    case FaultMode::kDown:
+      return {Status::Unavailable("peer '" + peer + "' is down"),
+              failure_cost};
+    case FaultMode::kFlaky:
+      if (rng_.Bernoulli(fault.failure_probability)) {
+        return {Status::Unavailable("peer '" + peer + "' dropped the contact"),
+                failure_cost};
+      }
+      break;
+    case FaultMode::kSlow: {
+      double total = base_round_trip_ms + fault.extra_latency_ms;
+      if (deadline_ms > 0.0 && total > deadline_ms) {
+        return {Status::DeadlineExceeded(
+                    "peer '" + peer + "' answered too slowly (" +
+                    std::to_string(total) + "ms > " +
+                    std::to_string(deadline_ms) + "ms deadline)"),
+                deadline_ms};
+      }
+      return {Status::Ok(), total};
+    }
+    case FaultMode::kHealthy:
+      break;
+  }
+  if (deadline_ms > 0.0 && base_round_trip_ms > deadline_ms) {
+    return {Status::DeadlineExceeded("peer '" + peer +
+                                     "' cannot answer within the deadline"),
+            deadline_ms};
+  }
+  return {Status::Ok(), base_round_trip_ms};
+}
+
+void FaultInjector::InjectUniform(const std::vector<std::string>& peers,
+                                  double rate, const PeerFault& fault) {
+  for (const auto& peer : peers) {
+    if (rng_.Bernoulli(rate)) faults_[peer] = fault;
+  }
+}
+
+void FaultInjector::InjectFraction(const std::vector<std::string>& peers,
+                                   double fraction, const PeerFault& fault) {
+  size_t count = static_cast<size_t>(
+      fraction * static_cast<double>(peers.size()) + 0.5);
+  count = std::min(count, peers.size());
+  std::vector<std::string> pool = peers;
+  rng_.Shuffle(&pool);
+  for (size_t i = 0; i < count; ++i) faults_[pool[i]] = fault;
+}
+
+}  // namespace revere::piazza

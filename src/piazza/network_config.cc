@@ -1,5 +1,6 @@
 #include "src/piazza/network_config.h"
 
+#include <cstdlib>
 #include <optional>
 
 #include "src/common/strings.h"
@@ -19,7 +20,8 @@ struct PendingMapping {
 
 }  // namespace
 
-Status LoadNetworkConfig(std::string_view config, PdmsNetwork* network) {
+Status LoadNetworkConfig(std::string_view config, PdmsNetwork* network,
+                         FaultInjector* faults) {
   std::optional<PendingMapping> pending;
   size_t line_number = 0;
   for (const std::string& raw : Split(config, '\n')) {
@@ -84,6 +86,36 @@ Status LoadNetworkConfig(std::string_view config, PdmsNetwork* network) {
       p.target_peer = fields[3];
       p.bidirectional = fields.size() > 4 && fields[4] == "bidirectional";
       pending = std::move(p);
+    } else if (kind == "fault") {
+      if (fields.size() < 3) return fail("fault needs peer and mode");
+      if (faults == nullptr) {
+        return fail("fault directive but no FaultInjector supplied");
+      }
+      if (!network->HasPeer(fields[1])) {
+        return fail("fault names unknown peer '" + fields[1] + "'");
+      }
+      const std::string& mode = fields[2];
+      // down takes no parameter; flaky/slow take one numeric parameter.
+      if (mode == "down") {
+        if (fields.size() != 3) return fail("fault ... down takes no value");
+        faults->SetDown(fields[1]);
+        continue;
+      }
+      if (fields.size() != 4) {
+        return fail("fault ... " + mode + " needs a numeric value");
+      }
+      char* end = nullptr;
+      double value = std::strtod(fields[3].c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return fail("bad fault value '" + fields[3] + "'");
+      }
+      if (mode == "flaky") {
+        faults->SetFlaky(fields[1], value);
+      } else if (mode == "slow") {
+        faults->SetSlow(fields[1], value);
+      } else {
+        return fail("unknown fault mode '" + mode + "'");
+      }
     } else {
       return fail("unknown directive '" + kind + "'");
     }
@@ -95,7 +127,8 @@ Status LoadNetworkConfig(std::string_view config, PdmsNetwork* network) {
   return Status::Ok();
 }
 
-std::string SaveNetworkConfig(const PdmsNetwork& network) {
+std::string SaveNetworkConfig(const PdmsNetwork& network,
+                              const FaultInjector* faults) {
   std::string out = "# REVERE network config v1\n";
   for (const auto& name : network.PeerNames()) {
     out += "peer " + name + "\n";
@@ -123,6 +156,18 @@ std::string SaveNetworkConfig(const PdmsNetwork& network) {
            m.target_peer + (m.bidirectional ? " bidirectional" : "") + "\n";
     out += "  " + m.glav.source.ToString() + " => " +
            m.glav.target.ToString() + "\n";
+  }
+  if (faults != nullptr) {
+    for (const auto& peer : faults->FaultyPeers()) {
+      PeerFault fault = faults->GetFault(peer);
+      out += "fault " + peer + " " + FaultModeToString(fault.mode);
+      if (fault.mode == FaultMode::kFlaky) {
+        out += " " + std::to_string(fault.failure_probability);
+      } else if (fault.mode == FaultMode::kSlow) {
+        out += " " + std::to_string(fault.extra_latency_ms);
+      }
+      out += "\n";
+    }
   }
   return out;
 }

@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "src/common/status.h"
+#include "src/piazza/fault.h"
 #include "src/piazza/pdms.h"
 
 namespace revere::piazza {
@@ -17,15 +18,22 @@ namespace revere::piazza {
 ///   row <peer> <relation> <v1> | <v2> | ...
 ///   mapping <name> <source_peer> <target_peer> [bidirectional]
 ///       <glav: source_cq => target_cq>      (one following line)
+///   fault <peer> down
+///   fault <peer> flaky <failure_probability>
+///   fault <peer> slow <extra_latency_ms>
 ///
 /// '#' starts a comment; blank lines are ignored. Values in `row` are
-/// separated by " | " so they may contain spaces.
-Status LoadNetworkConfig(std::string_view config, PdmsNetwork* network);
+/// separated by " | " so they may contain spaces. `fault` directives
+/// (known-degraded peers in a deployment) are applied to `faults` and
+/// are an error when no injector is supplied.
+Status LoadNetworkConfig(std::string_view config, PdmsNetwork* network,
+                         FaultInjector* faults = nullptr);
 
 /// Serializes the network's peers, stored relations (with data), and
-/// mappings back into the config format. Round-trips with
-/// LoadNetworkConfig.
-std::string SaveNetworkConfig(const PdmsNetwork& network);
+/// mappings back into the config format — plus `faults`'s injected
+/// faults when given. Round-trips with LoadNetworkConfig.
+std::string SaveNetworkConfig(const PdmsNetwork& network,
+                              const FaultInjector* faults = nullptr);
 
 }  // namespace revere::piazza
 

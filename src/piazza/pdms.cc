@@ -50,6 +50,33 @@ struct WorkItem {
   int depth = 0;
 };
 
+/// Contacts `peer` through the fault injector with bounded retries and
+/// exponential backoff, charging every attempt, timeout, and backoff
+/// wait to the simulated clock in `stats`. Returns the last failure
+/// when the peer stays unreachable.
+Status ContactPeerWithRetry(FaultInjector* faults, const std::string& peer,
+                            const NetworkCostModel& cost,
+                            ExecutionStats* stats) {
+  int max_attempts = std::max(1, cost.retry.max_attempts);
+  Status last;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      double backoff = cost.retry.base_backoff_ms *
+                       static_cast<double>(uint64_t{1} << (attempt - 1));
+      stats->completeness.backoff_ms += backoff;
+      stats->simulated_network_ms += backoff;
+      ++stats->completeness.retries_attempted;
+    }
+    ContactOutcome outcome = faults->Contact(peer, cost.per_peer_round_trip_ms,
+                                             cost.retry.deadline_ms);
+    stats->simulated_network_ms += outcome.elapsed_ms;
+    if (outcome.status.ok()) return Status::Ok();
+    ++stats->completeness.contacts_failed;
+    last = outcome.status;
+  }
+  return last;
+}
+
 }  // namespace
 
 Result<Peer*> PdmsNetwork::AddPeer(const std::string& name) {
@@ -486,10 +513,10 @@ PdmsNetwork::AnswerWithProvenance(const ConjunctiveQuery& query,
   std::vector<ProvenancedRow> out;
   std::unordered_map<storage::Row, size_t, storage::RowHash> row_index;
   std::set<std::string> all_peers;
+  local.completeness.rewritings_total = rewritings.size();
   for (const auto& rw : rewritings) {
     auto rows = query::EvaluateCQ(storage_, rw);
     if (!rows.ok()) continue;  // a rewriting over a missing table: skip
-    ++local.rewritings_evaluated;
     // Peers whose data this rewriting reads (including the query peer's
     // own storage when referenced).
     std::set<std::string> rewriting_peers;
@@ -510,9 +537,34 @@ PdmsNetwork::AnswerWithProvenance(const ConjunctiveQuery& query,
         if (table.ok()) remote_base_rows += table.value()->size();
       }
     }
+    if (cost.faults == nullptr) {
+      // Perfect network: every contact succeeds at one round trip.
+      local.simulated_network_ms +=
+          static_cast<double>(peers.size()) * cost.per_peer_round_trip_ms;
+    } else {
+      // Contact peers in sorted order (std::set iteration) so the RNG
+      // draw sequence — and thus the whole run — is deterministic.
+      bool unreachable = false;
+      for (const auto& peer : peers) {
+        Status contact =
+            ContactPeerWithRetry(cost.faults, peer, cost, &local);
+        if (contact.ok()) continue;
+        local.completeness.unreachable_peers.insert(peer);
+        if (cost.failure_policy == FailurePolicy::kFailFast) {
+          if (stats != nullptr) *stats = local;
+          return contact;
+        }
+        unreachable = true;
+        break;  // best-effort: drop this rewriting, spare the remaining
+                // contacts' cost
+      }
+      if (unreachable) {
+        ++local.completeness.rewritings_skipped;
+        continue;
+      }
+    }
+    ++local.rewritings_evaluated;
     all_peers.insert(peers.begin(), peers.end());
-    local.simulated_network_ms +=
-        static_cast<double>(peers.size()) * cost.per_peer_round_trip_ms;
     size_t shipped = cost.strategy == ExecutionStrategy::kShipQuery
                          ? rows.value().size()
                          : remote_base_rows;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/piazza/fault.h"
 #include "src/piazza/peer.h"
 #include "src/piazza/views.h"
 #include "src/piazza/xml_mapping.h"
@@ -66,15 +67,33 @@ struct NetworkCostModel {
   double per_peer_round_trip_ms = 5.0;
   double per_row_ms = 0.01;
   ExecutionStrategy strategy = ExecutionStrategy::kShipQuery;
+
+  // ---- Fault tolerance (peers "join and leave at will", §3.1.2) ----
+
+  /// Optional failure simulator; nullptr models a perfect network.
+  /// Non-owning — the injector outlives the Answer() call and is
+  /// mutated by it (contacts draw from its seeded RNG).
+  FaultInjector* faults = nullptr;
+  /// What to do when a peer stays unreachable after retries.
+  FailurePolicy failure_policy = FailurePolicy::kFailFast;
+  /// Per-peer-contact timeout / bounded retry / backoff knobs.
+  RetryPolicy retry;
 };
 
 /// Instrumentation from answering a query end to end.
 struct ExecutionStats {
   ReformulationStats reformulation;
   size_t rewritings_evaluated = 0;
+  /// Distinct remote peers successfully contacted by *evaluated*
+  /// rewritings (skipped or unanswerable rewritings charge nothing
+  /// here; their peers show up in `completeness` instead).
   size_t peers_contacted = 0;
   size_t rows_shipped = 0;
+  /// Simulated wall clock: round trips + row transfer + failed-contact
+  /// timeouts + retry backoff. Never real time.
   double simulated_network_ms = 0.0;
+  /// Degradation accounting when a FaultInjector is present.
+  CompletenessReport completeness;
 };
 
 /// The Piazza peer data management system (§3): an overlay of peers
@@ -118,7 +137,14 @@ class PdmsNetwork {
       ReformulationStats* stats = nullptr) const;
 
   /// Reformulates, evaluates every rewriting, unions the answers, and
-  /// charges the simulated network cost model.
+  /// charges the simulated network cost model. When `cost.faults` is
+  /// set, every remote peer named in a rewriting must be contacted
+  /// first (with `cost.retry` timeout/retry/backoff, all in simulated
+  /// time); an unreachable peer either aborts the whole answer
+  /// (kFailFast) or drops just the rewritings touching it
+  /// (kBestEffort), with the loss itemized in `stats->completeness`.
+  /// On a fail-fast error `stats` is still populated, so callers can
+  /// see the retries and backoff spent before giving up.
   Result<std::vector<storage::Row>> Answer(
       const query::ConjunctiveQuery& query,
       const ReformulationOptions& options = {},

@@ -36,6 +36,19 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(StatusTest, FaultCodesRoundTripThroughToString) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_EQ(Status::Unavailable("peer 'mit' is down").ToString(),
+            "Unavailable: peer 'mit' is down");
+  EXPECT_EQ(Status::DeadlineExceeded("contact took 80ms > 50ms").ToString(),
+            "DeadlineExceeded: contact took 80ms > 50ms");
 }
 
 TEST(ResultTest, HoldsValue) {

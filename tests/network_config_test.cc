@@ -89,5 +89,54 @@ TEST(NetworkConfigTest, ArityMismatchOnRowRejected) {
                    .ok());
 }
 
+TEST(NetworkConfigTest, FaultDirectivesLoadIntoInjector) {
+  constexpr char kFaultConfig[] =
+      "peer uw\npeer mit\npeer stanford\n"
+      "fault uw down\n"
+      "fault mit flaky 0.25\n"
+      "fault stanford slow 80\n";
+  PdmsNetwork net;
+  FaultInjector faults(1);
+  ASSERT_TRUE(LoadNetworkConfig(kFaultConfig, &net, &faults).ok());
+  EXPECT_EQ(faults.GetFault("uw").mode, FaultMode::kDown);
+  EXPECT_EQ(faults.GetFault("mit").mode, FaultMode::kFlaky);
+  EXPECT_DOUBLE_EQ(faults.GetFault("mit").failure_probability, 0.25);
+  EXPECT_EQ(faults.GetFault("stanford").mode, FaultMode::kSlow);
+  EXPECT_DOUBLE_EQ(faults.GetFault("stanford").extra_latency_ms, 80.0);
+}
+
+TEST(NetworkConfigTest, FaultDirectivesRoundTripThroughSave) {
+  constexpr char kFaultConfig[] =
+      "peer uw\npeer mit\n"
+      "fault uw down\n"
+      "fault mit flaky 0.5\n";
+  PdmsNetwork net;
+  FaultInjector faults(1);
+  ASSERT_TRUE(LoadNetworkConfig(kFaultConfig, &net, &faults).ok());
+  std::string saved = SaveNetworkConfig(net, &faults);
+  PdmsNetwork reloaded;
+  FaultInjector refaults(1);
+  ASSERT_TRUE(LoadNetworkConfig(saved, &reloaded, &refaults).ok()) << saved;
+  EXPECT_EQ(SaveNetworkConfig(reloaded, &refaults), saved);
+  EXPECT_EQ(refaults.FaultyPeers(), faults.FaultyPeers());
+}
+
+TEST(NetworkConfigTest, FaultDirectiveErrors) {
+  {
+    // No injector supplied.
+    PdmsNetwork fresh;
+    EXPECT_FALSE(LoadNetworkConfig("peer uw\nfault uw down\n", &fresh).ok());
+  }
+  PdmsNetwork net;
+  FaultInjector faults(1);
+  ASSERT_TRUE(net.AddPeer("uw").ok());
+  // Unknown peer / unknown mode / malformed value / stray value.
+  EXPECT_FALSE(LoadNetworkConfig("fault ghost down\n", &net, &faults).ok());
+  EXPECT_FALSE(LoadNetworkConfig("fault uw haunted\n", &net, &faults).ok());
+  EXPECT_FALSE(
+      LoadNetworkConfig("fault uw flaky banana\n", &net, &faults).ok());
+  EXPECT_FALSE(LoadNetworkConfig("fault uw down 3\n", &net, &faults).ok());
+}
+
 }  // namespace
 }  // namespace revere::piazza

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/piazza/fault.h"
 #include "src/piazza/pdms.h"
 #include "src/piazza/peer.h"
 #include "src/piazza/views.h"
@@ -771,6 +775,245 @@ TEST_F(PdmsTest, ShipDataVsShipQueryAccounting) {
   ASSERT_TRUE(rows.ok());
   EXPECT_EQ(sd.rows_shipped, 2u);  // MIT's whole table
   EXPECT_GT(sd.simulated_network_ms, sq.simulated_network_ms);
+}
+
+// ---- Fault tolerance (peer failure injection, §3.1.2) ----
+
+TEST(FaultInjectorTest, ModesAndRestore) {
+  FaultInjector inj(1);
+  inj.SetDown("mit");
+  inj.SetFlaky("uw", 0.5);
+  inj.SetSlow("berkeley", 40.0);
+  EXPECT_EQ(inj.GetFault("mit").mode, FaultMode::kDown);
+  EXPECT_EQ(inj.GetFault("uw").mode, FaultMode::kFlaky);
+  EXPECT_DOUBLE_EQ(inj.GetFault("uw").failure_probability, 0.5);
+  EXPECT_EQ(inj.GetFault("berkeley").mode, FaultMode::kSlow);
+  EXPECT_EQ(inj.GetFault("stanford").mode, FaultMode::kHealthy);
+  EXPECT_EQ(inj.FaultyPeers(),
+            (std::vector<std::string>{"berkeley", "mit", "uw"}));
+  inj.Restore("mit");
+  EXPECT_EQ(inj.GetFault("mit").mode, FaultMode::kHealthy);
+  inj.RestoreAll();
+  EXPECT_TRUE(inj.FaultyPeers().empty());
+}
+
+TEST(FaultInjectorTest, ContactSemantics) {
+  FaultInjector inj(1);
+  inj.SetDown("dead");
+  inj.SetSlow("turtle", 100.0);
+
+  // Healthy contact: one round trip.
+  ContactOutcome healthy = inj.Contact("alive", 5.0, 50.0);
+  EXPECT_TRUE(healthy.status.ok());
+  EXPECT_DOUBLE_EQ(healthy.elapsed_ms, 5.0);
+
+  // Down peer: detected only after the deadline elapses.
+  ContactOutcome down = inj.Contact("dead", 5.0, 50.0);
+  EXPECT_EQ(down.status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(down.status.message().find("dead"), std::string::npos);
+  EXPECT_DOUBLE_EQ(down.elapsed_ms, 50.0);
+
+  // Slow peer past the deadline: DeadlineExceeded, deadline consumed.
+  ContactOutcome slow = inj.Contact("turtle", 5.0, 50.0);
+  EXPECT_EQ(slow.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_DOUBLE_EQ(slow.elapsed_ms, 50.0);
+
+  // Slow peer under a generous deadline: succeeds at full latency.
+  ContactOutcome ok_slow = inj.Contact("turtle", 5.0, 200.0);
+  EXPECT_TRUE(ok_slow.status.ok());
+  EXPECT_DOUBLE_EQ(ok_slow.elapsed_ms, 105.0);
+
+  // No deadline: a down peer costs one wasted round trip.
+  ContactOutcome down_fast = inj.Contact("dead", 5.0);
+  EXPECT_EQ(down_fast.status.code(), StatusCode::kUnavailable);
+  EXPECT_DOUBLE_EQ(down_fast.elapsed_ms, 5.0);
+  EXPECT_EQ(inj.contacts_attempted(), 5u);
+}
+
+TEST(FaultInjectorTest, InjectFractionIsDeterministicCount) {
+  std::vector<std::string> peers{"a", "b", "c", "d", "e"};
+  FaultInjector inj(99);
+  inj.InjectFraction(peers, 0.4, PeerFault{FaultMode::kDown, 0.0, 0.0});
+  EXPECT_EQ(inj.FaultyPeers().size(), 2u);  // round(0.4 * 5)
+  // Same seed picks the same victims.
+  FaultInjector again(99);
+  again.InjectFraction(peers, 0.4, PeerFault{FaultMode::kDown, 0.0, 0.0});
+  EXPECT_EQ(again.FaultyPeers(), inj.FaultyPeers());
+}
+
+/// Two stored peers feeding one hub vocabulary: the query at `hub`
+/// reformulates into one rewriting per stored peer, so killing one peer
+/// loses exactly that peer's rows — a controlled partial answer.
+class FaultPdmsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* name : {"hub", "left", "right"}) {
+      ASSERT_TRUE(net_.AddPeer(name).ok());
+    }
+    for (const char* name : {"left", "right"}) {
+      auto table = net_.AddStoredRelation(
+          name, TableSchema::AllStrings("course", {"id", "title"}));
+      ASSERT_TRUE(table.ok());
+      ASSERT_TRUE((*table)
+                      ->InsertAll({{Value(std::string(name) + "1"),
+                                    Value("Databases")},
+                                   {Value(std::string(name) + "2"),
+                                    Value("Systems")}})
+                      .ok());
+      ASSERT_TRUE(net_.AddMapping(PeerMapping{
+                          {std::string(name) + "2hub",
+                           MustParse("m(I, T) :- " + std::string(name) +
+                                     ":course(I, T)"),
+                           MustParse("m(I, T) :- hub:course(I, T)")},
+                          name,
+                          "hub",
+                          false})
+                      .ok());
+    }
+    query_ = MustParse("q(I, T) :- hub:course(I, T)");
+  }
+
+  PdmsNetwork net_;
+  ConjunctiveQuery query_;
+};
+
+TEST_F(FaultPdmsTest, FailFastNamesTheDeadPeer) {
+  FaultInjector inj(7);
+  inj.SetDown("right");
+  NetworkCostModel cost;
+  cost.faults = &inj;
+  cost.failure_policy = FailurePolicy::kFailFast;
+  ExecutionStats stats;
+  auto rows = net_.Answer(query_, {}, &stats, cost);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(rows.status().message().find("right"), std::string::npos);
+  // Stats survive the failure: the caller can see what was spent.
+  EXPECT_EQ(stats.completeness.unreachable_peers,
+            (std::set<std::string>{"right"}));
+  EXPECT_GE(stats.completeness.contacts_failed, 1u);
+}
+
+TEST_F(FaultPdmsTest, BestEffortReturnsPartialAnswer) {
+  FaultInjector inj(7);
+  inj.SetDown("right");
+  NetworkCostModel cost;
+  cost.faults = &inj;
+  cost.failure_policy = FailurePolicy::kBestEffort;
+  ExecutionStats stats;
+  auto rows = net_.Answer(query_, {}, &stats, cost);
+  ASSERT_TRUE(rows.ok());
+  // Exactly left's rows survive — partial, never wrong.
+  ASSERT_EQ(rows.value().size(), 2u);
+  for (const auto& row : rows.value()) {
+    EXPECT_EQ(row[0].as_string().substr(0, 4), "left");
+  }
+  EXPECT_FALSE(stats.completeness.complete());
+  EXPECT_EQ(stats.completeness.rewritings_total, 2u);
+  EXPECT_EQ(stats.completeness.rewritings_skipped, 1u);
+  EXPECT_EQ(stats.completeness.unreachable_peers,
+            (std::set<std::string>{"right"}));
+  // The skipped rewriting's peer is not counted as contacted.
+  EXPECT_EQ(stats.peers_contacted, 1u);
+  EXPECT_EQ(stats.rewritings_evaluated, 1u);
+}
+
+TEST_F(FaultPdmsTest, PartialAnswersDeterministicUnderSeed) {
+  auto run = [&](uint64_t seed) {
+    FaultInjector inj(seed);
+    inj.SetFlaky("left", 0.5);
+    inj.SetFlaky("right", 0.5);
+    NetworkCostModel cost;
+    cost.faults = &inj;
+    cost.failure_policy = FailurePolicy::kBestEffort;
+    ExecutionStats stats;
+    auto rows = net_.Answer(query_, {}, &stats, cost);
+    EXPECT_TRUE(rows.ok());
+    std::vector<std::string> ids;
+    for (const auto& row : rows.value()) ids.push_back(row[0].as_string());
+    std::sort(ids.begin(), ids.end());
+    return std::make_pair(ids, stats.simulated_network_ms);
+  };
+  // Same seed → byte-identical answers and simulated clock.
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_EQ(run(1234), run(1234));
+}
+
+TEST_F(FaultPdmsTest, RetryRecoversTransientFailure) {
+  // Heavily flaky peers (60% per-contact drop) but generous retries:
+  // the answer comes back complete, at a visible retry/backoff cost.
+  FaultInjector inj(11);
+  inj.SetFlaky("left", 0.6);
+  inj.SetFlaky("right", 0.6);
+  NetworkCostModel cost;
+  cost.faults = &inj;
+  cost.failure_policy = FailurePolicy::kBestEffort;
+  cost.retry.max_attempts = 10;
+  cost.retry.base_backoff_ms = 1.0;
+  ExecutionStats stats;
+  auto rows = net_.Answer(query_, {}, &stats, cost);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().size(), 4u);
+  EXPECT_TRUE(stats.completeness.complete());
+  EXPECT_GE(stats.completeness.retries_attempted, 1u);
+  EXPECT_GT(stats.completeness.backoff_ms, 0.0);
+  // Backoff waits are charged to the simulated clock.
+  EXPECT_GE(stats.simulated_network_ms, stats.completeness.backoff_ms);
+}
+
+TEST_F(FaultPdmsTest, DeadlineExceededOnSlowPeer) {
+  FaultInjector inj(3);
+  inj.SetSlow("left", 100.0);
+  NetworkCostModel cost;
+  cost.faults = &inj;
+  cost.failure_policy = FailurePolicy::kFailFast;
+  cost.retry.deadline_ms = 50.0;
+  auto rows = net_.Answer(query_, {}, nullptr, cost);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(rows.status().message().find("left"), std::string::npos);
+
+  // A deadline the slow peer fits under: the full answer, with the
+  // extra latency on the simulated clock.
+  cost.retry.deadline_ms = 200.0;
+  ExecutionStats stats;
+  rows = net_.Answer(query_, {}, &stats, cost);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().size(), 4u);
+  EXPECT_GE(stats.simulated_network_ms, 100.0);
+}
+
+TEST_F(FaultPdmsTest, BackoffScheduleIsExponentialAndExact) {
+  // A permanently down peer under best-effort with 3 attempts and a
+  // 50ms deadline: 3 timeouts (150ms) + backoffs 10ms + 20ms, plus one
+  // healthy 5ms round trip to `left` — all on the simulated clock.
+  FaultInjector inj(5);
+  inj.SetDown("right");
+  NetworkCostModel cost;
+  cost.faults = &inj;
+  cost.failure_policy = FailurePolicy::kBestEffort;
+  cost.retry.max_attempts = 3;
+  cost.retry.base_backoff_ms = 10.0;
+  cost.retry.deadline_ms = 50.0;
+  cost.per_row_ms = 0.0;
+  ExecutionStats stats;
+  auto rows = net_.Answer(query_, {}, &stats, cost);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(stats.completeness.retries_attempted, 2u);
+  EXPECT_EQ(stats.completeness.contacts_failed, 3u);
+  EXPECT_DOUBLE_EQ(stats.completeness.backoff_ms, 30.0);
+  EXPECT_DOUBLE_EQ(stats.simulated_network_ms, 150.0 + 30.0 + 5.0);
+}
+
+TEST_F(FaultPdmsTest, NoInjectorMeansPerfectNetwork) {
+  ExecutionStats stats;
+  auto rows = net_.Answer(query_, {}, &stats);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().size(), 4u);
+  EXPECT_TRUE(stats.completeness.complete());
+  EXPECT_TRUE(stats.completeness.unreachable_peers.empty());
+  EXPECT_EQ(stats.completeness.rewritings_total, 2u);
+  EXPECT_EQ(stats.peers_contacted, 2u);
 }
 
 TEST(XmlMappingTest, EmptySelectionYieldsNoElements) {
