@@ -1,0 +1,111 @@
+#include "bench/json_lines_reporter.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace revere::bench {
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool IsInteger(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+JsonLinesReporter::JsonLinesReporter(const std::string& path) {
+  if (!path.empty()) {
+    out_.open(path, std::ios::out | std::ios::trunc);
+    enabled_ = out_.is_open();
+  }
+}
+
+void JsonLinesReporter::ReportRuns(const std::vector<Run>& runs) {
+  ConsoleReporter::ReportRuns(runs);
+  if (!enabled_) return;
+  for (const auto& run : runs) WriteRun(run);
+  out_.flush();
+}
+
+void JsonLinesReporter::WriteRun(const Run& run) {
+  const std::string full_name = run.benchmark_name();
+  // "BM_Name/4/2" -> bench "BM_Name", args [4, 2]. Non-numeric
+  // segments (named args, "min_time:..." suffixes) stay as strings.
+  std::vector<std::string> segments;
+  std::string current;
+  for (char c : full_name) {
+    if (c == '/') {
+      segments.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  segments.push_back(current);
+
+  std::ostringstream line;
+  line << "{\"bench\": \"" << Escape(segments[0]) << "\"";
+  line << ", \"params\": {\"name\": \"" << Escape(full_name) << "\"";
+  line << ", \"args\": [";
+  for (size_t i = 1; i < segments.size(); ++i) {
+    if (i > 1) line << ", ";
+    if (IsInteger(segments[i])) {
+      line << segments[i];
+    } else {
+      line << "\"" << Escape(segments[i]) << "\"";
+    }
+  }
+  line << "]";
+  if (run.run_type == Run::RT_Aggregate) {
+    line << ", \"aggregate\": \"" << Escape(run.aggregate_name) << "\"";
+  }
+  line << "}";
+  line << ", \"metrics\": {";
+  line << "\"real_time\": " << run.GetAdjustedRealTime();
+  line << ", \"cpu_time\": " << run.GetAdjustedCPUTime();
+  line << ", \"time_unit\": \""
+       << benchmark::GetTimeUnitString(run.time_unit) << "\"";
+  line << ", \"iterations\": " << run.iterations;
+  for (const auto& [name, counter] : run.counters) {
+    line << ", \"" << Escape(name) << "\": " << counter.value;
+  }
+  line << "}}";
+  out_ << line.str() << "\n";
+}
+
+}  // namespace revere::bench

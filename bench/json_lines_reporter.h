@@ -1,0 +1,37 @@
+#ifndef REVERE_BENCH_JSON_LINES_REPORTER_H_
+#define REVERE_BENCH_JSON_LINES_REPORTER_H_
+
+#include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace revere::bench {
+
+/// Console reporter that additionally appends one JSON object per run
+/// to a file — the machine-readable trajectory behind every bench's
+/// `--json <path>` flag. Each line is:
+///
+///   {"bench": "BM_Name", "params": {"name": "BM_Name/4/2", "args":
+///    [4, 2]}, "metrics": {"real_time": ..., "cpu_time": ...,
+///    "time_unit": "ns", "iterations": N, "<counter>": ...}}
+///
+/// so a BENCH_*.json series can be diffed across PRs with any JSONL
+/// tool. An empty path disables the file sink (console only).
+class JsonLinesReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonLinesReporter(const std::string& path);
+
+  void ReportRuns(const std::vector<Run>& runs) override;
+
+ private:
+  void WriteRun(const Run& run);
+
+  std::ofstream out_;
+  bool enabled_ = false;
+};
+
+}  // namespace revere::bench
+
+#endif  // REVERE_BENCH_JSON_LINES_REPORTER_H_

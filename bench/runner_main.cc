@@ -1,0 +1,48 @@
+// Shared main() for every bench_* binary: standard google-benchmark
+// flags plus `--json <path>` (or --json=<path>), which appends one
+// machine-readable JSON line per run via JsonLinesReporter so bench
+// trajectories can be tracked across PRs.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/json_lines_reporter.h"
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  bool format_flag = false;
+  for (char* arg : args) {
+    if (std::string(arg).rfind("--benchmark_format", 0) == 0) {
+      format_flag = true;
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  if (json_path.empty() && format_flag) {
+    // Let --benchmark_format=csv/json pick the display reporter; our
+    // console-based reporter would override it.
+    benchmark::RunSpecifiedBenchmarks();
+  } else {
+    revere::bench::JsonLinesReporter reporter(json_path);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,67 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace revere {
+
+ThreadPool::ThreadPool(size_t workers) {
+  size_t n = std::max<size_t>(1, workers);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  // The counter bumps inside the task, before the promise is set, so
+  // once a future is ready tasks_completed() already reflects it.
+  std::packaged_task<void()> task([this, fn = std::move(fn)] {
+    fn();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++completed_;
+  });
+  std::future<void> future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+size_t ThreadPool::tasks_completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+size_t ThreadPool::DefaultWorkerCount() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain-then-stop: queued work always runs, so futures returned
+      // by Submit never dangle.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace revere

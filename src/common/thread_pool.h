@@ -1,0 +1,66 @@
+#ifndef REVERE_COMMON_THREAD_POOL_H_
+#define REVERE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace revere {
+
+/// A fixed-size worker pool for the parallel query-evaluation path.
+///
+/// Design constraints (ISSUE 2): a known number of workers created once,
+/// futures for every submitted task, and no detached threads — the
+/// destructor drains the queue and joins every worker, so a pool can be
+/// stack-allocated around a burst of work. Tasks must not throw (the
+/// library is exception-free); a task that does would terminate via the
+/// packaged_task future on .get().
+///
+/// Determinism contract: the pool schedules tasks in submission order
+/// but completion order depends on the OS scheduler. Callers that need
+/// reproducible output (every caller in REVERE) must merge results in
+/// submission order, never completion order — see
+/// query::EvaluateUnion and piazza::PdmsNetwork::AnswerWithProvenance.
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads immediately (clamped to >= 1).
+  explicit ThreadPool(size_t workers);
+  /// Drains remaining tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t worker_count() const { return workers_.size(); }
+
+  /// Enqueues `fn`; the future completes when it has run. Safe to call
+  /// from any thread, including pool workers (the task queues; a worker
+  /// must not block on a future of a task behind it in the queue).
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Tasks executed so far (for tests and instrumentation).
+  size_t tasks_completed() const;
+
+  /// A sensible default worker count: the hardware concurrency, at
+  /// least 1 (hardware_concurrency may report 0).
+  static size_t DefaultWorkerCount();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+  size_t completed_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace revere
+
+#endif  // REVERE_COMMON_THREAD_POOL_H_

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <deque>
+#include <future>
+#include <optional>
 #include <set>
 #include <unordered_set>
 
+#include "src/common/thread_pool.h"
 #include "src/query/containment.h"
 #include "src/query/evaluate.h"
 
@@ -510,12 +513,35 @@ PdmsNetwork::AnswerWithProvenance(const ConjunctiveQuery& query,
   auto [query_peer, rel] = SplitQualifiedName(
       query.body().empty() ? "" : query.body().front().relation);
 
+  // Rewritings are independent conjunctive queries; with a pool they
+  // evaluate concurrently here. Everything order-sensitive — fault
+  // contacts (seeded RNG draws), cost accounting, dedup — happens in
+  // the sequential merge loop below, in rewriting order, so answers
+  // and stats are byte-identical to the serial path.
+  query::EvalOptions eval = cost.eval;
+  eval.pool = nullptr;
+  std::vector<std::optional<Result<std::vector<storage::Row>>>> evaluated(
+      rewritings.size());
+  if (cost.eval.pool != nullptr && rewritings.size() > 1) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(rewritings.size());
+    for (size_t i = 0; i < rewritings.size(); ++i) {
+      futures.push_back(cost.eval.pool->Submit([&, i] {
+        evaluated[i].emplace(query::EvaluateCQ(storage_, rewritings[i], eval));
+      }));
+    }
+    for (auto& f : futures) f.wait();
+  }
+
   std::vector<ProvenancedRow> out;
   std::unordered_map<storage::Row, size_t, storage::RowHash> row_index;
   std::set<std::string> all_peers;
   local.completeness.rewritings_total = rewritings.size();
-  for (const auto& rw : rewritings) {
-    auto rows = query::EvaluateCQ(storage_, rw);
+  for (size_t rw_index = 0; rw_index < rewritings.size(); ++rw_index) {
+    const ConjunctiveQuery& rw = rewritings[rw_index];
+    auto rows = evaluated[rw_index].has_value()
+                    ? std::move(*evaluated[rw_index])
+                    : query::EvaluateCQ(storage_, rw, eval);
     if (!rows.ok()) continue;  // a rewriting over a missing table: skip
     // Peers whose data this rewriting reads (including the query peer's
     // own storage when referenced).

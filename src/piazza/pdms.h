@@ -13,6 +13,7 @@
 #include "src/piazza/views.h"
 #include "src/piazza/xml_mapping.h"
 #include "src/query/cq.h"
+#include "src/query/evaluate.h"
 #include "src/storage/catalog.h"
 #include "src/xml/node.h"
 
@@ -78,6 +79,16 @@ struct NetworkCostModel {
   FailurePolicy failure_policy = FailurePolicy::kFailFast;
   /// Per-peer-contact timeout / bounded retry / backoff knobs.
   RetryPolicy retry;
+
+  // ---- Local evaluation (ISSUE 2: parallel, allocation-lean) ----
+
+  /// How each rewriting is evaluated against local storage. Setting
+  /// `eval.pool` evaluates rewritings in parallel; results (and all
+  /// fault-injection contact accounting, which stays sequential in
+  /// rewriting order) are byte-identical for any worker count. Under
+  /// kFailFast with a pool, rewritings past the failing one may have
+  /// been evaluated speculatively — wasted work, never wrong answers.
+  query::EvalOptions eval;
 };
 
 /// Instrumentation from answering a query end to end.

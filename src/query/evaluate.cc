@@ -1,7 +1,15 @@
 #include "src/query/evaluate.h"
 
+#include <cstdint>
+#include <future>
 #include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
 #include <unordered_set>
+#include <utility>
+
+#include "src/common/thread_pool.h"
 
 namespace revere::query {
 
@@ -10,6 +18,32 @@ namespace {
 using storage::Row;
 using storage::Table;
 using storage::Value;
+
+/// Resolves every body atom to its table, validating existence + arity.
+Result<std::vector<std::pair<const Table*, const Atom*>>> ResolveAtoms(
+    const storage::Catalog& catalog, const ConjunctiveQuery& query) {
+  std::vector<std::pair<const Table*, const Atom*>> atoms;
+  atoms.reserve(query.body().size());
+  for (const auto& atom : query.body()) {
+    REVERE_ASSIGN_OR_RETURN(const Table* table,
+                            catalog.GetTable(atom.relation));
+    if (table->schema().arity() != atom.args.size()) {
+      return Status::InvalidArgument(
+          "atom " + atom.ToString() + " has arity " +
+          std::to_string(atom.args.size()) + " but relation has " +
+          std::to_string(table->schema().arity()));
+    }
+    atoms.emplace_back(table, &atom);
+  }
+  return atoms;
+}
+
+// ---------------------------------------------------------------------
+// Legacy engine: string-keyed map bindings copied per candidate row.
+// Kept verbatim (EvalOptions::use_slots = false) as the reference
+// implementation for differential tests and as the bench baseline the
+// slot engine is measured against.
+// ---------------------------------------------------------------------
 
 using ValueBinding = std::map<std::string, Value>;
 
@@ -43,12 +77,11 @@ bool MatchRow(const Atom& atom, const Row& row, ValueBinding* binding) {
   return true;
 }
 
-void Search(const storage::Catalog& catalog,
-            const std::vector<std::pair<const Table*, const Atom*>>& atoms,
-            std::vector<bool>* done, const ValueBinding& binding,
-            const std::vector<QTerm>& head,
-            std::unordered_set<Row, storage::RowHash>* seen,
-            std::vector<Row>* out) {
+void MapSearch(const std::vector<std::pair<const Table*, const Atom*>>& atoms,
+               std::vector<bool>* done, const ValueBinding& binding,
+               const std::vector<QTerm>& head,
+               std::unordered_set<Row, storage::RowHash>* seen,
+               std::vector<Row>* out) {
   // All atoms satisfied: emit the head tuple.
   size_t remaining = 0;
   for (bool d : *done) {
@@ -111,7 +144,7 @@ void Search(const storage::Catalog& catalog,
   auto consider = [&](const Row& row) {
     ValueBinding next = binding;
     if (MatchRow(atom, row, &next)) {
-      Search(catalog, atoms, done, next, head, seen, out);
+      MapSearch(atoms, done, next, head, seen, out);
     }
   };
   if (probe_col) {
@@ -124,39 +157,280 @@ void Search(const storage::Catalog& catalog,
   (*done)[best] = false;
 }
 
+// ---------------------------------------------------------------------
+// Slot engine: per CQ, variable names compile to dense integer slots;
+// the binding is a vector<Value> plus a bound-bitmask mutated and
+// rolled back in place — no map copies anywhere in the search.
+// ---------------------------------------------------------------------
+
+/// One compiled argument position: either a constant (borrowed from the
+/// query, which outlives the evaluation) or a slot number.
+struct SlotTerm {
+  const Value* constant = nullptr;  // non-null -> constant position
+  int slot = -1;                    // valid when constant == nullptr
+};
+
+struct SlotAtom {
+  const Table* table = nullptr;
+  std::vector<SlotTerm> terms;
+};
+
+/// Dynamic bitmask over slots (queries reformulated through deep
+/// mapping chains can exceed 64 variables).
+class BoundMask {
+ public:
+  explicit BoundMask(size_t slots) : words_((slots + 63) / 64, 0) {}
+  bool test(int s) const {
+    return (words_[static_cast<size_t>(s) >> 6] >> (s & 63)) & 1;
+  }
+  void set(int s) {
+    words_[static_cast<size_t>(s) >> 6] |= uint64_t{1} << (s & 63);
+  }
+  void clear(int s) {
+    words_[static_cast<size_t>(s) >> 6] &= ~(uint64_t{1} << (s & 63));
+  }
+
+ private:
+  std::vector<uint64_t> words_;
+};
+
+struct SlotProgram {
+  std::vector<SlotAtom> atoms;
+  std::vector<SlotTerm> head;
+  size_t num_slots = 0;
+};
+
+/// Maps every distinct variable to a dense slot, once per CQ.
+SlotProgram CompileSlots(
+    const ConjunctiveQuery& query,
+    const std::vector<std::pair<const Table*, const Atom*>>& atoms) {
+  SlotProgram prog;
+  std::unordered_map<std::string, int> slot_of;
+  auto compile_term = [&](const QTerm& t) {
+    SlotTerm st;
+    if (t.is_var()) {
+      auto [it, inserted] =
+          slot_of.emplace(t.var(), static_cast<int>(slot_of.size()));
+      (void)inserted;
+      st.slot = it->second;
+    } else {
+      st.constant = &t.value();
+    }
+    return st;
+  };
+  prog.head.reserve(query.head().size());
+  for (const auto& t : query.head()) prog.head.push_back(compile_term(t));
+  prog.atoms.reserve(atoms.size());
+  for (const auto& [table, atom] : atoms) {
+    SlotAtom sa;
+    sa.table = table;
+    sa.terms.reserve(atom->args.size());
+    for (const auto& t : atom->args) sa.terms.push_back(compile_term(t));
+    prog.atoms.push_back(std::move(sa));
+  }
+  prog.num_slots = slot_of.size();
+  return prog;
+}
+
+/// All mutable state of one slot-engine search, shared down the
+/// recursion instead of copied.
+struct SlotState {
+  const SlotProgram& prog;
+  const EvalOptions& options;
+  std::vector<Value> slots;
+  BoundMask bound;
+  std::vector<int> trail;  // slots bound on the path to the current node
+  std::vector<bool> done;
+  std::unordered_set<Row, storage::RowHash>* seen;
+  std::vector<Row>* out;
+
+  SlotState(const SlotProgram& p, const EvalOptions& opts,
+            std::unordered_set<Row, storage::RowHash>* s, std::vector<Row>* o)
+      : prog(p),
+        options(opts),
+        slots(p.num_slots),
+        bound(p.num_slots),
+        done(p.atoms.size(), false),
+        seen(s),
+        out(o) {}
+};
+
+void SlotSearch(SlotState& st, size_t remaining) {
+  if (remaining == 0) {
+    Row result;
+    result.reserve(st.prog.head.size());
+    for (const auto& t : st.prog.head) {
+      if (t.constant != nullptr) {
+        result.push_back(*t.constant);
+      } else if (st.bound.test(t.slot)) {
+        result.push_back(st.slots[t.slot]);
+      } else {
+        result.emplace_back();
+      }
+    }
+    if (st.seen->insert(result).second) st.out->push_back(std::move(result));
+    return;
+  }
+
+  // Pick the unsolved atom with the most bound positions.
+  size_t best = st.prog.atoms.size();
+  int best_bound = -1;
+  for (size_t i = 0; i < st.prog.atoms.size(); ++i) {
+    if (st.done[i]) continue;
+    int b = 0;
+    for (const auto& t : st.prog.atoms[i].terms) {
+      if (t.constant != nullptr || st.bound.test(t.slot)) ++b;
+    }
+    if (b > best_bound) {
+      best_bound = b;
+      best = i;
+    }
+  }
+  const SlotAtom& atom = st.prog.atoms[best];
+  const Table* table = atom.table;
+  st.done[best] = true;
+
+  // Probe column: the first bound position that is indexed; when none
+  // is but some position is bound, build the missing index on demand
+  // (memoized on the table) instead of scanning.
+  int probe_col = -1;
+  int first_bound_col = -1;
+  for (size_t i = 0; i < atom.terms.size(); ++i) {
+    const SlotTerm& t = atom.terms[i];
+    if (t.constant == nullptr && !st.bound.test(t.slot)) continue;
+    if (first_bound_col < 0) first_bound_col = static_cast<int>(i);
+    if (table->HasIndex(i)) {
+      probe_col = static_cast<int>(i);
+      break;
+    }
+  }
+  if (probe_col < 0 && first_bound_col >= 0 &&
+      st.options.on_demand_indexes &&
+      table->size() >= st.options.on_demand_index_min_rows) {
+    if (table->EnsureIndex(static_cast<size_t>(first_bound_col)).ok()) {
+      probe_col = first_bound_col;
+    }
+  }
+
+  auto consider = [&](const Row& row) {
+    size_t trail_mark = st.trail.size();
+    bool match = true;
+    for (size_t i = 0; i < atom.terms.size(); ++i) {
+      const SlotTerm& t = atom.terms[i];
+      if (t.constant != nullptr) {
+        if (!(*t.constant == row[i])) {
+          match = false;
+          break;
+        }
+      } else if (st.bound.test(t.slot)) {
+        if (!(st.slots[t.slot] == row[i])) {
+          match = false;
+          break;
+        }
+      } else {
+        st.slots[t.slot] = row[i];
+        st.bound.set(t.slot);
+        st.trail.push_back(t.slot);
+      }
+    }
+    if (match) SlotSearch(st, remaining - 1);
+    // Roll back exactly the bindings this row introduced.
+    while (st.trail.size() > trail_mark) {
+      st.bound.clear(st.trail.back());
+      st.trail.pop_back();
+    }
+  };
+  if (probe_col >= 0) {
+    const SlotTerm& t = atom.terms[probe_col];
+    const Value& key =
+        t.constant != nullptr ? *t.constant : st.slots[t.slot];
+    for (size_t idx :
+         table->LookupIndices(static_cast<size_t>(probe_col), key)) {
+      consider(table->rows()[idx]);
+    }
+  } else {
+    for (const Row& row : table->rows()) consider(row);
+  }
+  st.done[best] = false;
+}
+
+/// Evaluates `query`, appending head tuples that are new w.r.t. `seen`
+/// to `out` — the single-dedup primitive both EvaluateCQ and the serial
+/// EvaluateUnion build on.
+Status EvaluateInto(const storage::Catalog& catalog,
+                    const ConjunctiveQuery& query, const EvalOptions& options,
+                    std::unordered_set<Row, storage::RowHash>* seen,
+                    std::vector<Row>* out) {
+  REVERE_ASSIGN_OR_RETURN(auto atoms, ResolveAtoms(catalog, query));
+  if (options.use_slots) {
+    SlotProgram prog = CompileSlots(query, atoms);
+    SlotState st(prog, options, seen, out);
+    SlotSearch(st, prog.atoms.size());
+  } else {
+    std::vector<bool> done(atoms.size(), false);
+    MapSearch(atoms, &done, {}, query.head(), seen, out);
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 Result<std::vector<Row>> EvaluateCQ(const storage::Catalog& catalog,
-                                    const ConjunctiveQuery& query) {
-  std::vector<std::pair<const Table*, const Atom*>> atoms;
-  for (const auto& atom : query.body()) {
-    REVERE_ASSIGN_OR_RETURN(const Table* table,
-                            catalog.GetTable(atom.relation));
-    if (table->schema().arity() != atom.args.size()) {
-      return Status::InvalidArgument(
-          "atom " + atom.ToString() + " has arity " +
-          std::to_string(atom.args.size()) + " but relation has " +
-          std::to_string(table->schema().arity()));
-    }
-    atoms.emplace_back(table, &atom);
-  }
+                                    const ConjunctiveQuery& query,
+                                    const EvalOptions& options) {
   std::vector<Row> out;
   std::unordered_set<Row, storage::RowHash> seen;
-  std::vector<bool> done(atoms.size(), false);
-  Search(catalog, atoms, &done, {}, query.head(), &seen, &out);
+  REVERE_RETURN_IF_ERROR(
+      EvaluateInto(catalog, query, options, &seen, &out));
   return out;
 }
 
 Result<std::vector<Row>> EvaluateUnion(
     const storage::Catalog& catalog,
-    const std::vector<ConjunctiveQuery>& queries) {
+    const std::vector<ConjunctiveQuery>& queries,
+    const EvalOptions& options) {
   std::vector<Row> out;
   std::unordered_set<Row, storage::RowHash> seen;
+  // Syntactically identical members can only reproduce rows the first
+  // copy already emitted — evaluate each distinct member once.
+  std::unordered_set<std::string> distinct;
+  std::vector<const ConjunctiveQuery*> members;
+  members.reserve(queries.size());
   for (const auto& q : queries) {
-    REVERE_ASSIGN_OR_RETURN(std::vector<Row> rows, EvaluateCQ(catalog, q));
-    for (auto& r : rows) {
-      if (seen.insert(r).second) out.push_back(std::move(r));
+    if (distinct.insert(q.ToString()).second) members.push_back(&q);
+  }
+
+  if (options.pool != nullptr && members.size() > 1) {
+    // Parallel path: every member evaluates independently (each with a
+    // private dedup set inside EvaluateCQ), then results merge through
+    // the union-level `seen` in member order — byte-identical to the
+    // serial path for any worker count.
+    EvalOptions member_options = options;
+    member_options.pool = nullptr;
+    std::vector<std::optional<Result<std::vector<Row>>>> results(
+        members.size());
+    std::vector<std::future<void>> futures;
+    futures.reserve(members.size());
+    for (size_t i = 0; i < members.size(); ++i) {
+      futures.push_back(options.pool->Submit([&, i] {
+        results[i].emplace(EvaluateCQ(catalog, *members[i], member_options));
+      }));
     }
+    for (auto& f : futures) f.wait();
+    for (auto& result : results) {
+      if (!result->ok()) return result->status();
+      std::vector<Row> rows = std::move(*result).value();
+      out.reserve(out.size() + rows.size());
+      for (auto& r : rows) {
+        if (seen.insert(r).second) out.push_back(std::move(r));
+      }
+    }
+    return out;
+  }
+
+  for (const ConjunctiveQuery* q : members) {
+    REVERE_RETURN_IF_ERROR(
+        EvaluateInto(catalog, *q, options, &seen, &out));
   }
   return out;
 }

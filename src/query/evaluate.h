@@ -1,27 +1,64 @@
 #ifndef REVERE_QUERY_EVALUATE_H_
 #define REVERE_QUERY_EVALUATE_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/query/cq.h"
 #include "src/storage/catalog.h"
 
+namespace revere {
+class ThreadPool;
+}  // namespace revere
+
 namespace revere::query {
+
+/// Knobs for conjunctive-query evaluation. The defaults are the fast
+/// path; the legacy knobs exist so benches can measure each optimization
+/// in isolation and tests can differentially check the engines against
+/// each other.
+struct EvalOptions {
+  /// Slot-compiled bindings: per CQ, variables are mapped to dense
+  /// integer slots once, and the binding is a std::vector<Value> plus a
+  /// bound-bitmask mutated and rolled back in place during the search —
+  /// no per-row map copies. false selects the original
+  /// std::map<std::string, Value> engine, kept verbatim as a reference
+  /// implementation (it ignores the index options below).
+  bool use_slots = true;
+  /// When the join order picks an atom with a bound position that has
+  /// no index, build (and memoize on the Table) a hash index for that
+  /// column instead of scanning. Indexes are never evicted.
+  bool on_demand_indexes = true;
+  /// Do not bother building an on-demand index for tables smaller than
+  /// this — a scan of a tiny table beats the build cost.
+  size_t on_demand_index_min_rows = 32;
+  /// When set, EvaluateUnion evaluates member queries in parallel on
+  /// this pool. Results are merged in query order through one dedup
+  /// set, so output is byte-identical for any worker count (and to the
+  /// serial path). EvaluateCQ itself never uses the pool.
+  ThreadPool* pool = nullptr;
+};
 
 /// Evaluates a conjunctive query against stored relations. Each body
 /// atom's relation must exist in `catalog` with matching arity. Returns
 /// the set (duplicates eliminated) of head tuples. Join strategy:
 /// backtracking binding with greedy most-bound-first atom ordering,
-/// probing table hash indexes where available.
+/// probing table hash indexes where available and building missing
+/// ones on demand (see EvalOptions).
 Result<std::vector<storage::Row>> EvaluateCQ(const storage::Catalog& catalog,
-                                             const ConjunctiveQuery& query);
+                                             const ConjunctiveQuery& query,
+                                             const EvalOptions& options = {});
 
 /// Evaluates a union of conjunctive queries (set union of results). All
-/// members must share head arity.
+/// members must share head arity. Syntactically identical members are
+/// evaluated once; each row is deduplicated exactly once against the
+/// union-level seen set. With options.pool set, members evaluate in
+/// parallel and merge deterministically in query order.
 Result<std::vector<storage::Row>> EvaluateUnion(
     const storage::Catalog& catalog,
-    const std::vector<ConjunctiveQuery>& queries);
+    const std::vector<ConjunctiveQuery>& queries,
+    const EvalOptions& options = {});
 
 }  // namespace revere::query
 

@@ -1,15 +1,35 @@
 #include "src/storage/table.h"
 
 #include <algorithm>
+#include <mutex>
 
 namespace revere::storage {
+
+Table::Table(Table&& other) noexcept
+    : schema_(std::move(other.schema_)),
+      rows_(std::move(other.rows_)),
+      indexes_(std::move(other.indexes_)),
+      index_dirty_(other.index_dirty_) {}
+
+Table& Table::operator=(Table&& other) noexcept {
+  if (this != &other) {
+    schema_ = std::move(other.schema_);
+    rows_ = std::move(other.rows_);
+    indexes_ = std::move(other.indexes_);
+    index_dirty_ = other.index_dirty_;
+  }
+  return *this;
+}
 
 Status Table::Insert(Row row) {
   REVERE_RETURN_IF_ERROR(schema_.ValidateRow(row));
   size_t idx = rows_.size();
-  if (!index_dirty_) {
-    for (auto& [col, index] : indexes_) {
-      index[row[col]].push_back(idx);
+  {
+    std::unique_lock lock(index_mu_);
+    if (!index_dirty_) {
+      for (auto& [col, index] : indexes_) {
+        index[row[col]].push_back(idx);
+      }
     }
   }
   rows_.push_back(std::move(row));
@@ -29,6 +49,7 @@ Status Table::Delete(const Row& row) {
     return Status::NotFound("row not present in " + schema_.name());
   }
   rows_.erase(it);
+  std::unique_lock lock(index_mu_);
   index_dirty_ = true;
   return Status::Ok();
 }
@@ -40,14 +61,26 @@ size_t Table::DeleteWhere(size_t column, const Value& key) {
                              [&](const Row& r) { return r[column] == key; }),
               rows_.end());
   size_t removed = before - rows_.size();
-  if (removed > 0) index_dirty_ = true;
+  if (removed > 0) {
+    std::unique_lock lock(index_mu_);
+    index_dirty_ = true;
+  }
   return removed;
 }
 
 void Table::Clear() {
   rows_.clear();
+  std::unique_lock lock(index_mu_);
   for (auto& [col, index] : indexes_) index.clear();
   index_dirty_ = false;
+}
+
+void Table::BuildIndexLocked(size_t column) const {
+  auto& index = indexes_[column];
+  index.clear();
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    index[rows_[i][column]].push_back(i);
+  }
 }
 
 Status Table::CreateIndex(size_t column) {
@@ -55,19 +88,38 @@ Status Table::CreateIndex(size_t column) {
     return Status::OutOfRange("no column " + std::to_string(column) + " in " +
                               schema_.name());
   }
-  auto& index = indexes_[column];
-  index.clear();
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    index[rows_[i][column]].push_back(i);
+  std::unique_lock lock(index_mu_);
+  BuildIndexLocked(column);
+  return Status::Ok();
+}
+
+Status Table::EnsureIndex(size_t column) const {
+  if (column >= schema_.arity()) {
+    return Status::OutOfRange("no column " + std::to_string(column) + " in " +
+                              schema_.name());
   }
+  {
+    std::shared_lock lock(index_mu_);
+    if (!index_dirty_ && indexes_.count(column) > 0) return Status::Ok();
+  }
+  std::unique_lock lock(index_mu_);
+  ReindexIfDirtyLocked();
+  // Double-checked: another thread may have built it between the locks.
+  if (indexes_.count(column) == 0) BuildIndexLocked(column);
   return Status::Ok();
 }
 
 bool Table::HasIndex(size_t column) const {
+  std::shared_lock lock(index_mu_);
   return indexes_.count(column) > 0;
 }
 
-void Table::ReindexIfDirty() const {
+size_t Table::index_count() const {
+  std::shared_lock lock(index_mu_);
+  return indexes_.size();
+}
+
+void Table::ReindexIfDirtyLocked() const {
   if (!index_dirty_) return;
   for (auto& [col, index] : indexes_) {
     index.clear();
@@ -82,9 +134,22 @@ std::vector<size_t> Table::LookupIndices(size_t column,
                                          const Value& key) const {
   std::vector<size_t> out;
   if (column >= schema_.arity()) return out;
-  auto idx_it = indexes_.find(column);
-  if (idx_it != indexes_.end()) {
-    ReindexIfDirty();
+  bool indexed = false;
+  {
+    std::shared_lock lock(index_mu_);
+    auto idx_it = indexes_.find(column);
+    indexed = idx_it != indexes_.end();
+    if (indexed && !index_dirty_) {
+      auto hit = idx_it->second.find(key);
+      if (hit != idx_it->second.end()) return hit->second;
+      return out;
+    }
+  }
+  if (indexed) {
+    // Indexed but dirty: rebuild under the exclusive lock, then probe.
+    std::unique_lock lock(index_mu_);
+    ReindexIfDirtyLocked();
+    auto idx_it = indexes_.find(column);
     auto hit = idx_it->second.find(key);
     if (hit != idx_it->second.end()) return hit->second;
     return out;

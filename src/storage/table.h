@@ -1,6 +1,7 @@
 #ifndef REVERE_STORAGE_TABLE_H_
 #define REVERE_STORAGE_TABLE_H_
 
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -14,9 +15,23 @@ namespace revere::storage {
 /// One stored relation: a schema, a row store, and optional per-column
 /// hash indexes. Bag semantics (duplicates allowed) — REVERE's MANGROVE
 /// layer deliberately defers uniqueness constraints to applications.
+///
+/// Concurrency contract: any number of threads may *read* concurrently
+/// (Lookup/LookupIndices/HasIndex/rows), including EnsureIndex — the
+/// index cache is guarded by an internal shared_mutex so the parallel
+/// query evaluator can build indexes on demand from const tables. Row
+/// mutation (Insert/Delete/Clear) is NOT safe against concurrent
+/// readers; writers must be externally synchronized with readers, the
+/// usual single-writer discipline.
 class Table {
  public:
   explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+
+  /// Movable (the index lock itself is per-object state, not moved).
+  /// Moving concurrently with any other access is undefined, as for
+  /// every standard container.
+  Table(Table&& other) noexcept;
+  Table& operator=(Table&& other) noexcept;
 
   const TableSchema& schema() const { return schema_; }
   size_t size() const { return rows_.size(); }
@@ -37,7 +52,15 @@ class Table {
 
   /// Builds (or rebuilds) a hash index on `column`.
   Status CreateIndex(size_t column);
+  /// Builds a hash index on `column` unless one already exists — the
+  /// memoized on-demand path used by the query evaluator when the join
+  /// order binds an unindexed position. Indexes are never evicted
+  /// (tables are append-rare). const: only the mutable index cache
+  /// changes; safe to call from concurrent readers.
+  Status EnsureIndex(size_t column) const;
   bool HasIndex(size_t column) const;
+  /// Number of indexed columns (instrumentation for tests/benches).
+  size_t index_count() const;
 
   /// All rows whose `column` equals `key`. Uses the hash index when one
   /// exists, else scans.
@@ -47,10 +70,16 @@ class Table {
   std::vector<size_t> LookupIndices(size_t column, const Value& key) const;
 
  private:
-  void ReindexIfDirty() const;
+  /// Rebuilds every index after deletions. Caller holds index_mu_.
+  void ReindexIfDirtyLocked() const;
+  /// Builds the index for `column` from scratch. Caller holds index_mu_.
+  void BuildIndexLocked(size_t column) const;
 
   TableSchema schema_;
   std::vector<Row> rows_;
+  /// Guards indexes_ and index_dirty_. Readers (probes) take shared
+  /// locks; index builds and reindexing take exclusive locks.
+  mutable std::shared_mutex index_mu_;
   // column -> (value -> row indices). Rebuilt lazily after deletions.
   mutable std::unordered_map<size_t,
                              std::unordered_map<Value, std::vector<size_t>,

@@ -1,0 +1,269 @@
+// Tests for ISSUE 2: the common/ thread pool, the parallel union
+// evaluator, and parallel rewriting evaluation inside PdmsNetwork.
+// The central property is the determinism contract — for ANY worker
+// count the answers (and all fault/cost accounting) are byte-identical
+// to the serial evaluator. These tests are also the TSan workload:
+// build with -DREVERE_SANITIZE=thread and run parallel_test to check
+// the pool, the memoizing index path, and concurrent readers.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/datagen/topology.h"
+#include "src/piazza/fault.h"
+#include "src/piazza/pdms.h"
+#include "src/query/cq.h"
+#include "src/query/evaluate.h"
+#include "src/storage/table.h"
+
+namespace revere {
+namespace {
+
+using datagen::AllCoursesQuery;
+using datagen::BuildUniversityPdms;
+using datagen::PdmsGenOptions;
+using datagen::PdmsGenReport;
+using datagen::Topology;
+using piazza::FailurePolicy;
+using piazza::FaultInjector;
+using piazza::NetworkCostModel;
+using piazza::PdmsNetwork;
+using query::ConjunctiveQuery;
+using query::EvalOptions;
+using storage::Row;
+using storage::Table;
+using storage::TableSchema;
+using storage::Value;
+
+// ---------------------------------------------------------------- pool
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.worker_count(), 4u);
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&sum, i] { sum += i; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), 4950);
+  EXPECT_EQ(pool.tasks_completed(), 100u);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 1u);
+  auto f = pool.Submit([] {});
+  f.get();
+  EXPECT_EQ(pool.tasks_completed(), 1u);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&ran] { ran += 1; });
+    }
+    // No explicit waits: ~ThreadPool must finish every queued task
+    // before joining (futures never dangle).
+  }
+  EXPECT_EQ(ran.load(), 50);
+}
+
+// --------------------------------------------- deterministic parallel
+
+PdmsGenReport BuildFig2(PdmsNetwork* net, size_t rows_per_peer = 40) {
+  PdmsGenOptions options;
+  options.topology = Topology::kFigure2;
+  options.rows_per_peer = rows_per_peer;
+  options.seed = 99;
+  auto report = BuildUniversityPdms(net, options);
+  EXPECT_TRUE(report.ok());
+  return report.value();
+}
+
+TEST(ParallelEvalTest, UnionByteIdenticalForAnyWorkerCount) {
+  PdmsNetwork net;
+  PdmsGenReport report = BuildFig2(&net);
+  auto rewritings = net.Reformulate(AllCoursesQuery(report, 0));
+  ASSERT_TRUE(rewritings.ok());
+  ASSERT_GT(rewritings.value().size(), 1u);
+
+  auto serial =
+      query::EvaluateUnion(net.storage(), rewritings.value());
+  ASSERT_TRUE(serial.ok());
+  EXPECT_EQ(serial.value().size(), report.total_rows);
+
+  for (size_t workers : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(workers);
+    EvalOptions options;
+    options.pool = &pool;
+    auto parallel =
+        query::EvaluateUnion(net.storage(), rewritings.value(), options);
+    ASSERT_TRUE(parallel.ok()) << workers << " workers";
+    EXPECT_EQ(serial.value(), parallel.value()) << workers << " workers";
+  }
+}
+
+TEST(ParallelEvalTest, UnionErrorSurfacesFromAnyMember) {
+  PdmsNetwork net;
+  PdmsGenReport report = BuildFig2(&net, 10);
+  auto rewritings = net.Reformulate(AllCoursesQuery(report, 0));
+  ASSERT_TRUE(rewritings.ok());
+  auto queries = rewritings.value();
+  auto bad = ConjunctiveQuery::Parse("q(X) :- no_such_relation(X)");
+  ASSERT_TRUE(bad.ok());
+  queries.push_back(bad.value());
+
+  ThreadPool pool(4);
+  EvalOptions options;
+  options.pool = &pool;
+  EXPECT_FALSE(query::EvaluateUnion(net.storage(), queries, options).ok());
+}
+
+TEST(ParallelEvalTest, AnswerByteIdenticalWithPool) {
+  PdmsNetwork net;
+  PdmsGenReport report = BuildFig2(&net);
+  auto query = AllCoursesQuery(report, 2);
+
+  piazza::ExecutionStats serial_stats;
+  auto serial = net.Answer(query, {}, &serial_stats);
+  ASSERT_TRUE(serial.ok());
+
+  for (size_t workers : {1u, 8u}) {
+    ThreadPool pool(workers);
+    NetworkCostModel cost;
+    cost.eval.pool = &pool;
+    piazza::ExecutionStats stats;
+    auto parallel = net.Answer(query, {}, &stats, cost);
+    ASSERT_TRUE(parallel.ok()) << workers << " workers";
+    EXPECT_EQ(serial.value(), parallel.value()) << workers << " workers";
+    EXPECT_EQ(stats.rewritings_evaluated, serial_stats.rewritings_evaluated);
+    EXPECT_EQ(stats.rows_shipped, serial_stats.rows_shipped);
+    EXPECT_EQ(stats.peers_contacted, serial_stats.peers_contacted);
+  }
+}
+
+TEST(ParallelEvalTest, AnswerWithProvenanceByteIdenticalWithPool) {
+  PdmsNetwork net;
+  PdmsGenReport report = BuildFig2(&net);
+  auto query = AllCoursesQuery(report, 0);
+
+  auto serial = net.AnswerWithProvenance(query);
+  ASSERT_TRUE(serial.ok());
+
+  ThreadPool pool(8);
+  NetworkCostModel cost;
+  cost.eval.pool = &pool;
+  auto parallel = net.AnswerWithProvenance(query, {}, nullptr, cost);
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(serial.value().size(), parallel.value().size());
+  for (size_t i = 0; i < serial.value().size(); ++i) {
+    EXPECT_EQ(serial.value()[i].row, parallel.value()[i].row);
+    EXPECT_EQ(serial.value()[i].peers, parallel.value()[i].peers);
+  }
+}
+
+/// Fault accounting draws from the injector's seeded RNG in rewriting
+/// order; parallel evaluation must not perturb the stream, so two runs
+/// with equal seeds — one serial, one pooled — must match failure for
+/// failure.
+TEST(ParallelEvalTest, FaultAccountingIdenticalWithPool) {
+  PdmsNetwork net;
+  PdmsGenReport report = BuildFig2(&net);
+  auto query = AllCoursesQuery(report, 0);
+
+  auto run = [&](ThreadPool* pool, piazza::ExecutionStats* stats) {
+    FaultInjector faults(1234);
+    faults.SetDown(report.peer_names[3]);
+    faults.SetFlaky(report.peer_names[1], 0.5);
+    NetworkCostModel cost;
+    cost.faults = &faults;
+    cost.failure_policy = FailurePolicy::kBestEffort;
+    cost.retry.max_attempts = 3;
+    if (pool != nullptr) cost.eval.pool = pool;
+    return net.Answer(query, {}, stats, cost);
+  };
+
+  piazza::ExecutionStats serial_stats;
+  auto serial = run(nullptr, &serial_stats);
+  ASSERT_TRUE(serial.ok());
+
+  ThreadPool pool(8);
+  piazza::ExecutionStats parallel_stats;
+  auto parallel = run(&pool, &parallel_stats);
+  ASSERT_TRUE(parallel.ok());
+
+  EXPECT_EQ(serial.value(), parallel.value());
+  EXPECT_EQ(serial_stats.completeness.rewritings_skipped,
+            parallel_stats.completeness.rewritings_skipped);
+  EXPECT_EQ(serial_stats.completeness.contacts_failed,
+            parallel_stats.completeness.contacts_failed);
+  EXPECT_EQ(serial_stats.completeness.retries_attempted,
+            parallel_stats.completeness.retries_attempted);
+  EXPECT_EQ(serial_stats.completeness.unreachable_peers,
+            parallel_stats.completeness.unreachable_peers);
+  EXPECT_DOUBLE_EQ(serial_stats.simulated_network_ms,
+                   parallel_stats.simulated_network_ms);
+}
+
+// ------------------------------------------------ concurrent storage
+
+TEST(ConcurrentIndexTest, EnsureIndexRacesBuildExactlyOneIndex) {
+  Table t(TableSchema::AllStrings("r", {"a", "b"}));
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(t.Insert({Value("k" + std::to_string(i % 17)),
+                          Value("v" + std::to_string(i))})
+                    .ok());
+  }
+  const Table& ct = t;
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int w = 0; w < 8; ++w) {
+    threads.emplace_back([&ct, &mismatches] {
+      for (int i = 0; i < 50; ++i) {
+        if (!ct.EnsureIndex(0).ok()) mismatches += 1;
+        if (ct.LookupIndices(0, Value("k3")).size() != 30u) mismatches += 1;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(ct.index_count(), 1u);
+}
+
+TEST(ConcurrentIndexTest, ConcurrentEvaluationsShareOnDemandIndexes) {
+  PdmsNetwork net;
+  PdmsGenReport report = BuildFig2(&net);
+  auto rewritings = net.Reformulate(AllCoursesQuery(report, 0));
+  ASSERT_TRUE(rewritings.ok());
+
+  EvalOptions options;
+  options.on_demand_index_min_rows = 0;
+  auto expected = query::EvaluateUnion(net.storage(), rewritings.value(),
+                                       options);
+  ASSERT_TRUE(expected.ok());
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 6; ++w) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10; ++i) {
+        auto got = query::EvaluateUnion(net.storage(), rewritings.value(),
+                                        options);
+        if (!got.ok() || got.value() != expected.value()) mismatches += 1;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace revere

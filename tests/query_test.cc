@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/query/containment.h"
 #include "src/query/cq.h"
 #include "src/query/evaluate.h"
@@ -172,6 +173,80 @@ TEST_F(EvaluateTest, MissingRelationErrors) {
 
 TEST_F(EvaluateTest, ArityMismatchErrors) {
   EXPECT_FALSE(EvaluateCQ(catalog_, MustParse("q(X) :- course(X)")).ok());
+}
+
+TEST_F(EvaluateTest, SlotAndMapEnginesAgree) {
+  EvalOptions map_engine;
+  map_engine.use_slots = false;
+  map_engine.on_demand_indexes = false;
+  EvalOptions slot_engine;  // slots + on-demand indexes (defaults)
+  slot_engine.on_demand_index_min_rows = 0;  // force on tiny tables too
+  const std::vector<std::string> queries = {
+      "q(X) :- course(X, T, D)",
+      "q(X, T) :- course(X, T, \"CSE\")",
+      "q(T, P) :- course(C, T, D), teaches(C, P)",
+      "q(P) :- course(C, T, \"CSE\"), teaches(C, P)",
+      "q(D) :- course(C, T, D)",
+      "q(X, \"tagged\") :- course(X, T, \"HIST\")",
+      "q(X) :- course(X, T, \"MATH\")",
+      "q(C) :- teaches(C, P), teaches(C, Q), course(C, T, D)",
+  };
+  for (const auto& text : queries) {
+    auto via_map = EvaluateCQ(catalog_, MustParse(text), map_engine);
+    auto via_slots = EvaluateCQ(catalog_, MustParse(text), slot_engine);
+    ASSERT_TRUE(via_map.ok()) << text;
+    ASSERT_TRUE(via_slots.ok()) << text;
+    EXPECT_EQ(via_map.value(), via_slots.value()) << text;
+  }
+}
+
+// The two evaluation engines (string-keyed map bindings vs compiled
+// slots, with and without on-demand indexes) must be observationally
+// identical — same rows, same order — on randomized tables, not just
+// the handpicked fixture.
+TEST(EvaluateDifferentialTest, EnginesAgreeOnRandomTables) {
+  Rng rng(7);
+  const std::vector<std::string> shapes = {
+      "q(X, Y) :- r(X, Y)",
+      "q(X) :- r(X, X)",
+      "q(X, Z) :- r(X, Y), s(Y, Z)",
+      "q(X) :- r(X, Y), s(Y, \"v1\")",
+      "q(X, Y) :- r(X, A), s(Y, A)",
+      "q(A) :- r(X, A), s(A, Y), r(Y, B)",
+  };
+  for (int round = 0; round < 6; ++round) {
+    Catalog catalog;
+    for (const char* name : {"r", "s"}) {
+      auto table = catalog.CreateTable(
+          TableSchema::AllStrings(name, {"a", "b"}));
+      ASSERT_TRUE(table.ok());
+      size_t n = 10 + rng.Index(40);
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_TRUE(
+            (*table)
+                ->Insert({Value("v" + std::to_string(rng.Index(8))),
+                          Value("v" + std::to_string(rng.Index(8)))})
+                .ok());
+      }
+    }
+    EvalOptions map_engine;
+    map_engine.use_slots = false;
+    map_engine.on_demand_indexes = false;
+    EvalOptions slots_no_index;
+    slots_no_index.on_demand_indexes = false;
+    EvalOptions slots_indexed;
+    slots_indexed.on_demand_index_min_rows = 0;
+    for (const auto& text : shapes) {
+      auto reference = EvaluateCQ(catalog, MustParse(text), map_engine);
+      ASSERT_TRUE(reference.ok()) << text;
+      for (const auto& options : {slots_no_index, slots_indexed}) {
+        auto got = EvaluateCQ(catalog, MustParse(text), options);
+        ASSERT_TRUE(got.ok()) << text;
+        EXPECT_EQ(reference.value(), got.value())
+            << "round " << round << ": " << text;
+      }
+    }
+  }
 }
 
 TEST_F(EvaluateTest, UnionDeduplicatesAcrossMembers) {

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/storage/catalog.h"
 #include "src/storage/executor.h"
 #include "src/storage/schema.h"
@@ -150,6 +151,75 @@ TEST(TableTest, DeleteWhere) {
 TEST(TableTest, CreateIndexOutOfRange) {
   Table t = MakeCourses();
   EXPECT_FALSE(t.CreateIndex(99).ok());
+}
+
+TEST(TableTest, EnsureIndexMemoizesOnConstTable) {
+  Table t = MakeCourses();
+  const Table& ct = t;
+  EXPECT_EQ(ct.index_count(), 0u);
+  ASSERT_TRUE(ct.EnsureIndex(2).ok());
+  EXPECT_TRUE(ct.HasIndex(2));
+  EXPECT_EQ(ct.index_count(), 1u);
+  // A second call finds the memoized index — no rebuild, no new entry.
+  ASSERT_TRUE(ct.EnsureIndex(2).ok());
+  EXPECT_EQ(ct.index_count(), 1u);
+  EXPECT_EQ(ct.Lookup(2, Value("CSE")).size(), 2u);
+  EXPECT_FALSE(ct.EnsureIndex(99).ok());
+}
+
+TEST(TableTest, RowsInsertedAfterEnsureIndexAreFound) {
+  Table t = MakeCourses();
+  ASSERT_TRUE(t.EnsureIndex(2).ok());
+  ASSERT_TRUE(
+      t.Insert({Value(5), Value("Algebra"), Value("MATH"), Value(200)})
+          .ok());
+  auto hits = t.LookupIndices(2, Value("MATH"));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(t.rows()[hits[0]][1].as_string(), "Algebra");
+  // And after a delete forces a dirty rebuild, still consistent.
+  ASSERT_TRUE(t.Delete({Value(1), Value("Databases"), Value("CSE"),
+                        Value(120)})
+                  .ok());
+  EXPECT_EQ(t.LookupIndices(2, Value("MATH")).size(), 1u);
+  EXPECT_EQ(t.LookupIndices(2, Value("CSE")).size(), 1u);
+}
+
+TEST(TableTest, LookupIndicesAgreesWithScanRandomized) {
+  Rng rng(2003);
+  for (int round = 0; round < 6; ++round) {
+    Table t(TableSchema("rand", {{"a", ValueType::kInt},
+                                 {"b", ValueType::kString},
+                                 {"c", ValueType::kInt}}));
+    size_t n = 20 + rng.Index(180);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(
+          t.Insert({Value(static_cast<int64_t>(rng.Index(25))),
+                    Value("s" + std::to_string(rng.Index(10))),
+                    Value(static_cast<int64_t>(rng.Index(5)))})
+              .ok());
+    }
+    // Index a random subset of columns; unindexed ones take the scan
+    // path inside LookupIndices, so both paths get compared.
+    for (size_t col = 0; col < 3; ++col) {
+      if (rng.Bernoulli(0.5)) {
+        ASSERT_TRUE(t.EnsureIndex(col).ok());
+      }
+    }
+    for (size_t col = 0; col < 3; ++col) {
+      for (int probe = 0; probe < 15; ++probe) {
+        Value key = col == 1
+                        ? Value("s" + std::to_string(rng.Index(12)))
+                        : Value(static_cast<int64_t>(rng.Index(30)));
+        std::vector<size_t> expected;
+        for (size_t i = 0; i < t.rows().size(); ++i) {
+          if (t.rows()[i][col] == key) expected.push_back(i);
+        }
+        EXPECT_EQ(t.LookupIndices(col, key), expected)
+            << "round " << round << " col " << col << " key "
+            << key.ToString();
+      }
+    }
+  }
 }
 
 TEST(CatalogTest, CreateGetDrop) {
