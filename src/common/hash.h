@@ -2,9 +2,25 @@
 #define REVERE_COMMON_HASH_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <string_view>
 
 namespace revere {
+
+/// 64-bit FNV-1a over a byte sequence. Deterministic across runs and
+/// platforms (unlike std::hash), so it is usable for persisted or
+/// logged fingerprints. `seed` chains multi-part hashes:
+/// Fnv1a64(b, Fnv1a64(a)) hashes a‖b.
+inline uint64_t Fnv1a64(std::string_view bytes,
+                        uint64_t seed = 0xcbf29ce484222325ULL) {
+  uint64_t h = seed;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
 
 /// Mixes `v`'s hash into `seed` (boost-style hash_combine).
 template <typename T>

@@ -116,6 +116,16 @@ Status LoadNetworkConfig(std::string_view config, PdmsNetwork* network,
       } else {
         return fail("unknown fault mode '" + mode + "'");
       }
+    } else if (kind == "plan_cache") {
+      if (fields.size() != 2) return fail("plan_cache needs a capacity");
+      char* end = nullptr;
+      unsigned long long value =  // NOLINT(runtime/int) — strtoull API
+          std::strtoull(fields[1].c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || fields[1].empty() ||
+          fields[1][0] == '-') {
+        return fail("bad plan_cache capacity '" + fields[1] + "'");
+      }
+      network->SetPlanCacheCapacity(static_cast<size_t>(value));
     } else {
       return fail("unknown directive '" + kind + "'");
     }
@@ -130,6 +140,10 @@ Status LoadNetworkConfig(std::string_view config, PdmsNetwork* network,
 std::string SaveNetworkConfig(const PdmsNetwork& network,
                               const FaultInjector* faults) {
   std::string out = "# REVERE network config v1\n";
+  if (network.plan_cache_capacity() != kDefaultPlanCacheCapacity) {
+    out += "plan_cache " + std::to_string(network.plan_cache_capacity()) +
+           "\n";
+  }
   for (const auto& name : network.PeerNames()) {
     out += "peer " + name + "\n";
   }

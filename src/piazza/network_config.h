@@ -21,11 +21,14 @@ namespace revere::piazza {
 ///   fault <peer> down
 ///   fault <peer> flaky <failure_probability>
 ///   fault <peer> slow <extra_latency_ms>
+///   plan_cache <capacity>
 ///
 /// '#' starts a comment; blank lines are ignored. Values in `row` are
 /// separated by " | " so they may contain spaces. `fault` directives
 /// (known-degraded peers in a deployment) are applied to `faults` and
-/// are an error when no injector is supplied.
+/// are an error when no injector is supplied. `plan_cache` sizes the
+/// network's reformulation plan cache in entries (0 disables it; the
+/// directive is optional — the default is kDefaultPlanCacheCapacity).
 Status LoadNetworkConfig(std::string_view config, PdmsNetwork* network,
                          FaultInjector* faults = nullptr);
 

@@ -7,6 +7,7 @@
 #include <set>
 #include <unordered_set>
 
+#include "src/common/hash.h"
 #include "src/common/thread_pool.h"
 #include "src/query/containment.h"
 #include "src/query/evaluate.h"
@@ -20,22 +21,12 @@ using query::ConjunctiveQuery;
 using query::QTerm;
 using query::Substitution;
 
-/// Canonical form of a CQ for duplicate pruning: variables renamed by
-/// first occurrence, then body atoms sorted.
+/// Canonical form of a CQ for duplicate pruning: α-renamed via
+/// query::Canonicalize, then body atoms sorted (reformulation dedup
+/// wants atom order ignored, unlike the order-preserving plan-cache
+/// key).
 std::string CanonicalKey(const ConjunctiveQuery& q) {
-  Substitution normalize;
-  int counter = 0;
-  auto norm_term = [&](const QTerm& t) {
-    if (!t.is_var()) return;
-    if (normalize.count(t.var()) == 0) {
-      normalize[t.var()] = QTerm::Var("V" + std::to_string(counter++));
-    }
-  };
-  for (const auto& t : q.head()) norm_term(t);
-  for (const auto& a : q.body()) {
-    for (const auto& t : a.args) norm_term(t);
-  }
-  ConjunctiveQuery n = q.Substitute(normalize);
+  ConjunctiveQuery n = query::Canonicalize(q).query;
   std::vector<std::string> atoms;
   atoms.reserve(n.body().size());
   for (const auto& a : n.body()) atoms.push_back(a.ToString());
@@ -45,6 +36,24 @@ std::string CanonicalKey(const ConjunctiveQuery& q) {
     key += a;
     key += ";";
   }
+  return key;
+}
+
+/// Plan-cache key: the order-preserving canonical query text plus every
+/// option that shapes the rewriting set. Two α-equivalent queries with
+/// equal options share one entry; anything else never collides (the
+/// full text is compared, not just the fingerprint).
+std::string PlanKeyText(const ConjunctiveQuery& query,
+                        const ReformulationOptions& options) {
+  std::string key = query::Canonicalize(query).text;
+  key += "|d";
+  key += std::to_string(options.max_depth);
+  key += "|r";
+  key += std::to_string(options.max_rewritings);
+  key += "|f";
+  key += options.prune_duplicates ? '1' : '0';
+  key += options.prune_unreachable ? '1' : '0';
+  key += options.prune_contained ? '1' : '0';
   return key;
 }
 
@@ -89,6 +98,7 @@ Result<Peer*> PdmsNetwork::AddPeer(const std::string& name) {
   auto peer = std::make_unique<Peer>(name);
   Peer* ptr = peer.get();
   peers_[name] = std::move(peer);
+  InvalidatePlans();
   return ptr;
 }
 
@@ -122,6 +132,7 @@ Result<storage::Table*> PdmsNetwork::AddStoredRelation(
                           storage_.CreateTable(std::move(qualified)));
   peer_it->second->NoteStoredRelation(unqualified);
   RecomputeProductive();
+  InvalidatePlans();
   return table;
 }
 
@@ -135,6 +146,7 @@ Status PdmsNetwork::AddMapping(PeerMapping mapping) {
   }
   mappings_.push_back(std::move(mapping));
   RecomputeProductive();
+  InvalidatePlans();
   return Status::Ok();
 }
 
@@ -302,6 +314,7 @@ Result<size_t> PdmsNetwork::RegisterView(const std::string& peer,
   RegisteredView entry{peer, MaterializedView(std::move(definition))};
   REVERE_RETURN_IF_ERROR(entry.view.Recompute(storage_));
   views_.push_back(std::move(entry));
+  InvalidatePlans();
   return views_.size() - 1;
 }
 
@@ -344,6 +357,7 @@ Status PdmsNetwork::AddXmlMapping(const std::string& source_peer,
   }
   xml_edges_.push_back(XmlEdge{source_peer, target_peer, std::move(mapping),
                                std::move(source_doc_name)});
+  InvalidatePlans();
   return Status::Ok();
 }
 
@@ -396,9 +410,38 @@ Result<std::unique_ptr<xml::XmlNode>> PdmsNetwork::TranslateDocument(
   return result;
 }
 
-Result<std::vector<ConjunctiveQuery>> PdmsNetwork::Reformulate(
+void PdmsNetwork::SetPlanCacheCapacity(size_t capacity) {
+  plan_cache_ = std::make_unique<PlanCache>(capacity);
+}
+
+/// The uncached transitive-closure search, plus the cache consultation
+/// wrapped around it. The plan depends only on (canonical query,
+/// options, mappings/topology), so a hit is exact: the same rewriting
+/// vector the search would produce, in the same order — and the stats
+/// of the run that produced it, so instrumentation never reads zeros on
+/// the warm path.
+Result<std::shared_ptr<const CachedPlan>> PdmsNetwork::ReformulateCached(
     const ConjunctiveQuery& query, const ReformulationOptions& options,
     ReformulationStats* stats) const {
+  const bool use_cache =
+      options.use_plan_cache && plan_cache_->capacity() > 0;
+  std::string key;
+  uint64_t fingerprint = 0;
+  uint64_t generation = 0;
+  if (use_cache) {
+    key = PlanKeyText(query, options);
+    fingerprint = Fnv1a64(key);
+    generation = generation_.load(std::memory_order_relaxed);
+    if (std::shared_ptr<const CachedPlan> plan =
+            plan_cache_->Lookup(fingerprint, key, generation)) {
+      if (stats != nullptr) {
+        *stats = plan->stats;
+        stats->plan_cache_hits = 1;
+      }
+      return plan;
+    }
+  }
+
   ReformulationStats local;
   std::vector<ConjunctiveQuery> results;
   std::deque<WorkItem> worklist;
@@ -485,8 +528,26 @@ Result<std::vector<ConjunctiveQuery>> PdmsNetwork::Reformulate(
     }
   }
   local.rewritings = results.size();
+  std::shared_ptr<const CachedPlan> plan = [&] {
+    auto built = std::make_shared<CachedPlan>();
+    built->rewritings = std::move(results);
+    built->stats = local;
+    return built;
+  }();
+  if (use_cache) {
+    plan_cache_->Insert(fingerprint, std::move(key), generation, plan);
+    local.plan_cache_misses = 1;
+  }
   if (stats != nullptr) *stats = local;
-  return results;
+  return plan;
+}
+
+Result<std::vector<ConjunctiveQuery>> PdmsNetwork::Reformulate(
+    const ConjunctiveQuery& query, const ReformulationOptions& options,
+    ReformulationStats* stats) const {
+  REVERE_ASSIGN_OR_RETURN(std::shared_ptr<const CachedPlan> plan,
+                          ReformulateCached(query, options, stats));
+  return plan->rewritings;
 }
 
 Result<std::vector<storage::Row>> PdmsNetwork::Answer(
@@ -507,8 +568,11 @@ PdmsNetwork::AnswerWithProvenance(const ConjunctiveQuery& query,
                                   const NetworkCostModel& cost) const {
   ExecutionStats local;
   REVERE_ASSIGN_OR_RETURN(
-      std::vector<ConjunctiveQuery> rewritings,
-      Reformulate(query, options, &local.reformulation));
+      std::shared_ptr<const CachedPlan> plan,
+      ReformulateCached(query, options, &local.reformulation));
+  const std::vector<ConjunctiveQuery>& rewritings = plan->rewritings;
+  local.plan_cache_hits = local.reformulation.plan_cache_hits;
+  local.plan_cache_misses = local.reformulation.plan_cache_misses;
 
   auto [query_peer, rel] = SplitQualifiedName(
       query.body().empty() ? "" : query.body().front().relation);
@@ -609,6 +673,49 @@ PdmsNetwork::AnswerWithProvenance(const ConjunctiveQuery& query,
   }
   local.peers_contacted = all_peers.size();
   if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::vector<Result<std::vector<storage::Row>>> PdmsNetwork::AnswerBatch(
+    const std::vector<query::ConjunctiveQuery>& queries,
+    const ReformulationOptions& options, std::vector<ExecutionStats>* stats,
+    const NetworkCostModel& cost) const {
+  std::vector<Result<std::vector<storage::Row>>> out;
+  out.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    out.emplace_back(std::vector<storage::Row>{});
+  }
+  if (stats != nullptr) stats->assign(queries.size(), ExecutionStats{});
+
+  ThreadPool* pool = cost.eval.pool;
+  if (pool != nullptr && cost.faults == nullptr && queries.size() > 1) {
+    // Fan the stream out across workers. Each query evaluates with its
+    // own single-threaded cost model (a worker blocking on nested pool
+    // futures could deadlock behind its own queue) and writes only its
+    // slot, so the batch needs no further synchronization beyond the
+    // plan cache and table-index locks, which are already thread-safe.
+    NetworkCostModel per_query = cost;
+    per_query.eval.pool = nullptr;
+    std::vector<std::future<void>> futures;
+    futures.reserve(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      futures.push_back(pool->Submit([&, i] {
+        out[i] = Answer(queries[i], options,
+                        stats != nullptr ? &(*stats)[i] : nullptr, per_query);
+      }));
+    }
+    for (auto& f : futures) f.wait();
+    return out;
+  }
+
+  // Sequential path: required under fault injection (the injector's
+  // seeded RNG draws must happen in input order for determinism), and
+  // the trivial fallback otherwise. Per-query inner parallelism via
+  // cost.eval.pool still applies.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    out[i] = Answer(queries[i], options,
+                    stats != nullptr ? &(*stats)[i] : nullptr, cost);
+  }
   return out;
 }
 

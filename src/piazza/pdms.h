@@ -1,6 +1,8 @@
 #ifndef REVERE_PIAZZA_PDMS_H_
 #define REVERE_PIAZZA_PDMS_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <set>
 #include <memory>
@@ -10,6 +12,8 @@
 #include "src/common/status.h"
 #include "src/piazza/fault.h"
 #include "src/piazza/peer.h"
+#include "src/piazza/plan_cache.h"
+#include "src/piazza/reformulation.h"
 #include "src/piazza/views.h"
 #include "src/piazza/xml_mapping.h"
 #include "src/query/cq.h"
@@ -18,36 +22,6 @@
 #include "src/xml/node.h"
 
 namespace revere::piazza {
-
-/// Knobs for transitive-closure query reformulation (§3.1.1).
-struct ReformulationOptions {
-  /// Maximum mapping-application depth along any path.
-  int max_depth = 12;
-  /// Cap on emitted rewritings.
-  size_t max_rewritings = 512;
-  /// Heuristic: drop reformulations syntactically identical (up to
-  /// variable renaming) to ones already seen — "prune redundant paths".
-  bool prune_duplicates = true;
-  /// Heuristic: drop reformulations containing a relation that cannot
-  /// reach stored data through any mapping chain — "prune irrelevant
-  /// paths".
-  bool prune_unreachable = true;
-  /// Stronger (and costlier) redundancy pruning: drop an emitted
-  /// rewriting when it is *semantically contained* in one already
-  /// emitted (Chandra-Merlin check per pair) — evaluating it cannot add
-  /// answers. Off by default; syntactic dedup usually suffices.
-  bool prune_contained = false;
-};
-
-/// Instrumentation from one reformulation (drives bench C3).
-struct ReformulationStats {
-  size_t nodes_expanded = 0;
-  size_t pruned_duplicates = 0;
-  size_t pruned_unreachable = 0;
-  size_t pruned_depth = 0;
-  size_t pruned_contained = 0;
-  size_t rewritings = 0;
-};
 
 /// How a rewriting executes across peers (§3.1.2: "distribute each
 /// query in the PDMS to the peer that will provide the best
@@ -105,6 +79,10 @@ struct ExecutionStats {
   double simulated_network_ms = 0.0;
   /// Degradation accounting when a FaultInjector is present.
   CompletenessReport completeness;
+  /// Plan-cache outcome of this answer's reformulation (mirrors
+  /// `reformulation.plan_cache_*`; both zero when the cache was off).
+  size_t plan_cache_hits = 0;
+  size_t plan_cache_misses = 0;
 };
 
 /// The Piazza peer data management system (§3): an overlay of peers
@@ -178,6 +156,41 @@ class PdmsNetwork {
       ExecutionStats* stats = nullptr,
       const NetworkCostModel& cost = {}) const;
 
+  /// Sustained-throughput serving path: answers a mixed query stream,
+  /// sharing the plan cache (and on-demand indexes) across the whole
+  /// batch. Results (and `stats` entries, when non-null) line up with
+  /// `queries` by index; a per-query failure is that slot's Status and
+  /// never aborts the rest of the batch. With `cost.eval.pool` set and
+  /// no fault injector, queries fan out across the pool's workers (each
+  /// evaluated single-threaded — parallelism comes from the stream);
+  /// each query's answer is byte-identical to a standalone `Answer`
+  /// call. With `cost.faults` set the batch runs sequentially in input
+  /// order, because the injector's seeded RNG draw sequence — and so
+  /// every completeness counter — is defined by that order.
+  std::vector<Result<std::vector<storage::Row>>> AnswerBatch(
+      const std::vector<query::ConjunctiveQuery>& queries,
+      const ReformulationOptions& options = {},
+      std::vector<ExecutionStats>* stats = nullptr,
+      const NetworkCostModel& cost = {}) const;
+
+  // ---- Reformulation plan cache (ISSUE 3) ----------------------------
+
+  /// Resizes the plan cache (0 disables it), dropping every entry.
+  /// Deployments size it via the `plan_cache <capacity>` config
+  /// directive.
+  void SetPlanCacheCapacity(size_t capacity);
+  size_t plan_cache_capacity() const { return plan_cache_->capacity(); }
+  /// Drops all cached plans (capacity and counters unchanged).
+  void ClearPlanCache() { plan_cache_->Clear(); }
+  /// Hit/miss/eviction counters for benches and tests.
+  PlanCache::Stats PlanCacheStats() const { return plan_cache_->GetStats(); }
+  /// The invalidation generation: bumped whenever mappings, stored
+  /// relations, views, or topology change. Cached plans from older
+  /// generations are never served.
+  uint64_t plan_generation() const {
+    return generation_.load(std::memory_order_relaxed);
+  }
+
   const storage::Catalog& storage() const { return storage_; }
   storage::Catalog* mutable_storage() { return &storage_; }
 
@@ -233,6 +246,19 @@ class PdmsNetwork {
   /// (fixpoint; recomputed when mappings change).
   void RecomputeProductive();
 
+  /// Marks a change to mappings/topology/views: bumps the plan-cache
+  /// generation so every previously cached plan reads as stale.
+  void InvalidatePlans() {
+    generation_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Reformulate through the plan cache. The returned plan is shared
+  /// with the cache (never mutated); `stats` reports the computing
+  /// run's counters plus the hit/miss flag.
+  Result<std::shared_ptr<const CachedPlan>> ReformulateCached(
+      const query::ConjunctiveQuery& query,
+      const ReformulationOptions& options, ReformulationStats* stats) const;
+
   struct XmlEdge {
     std::string source_peer;
     std::string target_peer;
@@ -251,6 +277,13 @@ class PdmsNetwork {
   std::vector<RegisteredView> views_;
   storage::Catalog storage_;
   std::map<std::string, bool> productive_;
+  /// Plan-cache invalidation generation (see plan_generation()).
+  std::atomic<uint64_t> generation_{0};
+  /// The reformulation plan cache. `mutable` because Answer/Reformulate
+  /// are logically const reads of the network; unique_ptr so
+  /// SetPlanCacheCapacity can rebuild the shard array.
+  mutable std::unique_ptr<PlanCache> plan_cache_ =
+      std::make_unique<PlanCache>();
 };
 
 }  // namespace revere::piazza

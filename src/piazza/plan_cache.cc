@@ -1,0 +1,112 @@
+#include "src/piazza/plan_cache.h"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+namespace revere::piazza {
+
+PlanCache::PlanCache(size_t capacity, size_t shards) : capacity_(capacity) {
+  size_t shard_count =
+      capacity_ == 0 ? 1 : std::max<size_t>(1, std::min(shards, capacity_));
+  per_shard_capacity_ =
+      capacity_ == 0 ? 0 : (capacity_ + shard_count - 1) / shard_count;
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::Lookup(uint64_t fingerprint,
+                                                    const std::string& key,
+                                                    uint64_t generation) {
+  if (capacity_ == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  Shard& shard = ShardFor(fingerprint);
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end() || it->second->generation != generation) {
+    // Absent, or written under an older network generation: a stale
+    // plan is never served. The stale entry is purged on the next
+    // insert into this shard (erasing here would need the write lock).
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  it->second->last_used.store(tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+                              std::memory_order_relaxed);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->plan;
+}
+
+void PlanCache::Insert(uint64_t fingerprint, std::string key,
+                       uint64_t generation,
+                       std::shared_ptr<const CachedPlan> plan) {
+  if (capacity_ == 0) return;
+  Shard& shard = ShardFor(fingerprint);
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    it->second->plan = std::move(plan);
+    it->second->generation = generation;
+    it->second->last_used.store(
+        tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (shard.entries.size() >= per_shard_capacity_) {
+    // Make room: drop every stale-generation entry first (free wins),
+    // then the least-recently-used live one.
+    for (auto e = shard.entries.begin(); e != shard.entries.end();) {
+      if (shard.entries.size() < per_shard_capacity_) break;
+      if (e->second->generation != generation) {
+        e = shard.entries.erase(e);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ++e;
+      }
+    }
+    while (shard.entries.size() >= per_shard_capacity_) {
+      auto victim = shard.entries.begin();
+      for (auto e = shard.entries.begin(); e != shard.entries.end(); ++e) {
+        if (e->second->last_used.load(std::memory_order_relaxed) <
+            victim->second->last_used.load(std::memory_order_relaxed)) {
+          victim = e;
+        }
+      }
+      shard.entries.erase(victim);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->plan = std::move(plan);
+  entry->generation = generation;
+  entry->last_used.store(tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+                         std::memory_order_relaxed);
+  shard.entries.emplace(std::move(key), std::move(entry));
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PlanCache::Clear() {
+  for (auto& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard->mu);
+    shard->entries.clear();
+  }
+}
+
+PlanCache::Stats PlanCache::GetStats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.insertions = insertions_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    stats.entries += shard->entries.size();
+  }
+  return stats;
+}
+
+}  // namespace revere::piazza

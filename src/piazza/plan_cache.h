@@ -1,0 +1,124 @@
+#ifndef REVERE_PIAZZA_PLAN_CACHE_H_
+#define REVERE_PIAZZA_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/piazza/reformulation.h"
+#include "src/query/cq.h"
+
+namespace revere::piazza {
+
+/// Default PdmsNetwork plan-cache capacity (entries); override per
+/// deployment with the `plan_cache <capacity>` network-config directive
+/// or PdmsNetwork::SetPlanCacheCapacity.
+inline constexpr size_t kDefaultPlanCacheCapacity = 1024;
+
+/// One cached reformulation: the full rewriting set `Reformulate`
+/// produced for a canonical (query, options) key, plus the stats of the
+/// run that computed it, so cache hits can report real search counters
+/// instead of zeros. Immutable once published (shared across threads).
+struct CachedPlan {
+  std::vector<query::ConjunctiveQuery> rewritings;
+  ReformulationStats stats;
+};
+
+/// A bounded, sharded LRU cache for reformulation plans.
+///
+/// Rewritings depend only on the query, the reformulation options, and
+/// the network's mappings/topology — the answering-queries-using-views
+/// observation that makes them perfect cache candidates. Staleness is
+/// handled by a *generation* number: the owning network bumps its
+/// generation whenever mappings, stored relations, views, or topology
+/// change, and an entry stored under an older generation is treated as
+/// a miss (and purged lazily), so no stale plan is ever served.
+///
+/// Concurrency: shards are independent, each guarded by its own
+/// std::shared_mutex. Lookups take the shared lock (many concurrent
+/// readers on the hot serving path) and record recency through a
+/// per-entry atomic tick; only inserts take the exclusive lock. Plans
+/// are handed out as shared_ptr<const CachedPlan>, so a reader keeps a
+/// consistent plan even if the entry is evicted mid-use.
+///
+/// Eviction: least-recently-used within the insert's shard, stale
+/// generations first. Capacity is split evenly across shards (per-shard
+/// ceil(capacity / shards)), so the bound is approximate by at most
+/// shards-1 entries; construct with `shards = 1` for exact LRU
+/// semantics (tests do).
+class PlanCache {
+ public:
+  /// Cumulative counters plus a point-in-time size.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t insertions = 0;
+    size_t entries = 0;
+  };
+
+  /// `capacity` = 0 disables the cache (every lookup misses, inserts
+  /// are dropped). `shards` is clamped to [1, capacity] when nonzero.
+  explicit PlanCache(size_t capacity = kDefaultPlanCacheCapacity,
+                     size_t shards = 8);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the plan stored under `key` at `generation`, or nullptr on
+  /// a miss (absent, stale generation, or cache disabled).
+  /// `fingerprint` must be a hash of `key` (it selects the shard, so
+  /// the same key must always carry the same fingerprint).
+  std::shared_ptr<const CachedPlan> Lookup(uint64_t fingerprint,
+                                           const std::string& key,
+                                           uint64_t generation);
+
+  /// Stores `plan` under `key` at `generation`, evicting stale-then-LRU
+  /// entries to stay within the shard's capacity. Re-inserting an
+  /// existing key replaces its plan.
+  void Insert(uint64_t fingerprint, std::string key, uint64_t generation,
+              std::shared_ptr<const CachedPlan> plan);
+
+  /// Drops every entry (counters survive).
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  size_t shard_count() const { return shards_.size(); }
+
+  Stats GetStats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const CachedPlan> plan;
+    uint64_t generation = 0;
+    /// Recency tick; atomic so Lookup can bump it under the shared lock.
+    std::atomic<uint64_t> last_used{0};
+  };
+
+  struct Shard {
+    mutable std::shared_mutex mu;
+    /// unique_ptr keeps Entry (with its atomic) stable across rehash.
+    std::unordered_map<std::string, std::unique_ptr<Entry>> entries;
+  };
+
+  Shard& ShardFor(uint64_t fingerprint) {
+    return *shards_[fingerprint % shards_.size()];
+  }
+
+  size_t capacity_ = 0;
+  size_t per_shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> tick_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> insertions_{0};
+};
+
+}  // namespace revere::piazza
+
+#endif  // REVERE_PIAZZA_PLAN_CACHE_H_

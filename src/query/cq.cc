@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "src/common/hash.h"
 #include "src/common/strings.h"
 
 namespace revere::query {
@@ -262,6 +263,33 @@ ConjunctiveQuery ConjunctiveQuery::Substitute(const Substitution& sub) const {
   head.reserve(head_.size());
   for (const auto& t : head_) head.push_back(Apply(sub, t));
   return ConjunctiveQuery(name_, std::move(head), Apply(sub, body_));
+}
+
+CanonicalizedQuery Canonicalize(const ConjunctiveQuery& query) {
+  Substitution rename;
+  int counter = 0;
+  auto note = [&](const QTerm& t) {
+    if (t.is_var() && rename.count(t.var()) == 0) {
+      rename[t.var()] = QTerm::Var("V" + std::to_string(counter++));
+    }
+  };
+  for (const auto& t : query.head()) note(t);
+  for (const auto& a : query.body()) {
+    for (const auto& t : a.args) note(t);
+  }
+  CanonicalizedQuery out;
+  out.query = query.Substitute(rename);
+  out.text = out.query.ToString();
+  out.fingerprint = Fnv1a64(out.text);
+  return out;
+}
+
+uint64_t CanonicalFingerprint(const ConjunctiveQuery& query) {
+  return Canonicalize(query).fingerprint;
+}
+
+bool AlphaEquivalent(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
+  return Canonicalize(a).text == Canonicalize(b).text;
 }
 
 std::string ConjunctiveQuery::ToString() const {

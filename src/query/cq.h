@@ -1,6 +1,7 @@
 #ifndef REVERE_QUERY_CQ_H_
 #define REVERE_QUERY_CQ_H_
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
@@ -113,6 +114,33 @@ class ConjunctiveQuery {
   std::vector<QTerm> head_;
   std::vector<Atom> body_;
 };
+
+/// A query in α-normal form: every variable renamed to "V0", "V1", ...
+/// in order of first occurrence (head left to right, then body atoms in
+/// order). Two queries are α-equivalent — identical up to a consistent
+/// variable renaming, with atom order preserved — exactly when their
+/// canonical `text` matches, so the canonical form is a sound cache key
+/// for any computation that depends only on query syntax (reformulation
+/// plans, containment verdicts). `fingerprint` is a 64-bit FNV-1a of
+/// `text`: stable across runs, cheap to shard and compare, but callers
+/// that must never confuse two queries should confirm with `text`.
+struct CanonicalizedQuery {
+  ConjunctiveQuery query;
+  std::string text;
+  uint64_t fingerprint = 0;
+};
+
+/// Computes the α-normal form of `query` (one substitution pass; the
+/// input is not modified).
+CanonicalizedQuery Canonicalize(const ConjunctiveQuery& query);
+
+/// Fingerprint of the canonical form — Canonicalize(query).fingerprint.
+uint64_t CanonicalFingerprint(const ConjunctiveQuery& query);
+
+/// True when `a` and `b` are identical up to a consistent renaming of
+/// variables (atom order matters; set-semantic equivalence is
+/// `Equivalent` in containment.h).
+bool AlphaEquivalent(const ConjunctiveQuery& a, const ConjunctiveQuery& b);
 
 /// Unifies `a` into `b` one-directionally: finds a substitution on a's
 /// variables making Apply(sub, a) == b position-wise. Constants in `a`

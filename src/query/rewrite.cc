@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <unordered_map>
 
 #include "src/query/containment.h"
 
@@ -59,12 +60,41 @@ std::vector<BucketEntry> BuildBucket(
   return bucket;
 }
 
-// Expansion-containment test for a candidate rewriting.
+// Per-call memo for expansion-containment verdicts. The key is the
+// canonical (α-renamed, order-preserving) text of the candidate's
+// expansion; the query side is fixed for the memo's lifetime (one
+// RewriteUsingViews call), and containment is invariant under renaming
+// of the candidate, so α-equivalent expansions share one verdict. The
+// stats pointer feeds check/hit counters.
+struct ContainmentMemo {
+  std::unordered_map<std::string, bool> verdicts;
+  RewriteStats* stats;
+};
+
+// Memoized Contains(query, expansion).
+bool ContainedInQuery(const ConjunctiveQuery& expansion,
+                      const ConjunctiveQuery& query, ContainmentMemo* memo) {
+  std::string key = Canonicalize(expansion).text;
+  auto [it, inserted] = memo->verdicts.try_emplace(key, false);
+  if (!inserted) {
+    ++memo->stats->containment_memo_hits;
+    return it->second;
+  }
+  ++memo->stats->containment_checks;
+  it->second = Contains(query, expansion);
+  return it->second;
+}
+
+// Expansion-containment test for a candidate rewriting. The registry is
+// built once per RewriteUsingViews call (Add copies every view, so
+// rebuilding it per candidate was a hidden per-call copy of the whole
+// view set).
 bool ExpansionContained(const ConjunctiveQuery& candidate,
-                        const std::vector<ConjunctiveQuery>& views,
-                        const ConjunctiveQuery& query) {
-  auto expansion = ExpandRewriting(candidate, views);
-  return expansion.ok() && Contains(query, expansion.value());
+                        const ViewRegistry& registry,
+                        const ConjunctiveQuery& query,
+                        ContainmentMemo* memo) {
+  auto expansion = UnfoldQueryUnique(candidate, registry);
+  return expansion.ok() && ContainedInQuery(expansion.value(), query, memo);
 }
 
 // The bucket method introduces fresh variables ("_f*") for view head
@@ -75,9 +105,8 @@ bool ExpansionContained(const ConjunctiveQuery& candidate,
 // over specializations of the fresh variables; soundness is preserved
 // because every specialization is re-verified by the containment check.
 std::optional<ConjunctiveQuery> TrySpecialize(
-    const ConjunctiveQuery& candidate,
-    const std::vector<ConjunctiveQuery>& views,
-    const ConjunctiveQuery& query) {
+    const ConjunctiveQuery& candidate, const ViewRegistry& registry,
+    const ConjunctiveQuery& query, ContainmentMemo* memo) {
   std::vector<std::string> fresh;
   for (const auto& v : candidate.AllVars()) {
     if (v.rfind("_f", 0) == 0) fresh.push_back(v);
@@ -121,7 +150,7 @@ std::optional<ConjunctiveQuery> TrySpecialize(
     specialized =
         ConjunctiveQuery(specialized.name(), specialized.head(), body);
     if (specialized.IsSafe() &&
-        ExpansionContained(specialized, views, query)) {
+        ExpansionContained(specialized, registry, query, memo)) {
       return specialized;
     }
   }
@@ -158,6 +187,12 @@ Result<std::vector<ConjunctiveQuery>> RewriteUsingViews(
     const ConjunctiveQuery& query, const std::vector<ConjunctiveQuery>& views,
     const RewriteOptions& options, RewriteStats* stats) {
   RewriteStats local_stats;
+  // One registry and one containment memo for the whole run: every
+  // expansion and containment check below reuses them.
+  ViewRegistry registry;
+  for (const auto& v : views) registry.Add(v);
+  ContainmentMemo memo;
+  memo.stats = &local_stats;
   // Build one bucket per subgoal.
   int fresh_counter = 0;
   std::vector<std::vector<BucketEntry>> buckets;
@@ -174,6 +209,9 @@ Result<std::vector<ConjunctiveQuery>> RewriteUsingViews(
 
   const std::set<std::string> head_vars = query.HeadVars();
   std::vector<ConjunctiveQuery> kept;
+  // Expansion of each kept rewriting, computed once (the containment
+  // prune used to re-expand every prior for every new candidate).
+  std::vector<ConjunctiveQuery> kept_expansions;
   std::set<std::string> seen_bodies;
 
   // Enumerate the cross product of buckets.
@@ -215,25 +253,31 @@ Result<std::vector<ConjunctiveQuery>> RewriteUsingViews(
     std::string key = CanonicalBodyKey(body);
     if (consistent && seen_bodies.insert(key).second) {
       std::optional<ConjunctiveQuery> accepted;
-      if (candidate.IsSafe() && ExpansionContained(candidate, views, query)) {
+      if (candidate.IsSafe() &&
+          ExpansionContained(candidate, registry, query, &memo)) {
         accepted = candidate;
       } else {
-        accepted = TrySpecialize(candidate, views, query);
+        accepted = TrySpecialize(candidate, registry, query, &memo);
       }
       if (accepted.has_value()) {
         bool redundant = false;
-        auto expansion = ExpandRewriting(*accepted, views);
+        auto expansion = UnfoldQueryUnique(*accepted, registry);
         if (options.prune_contained && expansion.ok()) {
-          for (const auto& prior : kept) {
-            auto prior_exp = ExpandRewriting(prior, views);
-            if (prior_exp.ok() &&
-                Contains(prior_exp.value(), expansion.value())) {
+          for (const auto& prior_exp : kept_expansions) {
+            ++local_stats.containment_checks;
+            if (Contains(prior_exp, expansion.value())) {
               redundant = true;
               break;
             }
           }
         }
         if (!redundant) {
+          // Accepted rewritings always expanded successfully inside
+          // ExpansionContained; fall back to the rewriting itself if
+          // the (unreachable) failure case ever changes.
+          kept_expansions.push_back(expansion.ok()
+                                        ? std::move(expansion.value())
+                                        : *accepted);
           kept.push_back(std::move(*accepted));
           ++local_stats.candidates_kept;
         }

@@ -22,6 +22,14 @@ struct RewriteStats {
   size_t candidates_examined = 0;
   size_t candidates_kept = 0;
   size_t bucket_entries = 0;
+  /// Chandra–Merlin expansion-containment checks actually performed vs.
+  /// answered from the per-call memo. The bucket method re-proves the
+  /// same containment for many candidate combinations (and for every
+  /// specialization TrySpecialize enumerates), so the memo — keyed on
+  /// the canonical (candidate-expansion, query) pair — turns the
+  /// quadratic re-checking into one check per distinct expansion.
+  size_t containment_checks = 0;
+  size_t containment_memo_hits = 0;
 };
 
 /// Answering queries using views (local-as-view): given `query` over a

@@ -121,6 +121,44 @@ TEST(NetworkConfigTest, FaultDirectivesRoundTripThroughSave) {
   EXPECT_EQ(refaults.FaultyPeers(), faults.FaultyPeers());
 }
 
+TEST(NetworkConfigTest, PlanCacheDirectiveSizesCache) {
+  PdmsNetwork net;
+  ASSERT_TRUE(
+      LoadNetworkConfig("plan_cache 64\npeer uw\n", &net).ok());
+  EXPECT_EQ(net.plan_cache_capacity(), 64u);
+  // Zero disables caching entirely.
+  PdmsNetwork off;
+  ASSERT_TRUE(LoadNetworkConfig("plan_cache 0\n", &off).ok());
+  EXPECT_EQ(off.plan_cache_capacity(), 0u);
+}
+
+TEST(NetworkConfigTest, PlanCacheDirectiveRoundTripsThroughSave) {
+  PdmsNetwork net;
+  ASSERT_TRUE(LoadNetworkConfig(std::string("plan_cache 7\n") + kConfig,
+                                &net)
+                  .ok());
+  std::string saved = SaveNetworkConfig(net);
+  EXPECT_NE(saved.find("plan_cache 7\n"), std::string::npos);
+  PdmsNetwork reloaded;
+  ASSERT_TRUE(LoadNetworkConfig(saved, &reloaded).ok()) << saved;
+  EXPECT_EQ(reloaded.plan_cache_capacity(), 7u);
+  EXPECT_EQ(SaveNetworkConfig(reloaded), saved);
+  // The default capacity is left implicit: no directive emitted.
+  PdmsNetwork vanilla;
+  ASSERT_TRUE(LoadNetworkConfig(kConfig, &vanilla).ok());
+  EXPECT_EQ(SaveNetworkConfig(vanilla).find("plan_cache"),
+            std::string::npos);
+}
+
+TEST(NetworkConfigTest, PlanCacheDirectiveErrors) {
+  PdmsNetwork net;
+  EXPECT_FALSE(LoadNetworkConfig("plan_cache\n", &net).ok());
+  EXPECT_FALSE(LoadNetworkConfig("plan_cache banana\n", &net).ok());
+  EXPECT_FALSE(LoadNetworkConfig("plan_cache 12x\n", &net).ok());
+  EXPECT_FALSE(LoadNetworkConfig("plan_cache -3\n", &net).ok());
+  EXPECT_FALSE(LoadNetworkConfig("plan_cache 1 2\n", &net).ok());
+}
+
 TEST(NetworkConfigTest, FaultDirectiveErrors) {
   {
     // No injector supplied.

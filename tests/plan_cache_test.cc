@@ -1,0 +1,507 @@
+// Tests for ISSUE 3: the reformulation plan cache. Covers the PlanCache
+// container itself (LRU within capacity, generation staleness), the
+// PdmsNetwork integration (hits report the cached run's real stats,
+// mapping changes invalidate, answers are byte-identical cache-on vs
+// cache-off — with and without faults, for any worker count), and the
+// AnswerBatch throughput path. The concurrent stress tests at the
+// bottom are the TSan workload for the sharded shared_mutex design:
+// build with -DREVERE_SANITIZE=thread and run plan_cache_test.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/common/thread_pool.h"
+#include "src/datagen/topology.h"
+#include "src/piazza/fault.h"
+#include "src/piazza/pdms.h"
+#include "src/piazza/plan_cache.h"
+#include "src/query/cq.h"
+#include "src/query/glav.h"
+#include "src/storage/table.h"
+
+namespace revere::piazza {
+namespace {
+
+using datagen::AllCoursesQuery;
+using datagen::BuildUniversityPdms;
+using datagen::PdmsGenOptions;
+using datagen::PdmsGenReport;
+using datagen::Topology;
+using query::ConjunctiveQuery;
+
+// --------------------------------------------------- PlanCache (unit)
+
+std::shared_ptr<const CachedPlan> MakePlan(size_t marker) {
+  auto plan = std::make_shared<CachedPlan>();
+  plan->stats.rewritings = marker;  // distinguishes plans in asserts
+  return plan;
+}
+
+void Put(PlanCache* cache, const std::string& key, uint64_t generation,
+         std::shared_ptr<const CachedPlan> plan) {
+  cache->Insert(Fnv1a64(key), key, generation, std::move(plan));
+}
+
+std::shared_ptr<const CachedPlan> Get(PlanCache* cache,
+                                      const std::string& key,
+                                      uint64_t generation) {
+  return cache->Lookup(Fnv1a64(key), key, generation);
+}
+
+TEST(PlanCacheTest, StoresAndReturnsPlans) {
+  PlanCache cache(4, 1);
+  EXPECT_EQ(cache.capacity(), 4u);
+  EXPECT_EQ(cache.shard_count(), 1u);
+  EXPECT_EQ(Get(&cache, "a", 0), nullptr);
+  Put(&cache, "a", 0, MakePlan(7));
+  auto hit = Get(&cache, "a", 0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->stats.rewritings, 7u);
+  PlanCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(PlanCacheTest, EvictsLeastRecentlyUsedAtCapacity) {
+  PlanCache cache(2, 1);  // one shard => exact LRU
+  Put(&cache, "a", 0, MakePlan(1));
+  Put(&cache, "b", 0, MakePlan(2));
+  ASSERT_NE(Get(&cache, "a", 0), nullptr);  // a is now more recent than b
+  Put(&cache, "c", 0, MakePlan(3));         // evicts b
+  EXPECT_NE(Get(&cache, "a", 0), nullptr);
+  EXPECT_EQ(Get(&cache, "b", 0), nullptr);
+  EXPECT_NE(Get(&cache, "c", 0), nullptr);
+  PlanCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(PlanCacheTest, ReinsertReplacesWithoutEviction) {
+  PlanCache cache(2, 1);
+  Put(&cache, "a", 0, MakePlan(1));
+  Put(&cache, "a", 0, MakePlan(9));
+  auto hit = Get(&cache, "a", 0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->stats.rewritings, 9u);
+  EXPECT_EQ(cache.GetStats().evictions, 0u);
+  EXPECT_EQ(cache.GetStats().entries, 1u);
+}
+
+TEST(PlanCacheTest, StaleGenerationReadsAsMissAndEvictsFirst) {
+  PlanCache cache(2, 1);
+  Put(&cache, "a", 0, MakePlan(1));
+  // Newer generation: the entry is stale.
+  EXPECT_EQ(Get(&cache, "a", 1), nullptr);
+  // At capacity the stale entry goes before any LRU victim.
+  Put(&cache, "b", 1, MakePlan(2));
+  Put(&cache, "c", 1, MakePlan(3));
+  EXPECT_EQ(Get(&cache, "a", 1), nullptr);
+  EXPECT_NE(Get(&cache, "b", 1), nullptr);
+  EXPECT_NE(Get(&cache, "c", 1), nullptr);
+}
+
+TEST(PlanCacheTest, ZeroCapacityDisables) {
+  PlanCache cache(0, 8);
+  Put(&cache, "a", 0, MakePlan(1));
+  EXPECT_EQ(Get(&cache, "a", 0), nullptr);
+  EXPECT_EQ(cache.GetStats().entries, 0u);
+  EXPECT_EQ(cache.GetStats().insertions, 0u);
+}
+
+TEST(PlanCacheTest, ClearDropsEntriesKeepsCounters) {
+  PlanCache cache(8, 2);
+  Put(&cache, "a", 0, MakePlan(1));
+  ASSERT_NE(Get(&cache, "a", 0), nullptr);
+  cache.Clear();
+  EXPECT_EQ(Get(&cache, "a", 0), nullptr);
+  PlanCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 1u);  // counters survive Clear
+}
+
+TEST(PlanCacheTest, EvictedPlanStaysValidForHolders) {
+  PlanCache cache(1, 1);
+  Put(&cache, "a", 0, MakePlan(42));
+  auto held = Get(&cache, "a", 0);
+  Put(&cache, "b", 0, MakePlan(1));  // evicts a
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(held->stats.rewritings, 42u);  // shared_ptr keeps it alive
+}
+
+// ------------------------------------------- network integration
+
+PdmsGenReport BuildFig2(PdmsNetwork* net, size_t rows_per_peer = 40) {
+  PdmsGenOptions options;
+  options.topology = Topology::kFigure2;
+  options.rows_per_peer = rows_per_peer;
+  options.seed = 2003;
+  auto report = BuildUniversityPdms(net, options);
+  EXPECT_TRUE(report.ok());
+  return report.value();
+}
+
+TEST(NetworkPlanCacheTest, RepeatedReformulationHitsTheCache) {
+  PdmsNetwork net;
+  PdmsGenReport report = BuildFig2(&net, 5);
+  ConjunctiveQuery q = AllCoursesQuery(report, 0);
+
+  ReformulationStats cold;
+  auto first = net.Reformulate(q, {}, &cold);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(cold.plan_cache_hits, 0u);
+  EXPECT_EQ(cold.plan_cache_misses, 1u);
+  ASSERT_GT(cold.nodes_expanded, 0u);
+
+  ReformulationStats warm;
+  auto second = net.Reformulate(q, {}, &warm);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(warm.plan_cache_hits, 1u);
+  EXPECT_EQ(warm.plan_cache_misses, 0u);
+  // The hit reports the cached run's real search counters, never zeros.
+  EXPECT_EQ(warm.nodes_expanded, cold.nodes_expanded);
+  EXPECT_EQ(warm.rewritings, cold.rewritings);
+  EXPECT_EQ(first.value(), second.value());
+
+  PlanCache::Stats stats = net.PlanCacheStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(NetworkPlanCacheTest, AlphaEquivalentQueriesShareOneEntry) {
+  PdmsNetwork net;
+  PdmsGenReport report = BuildFig2(&net, 5);
+  ConjunctiveQuery q = AllCoursesQuery(report, 0);
+  // Same query with fresh variable names: one cache entry, one hit.
+  ConjunctiveQuery renamed = q.RenameVars("zz_");
+  ASSERT_TRUE(net.Reformulate(q).ok());
+  ReformulationStats warm;
+  auto rewritings = net.Reformulate(renamed, {}, &warm);
+  ASSERT_TRUE(rewritings.ok());
+  EXPECT_EQ(warm.plan_cache_hits, 1u);
+  EXPECT_EQ(net.PlanCacheStats().entries, 1u);
+}
+
+TEST(NetworkPlanCacheTest, DifferentOptionsGetDifferentEntries) {
+  PdmsNetwork net;
+  PdmsGenReport report = BuildFig2(&net, 5);
+  ConjunctiveQuery q = AllCoursesQuery(report, 0);
+  ASSERT_TRUE(net.Reformulate(q).ok());
+  ReformulationOptions shallow;
+  shallow.max_depth = 2;
+  ReformulationStats stats;
+  ASSERT_TRUE(net.Reformulate(q, shallow, &stats).ok());
+  EXPECT_EQ(stats.plan_cache_hits, 0u);  // distinct key: options differ
+  EXPECT_EQ(net.PlanCacheStats().entries, 2u);
+}
+
+TEST(NetworkPlanCacheTest, MappingChangeInvalidatesCachedPlans) {
+  PdmsNetwork net;
+  ASSERT_TRUE(net.AddPeer("a").ok());
+  ASSERT_TRUE(net.AddPeer("b").ok());
+  ASSERT_TRUE(net
+                  .AddStoredRelation(
+                      "a", storage::TableSchema::AllStrings("r", {"x"}))
+                  .ok());
+  ASSERT_TRUE(net
+                  .AddStoredRelation(
+                      "b", storage::TableSchema::AllStrings("s", {"x"}))
+                  .ok());
+  ASSERT_TRUE(net.mutable_storage()
+                  ->GetTable("a:r")
+                  .value()
+                  ->Insert({storage::Value("from-a")})
+                  .ok());
+  ASSERT_TRUE(net.mutable_storage()
+                  ->GetTable("b:s")
+                  .value()
+                  ->Insert({storage::Value("from-b")})
+                  .ok());
+
+  auto q = ConjunctiveQuery::Parse("q(X) :- b:s(X)");
+  ASSERT_TRUE(q.ok());
+  uint64_t gen_before = net.plan_generation();
+  auto before = net.Answer(q.value());
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before.value().size(), 1u);  // only b's own row
+  // Warm: this query's plan is now cached.
+  ASSERT_TRUE(net.Answer(q.value()).ok());
+
+  // New mapping makes a's data reachable from b. The cached plan (which
+  // predates the mapping) must not be served.
+  auto glav = query::GlavMapping::Parse(
+      "m(X) :- a:r(X) => m(X) :- b:s(X)", "a2b");
+  ASSERT_TRUE(glav.ok());
+  ASSERT_TRUE(
+      net.AddMapping(PeerMapping{glav.value(), "a", "b", false}).ok());
+  EXPECT_GT(net.plan_generation(), gen_before);
+
+  ExecutionStats stats;
+  auto after = net.Answer(q.value(), {}, &stats);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(stats.plan_cache_hits, 0u);  // stale entry == miss
+  EXPECT_EQ(after.value().size(), 2u);   // now sees a's row too
+}
+
+TEST(NetworkPlanCacheTest, SetCapacityAndClearResetEntries) {
+  PdmsNetwork net;
+  PdmsGenReport report = BuildFig2(&net, 5);
+  ConjunctiveQuery q = AllCoursesQuery(report, 0);
+  ASSERT_TRUE(net.Reformulate(q).ok());
+  EXPECT_EQ(net.PlanCacheStats().entries, 1u);
+  net.ClearPlanCache();
+  EXPECT_EQ(net.PlanCacheStats().entries, 0u);
+  net.SetPlanCacheCapacity(0);
+  EXPECT_EQ(net.plan_cache_capacity(), 0u);
+  ReformulationStats stats;
+  ASSERT_TRUE(net.Reformulate(q, {}, &stats).ok());
+  // Disabled cache: neither a hit nor a recorded miss.
+  EXPECT_EQ(stats.plan_cache_hits, 0u);
+  EXPECT_EQ(stats.plan_cache_misses, 0u);
+  EXPECT_EQ(net.PlanCacheStats().entries, 0u);
+}
+
+// The hard contract: answers are byte-identical with the cache on or
+// off, cold or warm, for any worker count — including under faults.
+TEST(NetworkPlanCacheTest, AnswersByteIdenticalCacheOnVsOff) {
+  PdmsNetwork net;
+  PdmsGenReport report = BuildFig2(&net);
+
+  ReformulationOptions uncached;
+  uncached.use_plan_cache = false;
+
+  for (size_t peer : {0u, 2u, 5u}) {
+    ConjunctiveQuery q = AllCoursesQuery(report, peer);
+    auto reference = net.Answer(q, uncached);
+    ASSERT_TRUE(reference.ok());
+    for (size_t workers : {1u, 2u, 8u}) {
+      ThreadPool pool(workers);
+      NetworkCostModel cost;
+      cost.eval.pool = &pool;
+      auto cold = net.Answer(q, {}, nullptr, cost);  // may insert
+      auto warm = net.Answer(q, {}, nullptr, cost);  // must hit
+      ASSERT_TRUE(cold.ok());
+      ASSERT_TRUE(warm.ok());
+      EXPECT_EQ(reference.value(), cold.value()) << workers << " workers";
+      EXPECT_EQ(reference.value(), warm.value()) << workers << " workers";
+    }
+  }
+}
+
+TEST(NetworkPlanCacheTest, AnswersByteIdenticalUnderFaults) {
+  PdmsNetwork net;
+  PdmsGenReport report = BuildFig2(&net);
+  ConjunctiveQuery q = AllCoursesQuery(report, 0);
+
+  auto run = [&](bool use_cache, ExecutionStats* stats) {
+    FaultInjector faults(77);
+    faults.SetDown(report.peer_names[3]);
+    faults.SetFlaky(report.peer_names[1], 0.5);
+    NetworkCostModel cost;
+    cost.faults = &faults;
+    cost.failure_policy = FailurePolicy::kBestEffort;
+    cost.retry.max_attempts = 3;
+    ReformulationOptions options;
+    options.use_plan_cache = use_cache;
+    return net.Answer(q, options, stats, cost);
+  };
+
+  ExecutionStats off_stats;
+  auto off = run(false, &off_stats);
+  ASSERT_TRUE(off.ok());
+  ExecutionStats cold_stats, warm_stats;
+  auto cold = run(true, &cold_stats);
+  auto warm = run(true, &warm_stats);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm_stats.plan_cache_hits, 1u);
+  EXPECT_EQ(off.value(), cold.value());
+  EXPECT_EQ(off.value(), warm.value());
+  // Fault accounting draws from the injector RNG in rewriting order;
+  // serving the plan from cache must not perturb the stream.
+  EXPECT_EQ(off_stats.completeness.contacts_failed,
+            warm_stats.completeness.contacts_failed);
+  EXPECT_EQ(off_stats.completeness.rewritings_skipped,
+            warm_stats.completeness.rewritings_skipped);
+  EXPECT_DOUBLE_EQ(off_stats.simulated_network_ms,
+                   warm_stats.simulated_network_ms);
+}
+
+TEST(NetworkPlanCacheTest, ProvenanceIdenticalCacheOnVsOff) {
+  PdmsNetwork net;
+  PdmsGenReport report = BuildFig2(&net, 10);
+  ConjunctiveQuery q = AllCoursesQuery(report, 1);
+  ReformulationOptions uncached;
+  uncached.use_plan_cache = false;
+  auto off = net.AnswerWithProvenance(q, uncached);
+  ASSERT_TRUE(off.ok());
+  ASSERT_TRUE(net.AnswerWithProvenance(q).ok());  // warm the cache
+  ExecutionStats stats;
+  auto warm = net.AnswerWithProvenance(q, {}, &stats);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(stats.plan_cache_hits, 1u);
+  ASSERT_EQ(off.value().size(), warm.value().size());
+  for (size_t i = 0; i < off.value().size(); ++i) {
+    EXPECT_EQ(off.value()[i].row, warm.value()[i].row);
+    EXPECT_EQ(off.value()[i].peers, warm.value()[i].peers);
+  }
+}
+
+// ------------------------------------------------------- AnswerBatch
+
+TEST(AnswerBatchTest, MatchesPerQueryAnswerWithAndWithoutPool) {
+  PdmsNetwork net;
+  PdmsGenReport report = BuildFig2(&net);
+  std::vector<ConjunctiveQuery> queries;
+  for (size_t p = 0; p < report.peer_names.size(); ++p) {
+    queries.push_back(AllCoursesQuery(report, p));
+  }
+  auto bad = ConjunctiveQuery::Parse("q(X) :- nosuch:rel(X)");
+  ASSERT_TRUE(bad.ok());
+  queries.push_back(bad.value());  // per-slot failure, batch survives
+
+  std::vector<Result<std::vector<storage::Row>>> expected;
+  for (const auto& q : queries) {
+    ReformulationOptions uncached;
+    uncached.use_plan_cache = false;
+    expected.push_back(net.Answer(q, uncached));
+  }
+
+  for (bool pooled : {false, true}) {
+    net.ClearPlanCache();
+    ThreadPool pool(4);
+    NetworkCostModel cost;
+    if (pooled) cost.eval.pool = &pool;
+    std::vector<ExecutionStats> stats;
+    auto got = net.AnswerBatch(queries, {}, &stats, cost);
+    ASSERT_EQ(got.size(), queries.size());
+    ASSERT_EQ(stats.size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_EQ(got[i].ok(), expected[i].ok()) << "slot " << i;
+      if (got[i].ok()) {
+        EXPECT_EQ(got[i].value(), expected[i].value())
+            << "slot " << i << (pooled ? " pooled" : " sequential");
+      }
+    }
+  }
+}
+
+TEST(AnswerBatchTest, RepeatedQueriesInBatchShareThePlan) {
+  PdmsNetwork net;
+  PdmsGenReport report = BuildFig2(&net, 10);
+  std::vector<ConjunctiveQuery> queries(6, AllCoursesQuery(report, 0));
+  std::vector<ExecutionStats> stats;
+  auto got = net.AnswerBatch(queries, {}, &stats);
+  ASSERT_EQ(got.size(), 6u);
+  for (const auto& r : got) ASSERT_TRUE(r.ok());
+  size_t hits = 0;
+  for (const auto& s : stats) hits += s.plan_cache_hits;
+  EXPECT_EQ(hits, 5u);  // first one computes, the rest hit
+  EXPECT_EQ(net.PlanCacheStats().entries, 1u);
+}
+
+TEST(AnswerBatchTest, FaultyBatchRunsSequentiallyAndDeterministically) {
+  PdmsNetwork net;
+  PdmsGenReport report = BuildFig2(&net, 10);
+  std::vector<ConjunctiveQuery> queries;
+  for (size_t p = 0; p < 4; ++p) {
+    queries.push_back(AllCoursesQuery(report, p));
+  }
+  auto run = [&](ThreadPool* pool) {
+    FaultInjector faults(5);
+    faults.SetFlaky(report.peer_names[2], 0.4);
+    NetworkCostModel cost;
+    cost.faults = &faults;
+    cost.failure_policy = FailurePolicy::kBestEffort;
+    if (pool != nullptr) cost.eval.pool = pool;
+    std::vector<ExecutionStats> stats;
+    auto got = net.AnswerBatch(queries, {}, &stats, cost);
+    return std::make_pair(std::move(got), std::move(stats));
+  };
+  auto [serial, serial_stats] = run(nullptr);
+  ThreadPool pool(8);
+  auto [pooled, pooled_stats] = run(&pool);  // injector forces sequential
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_TRUE(serial[i].ok());
+    ASSERT_TRUE(pooled[i].ok());
+    EXPECT_EQ(serial[i].value(), pooled[i].value()) << "slot " << i;
+    EXPECT_EQ(serial_stats[i].completeness.contacts_failed,
+              pooled_stats[i].completeness.contacts_failed)
+        << "slot " << i;
+  }
+}
+
+// ------------------------------------------------- concurrency (TSan)
+
+TEST(PlanCacheConcurrencyTest, RacingLookupsAndInsertsStayCoherent) {
+  PlanCache cache(16, 4);
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 6; ++w) {
+    threads.emplace_back([&cache, &wrong, w] {
+      for (int i = 0; i < 200; ++i) {
+        std::string key = "k" + std::to_string((w + i) % 24);
+        uint64_t fp = Fnv1a64(key);
+        auto hit = cache.Lookup(fp, key, 0);
+        if (hit == nullptr) {
+          auto plan = std::make_shared<CachedPlan>();
+          plan->stats.rewritings = (w + i) % 24;
+          cache.Insert(fp, key, 0, std::move(plan));
+        } else if (hit->stats.rewritings != size_t((w + i) % 24)) {
+          wrong += 1;  // a key must only ever map to its own plan
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_LE(cache.GetStats().entries, 16u + 3u);  // per-shard rounding
+}
+
+TEST(PlanCacheConcurrencyTest, ConcurrentAnswerBatchesShareTheCache) {
+  PdmsNetwork net;
+  PdmsGenReport report = BuildFig2(&net, 10);
+  std::vector<ConjunctiveQuery> queries;
+  for (size_t p = 0; p < report.peer_names.size(); ++p) {
+    queries.push_back(AllCoursesQuery(report, p));
+  }
+  std::vector<Result<std::vector<storage::Row>>> expected;
+  for (const auto& q : queries) expected.push_back(net.Answer(q));
+  net.ClearPlanCache();
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 5; ++round) {
+        auto got = net.AnswerBatch(queries);
+        if (got.size() != queries.size()) {
+          mismatches += 1;
+          continue;
+        }
+        for (size_t i = 0; i < got.size(); ++i) {
+          if (!got[i].ok() || !expected[i].ok() ||
+              got[i].value() != expected[i].value()) {
+            mismatches += 1;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  PlanCache::Stats stats = net.PlanCacheStats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_EQ(stats.entries, queries.size());
+}
+
+}  // namespace
+}  // namespace revere::piazza

@@ -499,6 +499,51 @@ TEST(GlavTest, ParseTextualForm) {
   EXPECT_FALSE(GlavMapping::Parse("garbage => m(X) :- b(X)").ok());
 }
 
+// ------------------------------------------ canonicalization (ISSUE 3)
+
+TEST(CanonicalizeTest, AlphaEquivalentQueriesShareTextAndFingerprint) {
+  auto a = MustParse("q(X, Y) :- course(X, Y, Z), taught(Z, X)");
+  auto b = MustParse("q(A, B) :- course(A, B, C), taught(C, A)");
+  CanonicalizedQuery ca = Canonicalize(a);
+  CanonicalizedQuery cb = Canonicalize(b);
+  EXPECT_EQ(ca.text, cb.text);
+  EXPECT_EQ(ca.fingerprint, cb.fingerprint);
+  EXPECT_TRUE(AlphaEquivalent(a, b));
+  EXPECT_EQ(CanonicalFingerprint(a), CanonicalFingerprint(b));
+}
+
+TEST(CanonicalizeTest, RenamingIsDeterministicByFirstOccurrence) {
+  auto q = MustParse("q(Y) :- r(Y, X), s(X, W)");
+  CanonicalizedQuery c = Canonicalize(q);
+  // Y is first seen in the head → V0; X first in r's 2nd arg → V1; W → V2.
+  EXPECT_EQ(c.text, "q(V0) :- r(V0, V1), s(V1, V2)");
+}
+
+TEST(CanonicalizeTest, ClashingOriginalNamesDoNotCapture) {
+  // V0 already appears as a *source* variable; the simultaneous
+  // substitution {X→V0, V0→V1} must not merge them.
+  auto q = MustParse("q(X) :- r(X, V0)");
+  CanonicalizedQuery c = Canonicalize(q);
+  EXPECT_EQ(c.text, "q(V0) :- r(V0, V1)");
+  EXPECT_TRUE(AlphaEquivalent(q, MustParse("q(A) :- r(A, B)")));
+}
+
+TEST(CanonicalizeTest, DistinctShapesGetDistinctForms) {
+  auto repeated = MustParse("q(X) :- r(X, X)");
+  auto distinct = MustParse("q(X) :- r(X, Y)");
+  EXPECT_FALSE(AlphaEquivalent(repeated, distinct));
+  EXPECT_NE(CanonicalFingerprint(repeated), CanonicalFingerprint(distinct));
+  // Constants are not renamed.
+  auto c1 = MustParse("q(X) :- r(X, \"cse544\")");
+  auto c2 = MustParse("q(X) :- r(X, \"cse403\")");
+  EXPECT_FALSE(AlphaEquivalent(c1, c2));
+  EXPECT_NE(Canonicalize(c1).text, Canonicalize(c2).text);
+  // Atom order is significant (order-preserving canonical form).
+  auto ab = MustParse("q(X) :- r(X), s(X)");
+  auto ba = MustParse("q(X) :- s(X), r(X)");
+  EXPECT_FALSE(AlphaEquivalent(ab, ba));
+}
+
 TEST(GlavTest, ValidationAndShape) {
   GlavMapping m{"berkeley-to-mit",
                 MustParse("m(C, T) :- b_course(C, T, S)"),
