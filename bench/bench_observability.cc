@@ -1,0 +1,200 @@
+// Experiment O1: observability overhead (ISSUE 4).
+//
+// The tentpole contract is that instrumentation is effectively free
+// when nobody is looking: a null tracer costs one branch per span
+// site, registry counters are one uncontended relaxed fetch_add, and
+// the enabled-tracing overhead on the P1/P2 serving paths stays under
+// 5%. This bench measures exactly that, in three mode columns per
+// workload (arg0):
+//
+//   0 = off        tracer == nullptr (the default everywhere)
+//   1 = null-sink  spans run the full pipeline (clock reads, ids,
+//                  attrs) but nothing is retained — instrumentation
+//                  cost in isolation
+//   2 = full       records retained and cleared per query — adds the
+//                  retention cost (mutex append + per-query Clear),
+//                  the lifecycle a per-query trace dump would use
+//
+// Workloads:
+//   BM_O1_JoinUnion    the P1 title-self-join union through
+//                      EvaluateUnion (one `evaluate` span per member)
+//   BM_O1_WarmAnswer   the P2 cache-hit path through Answer (the
+//                      2-ish-µs warm reformulation where relative
+//                      overhead is hardest to hide)
+//   BM_O1_Span         one span start/finish pair in isolation
+//   BM_O1_Counter /    the registry primitives on the hot path,
+//   BM_O1_Histogram    including an 8-thread contention column
+//
+// Counters: rows (result sanity), spans (retained spans per iteration
+// in full mode — confirms the tree is actually being built).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/datagen/topology.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/piazza/pdms.h"
+#include "src/piazza/peer.h"
+#include "src/query/cq.h"
+#include "src/query/evaluate.h"
+
+namespace {
+
+using revere::datagen::AllCoursesQuery;
+using revere::datagen::BuildUniversityPdms;
+using revere::datagen::PdmsGenOptions;
+using revere::datagen::PdmsGenReport;
+using revere::datagen::Topology;
+using revere::obs::TraceMode;
+using revere::obs::Tracer;
+using revere::piazza::NetworkCostModel;
+using revere::piazza::PdmsNetwork;
+using revere::piazza::QualifiedName;
+using revere::query::Atom;
+using revere::query::ConjunctiveQuery;
+using revere::query::EvalOptions;
+using revere::query::QTerm;
+using revere::storage::Row;
+
+bool SmokeRun() { return std::getenv("REVERE_BENCH_SMOKE") != nullptr; }
+
+/// Same join shape as bench_parallel_eval's P1 workload: all pairs of
+/// same-title courses at peer `i`.
+ConjunctiveQuery TitleSelfJoin(const PdmsGenReport& report, size_t i) {
+  std::string rel =
+      QualifiedName(report.peer_names[i], report.relation_names[i]);
+  Atom first{rel, {QTerm::Var("X"), QTerm::Var("T"), QTerm::Var("A")}};
+  Atom second{rel, {QTerm::Var("Y"), QTerm::Var("T"), QTerm::Var("B")}};
+  return ConjunctiveQuery("samet" + std::to_string(i),
+                          {QTerm::Var("X"), QTerm::Var("Y")},
+                          {first, second});
+}
+
+struct ObsFixture {
+  ObsFixture() {
+    PdmsGenOptions options;
+    options.topology = Topology::kFigure2;
+    options.rows_per_peer = SmokeRun() ? 20 : 200;
+    options.seed = 2003;
+    auto r = BuildUniversityPdms(&net, options);
+    if (r.ok()) report = r.value();
+    for (size_t i = 0; i < report.peer_names.size(); ++i) {
+      joins.push_back(TitleSelfJoin(report, i));
+    }
+  }
+
+  PdmsNetwork net;
+  PdmsGenReport report;
+  std::vector<ConjunctiveQuery> joins;
+};
+
+ObsFixture& Fixture() {
+  static ObsFixture* fixture = new ObsFixture();
+  return *fixture;
+}
+
+/// arg0 decoding: 0 = no tracer, 1 = kNullSink, 2 = kFull.
+std::unique_ptr<Tracer> MakeTracer(int mode) {
+  if (mode == 0) return nullptr;
+  return std::make_unique<Tracer>(mode == 1 ? TraceMode::kNullSink
+                                            : TraceMode::kFull);
+}
+
+// ------------------------------------------------ P1 join workload
+
+void BM_O1_JoinUnion(benchmark::State& state) {
+  ObsFixture& f = Fixture();
+  std::unique_ptr<Tracer> tracer = MakeTracer(static_cast<int>(state.range(0)));
+  EvalOptions options;
+  options.tracer = tracer.get();
+  size_t rows = 0, spans = 0;
+  for (auto _ : state) {
+    auto result =
+        revere::query::EvaluateUnion(f.net.storage(), f.joins, options);
+    rows = result.ok() ? result.value().size() : 0;
+    benchmark::DoNotOptimize(rows);
+    if (tracer != nullptr && tracer->mode() == TraceMode::kFull) {
+      spans = tracer->span_count();
+      tracer->Clear();  // per-query trace lifecycle, inside the cost
+    }
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["spans"] = static_cast<double>(spans);
+}
+BENCHMARK(BM_O1_JoinUnion)->DenseRange(0, 2, 1)
+    ->Unit(benchmark::kMillisecond);
+
+// -------------------------------------------- P2 cache-hit workload
+
+void BM_O1_WarmAnswer(benchmark::State& state) {
+  ObsFixture& f = Fixture();
+  ConjunctiveQuery q = AllCoursesQuery(f.report, 0);
+  f.net.ClearPlanCache();
+  benchmark::DoNotOptimize(f.net.Answer(q));  // warm the plan cache
+  std::unique_ptr<Tracer> tracer = MakeTracer(static_cast<int>(state.range(0)));
+  NetworkCostModel cost;
+  cost.tracer = tracer.get();
+  size_t rows = 0, spans = 0;
+  for (auto _ : state) {
+    auto result = f.net.Answer(q, {}, nullptr, cost);
+    rows = result.ok() ? result.value().size() : 0;
+    benchmark::DoNotOptimize(rows);
+    if (tracer != nullptr && tracer->mode() == TraceMode::kFull) {
+      spans = tracer->span_count();
+      tracer->Clear();
+    }
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["spans"] = static_cast<double>(spans);
+}
+BENCHMARK(BM_O1_WarmAnswer)->DenseRange(0, 2, 1);
+
+// ------------------------------------------------------- primitives
+
+/// One span start/finish pair: the unit every instrumented site pays.
+void BM_O1_Span(benchmark::State& state) {
+  std::unique_ptr<Tracer> tracer = MakeTracer(static_cast<int>(state.range(0)));
+  uint64_t drained = 0;
+  for (auto _ : state) {
+    {
+      revere::obs::Span span =
+          revere::obs::StartSpan(tracer.get(), "bench_span");
+      span.AddAttr("n", 1);
+    }
+    if (tracer != nullptr && tracer->span_count() >= 4096) {
+      drained += tracer->span_count();
+      tracer->Clear();
+    }
+  }
+  benchmark::DoNotOptimize(drained);
+}
+BENCHMARK(BM_O1_Span)->DenseRange(0, 2, 1);
+
+void BM_O1_Counter(benchmark::State& state) {
+  static revere::obs::Counter* counter =
+      revere::obs::MetricsRegistry::Default().GetCounter("bench.o1_counter");
+  for (auto _ : state) counter->Increment();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_O1_Counter)->Threads(1)->Threads(8)->UseRealTime();
+
+void BM_O1_Histogram(benchmark::State& state) {
+  static revere::obs::Histogram* histogram =
+      revere::obs::MetricsRegistry::Default().GetHistogram(
+          "bench.o1_histogram_us");
+  double value = 0.0;
+  for (auto _ : state) {
+    histogram->Record(value);
+    value += 1.0;
+    if (value > 1e6) value = 0.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_O1_Histogram)->Threads(1)->Threads(8)->UseRealTime();
+
+}  // namespace

@@ -59,7 +59,6 @@ void JsonLinesReporter::ReportRuns(const std::vector<Run>& runs) {
   ConsoleReporter::ReportRuns(runs);
   if (!enabled_) return;
   for (const auto& run : runs) WriteRun(run);
-  out_.flush();
 }
 
 void JsonLinesReporter::WriteRun(const Run& run) {
@@ -105,7 +104,10 @@ void JsonLinesReporter::WriteRun(const Run& run) {
     line << ", \"" << Escape(name) << "\": " << counter.value;
   }
   line << "}}";
-  out_ << line.str() << "\n";
+  // Flush per record: a crashed or killed bench run (OOM, timeout in
+  // CI) keeps every line already emitted instead of losing the tail of
+  // the buffered stream.
+  out_ << line.str() << "\n" << std::flush;
 }
 
 }  // namespace revere::bench

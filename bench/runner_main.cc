@@ -1,17 +1,23 @@
 // Shared main() for every bench_* binary: standard google-benchmark
 // flags plus `--json <path>` (or --json=<path>), which appends one
 // machine-readable JSON line per run via JsonLinesReporter so bench
-// trajectories can be tracked across PRs.
+// trajectories can be tracked across PRs, and `--metrics <path>` (or
+// --metrics=<path>), which dumps the process-wide obs::MetricsRegistry
+// as JSONL after the benchmarks finish.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/json_lines_reporter.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string metrics_path;
   std::vector<char*> args;
   args.reserve(static_cast<size_t>(argc));
   for (int i = 0; i < argc; ++i) {
@@ -20,6 +26,10 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_path = arg.substr(10);
     } else {
       args.push_back(argv[i]);
     }
@@ -42,6 +52,15 @@ int main(int argc, char** argv) {
   } else {
     revere::bench::JsonLinesReporter reporter(json_path);
     benchmark::RunSpecifiedBenchmarks(&reporter);
+  }
+  if (!metrics_path.empty()) {
+    std::string dump = revere::obs::MetricsToJsonLines(
+        revere::obs::MetricsRegistry::Default());
+    if (!revere::obs::WriteFileOrFalse(metrics_path, dump)) {
+      std::fprintf(stderr, "failed to write metrics dump to %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
   }
   benchmark::Shutdown();
   return 0;

@@ -1,11 +1,17 @@
 #include "src/common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
+
+#include "src/obs/metrics.h"
 
 namespace revere {
 
 ThreadPool::ThreadPool(size_t workers) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+  queue_depth_ = metrics.GetGauge("threadpool.queue_depth");
+  task_latency_us_ = metrics.GetHistogram("threadpool.task_latency_us");
   size_t n = std::max<size_t>(1, workers);
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -23,10 +29,30 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  static obs::Counter* tasks =
+      obs::MetricsRegistry::Default().GetCounter("threadpool.tasks");
+  tasks->Increment();
   // The counter bumps inside the task, before the promise is set, so
-  // once a future is ready tasks_completed() already reflects it.
+  // once a future is ready tasks_completed() already reflects it — even
+  // when the task throws (the exception is stored in the future).
   std::packaged_task<void()> task([this, fn = std::move(fn)] {
-    fn();
+    auto start = std::chrono::steady_clock::now();
+    try {
+      fn();
+    } catch (...) {
+      task_latency_us_->Record(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++completed_;
+      }
+      throw;  // captured by packaged_task; surfaces on future.get()
+    }
+    task_latency_us_->Record(std::chrono::duration<double, std::micro>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count());
     std::lock_guard<std::mutex> lock(mu_);
     ++completed_;
   });
@@ -35,6 +61,7 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
   }
+  queue_depth_->Add(1);
   cv_.notify_one();
   return future;
 }
@@ -60,6 +87,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    queue_depth_->Sub(1);
     task();
   }
 }

@@ -10,6 +10,11 @@
 #include <thread>
 #include <vector>
 
+namespace revere::obs {
+class Gauge;
+class Histogram;
+}  // namespace revere::obs
+
 namespace revere {
 
 /// A fixed-size worker pool for the parallel query-evaluation path.
@@ -17,9 +22,17 @@ namespace revere {
 /// Design constraints (ISSUE 2): a known number of workers created once,
 /// futures for every submitted task, and no detached threads — the
 /// destructor drains the queue and joins every worker, so a pool can be
-/// stack-allocated around a burst of work. Tasks must not throw (the
-/// library is exception-free); a task that does would terminate via the
-/// packaged_task future on .get().
+/// stack-allocated around a burst of work. Tasks should not throw (the
+/// library is exception-free); one that does never kills a worker — the
+/// exception is captured by the packaged_task, rethrown from the
+/// future's .get(), and the pool keeps draining (tested in
+/// parallel_test).
+///
+/// Observability (ISSUE 4): every pool reports to the process-wide
+/// obs::MetricsRegistry — `threadpool.queue_depth` (gauge, tasks queued
+/// but not yet started, aggregated across pools), `threadpool.tasks`
+/// (counter), and `threadpool.task_latency_us` (histogram of execution
+/// time, queue wait excluded).
 ///
 /// Determinism contract: the pool schedules tasks in submission order
 /// but completion order depends on the OS scheduler. Callers that need
@@ -59,6 +72,10 @@ class ThreadPool {
   bool stopping_ = false;
   size_t completed_ = 0;
   std::vector<std::thread> workers_;
+  /// Process-wide metric handles (resolved once in the constructor;
+  /// registry pointers are stable forever).
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Histogram* task_latency_us_ = nullptr;
 };
 
 }  // namespace revere

@@ -1,0 +1,85 @@
+#include "src/obs/export.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace revere::obs {
+
+namespace {
+
+std::string Num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsToText(const MetricsRegistry& registry) {
+  std::string out;
+  for (const auto& row : registry.Snapshot()) {
+    switch (row.kind) {
+      case MetricsRegistry::Kind::kCounter:
+        out += "counter " + row.name + " " +
+               std::to_string(row.counter_value) + "\n";
+        break;
+      case MetricsRegistry::Kind::kGauge:
+        out += "gauge " + row.name + " " + std::to_string(row.gauge_value) +
+               "\n";
+        break;
+      case MetricsRegistry::Kind::kHistogram: {
+        const Histogram::Snapshot& h = row.histogram;
+        out += "histogram " + row.name + " count=" +
+               std::to_string(h.count) + " mean=" + Num(h.mean()) +
+               " p50=" + Num(h.Percentile(50)) +
+               " p90=" + Num(h.Percentile(90)) +
+               " p99=" + Num(h.Percentile(99)) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsToJsonLines(const MetricsRegistry& registry) {
+  // Metric names come from compiled-in string literals (dotted
+  // lowercase identifiers), so no JSON escaping is needed here.
+  std::string out;
+  for (const auto& row : registry.Snapshot()) {
+    std::string line = "{\"bench\": \"obs_metrics\", \"params\": {\"name\": \"" +
+                       row.name + "\", \"args\": []}, \"metrics\": {";
+    switch (row.kind) {
+      case MetricsRegistry::Kind::kCounter:
+        line += "\"kind\": \"counter\", \"value\": " +
+                std::to_string(row.counter_value);
+        break;
+      case MetricsRegistry::Kind::kGauge:
+        line += "\"kind\": \"gauge\", \"value\": " +
+                std::to_string(row.gauge_value);
+        break;
+      case MetricsRegistry::Kind::kHistogram: {
+        const Histogram::Snapshot& h = row.histogram;
+        line += "\"kind\": \"histogram\", \"count\": " +
+                std::to_string(h.count) + ", \"sum\": " + Num(h.sum) +
+                ", \"mean\": " + Num(h.mean()) +
+                ", \"p50\": " + Num(h.Percentile(50)) +
+                ", \"p90\": " + Num(h.Percentile(90)) +
+                ", \"p99\": " + Num(h.Percentile(99));
+        break;
+      }
+    }
+    line += "}}\n";
+    out += line;
+  }
+  return out;
+}
+
+bool WriteFileOrFalse(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) return false;
+  out << content;
+  out.flush();
+  return out.good();
+}
+
+}  // namespace revere::obs

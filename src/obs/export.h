@@ -1,0 +1,32 @@
+#ifndef REVERE_OBS_EXPORT_H_
+#define REVERE_OBS_EXPORT_H_
+
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace revere::obs {
+
+/// Human-readable dump of every registered metric, one per line, sorted
+/// by name: `counter <name> <value>`, `gauge <name> <value>`, and
+/// `histogram <name> count=<n> mean=<m> p50=<..> p90=<..> p99=<..>`.
+std::string MetricsToText(const MetricsRegistry& registry);
+
+/// Machine-readable dump: one JSON object per line, shaped like the
+/// bench JSONL trajectory format (bench/json_lines_reporter) so the
+/// same diffing tools work on both:
+///
+///   {"bench": "obs_metrics", "params": {"name": "<metric>", "args":
+///    []}, "metrics": {"kind": "counter", "value": N}}
+///
+/// Histogram lines carry {"kind": "histogram", "count", "sum", "mean",
+/// "p50", "p90", "p99"} instead of "value".
+std::string MetricsToJsonLines(const MetricsRegistry& registry);
+
+/// Writes `content` to `path`, truncating; returns false on I/O error.
+/// Backs `--metrics <path>` in the bench runner.
+bool WriteFileOrFalse(const std::string& path, const std::string& content);
+
+}  // namespace revere::obs
+
+#endif  // REVERE_OBS_EXPORT_H_

@@ -1,0 +1,186 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace revere::obs {
+
+size_t ThisThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kCounterShards;
+  return shard;
+}
+
+uint64_t Counter::Value() const {
+  uint64_t sum = 0;
+  for (const Shard& s : shards_) {
+    sum += s.value.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+void Counter::Reset() {
+  for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Record(double value) {
+  size_t bucket = static_cast<size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> is a CAS loop on most targets; the sum
+  // is off the per-bucket hot line, so contention stays negligible.
+  double observed = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(observed, observed + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<double> Histogram::DefaultLatencyBoundsUs() {
+  return {1,    2,    5,    10,    20,    50,    100,    200,    500,
+          1000, 2000, 5000, 10000, 20000, 50000, 100000, 200000, 500000,
+          1e6,  2e6,  5e6,  1e7};
+}
+
+double Histogram::Snapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 *
+                                        static_cast<double>(count - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen >= rank) {
+      double lo = i == 0 ? 0.0 : bounds[i - 1];
+      // The overflow bucket has no upper bound; report its lower edge.
+      double hi = i < bounds.size() ? bounds[i] : lo;
+      if (counts[i] == 0) return hi;
+      double frac = static_cast<double>(rank - (seen - counts[i])) /
+                    static_cast<double>(counts[i]);
+      return lo + (hi - lo) * frac;
+    }
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+Histogram::Snapshot Histogram::GetSnapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.reserve(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.counts.push_back(counts_[i].load(std::memory_order_relaxed));
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = counters_.find(name);
+    if (it != counters_.end()) return it->second.get();
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] =
+      counters_.try_emplace(std::string(name), std::make_unique<Counter>());
+  (void)inserted;
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = gauges_.find(name);
+    if (it != gauges_.end()) return it->second.get();
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] =
+      gauges_.try_emplace(std::string(name), std::make_unique<Gauge>());
+  (void)inserted;
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<double> bounds) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = histograms_.find(name);
+    if (it != histograms_.end()) return it->second.get();
+  }
+  if (bounds.empty()) bounds = Histogram::DefaultLatencyBoundsUs();
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] = histograms_.try_emplace(
+      std::string(name), std::make_unique<Histogram>(std::move(bounds)));
+  (void)inserted;
+  return it->second.get();
+}
+
+void MetricsRegistry::Reset() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::vector<MetricsRegistry::MetricRow> MetricsRegistry::Snapshot() const {
+  std::vector<MetricRow> rows;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  rows.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricRow row;
+    row.name = name;
+    row.kind = Kind::kCounter;
+    row.counter_value = c->Value();
+    rows.push_back(std::move(row));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricRow row;
+    row.name = name;
+    row.kind = Kind::kGauge;
+    row.gauge_value = g->Value();
+    rows.push_back(std::move(row));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricRow row;
+    row.name = name;
+    row.kind = Kind::kHistogram;
+    row.histogram = h->GetSnapshot();
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const MetricRow& a, const MetricRow& b) {
+              return a.name < b.name;
+            });
+  return rows;
+}
+
+size_t MetricsRegistry::metric_count() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+}  // namespace revere::obs

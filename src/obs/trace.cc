@@ -1,0 +1,150 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace revere::obs {
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    Finish();
+    tracer_ = other.tracer_;
+    id_ = other.id_;
+    parent_ = other.parent_;
+    name_ = other.name_;
+    detail_ = std::move(other.detail_);
+    start_ns_ = other.start_ns_;
+    attrs_ = std::move(other.attrs_);
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+void Span::AddAttr(std::string_view key, double value) {
+  if (tracer_ == nullptr) return;
+  attrs_.emplace_back(std::string(key), value);
+}
+
+void Span::SetDetail(std::string detail) {
+  if (tracer_ == nullptr) return;
+  detail_ = std::move(detail);
+}
+
+void Span::Finish() {
+  if (tracer_ == nullptr) return;
+  tracer_->FinishSpan(this);
+  tracer_ = nullptr;
+}
+
+Span Tracer::StartSpan(const char* name, uint64_t parent,
+                       std::string detail) {
+  if (mode_ == TraceMode::kDisabled) return Span();
+  Span span;
+  span.tracer_ = this;
+  span.id_ = next_id_.fetch_add(1, std::memory_order_relaxed);
+  span.parent_ = parent;
+  span.name_ = name;
+  span.detail_ = std::move(detail);
+  span.start_ns_ = NowNs();
+  return span;
+}
+
+void Tracer::FinishSpan(Span* span) {
+  SpanRecord record;
+  record.id = span->id_;
+  record.parent = span->parent_;
+  record.name = span->name_;
+  record.detail = std::move(span->detail_);
+  record.start_ns = span->start_ns_;
+  record.duration_ns = NowNs() - span->start_ns_;
+  record.attrs = std::move(span->attrs_);
+  if (mode_ != TraceMode::kFull) return;  // null sink: assembled, dropped
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> Tracer::Records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+}
+
+namespace {
+
+void DumpSubtree(const std::vector<SpanRecord>& records,
+                 const std::multimap<uint64_t, size_t>& children,
+                 size_t index, int depth, std::string* out) {
+  const SpanRecord& r = records[index];
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%8.3f ms  ",
+                static_cast<double>(r.duration_ns) / 1e6);
+  *out += buf;
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += r.name;
+  if (!r.detail.empty()) {
+    *out += " [";
+    *out += r.detail;
+    *out += "]";
+  }
+  for (const auto& [key, value] : r.attrs) {
+    std::snprintf(buf, sizeof(buf), " %s=%g", key.c_str(), value);
+    *out += buf;
+  }
+  *out += "\n";
+  // Children in start order, so the dump reads chronologically.
+  std::vector<size_t> kids;
+  auto [lo, hi] = children.equal_range(r.id);
+  for (auto it = lo; it != hi; ++it) kids.push_back(it->second);
+  std::sort(kids.begin(), kids.end(), [&](size_t a, size_t b) {
+    return records[a].start_ns < records[b].start_ns;
+  });
+  for (size_t kid : kids) {
+    DumpSubtree(records, children, kid, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string Tracer::TextDump() const {
+  std::vector<SpanRecord> records = Records();
+  std::multimap<uint64_t, size_t> children;
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < records.size(); ++i) {
+    // A span whose parent was never retained (e.g. cleared, or an
+    // external id) dumps as a root rather than vanishing.
+    bool parent_known = false;
+    if (records[i].parent != 0) {
+      for (const SpanRecord& r : records) {
+        if (r.id == records[i].parent) {
+          parent_known = true;
+          break;
+        }
+      }
+    }
+    if (parent_known) {
+      children.emplace(records[i].parent, i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+  std::sort(roots.begin(), roots.end(), [&](size_t a, size_t b) {
+    return records[a].start_ns < records[b].start_ns;
+  });
+  std::string out;
+  for (size_t root : roots) {
+    DumpSubtree(records, children, root, 0, &out);
+  }
+  return out;
+}
+
+}  // namespace revere::obs

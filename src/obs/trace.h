@@ -1,0 +1,138 @@
+#ifndef REVERE_OBS_TRACE_H_
+#define REVERE_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace revere::obs {
+
+class Tracer;
+
+/// How much work a Tracer does per span. Instrumentation sites are
+/// compiled in unconditionally; the mode (or a null Tracer*) decides
+/// what they cost at runtime.
+enum class TraceMode {
+  /// StartSpan returns an inert Span: no clock read, no allocation —
+  /// the cost of a disabled tracer is one branch per site.
+  kDisabled,
+  /// Spans run the full pipeline (clock reads, ids, attrs, record
+  /// assembly) but nothing is retained — isolates instrumentation cost
+  /// from retention cost in bench_observability.
+  kNullSink,
+  /// Records are retained and queryable via Records()/TextDump().
+  kFull,
+};
+
+/// One finished span, as retained by a kFull tracer. Parent links (not
+/// nesting in the vector) carry the tree; `Records()` order is finish
+/// order, so a parent usually follows its children.
+struct SpanRecord {
+  uint64_t id = 0;
+  uint64_t parent = 0;  ///< 0 = top-level span
+  std::string name;     ///< span point in the answer path ("contact", …)
+  std::string detail;   ///< instance label: peer name, "rw3", …
+  uint64_t start_ns = 0;     ///< monotonic, relative to the tracer epoch
+  uint64_t duration_ns = 0;  ///< monotonic end - start
+  std::vector<std::pair<std::string, double>> attrs;
+};
+
+/// A movable RAII handle for one in-flight span. Created via
+/// Tracer::StartSpan (or the null-safe obs::StartSpan helper); finishes
+/// on destruction or an explicit Finish(). A default-constructed Span
+/// is inert: every method is a no-op, so instrumented code never
+/// branches on "is tracing on" beyond span creation.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { Finish(); }
+
+  /// Attaches a numeric attribute (counts, flags, simulated ms).
+  void AddAttr(std::string_view key, double value);
+  /// Replaces the instance label.
+  void SetDetail(std::string detail);
+  /// Ends the span (idempotent; also run by the destructor).
+  void Finish();
+
+  bool active() const { return tracer_ != nullptr; }
+  /// This span's id, for parenting children; 0 when inert.
+  uint64_t id() const { return id_; }
+
+ private:
+  friend class Tracer;
+  Tracer* tracer_ = nullptr;
+  uint64_t id_ = 0;
+  uint64_t parent_ = 0;
+  const char* name_ = "";
+  std::string detail_;
+  uint64_t start_ns_ = 0;
+  std::vector<std::pair<std::string, double>> attrs_;
+};
+
+/// Collects per-query span trees from the whole answer path
+/// (reformulate → plan_cache → per-rewriting evaluate → per-peer
+/// contact/retry). Thread-safe: spans may start and finish on pool
+/// workers concurrently (ids are atomic, retention is mutex-appended).
+/// Timings come from std::chrono::steady_clock, relative to the
+/// tracer's construction (its epoch).
+class Tracer {
+ public:
+  explicit Tracer(TraceMode mode = TraceMode::kFull)
+      : mode_(mode), epoch_(std::chrono::steady_clock::now()) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  TraceMode mode() const { return mode_; }
+
+  /// Starts a span under `parent` (0 = top level). `name` must be a
+  /// string literal (stored as a pointer until the span finishes).
+  Span StartSpan(const char* name, uint64_t parent = 0,
+                 std::string detail = {});
+
+  /// Snapshot of finished spans, in finish order. Empty unless kFull.
+  std::vector<SpanRecord> Records() const;
+  size_t span_count() const;
+  /// Drops retained records (epoch and ids keep running).
+  void Clear();
+
+  /// Human-readable indented span tree with millisecond timings —
+  /// README's sample trace dump. Unfinished spans don't appear.
+  std::string TextDump() const;
+
+ private:
+  friend class Span;
+  uint64_t NowNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+  void FinishSpan(Span* span);
+
+  TraceMode mode_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<uint64_t> next_id_{1};
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> records_;
+};
+
+/// Null-safe span start: the idiom every instrumentation site uses, so
+/// a null tracer (the default everywhere) costs one branch.
+inline Span StartSpan(Tracer* tracer, const char* name, uint64_t parent = 0,
+                      std::string detail = {}) {
+  if (tracer == nullptr) return Span();
+  return tracer->StartSpan(name, parent, std::move(detail));
+}
+
+}  // namespace revere::obs
+
+#endif  // REVERE_OBS_TRACE_H_

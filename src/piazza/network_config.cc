@@ -126,6 +126,12 @@ Status LoadNetworkConfig(std::string_view config, PdmsNetwork* network,
         return fail("bad plan_cache capacity '" + fields[1] + "'");
       }
       network->SetPlanCacheCapacity(static_cast<size_t>(value));
+    } else if (kind == "metrics") {
+      if (fields.size() != 2 ||
+          (fields[1] != "on" && fields[1] != "off")) {
+        return fail("metrics needs 'on' or 'off'");
+      }
+      network->set_metrics_enabled(fields[1] == "on");
     } else {
       return fail("unknown directive '" + kind + "'");
     }
@@ -144,6 +150,7 @@ std::string SaveNetworkConfig(const PdmsNetwork& network,
     out += "plan_cache " + std::to_string(network.plan_cache_capacity()) +
            "\n";
   }
+  if (!network.metrics_enabled()) out += "metrics off\n";
   for (const auto& name : network.PeerNames()) {
     out += "peer " + name + "\n";
   }

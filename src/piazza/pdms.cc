@@ -1,6 +1,7 @@
 #include "src/piazza/pdms.h"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <future>
 #include <optional>
@@ -9,6 +10,8 @@
 
 #include "src/common/hash.h"
 #include "src/common/thread_pool.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/query/containment.h"
 #include "src/query/evaluate.h"
 
@@ -65,23 +68,35 @@ struct WorkItem {
 /// Contacts `peer` through the fault injector with bounded retries and
 /// exponential backoff, charging every attempt, timeout, and backoff
 /// wait to the simulated clock in `stats`. Returns the last failure
-/// when the peer stays unreachable.
+/// when the peer stays unreachable. With a tracer, each retry (attempt
+/// beyond the first) opens a `retry` span under `parent` carrying its
+/// backoff and simulated elapsed time; the RNG draw sequence — and so
+/// every answer — is identical with tracing on or off.
 Status ContactPeerWithRetry(FaultInjector* faults, const std::string& peer,
                             const NetworkCostModel& cost,
-                            ExecutionStats* stats) {
+                            ExecutionStats* stats, obs::Tracer* tracer,
+                            uint64_t parent) {
   int max_attempts = std::max(1, cost.retry.max_attempts);
   Status last;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    obs::Span retry_span;
     if (attempt > 0) {
       double backoff = cost.retry.base_backoff_ms *
                        static_cast<double>(uint64_t{1} << (attempt - 1));
       stats->completeness.backoff_ms += backoff;
       stats->simulated_network_ms += backoff;
       ++stats->completeness.retries_attempted;
+      retry_span = obs::StartSpan(tracer, "retry", parent);
+      retry_span.AddAttr("attempt", attempt);
+      retry_span.AddAttr("backoff_simulated_ms", backoff);
     }
     ContactOutcome outcome = faults->Contact(peer, cost.per_peer_round_trip_ms,
                                              cost.retry.deadline_ms);
     stats->simulated_network_ms += outcome.elapsed_ms;
+    if (retry_span.active()) {
+      retry_span.AddAttr("elapsed_simulated_ms", outcome.elapsed_ms);
+      retry_span.AddAttr("ok", outcome.status.ok() ? 1 : 0);
+    }
     if (outcome.status.ok()) return Status::Ok();
     ++stats->completeness.contacts_failed;
     last = outcome.status;
@@ -412,6 +427,7 @@ Result<std::unique_ptr<xml::XmlNode>> PdmsNetwork::TranslateDocument(
 
 void PdmsNetwork::SetPlanCacheCapacity(size_t capacity) {
   plan_cache_ = std::make_unique<PlanCache>(capacity);
+  plan_cache_->SetMetricsEnabled(metrics_enabled());
 }
 
 /// The uncached transitive-closure search, plus the cache consultation
@@ -422,24 +438,32 @@ void PdmsNetwork::SetPlanCacheCapacity(size_t capacity) {
 /// the warm path.
 Result<std::shared_ptr<const CachedPlan>> PdmsNetwork::ReformulateCached(
     const ConjunctiveQuery& query, const ReformulationOptions& options,
-    ReformulationStats* stats) const {
+    ReformulationStats* stats, obs::Tracer* tracer,
+    uint64_t parent_span) const {
+  obs::Span reformulate_span =
+      obs::StartSpan(tracer, "reformulate", parent_span);
   const bool use_cache =
       options.use_plan_cache && plan_cache_->capacity() > 0;
   std::string key;
   uint64_t fingerprint = 0;
   uint64_t generation = 0;
   if (use_cache) {
+    obs::Span cache_span =
+        obs::StartSpan(tracer, "plan_cache", reformulate_span.id());
     key = PlanKeyText(query, options);
     fingerprint = Fnv1a64(key);
     generation = generation_.load(std::memory_order_relaxed);
     if (std::shared_ptr<const CachedPlan> plan =
             plan_cache_->Lookup(fingerprint, key, generation)) {
+      cache_span.AddAttr("hit", 1);
+      reformulate_span.AddAttr("rewritings", plan->rewritings.size());
       if (stats != nullptr) {
         *stats = plan->stats;
         stats->plan_cache_hits = 1;
       }
       return plan;
     }
+    cache_span.AddAttr("hit", 0);
   }
 
   ReformulationStats local;
@@ -538,6 +562,25 @@ Result<std::shared_ptr<const CachedPlan>> PdmsNetwork::ReformulateCached(
     plan_cache_->Insert(fingerprint, std::move(key), generation, plan);
     local.plan_cache_misses = 1;
   }
+  // Mirror the search counters into the process-wide registry — only
+  // when the search actually ran. Hits return above with a *copy* of
+  // the original run's stats; re-mirroring those would double-count.
+  if (metrics_enabled()) {
+    obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+    static obs::Counter* searches = metrics.GetCounter("reformulate.searches");
+    static obs::Counter* nodes =
+        metrics.GetCounter("reformulate.nodes_expanded");
+    static obs::Counter* rewritings =
+        metrics.GetCounter("reformulate.rewritings");
+    static obs::Counter* pruned = metrics.GetCounter("reformulate.pruned");
+    searches->Increment();
+    nodes->Increment(local.nodes_expanded);
+    rewritings->Increment(local.rewritings);
+    pruned->Increment(local.pruned_duplicates + local.pruned_unreachable +
+                      local.pruned_contained + local.pruned_depth);
+  }
+  reformulate_span.AddAttr("rewritings", local.rewritings);
+  reformulate_span.AddAttr("nodes_expanded", local.nodes_expanded);
   if (stats != nullptr) *stats = local;
   return plan;
 }
@@ -566,10 +609,20 @@ PdmsNetwork::AnswerWithProvenance(const ConjunctiveQuery& query,
                                   const ReformulationOptions& options,
                                   ExecutionStats* stats,
                                   const NetworkCostModel& cost) const {
+  const bool record_metrics = metrics_enabled();
+  const auto start_time = record_metrics
+                              ? std::chrono::steady_clock::now()
+                              : std::chrono::steady_clock::time_point{};
+  obs::Span answer_span;
+  if (cost.tracer != nullptr) {  // guard: don't copy the name when off
+    answer_span =
+        cost.tracer->StartSpan("answer", cost.parent_span, query.name());
+  }
   ExecutionStats local;
   REVERE_ASSIGN_OR_RETURN(
       std::shared_ptr<const CachedPlan> plan,
-      ReformulateCached(query, options, &local.reformulation));
+      ReformulateCached(query, options, &local.reformulation, cost.tracer,
+                        answer_span.id()));
   const std::vector<ConjunctiveQuery>& rewritings = plan->rewritings;
   local.plan_cache_hits = local.reformulation.plan_cache_hits;
   local.plan_cache_misses = local.reformulation.plan_cache_misses;
@@ -584,6 +637,12 @@ PdmsNetwork::AnswerWithProvenance(const ConjunctiveQuery& query,
   // and stats are byte-identical to the serial path.
   query::EvalOptions eval = cost.eval;
   eval.pool = nullptr;
+  // Per-rewriting `evaluate` span ids, kept so the merge loop below can
+  // parent each rewriting's `contact` spans under the span that
+  // evaluated it — parent links, not temporal nesting, carry the tree,
+  // so a contact may attach to a span that already finished on a pool
+  // worker.
+  std::vector<uint64_t> eval_span_ids(rewritings.size(), 0);
   std::vector<std::optional<Result<std::vector<storage::Row>>>> evaluated(
       rewritings.size());
   if (cost.eval.pool != nullptr && rewritings.size() > 1) {
@@ -591,7 +650,16 @@ PdmsNetwork::AnswerWithProvenance(const ConjunctiveQuery& query,
     futures.reserve(rewritings.size());
     for (size_t i = 0; i < rewritings.size(); ++i) {
       futures.push_back(cost.eval.pool->Submit([&, i] {
+        obs::Span span;
+        if (cost.tracer != nullptr) {  // guard: detail string allocates
+          span = cost.tracer->StartSpan("evaluate", answer_span.id(),
+                                        "rw" + std::to_string(i));
+          eval_span_ids[i] = span.id();
+        }
         evaluated[i].emplace(query::EvaluateCQ(storage_, rewritings[i], eval));
+        if (span.active() && evaluated[i]->ok()) {
+          span.AddAttr("rows", evaluated[i]->value().size());
+        }
       }));
     }
     for (auto& f : futures) f.wait();
@@ -603,9 +671,22 @@ PdmsNetwork::AnswerWithProvenance(const ConjunctiveQuery& query,
   local.completeness.rewritings_total = rewritings.size();
   for (size_t rw_index = 0; rw_index < rewritings.size(); ++rw_index) {
     const ConjunctiveQuery& rw = rewritings[rw_index];
-    auto rows = evaluated[rw_index].has_value()
-                    ? std::move(*evaluated[rw_index])
-                    : query::EvaluateCQ(storage_, rw, eval);
+    Result<std::vector<storage::Row>> rows = [&] {
+      if (evaluated[rw_index].has_value()) {
+        return std::move(*evaluated[rw_index]);
+      }
+      obs::Span span;
+      if (cost.tracer != nullptr) {  // guard: detail string allocates
+        span = cost.tracer->StartSpan("evaluate", answer_span.id(),
+                                      "rw" + std::to_string(rw_index));
+        eval_span_ids[rw_index] = span.id();
+      }
+      auto result = query::EvaluateCQ(storage_, rw, eval);
+      if (span.active() && result.ok()) {
+        span.AddAttr("rows", result.value().size());
+      }
+      return result;
+    }();
     if (!rows.ok()) continue;  // a rewriting over a missing table: skip
     // Peers whose data this rewriting reads (including the query peer's
     // own storage when referenced).
@@ -631,16 +712,36 @@ PdmsNetwork::AnswerWithProvenance(const ConjunctiveQuery& query,
       // Perfect network: every contact succeeds at one round trip.
       local.simulated_network_ms +=
           static_cast<double>(peers.size()) * cost.per_peer_round_trip_ms;
+      if (cost.tracer != nullptr) {  // guard: detail string allocates
+        for (const auto& peer : peers) {
+          obs::Span contact_span = cost.tracer->StartSpan(
+              "contact", eval_span_ids[rw_index], peer);
+          contact_span.AddAttr("ok", 1);
+          contact_span.AddAttr("simulated_ms", cost.per_peer_round_trip_ms);
+        }
+      }
     } else {
       // Contact peers in sorted order (std::set iteration) so the RNG
       // draw sequence — and thus the whole run — is deterministic.
       bool unreachable = false;
       for (const auto& peer : peers) {
-        Status contact =
-            ContactPeerWithRetry(cost.faults, peer, cost, &local);
+        obs::Span contact_span =
+            obs::StartSpan(cost.tracer, "contact", eval_span_ids[rw_index]);
+        if (contact_span.active()) contact_span.SetDetail(peer);
+        Status contact = ContactPeerWithRetry(cost.faults, peer, cost, &local,
+                                              cost.tracer, contact_span.id());
+        if (contact_span.active()) {
+          contact_span.AddAttr("ok", contact.ok() ? 1 : 0);
+        }
         if (contact.ok()) continue;
         local.completeness.unreachable_peers.insert(peer);
         if (cost.failure_policy == FailurePolicy::kFailFast) {
+          if (record_metrics) {
+            static obs::Counter* answers_failed =
+                obs::MetricsRegistry::Default().GetCounter(
+                    "pdms.answers_failed");
+            answers_failed->Increment();
+          }
           if (stats != nullptr) *stats = local;
           return contact;
         }
@@ -672,6 +773,37 @@ PdmsNetwork::AnswerWithProvenance(const ConjunctiveQuery& query,
     }
   }
   local.peers_contacted = all_peers.size();
+  if (answer_span.active()) {
+    answer_span.AddAttr("rows", out.size());
+    answer_span.AddAttr("rewritings_evaluated", local.rewritings_evaluated);
+  }
+  if (record_metrics) {
+    obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+    static obs::Counter* answers = metrics.GetCounter("pdms.answers");
+    static obs::Counter* rewritings_evaluated =
+        metrics.GetCounter("pdms.rewritings_evaluated");
+    static obs::Counter* rewritings_skipped =
+        metrics.GetCounter("pdms.rewritings_skipped");
+    static obs::Counter* rows_shipped = metrics.GetCounter("pdms.rows_shipped");
+    static obs::Counter* peers_contacted =
+        metrics.GetCounter("pdms.peers_contacted");
+    static obs::Counter* contacts_failed =
+        metrics.GetCounter("pdms.contacts_failed");
+    static obs::Counter* retries = metrics.GetCounter("pdms.retries");
+    static obs::Histogram* latency =
+        metrics.GetHistogram("pdms.answer_latency_us");
+    answers->Increment();
+    rewritings_evaluated->Increment(local.rewritings_evaluated);
+    rewritings_skipped->Increment(local.completeness.rewritings_skipped);
+    rows_shipped->Increment(local.rows_shipped);
+    peers_contacted->Increment(local.peers_contacted);
+    contacts_failed->Increment(local.completeness.contacts_failed);
+    retries->Increment(local.completeness.retries_attempted);
+    latency->Record(
+        std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+            std::chrono::steady_clock::now() - start_time)
+            .count());
+  }
   if (stats != nullptr) *stats = local;
   return out;
 }
@@ -687,6 +819,15 @@ std::vector<Result<std::vector<storage::Row>>> PdmsNetwork::AnswerBatch(
   }
   if (stats != nullptr) stats->assign(queries.size(), ExecutionStats{});
 
+  obs::Span batch_span =
+      obs::StartSpan(cost.tracer, "batch", cost.parent_span);
+  batch_span.AddAttr("queries", queries.size());
+  if (metrics_enabled()) {
+    static obs::Counter* batches =
+        obs::MetricsRegistry::Default().GetCounter("pdms.batches");
+    batches->Increment();
+  }
+
   ThreadPool* pool = cost.eval.pool;
   if (pool != nullptr && cost.faults == nullptr && queries.size() > 1) {
     // Fan the stream out across workers. Each query evaluates with its
@@ -696,6 +837,7 @@ std::vector<Result<std::vector<storage::Row>>> PdmsNetwork::AnswerBatch(
     // plan cache and table-index locks, which are already thread-safe.
     NetworkCostModel per_query = cost;
     per_query.eval.pool = nullptr;
+    per_query.parent_span = batch_span.id();
     std::vector<std::future<void>> futures;
     futures.reserve(queries.size());
     for (size_t i = 0; i < queries.size(); ++i) {
@@ -712,9 +854,11 @@ std::vector<Result<std::vector<storage::Row>>> PdmsNetwork::AnswerBatch(
   // seeded RNG draws must happen in input order for determinism), and
   // the trivial fallback otherwise. Per-query inner parallelism via
   // cost.eval.pool still applies.
+  NetworkCostModel per_query = cost;
+  per_query.parent_span = batch_span.id();
   for (size_t i = 0; i < queries.size(); ++i) {
     out[i] = Answer(queries[i], options,
-                    stats != nullptr ? &(*stats)[i] : nullptr, cost);
+                    stats != nullptr ? &(*stats)[i] : nullptr, per_query);
   }
   return out;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/obs/trace.h"
 #include "src/piazza/fault.h"
 #include "src/piazza/peer.h"
 #include "src/piazza/plan_cache.h"
@@ -63,9 +64,27 @@ struct NetworkCostModel {
   /// kFailFast with a pool, rewritings past the failing one may have
   /// been evaluated speculatively — wasted work, never wrong answers.
   query::EvalOptions eval;
+
+  // ---- Observability (ISSUE 4) ----
+
+  /// When set, every Answer*/AnswerBatch call builds a span tree under
+  /// this tracer: `answer` → `reformulate` (→ `plan_cache`) +
+  /// per-rewriting `evaluate` → per-peer `contact` (→ `retry`).
+  /// Non-owning; nullptr (the default) costs one branch per site.
+  /// Answers never depend on the tracer.
+  obs::Tracer* tracer = nullptr;
+  /// Span id the per-query `answer` span attaches under (0 = top
+  /// level); AnswerBatch parents its queries' spans to its own `batch`
+  /// span through this.
+  uint64_t parent_span = 0;
 };
 
-/// Instrumentation from answering a query end to end.
+/// Instrumentation from answering a query end to end — the per-call
+/// thin view (ISSUE 4): the same events also stream into the
+/// process-wide obs::MetricsRegistry as `pdms.*` counters/histograms
+/// (gated by PdmsNetwork::set_metrics_enabled, the `metrics on|off`
+/// config directive), so deployments read one registry while callers
+/// keep this exact per-answer accounting.
 struct ExecutionStats {
   ReformulationStats reformulation;
   size_t rewritings_evaluated = 0;
@@ -191,6 +210,21 @@ class PdmsNetwork {
     return generation_.load(std::memory_order_relaxed);
   }
 
+  // ---- Observability (ISSUE 4) ----------------------------------------
+
+  /// Gates this network's reporting into the process-wide
+  /// obs::MetricsRegistry (`pdms.*`, `reformulate.*`, and the plan
+  /// cache's `plan_cache.*`). On by default; the `metrics off` config
+  /// directive disables it for deployments that want zero registry
+  /// traffic. Tracing (NetworkCostModel::tracer) is independent.
+  void set_metrics_enabled(bool enabled) {
+    metrics_enabled_.store(enabled, std::memory_order_relaxed);
+    plan_cache_->SetMetricsEnabled(enabled);
+  }
+  bool metrics_enabled() const {
+    return metrics_enabled_.load(std::memory_order_relaxed);
+  }
+
   const storage::Catalog& storage() const { return storage_; }
   storage::Catalog* mutable_storage() { return &storage_; }
 
@@ -254,10 +288,13 @@ class PdmsNetwork {
 
   /// Reformulate through the plan cache. The returned plan is shared
   /// with the cache (never mutated); `stats` reports the computing
-  /// run's counters plus the hit/miss flag.
+  /// run's counters plus the hit/miss flag. When `tracer` is set, a
+  /// `reformulate` span (with a `plan_cache` child when the cache is
+  /// consulted) opens under `parent_span`.
   Result<std::shared_ptr<const CachedPlan>> ReformulateCached(
       const query::ConjunctiveQuery& query,
-      const ReformulationOptions& options, ReformulationStats* stats) const;
+      const ReformulationOptions& options, ReformulationStats* stats,
+      obs::Tracer* tracer = nullptr, uint64_t parent_span = 0) const;
 
   struct XmlEdge {
     std::string source_peer;
@@ -279,6 +316,8 @@ class PdmsNetwork {
   std::map<std::string, bool> productive_;
   /// Plan-cache invalidation generation (see plan_generation()).
   std::atomic<uint64_t> generation_{0};
+  /// Registry-reporting gate (see set_metrics_enabled()).
+  std::atomic<bool> metrics_enabled_{true};
   /// The reformulation plan cache. `mutable` because Answer/Reformulate
   /// are logically const reads of the network; unique_ptr so
   /// SetPlanCacheCapacity can rebuild the shard array.

@@ -7,6 +7,11 @@
 namespace revere::piazza {
 
 PlanCache::PlanCache(size_t capacity, size_t shards) : capacity_(capacity) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+  registry_hits_ = metrics.GetCounter("plan_cache.hits");
+  registry_misses_ = metrics.GetCounter("plan_cache.misses");
+  registry_evictions_ = metrics.GetCounter("plan_cache.evictions");
+  registry_insertions_ = metrics.GetCounter("plan_cache.insertions");
   size_t shard_count =
       capacity_ == 0 ? 1 : std::max<size_t>(1, std::min(shards, capacity_));
   per_shard_capacity_ =
@@ -22,6 +27,7 @@ std::shared_ptr<const CachedPlan> PlanCache::Lookup(uint64_t fingerprint,
                                                     uint64_t generation) {
   if (capacity_ == 0) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_enabled()) registry_misses_->Increment();
     return nullptr;
   }
   Shard& shard = ShardFor(fingerprint);
@@ -32,11 +38,13 @@ std::shared_ptr<const CachedPlan> PlanCache::Lookup(uint64_t fingerprint,
     // plan is never served. The stale entry is purged on the next
     // insert into this shard (erasing here would need the write lock).
     misses_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_enabled()) registry_misses_->Increment();
     return nullptr;
   }
   it->second->last_used.store(tick_.fetch_add(1, std::memory_order_relaxed) + 1,
                               std::memory_order_relaxed);
   hits_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_enabled()) registry_hits_->Increment();
   return it->second->plan;
 }
 
@@ -54,6 +62,7 @@ void PlanCache::Insert(uint64_t fingerprint, std::string key,
         tick_.fetch_add(1, std::memory_order_relaxed) + 1,
         std::memory_order_relaxed);
     insertions_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_enabled()) registry_insertions_->Increment();
     return;
   }
   if (shard.entries.size() >= per_shard_capacity_) {
@@ -64,6 +73,7 @@ void PlanCache::Insert(uint64_t fingerprint, std::string key,
       if (e->second->generation != generation) {
         e = shard.entries.erase(e);
         evictions_.fetch_add(1, std::memory_order_relaxed);
+        if (metrics_enabled()) registry_evictions_->Increment();
       } else {
         ++e;
       }
@@ -78,6 +88,7 @@ void PlanCache::Insert(uint64_t fingerprint, std::string key,
       }
       shard.entries.erase(victim);
       evictions_.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_enabled()) registry_evictions_->Increment();
     }
   }
   auto entry = std::make_unique<Entry>();
@@ -87,6 +98,7 @@ void PlanCache::Insert(uint64_t fingerprint, std::string key,
                          std::memory_order_relaxed);
   shard.entries.emplace(std::move(key), std::move(entry));
   insertions_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_enabled()) registry_insertions_->Increment();
 }
 
 void PlanCache::Clear() {

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/piazza/reformulation.h"
 #include "src/query/cq.h"
 
@@ -52,7 +53,12 @@ struct CachedPlan {
 /// semantics (tests do).
 class PlanCache {
  public:
-  /// Cumulative counters plus a point-in-time size.
+  /// Cumulative counters plus a point-in-time size — a thin per-cache
+  /// view over the same events the process-wide obs::MetricsRegistry
+  /// sees as `plan_cache.hits` / `.misses` / `.evictions` /
+  /// `.insertions` (ISSUE 4). The registry aggregates across every
+  /// PlanCache in the process; this struct stays per-instance, which is
+  /// what tests and per-network benches want.
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
@@ -91,6 +97,16 @@ class PlanCache {
 
   Stats GetStats() const;
 
+  /// Gates mirroring into the process-wide registry (the per-instance
+  /// counters behind GetStats always run). PdmsNetwork forwards its
+  /// `metrics on|off` deployment knob here.
+  void SetMetricsEnabled(bool enabled) {
+    metrics_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool metrics_enabled() const {
+    return metrics_enabled_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Entry {
     std::shared_ptr<const CachedPlan> plan;
@@ -117,6 +133,12 @@ class PlanCache {
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> insertions_{0};
+  /// Registry mirror gate + handles (resolved once at construction).
+  std::atomic<bool> metrics_enabled_{true};
+  obs::Counter* registry_hits_ = nullptr;
+  obs::Counter* registry_misses_ = nullptr;
+  obs::Counter* registry_evictions_ = nullptr;
+  obs::Counter* registry_insertions_ = nullptr;
 };
 
 }  // namespace revere::piazza

@@ -10,6 +10,8 @@
 #include <utility>
 
 #include "src/common/thread_pool.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace revere::query {
 
@@ -378,10 +380,18 @@ Status EvaluateInto(const storage::Catalog& catalog,
 Result<std::vector<Row>> EvaluateCQ(const storage::Catalog& catalog,
                                     const ConjunctiveQuery& query,
                                     const EvalOptions& options) {
+  // Process-wide instrumentation (ISSUE 4): resolved once, then two
+  // relaxed atomic adds per call — compiled in, never gated.
+  static obs::Counter* queries =
+      obs::MetricsRegistry::Default().GetCounter("eval.queries");
+  static obs::Counter* rows_out =
+      obs::MetricsRegistry::Default().GetCounter("eval.rows");
   std::vector<Row> out;
   std::unordered_set<Row, storage::RowHash> seen;
   REVERE_RETURN_IF_ERROR(
       EvaluateInto(catalog, query, options, &seen, &out));
+  queries->Increment();
+  rows_out->Increment(out.size());
   return out;
 }
 
@@ -407,13 +417,23 @@ Result<std::vector<Row>> EvaluateUnion(
     // serial path for any worker count.
     EvalOptions member_options = options;
     member_options.pool = nullptr;
+    member_options.tracer = nullptr;  // spans open here, not per inner call
     std::vector<std::optional<Result<std::vector<Row>>>> results(
         members.size());
     std::vector<std::future<void>> futures;
     futures.reserve(members.size());
     for (size_t i = 0; i < members.size(); ++i) {
       futures.push_back(options.pool->Submit([&, i] {
+        obs::Span span;
+        if (options.tracer != nullptr) {  // skip detail alloc when off
+          span = options.tracer->StartSpan("evaluate", options.parent_span,
+                                           "member" + std::to_string(i));
+        }
         results[i].emplace(EvaluateCQ(catalog, *members[i], member_options));
+        if (results[i]->ok()) {
+          span.AddAttr("rows",
+                       static_cast<double>(results[i]->value().size()));
+        }
       }));
     }
     for (auto& f : futures) f.wait();
@@ -428,9 +448,16 @@ Result<std::vector<Row>> EvaluateUnion(
     return out;
   }
 
-  for (const ConjunctiveQuery* q : members) {
+  for (size_t i = 0; i < members.size(); ++i) {
+    obs::Span span;
+    if (options.tracer != nullptr) {  // skip detail alloc when off
+      span = options.tracer->StartSpan("evaluate", options.parent_span,
+                                       "member" + std::to_string(i));
+    }
+    size_t before = out.size();
     REVERE_RETURN_IF_ERROR(
-        EvaluateInto(catalog, *q, options, &seen, &out));
+        EvaluateInto(catalog, *members[i], options, &seen, &out));
+    span.AddAttr("rows", static_cast<double>(out.size() - before));
   }
   return out;
 }

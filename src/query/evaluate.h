@@ -2,6 +2,7 @@
 #define REVERE_QUERY_EVALUATE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "src/common/status.h"
@@ -11,6 +12,10 @@
 namespace revere {
 class ThreadPool;
 }  // namespace revere
+
+namespace revere::obs {
+class Tracer;
+}  // namespace revere::obs
 
 namespace revere::query {
 
@@ -38,6 +43,17 @@ struct EvalOptions {
   /// set, so output is byte-identical for any worker count (and to the
   /// serial path). EvaluateCQ itself never uses the pool.
   ThreadPool* pool = nullptr;
+
+  // ---- Observability (ISSUE 4) ----
+
+  /// When set, EvaluateUnion opens one `evaluate` span per distinct
+  /// member under `parent_span`. PdmsNetwork::Answer* instead opens its
+  /// per-rewriting spans itself (it owns the rewriting indices and the
+  /// contact span parenting) and leaves this null on the inner calls.
+  /// Evaluation results never depend on these fields.
+  obs::Tracer* tracer = nullptr;
+  /// Span id the evaluate spans attach under (0 = top level).
+  uint64_t parent_span = 0;
 };
 
 /// Evaluates a conjunctive query against stored relations. Each body

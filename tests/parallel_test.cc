@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -61,6 +62,23 @@ TEST(ThreadPoolTest, ZeroWorkersClampsToOne) {
   auto f = pool.Submit([] {});
   f.get();
   EXPECT_EQ(pool.tasks_completed(), 1u);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskNeverKillsAWorker) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  auto thrower = pool.Submit([] { throw std::runtime_error("task failed"); });
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.Submit([&ran] { ran += 1; }));
+  }
+  // The exception surfaces only through the future; the worker survives
+  // and the pool keeps draining every task queued behind the throw.
+  EXPECT_THROW(thrower.get(), std::runtime_error);
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ran.load(), 50);
+  // The throwing task still counts as completed (it was executed).
+  EXPECT_EQ(pool.tasks_completed(), 51u);
 }
 
 TEST(ThreadPoolTest, DestructorDrainsQueue) {
