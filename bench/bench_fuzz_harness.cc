@@ -1,0 +1,80 @@
+// Fuzz-harness throughput (ISSUE 5): cases generated, built, and fully
+// oracle-checked per second. These numbers size the CI time box — a
+// 30-second bounded pass at N cases/sec covers 30*N seeds — and catch
+// regressions that would quietly shrink fuzz coverage (CheckCase runs
+// ~a dozen networks per case, so engine slowdowns show up here first).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+
+#include "src/fuzz/fuzzer.h"
+
+namespace {
+
+using revere::fuzz::CaseReport;
+using revere::fuzz::CheckCase;
+using revere::fuzz::FuzzCase;
+using revere::fuzz::FuzzRunOptions;
+using revere::fuzz::FuzzRunReport;
+using revere::fuzz::GenerateCase;
+using revere::fuzz::ParseCase;
+using revere::fuzz::RunFuzz;
+using revere::fuzz::SerializeCase;
+
+void BM_GenerateCase(benchmark::State& state) {
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    FuzzCase c = GenerateCase(seed++);
+    benchmark::DoNotOptimize(c.tables.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GenerateCase);
+
+void BM_SerializeParseRoundTrip(benchmark::State& state) {
+  FuzzCase c = GenerateCase(42);
+  for (auto _ : state) {
+    auto parsed = ParseCase(SerializeCase(c));
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SerializeParseRoundTrip);
+
+// The end-to-end unit CI pays per seed: generate + ~a dozen engine
+// configurations + every oracle comparison.
+void BM_CheckCase(benchmark::State& state) {
+  uint64_t seed = 1;
+  size_t checks = 0;
+  for (auto _ : state) {
+    FuzzCase c = GenerateCase(seed++);
+    CaseReport report = CheckCase(c);
+    checks += report.oracle_checks;
+    if (!report.ok()) state.SkipWithError("oracle mismatch during bench");
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["oracle_checks_per_case"] =
+      state.iterations() > 0
+          ? static_cast<double>(checks) / state.iterations()
+          : 0.0;
+}
+BENCHMARK(BM_CheckCase);
+
+void BM_FuzzCampaign(benchmark::State& state) {
+  bool smoke = std::getenv("REVERE_BENCH_SMOKE") != nullptr;
+  FuzzRunOptions options;
+  options.cases = smoke ? 3 : static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    options.seed++;
+    FuzzRunReport report = RunFuzz(options);
+    if (report.mismatches != 0) {
+      state.SkipWithError("oracle mismatch during bench");
+    }
+    benchmark::DoNotOptimize(report.oracle_checks);
+  }
+  state.SetItemsProcessed(state.iterations() * options.cases);
+}
+BENCHMARK(BM_FuzzCampaign)->Arg(10)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -14,6 +14,8 @@ using piazza::PeerMapping;
 using piazza::QualifiedName;
 using query::ConjunctiveQuery;
 
+}  // namespace
+
 const std::vector<const char*>& RelationNamePool() {
   static const std::vector<const char*>* kNames =
       new std::vector<const char*>{"course",  "subject", "class",
@@ -62,8 +64,6 @@ std::vector<std::pair<size_t, size_t>> TopologyEdges(
   }
   return edges;
 }
-
-}  // namespace
 
 Result<PdmsGenReport> BuildUniversityPdms(piazza::PdmsNetwork* net,
                                           const PdmsGenOptions& options) {

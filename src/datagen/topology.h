@@ -2,8 +2,10 @@
 #define REVERE_DATAGEN_TOPOLOGY_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/piazza/pdms.h"
 
@@ -29,6 +31,18 @@ struct PdmsGenOptions {
   /// where every university both shares and consumes courses.
   bool bidirectional = true;
 };
+
+/// The per-peer course-relation vocabulary pool ("course", "subject",
+/// "corso", …) BuildUniversityPdms cycles through — exported so other
+/// generators (the differential fuzzer) share the same vocabulary.
+const std::vector<const char*>& RelationNamePool();
+
+/// The undirected edge list of `options.topology` over `n` peers
+/// (kRandom draws its spanning tree and extra edges from `rng`; the
+/// other shapes ignore it). Exported so the fuzzer builds networks with
+/// the same shapes the benchmarks sweep.
+std::vector<std::pair<size_t, size_t>> TopologyEdges(
+    const PdmsGenOptions& options, size_t n, Rng* rng);
 
 /// Metadata about a generated network.
 struct PdmsGenReport {

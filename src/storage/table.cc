@@ -5,14 +5,22 @@
 
 namespace revere::storage {
 
-Table::Table(Table&& other) noexcept
-    : schema_(std::move(other.schema_)),
-      rows_(std::move(other.rows_)),
-      indexes_(std::move(other.indexes_)),
-      index_dirty_(other.index_dirty_) {}
+Table::Table(Table&& other) noexcept {
+  // The source's index cache may be mid-build on another thread
+  // (EnsureIndex is const and runs from concurrent readers), so its
+  // mutable state must be read under its lock even during a move.
+  std::unique_lock other_lock(other.index_mu_);
+  schema_ = std::move(other.schema_);
+  rows_ = std::move(other.rows_);
+  indexes_ = std::move(other.indexes_);
+  index_dirty_ = other.index_dirty_;
+}
 
 Table& Table::operator=(Table&& other) noexcept {
   if (this != &other) {
+    // Lock both objects' index caches; scoped_lock orders acquisition
+    // to avoid deadlock when two threads cross-assign.
+    std::scoped_lock locks(index_mu_, other.index_mu_);
     schema_ = std::move(other.schema_);
     rows_ = std::move(other.rows_);
     indexes_ = std::move(other.indexes_);
@@ -23,16 +31,20 @@ Table& Table::operator=(Table&& other) noexcept {
 
 Status Table::Insert(Row row) {
   REVERE_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  std::unique_lock lock(index_mu_);
+  // Append first, then publish index entries, all inside one critical
+  // section: a concurrent LookupIndices can never observe an index
+  // entry whose row is not yet in rows_ (the pre-fix ordering published
+  // rows_.size() before the push_back, handing readers a dangling row
+  // index).
   size_t idx = rows_.size();
-  {
-    std::unique_lock lock(index_mu_);
-    if (!index_dirty_) {
-      for (auto& [col, index] : indexes_) {
-        index[row[col]].push_back(idx);
-      }
+  rows_.push_back(std::move(row));
+  if (!index_dirty_) {
+    const Row& stored = rows_.back();
+    for (auto& [col, index] : indexes_) {
+      index[stored[col]].push_back(idx);
     }
   }
-  rows_.push_back(std::move(row));
   return Status::Ok();
 }
 
@@ -44,35 +56,38 @@ Status Table::InsertAll(const std::vector<Row>& rows) {
 }
 
 Status Table::Delete(const Row& row) {
+  std::unique_lock lock(index_mu_);
   auto it = std::find(rows_.begin(), rows_.end(), row);
   if (it == rows_.end()) {
     return Status::NotFound("row not present in " + schema_.name());
   }
   rows_.erase(it);
-  std::unique_lock lock(index_mu_);
   index_dirty_ = true;
   return Status::Ok();
 }
 
 size_t Table::DeleteWhere(size_t column, const Value& key) {
   if (column >= schema_.arity()) return 0;
+  std::unique_lock lock(index_mu_);
   size_t before = rows_.size();
   rows_.erase(std::remove_if(rows_.begin(), rows_.end(),
                              [&](const Row& r) { return r[column] == key; }),
               rows_.end());
   size_t removed = before - rows_.size();
-  if (removed > 0) {
-    std::unique_lock lock(index_mu_);
-    index_dirty_ = true;
-  }
+  if (removed > 0) index_dirty_ = true;
   return removed;
 }
 
 void Table::Clear() {
-  rows_.clear();
   std::unique_lock lock(index_mu_);
+  rows_.clear();
   for (auto& [col, index] : indexes_) index.clear();
   index_dirty_ = false;
+}
+
+size_t Table::size() const {
+  std::shared_lock lock(index_mu_);
+  return rows_.size();
 }
 
 void Table::BuildIndexLocked(size_t column) const {
@@ -134,35 +149,64 @@ std::vector<size_t> Table::LookupIndices(size_t column,
                                          const Value& key) const {
   std::vector<size_t> out;
   if (column >= schema_.arity()) return out;
-  bool indexed = false;
   {
     std::shared_lock lock(index_mu_);
     auto idx_it = indexes_.find(column);
-    indexed = idx_it != indexes_.end();
-    if (indexed && !index_dirty_) {
+    if (idx_it == indexes_.end()) {
+      // Unindexed column: scan, still under the shared lock so a
+      // concurrent Insert cannot reallocate rows_ mid-iteration.
+      for (size_t i = 0; i < rows_.size(); ++i) {
+        if (rows_[i][column] == key) out.push_back(i);
+      }
+      return out;
+    }
+    if (!index_dirty_) {
       auto hit = idx_it->second.find(key);
       if (hit != idx_it->second.end()) return hit->second;
       return out;
     }
   }
-  if (indexed) {
-    // Indexed but dirty: rebuild under the exclusive lock, then probe.
-    std::unique_lock lock(index_mu_);
-    ReindexIfDirtyLocked();
-    auto idx_it = indexes_.find(column);
-    auto hit = idx_it->second.find(key);
-    if (hit != idx_it->second.end()) return hit->second;
-    return out;
-  }
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    if (rows_[i][column] == key) out.push_back(i);
-  }
+  // Indexed but dirty: rebuild under the exclusive lock, then probe.
+  std::unique_lock lock(index_mu_);
+  ReindexIfDirtyLocked();
+  auto idx_it = indexes_.find(column);
+  if (idx_it == indexes_.end()) return out;  // defensive; never erased
+  auto hit = idx_it->second.find(key);
+  if (hit != idx_it->second.end()) return hit->second;
   return out;
 }
 
 std::vector<Row> Table::Lookup(size_t column, const Value& key) const {
   std::vector<Row> out;
-  for (size_t i : LookupIndices(column, key)) out.push_back(rows_[i]);
+  if (column >= schema_.arity()) return out;
+  // Row copies must happen under the same lock hold as the probe: a row
+  // index is only meaningful while no writer can reorder/erase rows_.
+  auto emit = [&](const std::vector<size_t>& hits) {
+    out.reserve(hits.size());
+    for (size_t i : hits) out.push_back(rows_[i]);
+  };
+  {
+    std::shared_lock lock(index_mu_);
+    auto idx_it = indexes_.find(column);
+    if (idx_it == indexes_.end()) {
+      for (const Row& row : rows_) {
+        if (row[column] == key) out.push_back(row);
+      }
+      return out;
+    }
+    if (!index_dirty_) {
+      auto hit = idx_it->second.find(key);
+      if (hit != idx_it->second.end()) emit(hit->second);
+      return out;
+    }
+  }
+  std::unique_lock lock(index_mu_);
+  ReindexIfDirtyLocked();
+  auto idx_it = indexes_.find(column);
+  if (idx_it != indexes_.end()) {
+    auto hit = idx_it->second.find(key);
+    if (hit != idx_it->second.end()) emit(hit->second);
+  }
   return out;
 }
 

@@ -16,25 +16,35 @@ namespace revere::storage {
 /// hash indexes. Bag semantics (duplicates allowed) — REVERE's MANGROVE
 /// layer deliberately defers uniqueness constraints to applications.
 ///
-/// Concurrency contract: any number of threads may *read* concurrently
-/// (Lookup/LookupIndices/HasIndex/rows), including EnsureIndex — the
-/// index cache is guarded by an internal shared_mutex so the parallel
-/// query evaluator can build indexes on demand from const tables. Row
-/// mutation (Insert/Delete/Clear) is NOT safe against concurrent
-/// readers; writers must be externally synchronized with readers, the
-/// usual single-writer discipline.
+/// Concurrency contract: every member function is internally
+/// synchronized against every other — rows_ and the index cache are
+/// guarded by one shared_mutex, readers (Lookup/LookupIndices/size/
+/// HasIndex/EnsureIndex) take shared locks and mutators (Insert/
+/// Delete*/Clear/CreateIndex) exclusive ones — so concurrent
+/// Insert+LookupIndices is safe and the parallel query evaluator can
+/// build indexes on demand from const tables. The two exceptions,
+/// which require quiescence (no concurrent writers):
+///   - rows(): hands out an unguarded reference into row storage (the
+///     evaluator's scan path relies on this being zero-cost); callers
+///     must not mutate the table while holding it.
+///   - the move operations: the *source's* lock is taken (its index
+///     cache may be mid-build on another thread), but moving a table
+///     someone else is concurrently writing is undefined, as for every
+///     standard container.
 class Table {
  public:
   explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
 
   /// Movable (the index lock itself is per-object state, not moved).
-  /// Moving concurrently with any other access is undefined, as for
-  /// every standard container.
+  /// The source's lock is held while its state is moved out; see the
+  /// class contract for what moving may run concurrently with.
   Table(Table&& other) noexcept;
   Table& operator=(Table&& other) noexcept;
 
   const TableSchema& schema() const { return schema_; }
-  size_t size() const { return rows_.size(); }
+  size_t size() const;
+  /// Direct row access for scan loops. NOT internally synchronized —
+  /// see the class concurrency contract.
   const std::vector<Row>& rows() const { return rows_; }
 
   /// Appends `row` after schema validation.
@@ -77,8 +87,10 @@ class Table {
 
   TableSchema schema_;
   std::vector<Row> rows_;
-  /// Guards indexes_ and index_dirty_. Readers (probes) take shared
-  /// locks; index builds and reindexing take exclusive locks.
+  /// Guards rows_, indexes_, and index_dirty_ for every member
+  /// function (rows() excepted — see the class contract). Readers
+  /// (probes, scans) take shared locks; row mutation, index builds,
+  /// and reindexing take exclusive locks.
   mutable std::shared_mutex index_mu_;
   // column -> (value -> row indices). Rebuilt lazily after deletions.
   mutable std::unordered_map<size_t,

@@ -1,0 +1,186 @@
+// Tests for ISSUE 5: the differential fuzz harness itself — generator
+// determinism, the seed-file round trip, the shrinker, digest-stable
+// replay — plus a bounded live fuzz pass asserting every oracle holds.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/fuzzer.h"
+#include "src/piazza/pdms.h"
+#include "src/query/cq.h"
+
+namespace revere::fuzz {
+namespace {
+
+TEST(FuzzGenTest, DeterministicAcrossCalls) {
+  for (uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+    FuzzCase a = GenerateCase(seed);
+    FuzzCase b = GenerateCase(seed);
+    EXPECT_EQ(SerializeCase(a), SerializeCase(b)) << "seed " << seed;
+  }
+}
+
+TEST(FuzzGenTest, DifferentSeedsDiffer) {
+  EXPECT_NE(SerializeCase(GenerateCase(1)), SerializeCase(GenerateCase(2)));
+}
+
+TEST(FuzzGenTest, CasesAreWellFormed) {
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    FuzzCase c = GenerateCase(seed);
+    EXPECT_GE(c.tables.size(), 2u);
+    EXPECT_GE(c.queries.size(), 1u);
+    EXPECT_GE(c.workers, 2u);
+    for (const auto& q : c.queries) EXPECT_TRUE(q.IsSafe()) << q.ToString();
+    for (const auto& m : c.mappings) {
+      EXPECT_TRUE(m.glav.Validate().ok()) << m.glav.ToString();
+    }
+    piazza::PdmsNetwork net;
+    EXPECT_TRUE(BuildNetwork(c, &net).ok()) << "seed " << seed;
+  }
+}
+
+TEST(FuzzSerializeTest, RoundTripsEveryField) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    FuzzCase c = GenerateCase(seed);
+    std::string text = SerializeCase(c);
+    Result<FuzzCase> parsed = ParseCase(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << text;
+    EXPECT_EQ(SerializeCase(parsed.value()), text) << "seed " << seed;
+  }
+}
+
+TEST(FuzzSerializeTest, EscapesQuotesAndBackslashes) {
+  FuzzCase c = GenerateCase(1);
+  ASSERT_FALSE(c.tables.empty());
+  storage::Row tricky;
+  for (size_t i = 0; i < c.tables[0].arity; ++i) {
+    tricky.push_back(storage::Value(std::string("a\"b\\c") +
+                                    std::to_string(i)));
+  }
+  c.tables[0].rows.push_back(tricky);
+  Result<FuzzCase> parsed = ParseCase(SerializeCase(c));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().tables[0].rows.back(), tricky);
+}
+
+TEST(FuzzSerializeTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseCase("not a fuzz case").ok());
+  EXPECT_FALSE(ParseCase("revere-fuzz-case v1\nbogus line\nend\n").ok());
+  EXPECT_FALSE(
+      ParseCase("revere-fuzz-case v1\nrow 0 \"orphan\"\nend\n").ok());
+}
+
+TEST(FuzzSerializeTest, SaveLoadFile) {
+  FuzzCase c = GenerateCase(7);
+  std::string path =
+      (std::filesystem::temp_directory_path() / "revere_fuzz_case.txt")
+          .string();
+  ASSERT_TRUE(SaveCase(c, path).ok());
+  Result<FuzzCase> loaded = LoadCase(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(SerializeCase(loaded.value()), SerializeCase(c));
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadCase(path).ok());
+}
+
+TEST(FuzzReplayTest, DigestIsBitIdenticalAcrossRunsAndRoundTrips) {
+  for (uint64_t seed : {3ull, 11ull}) {
+    FuzzCase c = GenerateCase(seed);
+    CaseReport first = CheckCase(c);
+    CaseReport again = CheckCase(c);
+    EXPECT_EQ(first.answer_digest, again.answer_digest);
+    Result<FuzzCase> reparsed = ParseCase(SerializeCase(c));
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_EQ(CheckCase(reparsed.value()).answer_digest, first.answer_digest);
+  }
+}
+
+TEST(FuzzShrinkTest, ShrinksToMinimalFailingCore) {
+  FuzzCase c = GenerateCase(5);
+  // Synthetic failure: "still fails while any fault remains". The
+  // shrinker must strip everything else down to its floors and keep
+  // exactly one fault.
+  if (c.faults.empty()) {
+    FuzzFault f;
+    f.peer = c.tables[0].peer;
+    f.fault.mode = piazza::FaultMode::kDown;
+    c.faults.push_back(f);
+  }
+  size_t probes = 0;
+  FuzzCase shrunk = ShrinkCase(c, [&probes](const FuzzCase& s) {
+    ++probes;
+    return !s.faults.empty();
+  });
+  EXPECT_EQ(shrunk.faults.size(), 1u);
+  EXPECT_EQ(shrunk.queries.size(), 1u);  // floor: one query survives
+  EXPECT_EQ(shrunk.mappings.size(), 0u);
+  for (const auto& t : shrunk.tables) EXPECT_TRUE(t.rows.empty());
+  for (const auto& q : shrunk.queries) EXPECT_EQ(q.body().size(), 1u);
+  EXPECT_GT(probes, 0u);
+}
+
+TEST(FuzzShrinkTest, RespectsProbeBudget) {
+  FuzzCase c = GenerateCase(6);
+  size_t probes = 0;
+  ShrinkCase(
+      c,
+      [&probes](const FuzzCase&) {
+        ++probes;
+        return true;
+      },
+      /*max_probes=*/10);
+  EXPECT_LE(probes, 10u);
+}
+
+TEST(FuzzOracleTest, SingleCaseAllOraclesHold) {
+  FuzzCase c = GenerateCase(9);
+  CaseReport r = CheckCase(c);
+  EXPECT_TRUE(r.ok()) << (r.failures.empty()
+                              ? std::string()
+                              : r.failures[0].oracle + ": " +
+                                    r.failures[0].detail);
+}
+
+TEST(FuzzRunTest, BoundedPassIsClean) {
+  FuzzRunOptions options;
+  options.seed = 20260807;
+  options.cases = 40;
+  FuzzRunReport report = RunFuzz(options);
+  EXPECT_EQ(report.cases_run, 40u);
+  EXPECT_EQ(report.mismatches, 0u)
+      << (report.first_failure_details.empty()
+              ? std::string()
+              : report.first_failure_details[0].oracle + ": " +
+                    report.first_failure_details[0].detail);
+  EXPECT_GT(report.oracle_checks, 1000u);
+  EXPECT_FALSE(report.time_boxed);
+}
+
+TEST(FuzzRunTest, TimeBoxStops) {
+  FuzzRunOptions options;
+  options.seed = 2;
+  options.cases = 1000000;  // would take minutes un-boxed
+  options.max_seconds = 0.2;
+  FuzzRunReport report = RunFuzz(options);
+  EXPECT_TRUE(report.time_boxed);
+  EXPECT_LT(report.cases_run, options.cases);
+  EXPECT_EQ(report.mismatches, 0u);
+}
+
+TEST(FuzzRunTest, CampaignSeedIsDeterministic) {
+  FuzzRunOptions options;
+  options.seed = 77;
+  options.cases = 5;
+  FuzzRunReport a = RunFuzz(options);
+  FuzzRunReport b = RunFuzz(options);
+  EXPECT_EQ(a.cases_run, b.cases_run);
+  EXPECT_EQ(a.oracle_checks, b.oracle_checks);
+  EXPECT_EQ(a.mismatches, b.mismatches);
+}
+
+}  // namespace
+}  // namespace revere::fuzz

@@ -283,5 +283,120 @@ TEST(ConcurrentIndexTest, ConcurrentEvaluationsShareOnDemandIndexes) {
   EXPECT_EQ(mismatches.load(), 0);
 }
 
+// ISSUE 5 satellite: regression for the Insert publication race. The
+// pre-fix Insert published the index entry for rows_.size() *before*
+// the push_back, and LookupIndices read rows_ with no lock — a probing
+// reader could chase a row index past the end of rows_ (and the
+// push_back itself could reallocate under a concurrent scan). Under
+// TSan (-DREVERE_SANITIZE=thread) the pre-fix table reports the race
+// on this exact workload; post-fix it is silent and every invariant
+// below holds.
+TEST(ConcurrentIndexTest, InsertRacingLookupIndicesIsSafe) {
+  Table t(TableSchema::AllStrings("r", {"k", "v"}));
+  ASSERT_TRUE(t.CreateIndex(0).ok());
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 4;
+  constexpr int kRowsPerWriter = 400;
+  std::atomic<bool> done{false};
+  std::atomic<int> violations{0};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&t, &violations, w] {
+      for (int i = 0; i < kRowsPerWriter; ++i) {
+        if (!t.Insert({Value("k" + std::to_string(i % 7)),
+                       Value("w" + std::to_string(w) + "-" +
+                             std::to_string(i))})
+                 .ok()) {
+          violations += 1;
+        }
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&t, &done, &violations] {
+      uint64_t probes = 0;
+      while (!done.load(std::memory_order_acquire) || probes < 100) {
+        ++probes;
+        Value key("k" + std::to_string(probes % 7));
+        size_t snapshot = t.size();
+        // Every published index entry must point at a live row whose
+        // key column actually matches.
+        std::vector<size_t> hits = t.LookupIndices(0, key);
+        for (size_t i = 1; i < hits.size(); ++i) {
+          if (hits[i - 1] >= hits[i]) violations += 1;  // ascending
+        }
+        if (t.size() < snapshot) violations += 1;  // append-only
+        for (const Row& row : t.Lookup(0, key)) {
+          if (row[0] != key) violations += 1;
+        }
+        if (!t.EnsureIndex(1).ok()) violations += 1;
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[w].join();
+  done.store(true, std::memory_order_release);
+  for (size_t i = kWriters; i < threads.size(); ++i) threads[i].join();
+
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(t.size(), size_t{kWriters * kRowsPerWriter});
+  // Quiescent: the index agrees with a full scan for every key.
+  for (int k = 0; k < 7; ++k) {
+    Value key("k" + std::to_string(k));
+    std::vector<size_t> expected;
+    for (size_t i = 0; i < t.rows().size(); ++i) {
+      if (t.rows()[i][0] == key) expected.push_back(i);
+    }
+    EXPECT_EQ(t.LookupIndices(0, key), expected) << "key " << k;
+  }
+}
+
+// Deletions flip the dirty flag; concurrent readers then race the
+// unique-lock rebuild path. Mixed Insert/Delete/Lookup traffic must
+// stay internally consistent (TSan-checked like the test above).
+TEST(ConcurrentIndexTest, DirtyRebuildRacingReadersIsSafe) {
+  Table t(TableSchema::AllStrings("r", {"k", "v"}));
+  ASSERT_TRUE(t.CreateIndex(0).ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(t.Insert({Value("k" + std::to_string(i % 5)),
+                          Value("v" + std::to_string(i))})
+                    .ok());
+  }
+  std::atomic<int> violations{0};
+  std::vector<std::thread> threads;
+  threads.emplace_back([&t] {
+    for (int i = 0; i < 60; ++i) {
+      t.DeleteWhere(0, Value("k" + std::to_string(i % 5)));
+      for (int j = 0; j < 10; ++j) {
+        (void)t.Insert({Value("k" + std::to_string((i + j) % 5)),
+                        Value("re" + std::to_string(i * 10 + j))});
+      }
+    }
+  });
+  for (int r = 0; r < 4; ++r) {
+    threads.emplace_back([&t, &violations] {
+      for (int i = 0; i < 300; ++i) {
+        Value key("k" + std::to_string(i % 5));
+        for (const Row& row : t.Lookup(0, key)) {
+          if (row[0] != key) violations += 1;
+        }
+        (void)t.LookupIndices(0, key);
+        (void)t.size();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(violations.load(), 0);
+  // Quiescent consistency after the churn.
+  for (int k = 0; k < 5; ++k) {
+    Value key("k" + std::to_string(k));
+    size_t scanned = 0;
+    for (const Row& row : t.rows()) {
+      if (row[0] == key) ++scanned;
+    }
+    EXPECT_EQ(t.Lookup(0, key).size(), scanned) << "key " << k;
+  }
+}
+
 }  // namespace
 }  // namespace revere

@@ -222,6 +222,77 @@ TEST(TableTest, LookupIndicesAgreesWithScanRandomized) {
   }
 }
 
+// ISSUE 5 satellite: dedicated staleness coverage for the dirty-rebuild
+// path — delete, look up (forces a rebuild), reinsert, look up again —
+// through both an indexed and an unindexed column, for LookupIndices,
+// Lookup, and DeleteWhere.
+TEST(TableTest, LookupIndicesStaleAfterDeleteThenReinsert) {
+  Table t = MakeCourses();
+  ASSERT_TRUE(t.CreateIndex(2).ok());
+  EXPECT_EQ(t.LookupIndices(2, Value("CSE")).size(), 2u);
+
+  ASSERT_TRUE(
+      t.Delete({Value(1), Value("Databases"), Value("CSE"), Value(120)})
+          .ok());
+  // First post-delete probe hits the dirty path and rebuilds.
+  std::vector<size_t> cse = t.LookupIndices(2, Value("CSE"));
+  ASSERT_EQ(cse.size(), 1u);
+  EXPECT_EQ(t.rows()[cse[0]][1], Value("Compilers"));
+
+  ASSERT_TRUE(
+      t.Insert({Value(5), Value("Networks"), Value("CSE"), Value(80)}).ok());
+  // Reinsert after the rebuild must publish live index entries again.
+  cse = t.LookupIndices(2, Value("CSE"));
+  ASSERT_EQ(cse.size(), 2u);
+  EXPECT_EQ(t.rows()[cse[1]][1], Value("Networks"));
+
+  // Unindexed column: the scan path must see the same post-delete rows.
+  EXPECT_EQ(t.LookupIndices(1, Value("Databases")).size(), 0u);
+  EXPECT_EQ(t.LookupIndices(1, Value("Networks")).size(), 1u);
+}
+
+TEST(TableTest, LookupStaleAfterDeleteWhereThenReinsert) {
+  Table t = MakeCourses();
+  ASSERT_TRUE(t.CreateIndex(2).ok());
+  EXPECT_EQ(t.DeleteWhere(2, Value("HIST")), 2u);
+  EXPECT_EQ(t.Lookup(2, Value("HIST")).size(), 0u);
+  EXPECT_EQ(t.Lookup(2, Value("CSE")).size(), 2u);
+
+  ASSERT_TRUE(t.Insert({Value(6), Value("Modern History"), Value("HIST"),
+                        Value(25)})
+                  .ok());
+  std::vector<Row> hist = t.Lookup(2, Value("HIST"));
+  ASSERT_EQ(hist.size(), 1u);
+  EXPECT_EQ(hist[0][1], Value("Modern History"));
+  // Unindexed column scans agree after the same churn.
+  EXPECT_EQ(t.Lookup(1, Value("Ancient History")).size(), 0u);
+  EXPECT_EQ(t.Lookup(1, Value("Modern History")).size(), 1u);
+  EXPECT_EQ(t.size(), 3u);
+}
+
+// ISSUE 5 satellite: moving a table must carry its index cache and
+// dirty flag, and the moved-into table must keep answering correctly.
+TEST(TableTest, MoveCarriesIndexesAndDirtyState) {
+  Table t = MakeCourses();
+  ASSERT_TRUE(t.CreateIndex(2).ok());
+
+  Table moved(std::move(t));
+  EXPECT_TRUE(moved.HasIndex(2));
+  EXPECT_EQ(moved.size(), 4u);
+  EXPECT_EQ(moved.Lookup(2, Value("CSE")).size(), 2u);
+
+  // Dirty state must survive a move-assignment: delete (marks dirty),
+  // move, then probe — the rebuild happens in the destination.
+  ASSERT_TRUE(
+      moved.Delete({Value(1), Value("Databases"), Value("CSE"), Value(120)})
+          .ok());
+  Table dest(TableSchema::AllStrings("sink", {"x"}));
+  dest = std::move(moved);
+  EXPECT_TRUE(dest.HasIndex(2));
+  EXPECT_EQ(dest.Lookup(2, Value("CSE")).size(), 1u);
+  EXPECT_EQ(dest.size(), 3u);
+}
+
 TEST(CatalogTest, CreateGetDrop) {
   Catalog c;
   auto created = c.CreateTable(TableSchema::AllStrings("t1", {"a"}));
