@@ -1,0 +1,101 @@
+#ifndef REVERE_COMMON_BOUNDED_QUEUE_H_
+#define REVERE_COMMON_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace revere {
+
+/// A bounded multi-producer multi-consumer FIFO queue — the admission
+/// buffer of the serving front end (ISSUE 6).
+///
+/// Design point: producers never block. `TryPush` fails fast when the
+/// queue is at capacity, because the caller (RevereServer admission
+/// control) wants to *shed* the request with an honest kUnavailable +
+/// retry_after rather than stall a client thread — unbounded producer
+/// queueing is exactly the collapse mode this subsystem exists to
+/// prevent. Consumers may block (`Pop`) or poll (`TryPop`).
+///
+/// `Close()` ends the stream: subsequent pushes fail, blocked consumers
+/// drain the remaining items and then observe std::nullopt. Closing is
+/// idempotent and never drops queued items — whoever pushed before the
+/// close is guaranteed a consumer can still pop it, which is what lets
+/// RevereServer promise "no lost requests" on shutdown.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `capacity` is clamped to >= 1 (a zero-capacity queue could never
+  /// transfer an item).
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues `item`; false (item untouched, queue unchanged) when the
+  /// queue is full or closed.
+  bool TryPush(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Dequeues the oldest item without blocking; nullopt when empty.
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> item(std::move(items_.front()));
+    items_.pop_front();
+    return item;
+  }
+
+  /// Blocks until an item is available or the queue is closed *and*
+  /// drained; nullopt only in the latter case.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> item(std::move(items_.front()));
+    items_.pop_front();
+    return item;
+  }
+
+  /// Rejects future pushes and wakes every blocked consumer. Queued
+  /// items stay poppable until drained.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  size_t capacity() const { return capacity_; }
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace revere
+
+#endif  // REVERE_COMMON_BOUNDED_QUEUE_H_

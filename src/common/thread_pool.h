@@ -7,6 +7,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -56,6 +57,18 @@ class ThreadPool {
   /// must not block on a future of a task behind it in the queue).
   std::future<void> Submit(std::function<void()> fn);
 
+  /// Bounded-submit path (ISSUE 6): enqueues like Submit, but fails
+  /// fast (nullopt, `fn` not enqueued) when the queue already holds at
+  /// least `max_queued` not-yet-started tasks. Callers that fan out an
+  /// unbounded stream (AnswerBatch, the serving front end) use this and
+  /// run the task inline on refusal — the caller thread becomes the
+  /// backpressure, instead of the queue growing without limit.
+  std::optional<std::future<void>> TrySubmit(std::function<void()> fn,
+                                             size_t max_queued);
+
+  /// Tasks queued but not yet started (approximate under concurrency).
+  size_t queue_depth() const;
+
   /// Tasks executed so far (for tests and instrumentation).
   size_t tasks_completed() const;
 
@@ -65,6 +78,9 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
+  /// Wraps `fn` with the latency/completion instrumentation every
+  /// queued task carries (shared by Submit and TrySubmit).
+  std::packaged_task<void()> MakeTask(std::function<void()> fn);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -21,6 +21,7 @@
 #include "src/obs/trace.h"
 #include "src/piazza/peer.h"
 #include "src/query/evaluate.h"
+#include "src/serve/server.h"
 #include "src/storage/schema.h"
 
 namespace revere::fuzz {
@@ -454,6 +455,13 @@ bool StatsEqualExceptCacheFlags(const ExecutionStats& a,
                b.completeness.retries_attempted) &&
          check("backoff_ms", a.completeness.backoff_ms,
                b.completeness.backoff_ms) &&
+         check("rewritings_deadline_skipped",
+               a.completeness.rewritings_deadline_skipped,
+               b.completeness.rewritings_deadline_skipped) &&
+         check("breaker_skips", a.completeness.breaker_skips,
+               b.completeness.breaker_skips) &&
+         check("retries_denied", a.completeness.retries_denied,
+               b.completeness.retries_denied) &&
          check("unreachable_peers",
                a.completeness.unreachable_peers.size(),
                b.completeness.unreachable_peers.size()) &&
@@ -645,6 +653,68 @@ void CheckSpanTree(OracleContext* ctx, const std::vector<obs::SpanRecord>& rs,
                  std::to_string(n_queries) + ")");
 }
 
+/// RevereServer with an infinite deadline, no shedding headroom, no
+/// breakers, and an inexhaustible retry budget must be a transparent
+/// wrapper: statuses, rows, and every accounting counter byte-identical
+/// to calling Answer directly. The overload machinery may only change
+/// behavior when it is actually configured to (ISSUE 6's "no safety
+/// tax" guarantee).
+void CheckServeOracle(OracleContext* ctx, const FuzzCase& c,
+                      const EngineRun& base, const EngineRun& faulted) {
+  PdmsNetwork net;
+  if (!BuildNetwork(c, &net).ok()) return;
+
+  auto run_server = [&](bool with_faults, size_t workers,
+                        std::vector<QueryOutcome>* out) {
+    std::optional<FaultInjector> injector;
+    if (with_faults) {
+      injector.emplace(c.seed);
+      ApplyFaults(c, &*injector);
+    }
+    serve::ServeOptions opts;
+    opts.workers = workers;
+    opts.queue_capacity = std::max<size_t>(4, c.queries.size());
+    opts.default_deadline_ms = 0.0;     // no deadline
+    opts.use_breakers = false;
+    opts.retry_budget_capacity = 1e18;  // never depletes
+    opts.metrics = false;
+    opts.reform = c.reform;
+    opts.reform.use_plan_cache = false;
+    opts.cost.faults = injector ? &*injector : nullptr;
+    opts.cost.failure_policy = c.policy;
+    opts.cost.retry = c.retry;
+    opts.cost.eval.on_demand_index_min_rows = 0;  // match the index_cfg runs
+    serve::RevereServer server(&net, opts);
+    for (const ConjunctiveQuery& q : c.queries) {
+      serve::ServeRequest req;
+      req.query = q;
+      // Sequential SubmitAndWait: with faults, the injector's RNG draw
+      // order must match the per-query Answer sequence exactly.
+      serve::ServeResult r = server.SubmitAndWait(std::move(req));
+      QueryOutcome o;
+      o.status = r.status;
+      o.rows = std::move(r.rows);
+      o.stats = std::move(r.stats);
+      out->push_back(std::move(o));
+    }
+    serve::ServerStats ss = server.Snapshot();
+    ctx->Check(
+        ss.submitted == c.queries.size() && ss.admitted == ss.submitted,
+        "serve_vs_answer",
+        "server shed despite infinite deadline and sequential submission");
+  };
+
+  std::vector<QueryOutcome> served_faulted;
+  run_server(/*with_faults=*/true, /*workers=*/1, &served_faulted);
+  CompareRuns(ctx, "serve_vs_answer", faulted.outcomes, served_faulted,
+              /*compare_stats=*/true, /*compare_cache_flags=*/true);
+
+  std::vector<QueryOutcome> served;
+  run_server(/*with_faults=*/false, std::max<size_t>(2, c.workers), &served);
+  CompareRuns(ctx, "serve_vs_answer", base.outcomes, served,
+              /*compare_stats=*/true, /*compare_cache_flags=*/true);
+}
+
 uint64_t DigestRun(const EngineRun& run) {
   uint64_t h = Fnv1a64("fuzz-digest-v1");
   for (const QueryOutcome& o : run.outcomes) {
@@ -766,6 +836,10 @@ CaseReport CheckCase(const FuzzCase& c) {
   CompareRuns(&ctx, "trace", batch_faulted.outcomes, traced.outcomes,
               /*compare_stats=*/true, /*compare_cache_flags=*/false);
   CheckSpanTree(&ctx, tracer.Records(), c.queries.size());
+
+  // 8. The serving front end in transparent mode (no deadline, no
+  //    breakers, unlimited retry budget) vs direct Answer calls.
+  CheckServeOracle(&ctx, c, base, faulted);
 
   return report;
 }

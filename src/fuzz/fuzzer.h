@@ -37,6 +37,11 @@ namespace revere::fuzz {
 ///   trace             tracing changes no answer; the span tree is
 ///                     well-formed (parents exist, names nest per the
 ///                     answer-path schema)
+///   serve_vs_answer   RevereServer with an infinite deadline, no
+///                     breakers, and an unlimited retry budget ==
+///                     direct Answer calls, byte for byte (rows,
+///                     statuses, completeness accounting) — the
+///                     overload machinery costs nothing when off
 ///
 /// plus cross-cutting stats invariants (peers_contacted bounds,
 /// completeness arithmetic, plan-cache hit/miss flags).

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -58,6 +59,14 @@ struct ContactOutcome {
 /// The injector is *external* to PdmsNetwork: the network stays a pure
 /// catalog of peers/mappings/data, and an experiment overlays whatever
 /// fault pattern it wants without mutating shared state.
+///
+/// Thread safety (ISSUE 6): all members are internally synchronized so
+/// RevereServer workers can share one injector. Determinism holds for
+/// any *sequential* caller sequence (the seeded RNG draw order is the
+/// contact order); concurrent contacts interleave their draws in
+/// scheduler order, which is exactly the nondeterminism a multi-worker
+/// server has anyway — the replay oracles all drive contacts from one
+/// thread.
 class FaultInjector {
  public:
   explicit FaultInjector(uint64_t seed) : rng_(seed) {}
@@ -99,11 +108,18 @@ class FaultInjector {
                       const PeerFault& fault);
 
   /// Total contact attempts simulated (includes retries).
-  size_t contacts_attempted() const { return contacts_attempted_; }
+  size_t contacts_attempted() const;
+
+  /// Contact attempts aimed at one specific peer — the denominator of
+  /// the circuit-breaker acceptance check ("open breakers cut contact
+  /// attempts to dead peers by >= 90%").
+  size_t contacts_to(const std::string& peer) const;
 
  private:
+  mutable std::mutex mu_;
   Rng rng_;
   std::map<std::string, PeerFault> faults_;
+  std::map<std::string, size_t> per_peer_contacts_;
   size_t contacts_attempted_ = 0;
 };
 
@@ -113,10 +129,26 @@ struct RetryPolicy {
   /// Total attempts per peer contact (1 = no retry).
   int max_attempts = 1;
   /// Backoff before the k-th retry is base_backoff_ms * 2^(k-1)
-  /// (exponential, deterministic — no jitter so runs stay replayable).
+  /// (exponential; see `jitter` — the default configuration stays
+  /// deterministic and jitter-free, so replays are bit-identical).
   double base_backoff_ms = 1.0;
   /// Per-contact timeout; 0 disables deadline enforcement.
   double deadline_ms = 0.0;
+  /// Backoff jitter (ISSUE 6 bugfix): fraction in [0, 1] of each
+  /// backoff wait that is randomly shaved off, so retries against a
+  /// recovering peer de-synchronize instead of stampeding it in lock
+  /// step. The draw is a stateless hash of (jitter_seed, peer, attempt)
+  /// — deterministic per (seed, peer, attempt) on any machine, with no
+  /// RNG stream to perturb — so the fault-replay oracle stays exact
+  /// even with jitter on. 0 (the default) reproduces the legacy
+  /// bit-identical backoff schedule.
+  double jitter = 0.0;
+  /// Seed for the jitter hash; vary it to decorrelate callers.
+  uint64_t jitter_seed = 0;
+
+  /// The backoff wait before retry attempt `attempt` (1-based) of a
+  /// contact against `peer`, jitter applied.
+  double BackoffMs(const std::string& peer, int attempt) const;
 };
 
 /// What Answer() does when a peer stays unreachable after retries.
@@ -135,18 +167,29 @@ enum class FailurePolicy {
 struct CompletenessReport {
   /// Rewritings the reformulator produced (the denominator).
   size_t rewritings_total = 0;
-  /// Rewritings dropped because some peer they touch was unreachable.
+  /// Rewritings dropped because some peer they touch was unreachable
+  /// (includes the breaker- and deadline-attributed drops below).
   size_t rewritings_skipped = 0;
+  /// Of the skipped rewritings, how many were dropped because the
+  /// caller's end-to-end deadline expired before they could run —
+  /// "degrade to best-effort partial answers", ISSUE 6.
+  size_t rewritings_deadline_skipped = 0;
   /// Individual contact attempts that failed (includes failed retries).
   size_t contacts_failed = 0;
+  /// Contacts never attempted because the peer's circuit breaker was
+  /// open — load the breaker kept off a known-dead peer.
+  size_t breaker_skips = 0;
   /// Retry attempts made (beyond each contact's first attempt).
   size_t retries_attempted = 0;
+  /// Retries foregone because the global RetryBudget was exhausted —
+  /// the anti-retry-storm valve engaging.
+  size_t retries_denied = 0;
   /// Simulated time spent waiting in exponential backoff.
   double backoff_ms = 0.0;
   /// Peers that stayed unreachable after retries.
   std::set<std::string> unreachable_peers;
 
-  /// True when no rewriting was lost to peer failures.
+  /// True when no rewriting was lost to peer failures or deadlines.
   bool complete() const { return rewritings_skipped == 0; }
 };
 

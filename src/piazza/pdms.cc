@@ -65,6 +65,14 @@ struct WorkItem {
   int depth = 0;
 };
 
+/// True when the caller's end-to-end deadline has already passed. The
+/// default (time_point::max()) short-circuits to false without reading
+/// the clock, so the no-deadline hot path pays one comparison.
+bool DeadlineExpired(const NetworkCostModel& cost) {
+  return cost.deadline != std::chrono::steady_clock::time_point::max() &&
+         std::chrono::steady_clock::now() >= cost.deadline;
+}
+
 /// Contacts `peer` through the fault injector with bounded retries and
 /// exponential backoff, charging every attempt, timeout, and backoff
 /// wait to the simulated clock in `stats`. Returns the last failure
@@ -72,17 +80,38 @@ struct WorkItem {
 /// beyond the first) opens a `retry` span under `parent` carrying its
 /// backoff and simulated elapsed time; the RNG draw sequence — and so
 /// every answer — is identical with tracing on or off.
+///
+/// Overload safety (ISSUE 6), all default-off: an open circuit breaker
+/// skips the contact entirely (no injector call, no RNG draw — the
+/// point is to stop paying for dead peers); the global retry budget
+/// gates each retry; the end-to-end deadline stops the retry loop; and
+/// every real outcome feeds the peer's breaker window.
 Status ContactPeerWithRetry(FaultInjector* faults, const std::string& peer,
                             const NetworkCostModel& cost,
                             ExecutionStats* stats, obs::Tracer* tracer,
                             uint64_t parent) {
+  PeerBreaker* breaker =
+      cost.breakers != nullptr ? cost.breakers->Get(peer) : nullptr;
+  if (breaker != nullptr && !breaker->Allow()) {
+    ++stats->completeness.breaker_skips;
+    return Status::Unavailable("circuit breaker open for peer '" + peer +
+                               "'");
+  }
   int max_attempts = std::max(1, cost.retry.max_attempts);
   Status last;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     obs::Span retry_span;
     if (attempt > 0) {
-      double backoff = cost.retry.base_backoff_ms *
-                       static_cast<double>(uint64_t{1} << (attempt - 1));
+      if (DeadlineExpired(cost)) {
+        return Status::DeadlineExceeded("deadline expired retrying peer '" +
+                                        peer + "'");
+      }
+      if (cost.retry_budget != nullptr && !cost.retry_budget->TryAcquire()) {
+        ++stats->completeness.retries_denied;
+        return last;  // budget exhausted: no retry storm, surface the
+                      // last real failure
+      }
+      double backoff = cost.retry.BackoffMs(peer, attempt);
       stats->completeness.backoff_ms += backoff;
       stats->simulated_network_ms += backoff;
       ++stats->completeness.retries_attempted;
@@ -97,7 +126,12 @@ Status ContactPeerWithRetry(FaultInjector* faults, const std::string& peer,
       retry_span.AddAttr("elapsed_simulated_ms", outcome.elapsed_ms);
       retry_span.AddAttr("ok", outcome.status.ok() ? 1 : 0);
     }
-    if (outcome.status.ok()) return Status::Ok();
+    if (outcome.status.ok()) {
+      if (breaker != nullptr) breaker->RecordSuccess();
+      if (cost.retry_budget != nullptr) cost.retry_budget->RecordSuccess();
+      return Status::Ok();
+    }
+    if (breaker != nullptr) breaker->RecordFailure();
     ++stats->completeness.contacts_failed;
     last = outcome.status;
   }
@@ -619,6 +653,13 @@ PdmsNetwork::AnswerWithProvenance(const ConjunctiveQuery& query,
         cost.tracer->StartSpan("answer", cost.parent_span, query.name());
   }
   ExecutionStats local;
+  // Deadline gate #1 (ISSUE 6): a request that arrives already past its
+  // deadline must not start the reformulation search. Nothing partial
+  // exists yet, so this is an error under either failure policy.
+  if (DeadlineExpired(cost)) {
+    if (stats != nullptr) *stats = local;
+    return Status::DeadlineExceeded("deadline expired before reformulation");
+  }
   REVERE_ASSIGN_OR_RETURN(
       std::shared_ptr<const CachedPlan> plan,
       ReformulateCached(query, options, &local.reformulation, cost.tracer,
@@ -650,6 +691,10 @@ PdmsNetwork::AnswerWithProvenance(const ConjunctiveQuery& query,
     futures.reserve(rewritings.size());
     for (size_t i = 0; i < rewritings.size(); ++i) {
       futures.push_back(cost.eval.pool->Submit([&, i] {
+        // Deadline gate (work avoidance): a speculative evaluation that
+        // cannot be merged anymore is skipped; the merge loop's own
+        // deadline check does the authoritative accounting.
+        if (DeadlineExpired(cost)) return;
         obs::Span span;
         if (cost.tracer != nullptr) {  // guard: detail string allocates
           span = cost.tracer->StartSpan("evaluate", answer_span.id(),
@@ -670,6 +715,21 @@ PdmsNetwork::AnswerWithProvenance(const ConjunctiveQuery& query,
   std::set<std::string> all_peers;
   local.completeness.rewritings_total = rewritings.size();
   for (size_t rw_index = 0; rw_index < rewritings.size(); ++rw_index) {
+    // Deadline gate #2: checked before every rewriting's evaluation.
+    // Best-effort degrades to the partial answer accumulated so far,
+    // with the loss itemized; fail-fast surfaces the deadline.
+    if (DeadlineExpired(cost)) {
+      size_t remaining = rewritings.size() - rw_index;
+      if (cost.failure_policy == FailurePolicy::kFailFast) {
+        if (stats != nullptr) *stats = local;
+        return Status::DeadlineExceeded(
+            "deadline expired with " + std::to_string(remaining) +
+            " rewritings unevaluated");
+      }
+      local.completeness.rewritings_skipped += remaining;
+      local.completeness.rewritings_deadline_skipped += remaining;
+      break;
+    }
     const ConjunctiveQuery& rw = rewritings[rw_index];
     Result<std::vector<storage::Row>> rows = [&] {
       if (evaluated[rw_index].has_value()) {
@@ -724,7 +784,13 @@ PdmsNetwork::AnswerWithProvenance(const ConjunctiveQuery& query,
       // Contact peers in sorted order (std::set iteration) so the RNG
       // draw sequence — and thus the whole run — is deterministic.
       bool unreachable = false;
+      bool deadline_hit = false;
       for (const auto& peer : peers) {
+        // Deadline gate #3: per peer contact.
+        if (DeadlineExpired(cost)) {
+          deadline_hit = true;
+          break;
+        }
         obs::Span contact_span =
             obs::StartSpan(cost.tracer, "contact", eval_span_ids[rw_index]);
         if (contact_span.active()) contact_span.SetDetail(peer);
@@ -748,6 +814,16 @@ PdmsNetwork::AnswerWithProvenance(const ConjunctiveQuery& query,
         unreachable = true;
         break;  // best-effort: drop this rewriting, spare the remaining
                 // contacts' cost
+      }
+      if (deadline_hit) {
+        if (cost.failure_policy == FailurePolicy::kFailFast) {
+          if (stats != nullptr) *stats = local;
+          return Status::DeadlineExceeded(
+              "deadline expired mid-contact for a rewriting");
+        }
+        ++local.completeness.rewritings_skipped;
+        ++local.completeness.rewritings_deadline_skipped;
+        continue;  // the next iteration's gate drops the rest
       }
       if (unreachable) {
         ++local.completeness.rewritings_skipped;
@@ -838,13 +914,24 @@ std::vector<Result<std::vector<storage::Row>>> PdmsNetwork::AnswerBatch(
     NetworkCostModel per_query = cost;
     per_query.eval.pool = nullptr;
     per_query.parent_span = batch_span.id();
+    // Bounded fan-out (ISSUE 6): submissions go through TrySubmit with
+    // a small queue cap, and a refused task runs inline on the calling
+    // thread — the caller becomes the backpressure, so a million-query
+    // batch holds a bounded task queue instead of materializing every
+    // closure up front.
+    const size_t max_queued = 4 * pool->worker_count();
     std::vector<std::future<void>> futures;
     futures.reserve(queries.size());
     for (size_t i = 0; i < queries.size(); ++i) {
-      futures.push_back(pool->Submit([&, i] {
+      auto task = [&, i] {
         out[i] = Answer(queries[i], options,
                         stats != nullptr ? &(*stats)[i] : nullptr, per_query);
-      }));
+      };
+      if (auto future = pool->TrySubmit(task, max_queued)) {
+        futures.push_back(std::move(*future));
+      } else {
+        task();
+      }
     }
     for (auto& f : futures) f.wait();
     return out;

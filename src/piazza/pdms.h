@@ -2,6 +2,7 @@
 #define REVERE_PIAZZA_PDMS_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <set>
@@ -11,6 +12,7 @@
 
 #include "src/common/status.h"
 #include "src/obs/trace.h"
+#include "src/piazza/breaker.h"
 #include "src/piazza/fault.h"
 #include "src/piazza/peer.h"
 #include "src/piazza/plan_cache.h"
@@ -54,6 +56,30 @@ struct NetworkCostModel {
   FailurePolicy failure_policy = FailurePolicy::kFailFast;
   /// Per-peer-contact timeout / bounded retry / backoff knobs.
   RetryPolicy retry;
+
+  // ---- Overload safety (ISSUE 6) ----
+
+  /// Absolute wall-clock deadline for the whole Answer* call;
+  /// time_point::max() (the default) disables every check. When set,
+  /// the deadline is honored *end to end*: before reformulation, before
+  /// each rewriting's evaluation, and before each peer contact. Under
+  /// kBestEffort an expired deadline degrades to the partial answer
+  /// accumulated so far, with the dropped rewritings itemized in
+  /// `completeness` (rewritings_deadline_skipped); under kFailFast it
+  /// returns kDeadlineExceeded. RevereServer fills this from each
+  /// request's deadline budget.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  /// Per-peer circuit breakers. Non-owning; nullptr (default) disables
+  /// breaking. When a peer's breaker is open, contacts to it are
+  /// skipped without touching the injector (no RNG draw, no simulated
+  /// time) and the rewriting is dropped like an unreachable peer, with
+  /// the skip counted in `completeness.breaker_skips`.
+  BreakerSet* breakers = nullptr;
+  /// Global retry-amplification valve. Non-owning; nullptr (default)
+  /// allows every retry the RetryPolicy permits. When exhausted,
+  /// further retries are skipped (completeness.retries_denied).
+  RetryBudget* retry_budget = nullptr;
 
   // ---- Local evaluation (ISSUE 2: parallel, allocation-lean) ----
 

@@ -1,0 +1,324 @@
+#include "src/serve/server.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace revere::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr double kEwmaAlpha = 0.2;
+
+size_t LaneIndex(Lane lane) { return lane == Lane::kInteractive ? 0 : 1; }
+
+}  // namespace
+
+const char* LaneToString(Lane lane) {
+  return lane == Lane::kInteractive ? "interactive" : "batch";
+}
+
+RevereServer::RevereServer(const piazza::PdmsNetwork* net, ServeOptions options)
+    : net_(net),
+      options_(std::move(options)),
+      retry_budget_(options_.retry_budget_capacity, options_.retry_budget_refill),
+      interactive_(options_.queue_capacity),
+      batch_(options_.queue_capacity),
+      interactive_latency_us_(obs::Histogram::DefaultLatencyBoundsUs()),
+      batch_latency_us_(obs::Histogram::DefaultLatencyBoundsUs()) {
+  if (options_.use_breakers) {
+    breakers_ = std::make_unique<piazza::BreakerSet>(options_.breaker);
+  }
+  if (options_.metrics) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    m_admitted_ = reg.GetCounter("serve.admitted");
+    m_shed_queue_full_ = reg.GetCounter("serve.shed_queue_full");
+    m_shed_unmeetable_ = reg.GetCounter("serve.shed_unmeetable");
+    m_completed_ = reg.GetCounter("serve.completed");
+    m_deadline_exceeded_ = reg.GetCounter("serve.deadline_exceeded");
+    m_breaker_skips_ = reg.GetCounter("serve.breaker_skips");
+    m_queue_interactive_ = reg.GetGauge("serve.queue_depth_interactive");
+    m_queue_batch_ = reg.GetGauge("serve.queue_depth_batch");
+    m_interactive_latency_ = reg.GetHistogram("serve.interactive_latency_us");
+    m_batch_latency_ = reg.GetHistogram("serve.batch_latency_us");
+  }
+  size_t n = std::max<size_t>(1, options_.workers);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+RevereServer::~RevereServer() { Shutdown(); }
+
+double RevereServer::RetryAfterMs(Lane lane) const {
+  // A zero hint on a shed would invite an instant retry; before any
+  // service time has been observed, fall back to a 1 ms guess.
+  double est = EstimatedQueueWaitMs(lane);
+  return est > 0.0 ? est : 1.0;
+}
+
+double RevereServer::EstimatedQueueWaitMs(Lane lane) const {
+  // Interactive requests only wait behind the interactive queue; batch
+  // requests wait behind both (interactive always dequeues first).
+  size_t ahead = interactive_.size();
+  double ewma;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ewma = ewma_service_ms_[LaneIndex(lane)];
+  }
+  if (lane == Lane::kBatch) ahead += batch_.size();
+  size_t workers = std::max<size_t>(1, workers_.size());
+  return (static_cast<double>(ahead) + 1.0) * ewma /
+         static_cast<double>(workers);
+}
+
+std::future<ServeResult> RevereServer::Shed(ServeRequest request,
+                                            uint64_t* counter,
+                                            const char* why) {
+  double retry_after = RetryAfterMs(request.lane);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++*counter;
+  }
+  if (counter == &stats_.shed_queue_full) {
+    if (m_shed_queue_full_) m_shed_queue_full_->Increment();
+  } else if (m_shed_unmeetable_) {
+    m_shed_unmeetable_->Increment();
+  }
+  ServeResult result;
+  result.status = Status::Unavailable(why);
+  result.shed = true;
+  result.retry_after_ms = retry_after;
+  std::promise<ServeResult> promise;
+  std::future<ServeResult> future = promise.get_future();
+  promise.set_value(std::move(result));
+  return future;
+}
+
+std::future<ServeResult> RevereServer::Submit(ServeRequest request) {
+  auto now = Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.submitted;
+  }
+  double budget_ms = request.deadline_ms < 0.0 ? options_.default_deadline_ms
+                                               : request.deadline_ms;
+  auto deadline = Clock::time_point::max();
+  if (budget_ms > 0.0) {
+    deadline = now + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(budget_ms));
+    if (options_.shed_unmeetable) {
+      // Fail in O(1) instead of queueing a request that cannot make its
+      // deadline even if service started immediately after the queue
+      // drains. The estimate is intentionally optimistic (EWMA of past
+      // service times); an admitted request that still misses resolves
+      // as kDeadlineExceeded at dequeue.
+      double est_wait_ms = EstimatedQueueWaitMs(request.lane);
+      if (est_wait_ms > budget_ms) {
+        return Shed(std::move(request), &stats_.shed_unmeetable,
+                    "deadline unmeetable at current queue depth");
+      }
+    }
+  }
+  Ticket ticket;
+  ticket.request = std::move(request);
+  ticket.enqueued = now;
+  ticket.deadline = deadline;
+  std::future<ServeResult> future = ticket.promise.get_future();
+  Lane lane = ticket.request.lane;
+  {
+    // The stopping check and the push share one mu_ hold, so no ticket
+    // can enter a queue after the drain loop observed stopping_ with
+    // both queues empty — Shutdown never strands a future.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Fall through to the shed below without touching the queue.
+    } else if (lane_queue(lane).TryPush(std::move(ticket))) {
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        ++stats_.admitted;
+      }
+      if (m_admitted_) m_admitted_->Increment();
+      if (m_queue_interactive_) {
+        m_queue_interactive_->Set(static_cast<int64_t>(interactive_.size()));
+      }
+      if (m_queue_batch_) {
+        m_queue_batch_->Set(static_cast<int64_t>(batch_.size()));
+      }
+      work_cv_.notify_one();
+      return future;
+    }
+    // TryPush moved-from on failure only if it consumed the ticket; our
+    // BoundedQueue only moves on success, so `ticket` is intact here —
+    // but its future has been taken, so shed through its own promise.
+  }
+  double retry_after = RetryAfterMs(lane);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.shed_queue_full;
+  }
+  if (m_shed_queue_full_) m_shed_queue_full_->Increment();
+  ServeResult result;
+  result.status = Status::Unavailable("serving queue is full");
+  result.shed = true;
+  result.retry_after_ms = retry_after;
+  ticket.promise.set_value(std::move(result));
+  return future;
+}
+
+ServeResult RevereServer::SubmitAndWait(ServeRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+void RevereServer::WorkerLoop() {
+  for (;;) {
+    Ticket ticket;
+    bool have = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] {
+        return stopping_ || interactive_.size() > 0 || batch_.size() > 0;
+      });
+      if (auto next = interactive_.TryPop()) {
+        ticket = std::move(*next);
+        have = true;
+      } else if (auto next = batch_.TryPop()) {
+        ticket = std::move(*next);
+        have = true;
+      } else if (stopping_) {
+        // Both queues empty under the same lock that gates pushes:
+        // drained, safe to exit.
+        return;
+      }
+      if (have) {
+        if (m_queue_interactive_) {
+          m_queue_interactive_->Set(static_cast<int64_t>(interactive_.size()));
+        }
+        if (m_queue_batch_) {
+          m_queue_batch_->Set(static_cast<int64_t>(batch_.size()));
+        }
+      }
+    }
+    if (have) Serve(std::move(ticket));
+  }
+}
+
+void RevereServer::Serve(Ticket ticket) {
+  auto start = Clock::now();
+  double queue_wait_us =
+      std::chrono::duration<double, std::micro>(start - ticket.enqueued)
+          .count();
+  ServeResult result;
+  result.queue_wait_us = queue_wait_us;
+  if (start >= ticket.deadline) {
+    // Expired while queued: resolve without burning a worker on an
+    // answer nobody is waiting for.
+    result.status = Status::DeadlineExceeded("deadline expired in queue");
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.deadline_exceeded;
+    }
+    if (m_deadline_exceeded_) m_deadline_exceeded_->Increment();
+    ticket.promise.set_value(std::move(result));
+    return;
+  }
+
+  piazza::NetworkCostModel cost = options_.cost;
+  cost.deadline = ticket.deadline;
+  cost.breakers = breakers_.get();
+  cost.retry_budget = &retry_budget_;
+  piazza::ExecutionStats xstats;
+  auto answer =
+      net_->Answer(ticket.request.query, options_.reform, &xstats, cost);
+  auto end = Clock::now();
+  double service_us =
+      std::chrono::duration<double, std::micro>(end - start).count();
+  result.service_us = service_us;
+  result.stats = std::move(xstats);
+  result.status = answer.status();
+  if (answer.ok()) result.rows = std::move(answer).value();
+
+  Lane lane = ticket.request.lane;
+  if (result.status.ok()) {
+    // SLO latency counts completed answers only, so Slo(lane).completed
+    // and the `completed` counter agree exactly (the conservation
+    // invariant the stress test asserts).
+    double total_us = queue_wait_us + service_us;
+    obs::Histogram& lane_hist = lane == Lane::kInteractive
+                                    ? interactive_latency_us_
+                                    : batch_latency_us_;
+    lane_hist.Record(total_us);
+    obs::Histogram* mirror =
+        lane == Lane::kInteractive ? m_interactive_latency_ : m_batch_latency_;
+    if (mirror) mirror->Record(total_us);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (result.status.ok()) {
+      ++stats_.completed;
+    } else if (result.status.code() == StatusCode::kDeadlineExceeded) {
+      ++stats_.deadline_exceeded;
+    } else {
+      ++stats_.failed;
+    }
+    stats_.breaker_skips += result.stats.completeness.breaker_skips;
+    stats_.retries_denied += result.stats.completeness.retries_denied;
+    double& ewma = ewma_service_ms_[LaneIndex(lane)];
+    double service_ms = service_us / 1000.0;
+    ewma = ewma == 0.0 ? service_ms
+                       : (1.0 - kEwmaAlpha) * ewma + kEwmaAlpha * service_ms;
+  }
+  if (result.status.ok()) {
+    if (m_completed_) m_completed_->Increment();
+  } else if (result.status.code() == StatusCode::kDeadlineExceeded) {
+    if (m_deadline_exceeded_) m_deadline_exceeded_->Increment();
+  }
+  if (m_breaker_skips_ && result.stats.completeness.breaker_skips > 0) {
+    m_breaker_skips_->Increment(result.stats.completeness.breaker_skips);
+  }
+
+  ticket.promise.set_value(std::move(result));
+}
+
+void RevereServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Idempotent: a second Shutdown (or the destructor after an
+      // explicit call) must not re-join the workers.
+      if (workers_.empty()) return;
+    }
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+}
+
+ServerStats RevereServer::Snapshot() const {
+  ServerStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
+  out.queue_depth_interactive = interactive_.size();
+  out.queue_depth_batch = batch_.size();
+  return out;
+}
+
+LaneSlo RevereServer::Slo(Lane lane) const {
+  const obs::Histogram& hist =
+      lane == Lane::kInteractive ? interactive_latency_us_ : batch_latency_us_;
+  obs::Histogram::Snapshot snap = hist.GetSnapshot();
+  LaneSlo slo;
+  slo.completed = snap.count;
+  slo.p50_us = snap.Percentile(50.0);
+  slo.p99_us = snap.Percentile(99.0);
+  slo.mean_us = snap.mean();
+  return slo;
+}
+
+}  // namespace revere::serve

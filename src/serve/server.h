@@ -1,0 +1,245 @@
+#ifndef REVERE_SERVE_SERVER_H_
+#define REVERE_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/bounded_queue.h"
+#include "src/common/status.h"
+#include "src/obs/metrics.h"
+#include "src/piazza/breaker.h"
+#include "src/piazza/pdms.h"
+#include "src/piazza/reformulation.h"
+#include "src/query/cq.h"
+#include "src/storage/value.h"
+
+namespace revere::serve {
+
+/// The overload-safe serving front end (ISSUE 6): RevereServer wraps a
+/// PdmsNetwork behind admission control, so the reformulated-answer
+/// path the paper's §3 argues for stays *interactive* when peers are
+/// slow, flaky, or dead and when offered load exceeds capacity.
+///
+/// The pipeline per request:
+///
+///   Submit ──► admission ──► lane queue ──► worker ──► Answer ──► future
+///              │ shed: queue full, or deadline already unmeetable
+///              ▼ (kUnavailable + retry_after hint, never queued)
+///
+/// Guarantees:
+///  - Every Submit resolves its future exactly once — shed at
+///    admission, failed, timed out, or completed; nothing is lost on
+///    shutdown (queued requests drain before workers exit).
+///  - Bounded memory: each lane's queue is a BoundedQueue; beyond
+///    capacity the server sheds instead of queueing (load shedding, not
+///    queueing collapse).
+///  - End-to-end deadlines: a request's remaining budget rides into
+///    PdmsNetwork::Answer through NetworkCostModel::deadline, so an
+///    overloaded request degrades to a best-effort partial answer with
+///    an honest CompletenessReport.
+///  - Per-peer circuit breakers + a global retry budget (owned by the
+///    server) keep dead peers and retry storms from amplifying load.
+
+/// Priority lanes. Interactive traffic (a user waiting on a portal
+/// query) is always served before crawl/updategram-style batch work.
+enum class Lane { kInteractive, kBatch };
+
+/// "interactive" or "batch".
+const char* LaneToString(Lane lane);
+
+struct ServeOptions {
+  /// Worker threads answering queries (clamped to >= 1).
+  size_t workers = 2;
+  /// Per-lane admission queue capacity; pushes beyond it shed.
+  size_t queue_capacity = 64;
+  /// Default per-request deadline budget in wall-clock ms; 0 = none.
+  /// Individual requests may override it.
+  double default_deadline_ms = 0.0;
+  /// Shed at admission when the estimated queue wait alone already
+  /// exceeds the request's deadline budget — failing in O(1) beats
+  /// queueing a request that is guaranteed to time out.
+  bool shed_unmeetable = true;
+  /// Circuit-breaker tuning for the server-owned BreakerSet.
+  piazza::BreakerOptions breaker;
+  /// Enable the per-peer breakers (on by default; the bench's
+  /// breaker-off arm and the byte-identity oracles turn them off).
+  bool use_breakers = true;
+  /// Global retry budget: capacity and per-success refill.
+  double retry_budget_capacity = 64.0;
+  double retry_budget_refill = 0.1;
+  /// Reformulation knobs for every request.
+  piazza::ReformulationOptions reform;
+  /// Execution cost model template: fault injector, retry policy,
+  /// failure policy, eval options. The server fills `deadline`,
+  /// `breakers`, and `retry_budget` per request; `failure_policy`
+  /// defaults here to best-effort, the serving-appropriate choice.
+  piazza::NetworkCostModel cost;
+  /// Mirror serve.* counters/histograms/gauges into the process-wide
+  /// obs::MetricsRegistry (SLO reporting straight from the registry).
+  bool metrics = true;
+
+  ServeOptions() { cost.failure_policy = piazza::FailurePolicy::kBestEffort; }
+};
+
+struct ServeRequest {
+  query::ConjunctiveQuery query;
+  Lane lane = Lane::kInteractive;
+  /// Wall-clock deadline budget in ms, from submission. < 0 uses
+  /// ServeOptions::default_deadline_ms; 0 means no deadline.
+  double deadline_ms = -1.0;
+};
+
+struct ServeResult {
+  /// Ok (answer below, possibly partial — see stats.completeness),
+  /// kUnavailable (shed at admission; see retry_after_ms), or
+  /// kDeadlineExceeded (admitted but the deadline expired before any
+  /// partial answer existed).
+  Status status;
+  std::vector<storage::Row> rows;
+  piazza::ExecutionStats stats;
+  /// True when the request never entered a queue (load shedding).
+  bool shed = false;
+  /// When shed: how long the client should wait before retrying,
+  /// estimated from queue depth x observed mean service time.
+  double retry_after_ms = 0.0;
+  /// Time spent queued before a worker picked the request up (µs).
+  double queue_wait_us = 0.0;
+  /// Time inside PdmsNetwork::Answer (µs).
+  double service_us = 0.0;
+};
+
+/// Exact server-side accounting, for tests and SLO reports. All
+/// counters are monotone; the invariants tests assert:
+///   submitted == admitted + shed_queue_full + shed_unmeetable
+///   admitted  == completed + deadline_exceeded + failed  (once idle)
+struct ServerStats {
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t shed_queue_full = 0;
+  uint64_t shed_unmeetable = 0;
+  uint64_t completed = 0;           ///< Ok results (partial ones included)
+  uint64_t deadline_exceeded = 0;   ///< admitted, then kDeadlineExceeded
+  uint64_t failed = 0;              ///< admitted, then any other error
+  uint64_t breaker_skips = 0;       ///< contacts suppressed by breakers
+  uint64_t retries_denied = 0;      ///< retries suppressed by the budget
+  size_t queue_depth_interactive = 0;
+  size_t queue_depth_batch = 0;
+};
+
+/// Per-lane latency SLO, computed from the server's own histograms (the
+/// same distributions stream into the registry as serve.*latency_us).
+struct LaneSlo {
+  uint64_t completed = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+};
+
+class RevereServer {
+ public:
+  /// `net` must outlive the server. The server owns its BreakerSet and
+  /// RetryBudget; the fault injector (if any) stays caller-owned inside
+  /// `options.cost.faults`.
+  RevereServer(const piazza::PdmsNetwork* net, ServeOptions options);
+  ~RevereServer();
+
+  RevereServer(const RevereServer&) = delete;
+  RevereServer& operator=(const RevereServer&) = delete;
+
+  /// Admission-controlled submit. Never blocks: a shed request's future
+  /// is ready immediately. The future is always eventually resolved.
+  std::future<ServeResult> Submit(ServeRequest request);
+
+  /// Convenience: Submit + wait.
+  ServeResult SubmitAndWait(ServeRequest request);
+
+  /// Stops accepting (subsequent Submits shed with kUnavailable),
+  /// drains both queues, and joins the workers. Idempotent; also run by
+  /// the destructor.
+  void Shutdown();
+
+  /// Point-in-time accounting snapshot.
+  ServerStats Snapshot() const;
+
+  /// End-to-end latency percentiles for one lane (completed requests).
+  LaneSlo Slo(Lane lane) const;
+
+  /// The server-owned breaker set (for tests/benches to inspect states;
+  /// nullptr when options.use_breakers is false).
+  piazza::BreakerSet* breakers() { return breakers_.get(); }
+  piazza::RetryBudget* retry_budget() { return &retry_budget_; }
+
+ private:
+  struct Ticket {
+    ServeRequest request;
+    std::promise<ServeResult> promise;
+    std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point deadline;  // ::max() = none
+  };
+
+  void WorkerLoop();
+  /// Serves one ticket end to end and resolves its promise.
+  void Serve(Ticket ticket);
+  /// Estimated ms until a new arrival in `lane` would start service.
+  double EstimatedQueueWaitMs(Lane lane) const;
+  /// The shed hint: the wait estimate, floored to 1 ms when unlearned.
+  double RetryAfterMs(Lane lane) const;
+  /// Resolves a shed request's promise and bumps the shed accounting.
+  std::future<ServeResult> Shed(ServeRequest request, uint64_t* counter,
+                                const char* why);
+  BoundedQueue<Ticket>& lane_queue(Lane lane) {
+    return lane == Lane::kInteractive ? interactive_ : batch_;
+  }
+
+  const piazza::PdmsNetwork* net_;
+  const ServeOptions options_;
+  std::unique_ptr<piazza::BreakerSet> breakers_;
+  piazza::RetryBudget retry_budget_;
+
+  BoundedQueue<Ticket> interactive_;
+  BoundedQueue<Ticket> batch_;
+
+  /// Wakes workers when either lane has work or shutdown begins.
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  /// Exact accounting (guarded by mu_ where multi-field consistency
+  /// matters; see Snapshot()).
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+  /// EWMA of service time per lane, ms — the retry_after / unmeetable
+  /// estimator. Starts at 0 (optimistic until measured): a pessimistic
+  /// prior would shed a never-served lane forever, because the estimate
+  /// only learns from requests that actually run. The first completed
+  /// request sets it directly; later ones blend.
+  double ewma_service_ms_[2] = {0.0, 0.0};
+
+  /// Per-lane end-to-end latency distributions (queue wait + service).
+  obs::Histogram interactive_latency_us_;
+  obs::Histogram batch_latency_us_;
+
+  /// Registry mirrors (resolved once; null when metrics are off).
+  obs::Counter* m_admitted_ = nullptr;
+  obs::Counter* m_shed_queue_full_ = nullptr;
+  obs::Counter* m_shed_unmeetable_ = nullptr;
+  obs::Counter* m_completed_ = nullptr;
+  obs::Counter* m_deadline_exceeded_ = nullptr;
+  obs::Counter* m_breaker_skips_ = nullptr;
+  obs::Gauge* m_queue_interactive_ = nullptr;
+  obs::Gauge* m_queue_batch_ = nullptr;
+  obs::Histogram* m_interactive_latency_ = nullptr;
+  obs::Histogram* m_batch_latency_ = nullptr;
+};
+
+}  // namespace revere::serve
+
+#endif  // REVERE_SERVE_SERVER_H_

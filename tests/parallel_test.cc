@@ -94,6 +94,40 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
   EXPECT_EQ(ran.load(), 50);
 }
 
+TEST(ThreadPoolTest, TrySubmitRefusesBeyondBound) {
+  ThreadPool pool(1);
+  // Park the single worker so queued tasks stay queued.
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  auto parked = pool.Submit([opened] { opened.wait(); });
+  // The worker may not have dequeued the parked task yet; wait until the
+  // queue is empty so the bound below is exact.
+  while (pool.queue_depth() > 0) std::this_thread::yield();
+
+  std::vector<std::future<void>> accepted;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 3; ++i) {
+    auto f = pool.TrySubmit([&ran] { ran += 1; }, /*max_queued=*/3);
+    ASSERT_TRUE(f.has_value());
+    accepted.push_back(std::move(*f));
+  }
+  EXPECT_EQ(pool.queue_depth(), 3u);
+  // Queue is at the bound: refuse instead of growing without limit.
+  EXPECT_FALSE(pool.TrySubmit([&ran] { ran += 1; }, 3).has_value());
+  // A refused submit charges nothing: depth unchanged, task never runs.
+  EXPECT_EQ(pool.queue_depth(), 3u);
+
+  gate.set_value();
+  parked.get();
+  for (auto& f : accepted) f.get();
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPoolTest, TrySubmitZeroBoundAlwaysRefuses) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.TrySubmit([] {}, /*max_queued=*/0).has_value());
+}
+
 // --------------------------------------------- deterministic parallel
 
 PdmsGenReport BuildFig2(PdmsNetwork* net, size_t rows_per_peer = 40) {
