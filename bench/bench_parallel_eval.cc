@@ -1,4 +1,5 @@
-// Experiment P1: parallel, allocation-lean query answering (ISSUE 2).
+// Experiments P1 (parallel, allocation-lean query answering, ISSUE 2)
+// and P3 (columnar vectorized execution, ISSUE 7).
 //
 // Sweeps (a) the binding representation — legacy string-keyed map
 // copies vs slot-compiled vector<Value> bindings — and the on-demand
@@ -18,6 +19,12 @@
 // Counters: rows (result size), identical (determinism check),
 // indexes (total indexed columns after the run — shows memoization).
 //
+// P3 sweeps the evaluation engine itself — map vs slots vs columnar —
+// over the same title-self-join union P1 measures, one isolated
+// fixture per engine. The benchmark names carry an `engine_<name>`
+// suffix so the runner's --engine flag (and the smoke_engine_sweep CI
+// target) can select one engine per process.
+//
 // REVERE_BENCH_SMOKE=1 in the environment shrinks the scaled universe
 // so the REVERE_BENCH_SMOKE CMake target stays fast.
 
@@ -34,6 +41,7 @@
 #include "src/piazza/peer.h"
 #include "src/query/cq.h"
 #include "src/query/evaluate.h"
+#include "src/storage/column_table.h"
 
 namespace {
 
@@ -48,6 +56,7 @@ using revere::piazza::PdmsNetwork;
 using revere::piazza::QualifiedName;
 using revere::query::Atom;
 using revere::query::ConjunctiveQuery;
+using revere::query::EvalEngine;
 using revere::query::EvalOptions;
 using revere::query::QTerm;
 using revere::storage::Row;
@@ -103,7 +112,7 @@ struct EvalFixture {
 /// repr argument decoding for the binding sweeps.
 EvalOptions ReprOptions(int repr) {
   EvalOptions options;
-  options.use_slots = repr >= 1;
+  options.engine = repr >= 1 ? EvalEngine::kSlots : EvalEngine::kMap;
   options.on_demand_indexes = repr >= 2;
   return options;
 }
@@ -245,6 +254,115 @@ void BM_P1_Fig2AnswerWorkers(benchmark::State& state) {
       reference.ok() && rows == reference.value() ? 1.0 : 0.0;
 }
 BENCHMARK(BM_P1_Fig2AnswerWorkers)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// --------------------------------------------------------------------
+// Experiment P3 (ISSUE 7): the evaluation engine sweep over the P1
+// title-self-join union. One isolated fixture per engine so the slot
+// engine's memoized on-demand indexes (or the columnar engine's
+// snapshots) cannot subsidize another engine's measurement, and one
+// shared reference fixture whose slot-engine answer pins correctness.
+// --------------------------------------------------------------------
+
+EvalOptions EngineOptions(int engine_id) {
+  EvalOptions options;
+  switch (engine_id) {
+    case 0:
+      options.engine = EvalEngine::kMap;
+      options.on_demand_indexes = false;
+      break;
+    case 1:
+      options.engine = EvalEngine::kSlots;
+      options.on_demand_index_min_rows = 0;
+      break;
+    default:
+      options.engine = EvalEngine::kColumnar;
+      break;
+  }
+  return options;
+}
+
+EvalFixture& P3Fixture(int engine_id) {
+  static EvalFixture* fixtures[3] = {nullptr, nullptr, nullptr};
+  if (fixtures[engine_id] == nullptr) fixtures[engine_id] = new EvalFixture();
+  return *fixtures[engine_id];
+}
+
+/// Slot-engine rows computed once on a dedicated fixture: comparing
+/// against it never builds indexes inside a measured fixture.
+const std::vector<Row>& P3Reference() {
+  static std::vector<Row>* reference = [] {
+    static EvalFixture fixture;
+    EvalOptions options = EngineOptions(1);
+    auto result =
+        revere::query::EvaluateUnion(fixture.net.storage(), fixture.joins,
+                                     options);
+    return new std::vector<Row>(result.ok() ? std::move(result).value()
+                                            : std::vector<Row>{});
+  }();
+  return *reference;
+}
+
+void BM_P3_EngineJoin(benchmark::State& state, int engine_id) {
+  EvalFixture& f = P3Fixture(engine_id);
+  EvalOptions options = EngineOptions(engine_id);
+  std::vector<Row> rows;
+  for (auto _ : state) {
+    auto result =
+        revere::query::EvaluateUnion(f.net.storage(), f.joins, options);
+    rows = result.ok() ? std::move(result).value() : std::vector<Row>{};
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["rows"] = static_cast<double>(rows.size());
+  state.counters["identical"] = rows == P3Reference() ? 1.0 : 0.0;
+}
+BENCHMARK_CAPTURE(BM_P3_EngineJoin, engine_map, 0)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_P3_EngineJoin, engine_slots, 1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_P3_EngineJoin, engine_columnar, 2)
+    ->Unit(benchmark::kMillisecond);
+
+/// Cold-start cost the columnar engine pays once per table generation:
+/// dictionary-encode + counting-sort every table in the fixture.
+void BM_P3_ColumnarBuild(benchmark::State& state) {
+  EvalFixture& f = P3Fixture(2);
+  size_t rows = 0, dicts = 0;
+  for (auto _ : state) {
+    rows = dicts = 0;
+    for (const auto& name : f.net.storage().TableNames()) {
+      const auto* table = f.net.storage().GetTable(name).value();
+      auto snap = revere::storage::ColumnTable::Build(
+          table->rows(), table->schema().arity(), 0);
+      rows += snap->row_count();
+      dicts += snap->dict_entries();
+      benchmark::DoNotOptimize(snap);
+    }
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["dict_entries"] = static_cast<double>(dicts);
+}
+BENCHMARK(BM_P3_ColumnarBuild)->Unit(benchmark::kMillisecond);
+
+/// Columnar engine under the parallel union evaluator: rewritings fan
+/// out across the pool, results merge in rewriting order — output must
+/// stay byte-identical to the serial slot engine at any worker count.
+void BM_P3_ColumnarWorkers(benchmark::State& state) {
+  EvalFixture& f = P3Fixture(2);
+  ThreadPool pool(static_cast<size_t>(state.range(0)));
+  EvalOptions options = EngineOptions(2);
+  options.pool = &pool;
+  std::vector<Row> rows;
+  for (auto _ : state) {
+    auto result =
+        revere::query::EvaluateUnion(f.net.storage(), f.joins, options);
+    rows = result.ok() ? std::move(result).value() : std::vector<Row>{};
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["rows"] = static_cast<double>(rows.size());
+  state.counters["identical"] = rows == P3Reference() ? 1.0 : 0.0;
+}
+BENCHMARK(BM_P3_ColumnarWorkers)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace

@@ -1,9 +1,12 @@
 // Shared main() for every bench_* binary: standard google-benchmark
 // flags plus `--json <path>` (or --json=<path>), which appends one
 // machine-readable JSON line per run via JsonLinesReporter so bench
-// trajectories can be tracked across PRs, and `--metrics <path>` (or
+// trajectories can be tracked across PRs, `--metrics <path>` (or
 // --metrics=<path>), which dumps the process-wide obs::MetricsRegistry
-// as JSONL after the benchmarks finish.
+// as JSONL after the benchmarks finish, and `--engine <name>` (or
+// --engine=<name>), which restricts the run to benchmarks registered
+// with an `engine_<name>` suffix (the convention the evaluation-engine
+// sweeps use) by installing the matching --benchmark_filter.
 
 #include <benchmark/benchmark.h>
 
@@ -18,6 +21,7 @@
 int main(int argc, char** argv) {
   std::string json_path;
   std::string metrics_path;
+  std::string engine;
   std::vector<char*> args;
   args.reserve(static_cast<size_t>(argc));
   for (int i = 0; i < argc; ++i) {
@@ -30,9 +34,21 @@ int main(int argc, char** argv) {
       metrics_path = argv[++i];
     } else if (arg.rfind("--metrics=", 0) == 0) {
       metrics_path = arg.substr(10);
+    } else if (arg == "--engine" && i + 1 < argc) {
+      engine = argv[++i];
+    } else if (arg.rfind("--engine=", 0) == 0) {
+      engine = arg.substr(9);
     } else {
       args.push_back(argv[i]);
     }
+  }
+  // Benchmark names carry the engine as an `engine_<name>` suffix, so
+  // the sweep reduces to a name filter. Last flag wins if the caller
+  // also passes an explicit --benchmark_filter.
+  std::string engine_filter;
+  if (!engine.empty()) {
+    engine_filter = "--benchmark_filter=engine_" + engine + "$";
+    args.push_back(engine_filter.data());
   }
   bool format_flag = false;
   for (char* arg : args) {

@@ -297,7 +297,7 @@ namespace {
 
 /// Which fast paths one differential run enables.
 struct EngineConfig {
-  bool use_slots = true;
+  query::EvalEngine engine = query::EvalEngine::kSlots;
   bool on_demand_indexes = true;
   bool use_plan_cache = false;
   size_t workers = 0;  // 0 = no thread pool
@@ -365,7 +365,7 @@ EngineRun Run(const FuzzCase& c, const EngineConfig& cfg) {
   cost.faults = injector ? &*injector : nullptr;
   cost.failure_policy = c.policy;
   cost.retry = c.retry;
-  cost.eval.use_slots = cfg.use_slots;
+  cost.eval.engine = cfg.engine;
   cost.eval.on_demand_indexes = cfg.on_demand_indexes;
   cost.eval.on_demand_index_min_rows = 0;  // force builds: max coverage
   cost.eval.pool = pool ? &*pool : nullptr;
@@ -741,7 +741,7 @@ CaseReport CheckCase(const FuzzCase& c) {
   // The oracle everything is measured against: the seed-era map engine,
   // pure scans (beyond pre-built indexes), no cache, no pool, no faults.
   EngineConfig base_cfg;
-  base_cfg.use_slots = false;
+  base_cfg.engine = query::EvalEngine::kMap;
   base_cfg.on_demand_indexes = false;
   EngineRun base = Run(c, base_cfg);
   report.answer_digest = DigestRun(base);
@@ -840,6 +840,37 @@ CaseReport CheckCase(const FuzzCase& c) {
   // 8. The serving front end in transparent mode (no deadline, no
   //    breakers, unlimited retry budget) vs direct Answer calls.
   CheckServeOracle(&ctx, c, base, faulted);
+
+  // 9. Columnar vectorized engine vs the slot engine (ISSUE 7):
+  //    byte-identical statuses, rows, and stats in every configuration
+  //    — serial and pooled, fault-free and faulted — plus the digest
+  //    pin back to the map-engine oracle and the stats sanity pass.
+  EngineConfig col_cfg = index_cfg;
+  col_cfg.engine = query::EvalEngine::kColumnar;
+  EngineRun columnar = Run(c, col_cfg);
+  CompareRuns(&ctx, "columnar_vs_slots", indexed.outcomes, columnar.outcomes);
+  ctx.Check(DigestRun(columnar) == report.answer_digest, "columnar_vs_slots",
+            "columnar answer digest diverges from the map-engine digest");
+  CheckStatsInvariants(&ctx, c, columnar, /*with_faults=*/false);
+
+  EngineConfig col_pool_cfg = col_cfg;
+  col_pool_cfg.workers = c.workers;
+  CompareRuns(&ctx, "columnar_vs_slots", indexed.outcomes,
+              Run(c, col_pool_cfg).outcomes);
+
+  EngineConfig col_fault_cfg = fault_cfg;
+  col_fault_cfg.engine = query::EvalEngine::kColumnar;
+  EngineRun col_faulted = Run(c, col_fault_cfg);
+  CompareRuns(&ctx, "columnar_vs_slots", faulted.outcomes,
+              col_faulted.outcomes, /*compare_stats=*/true,
+              /*compare_cache_flags=*/true);
+  CheckStatsInvariants(&ctx, c, col_faulted, /*with_faults=*/true);
+
+  EngineConfig col_fault_pool_cfg = col_fault_cfg;
+  col_fault_pool_cfg.workers = c.workers;
+  CompareRuns(&ctx, "columnar_vs_slots", faulted.outcomes,
+              Run(c, col_fault_pool_cfg).outcomes, /*compare_stats=*/true,
+              /*compare_cache_flags=*/true);
 
   return report;
 }

@@ -42,6 +42,11 @@ namespace revere::fuzz {
 ///                     direct Answer calls, byte for byte (rows,
 ///                     statuses, completeness accounting) — the
 ///                     overload machinery costs nothing when off
+///   columnar_vs_slots the columnar vectorized engine == the slot
+///                     engine byte for byte (rows, statuses, stats) in
+///                     every configuration — serial and pooled, fault-
+///                     free and faulted — and its answer digest matches
+///                     the map-engine oracle's
 ///
 /// plus cross-cutting stats invariants (peers_contacted bounds,
 /// completeness arithmetic, plan-cache hit/miss flags).

@@ -12,6 +12,8 @@
 #include "src/common/thread_pool.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/query/resolve.h"
+#include "src/query/vectorized.h"
 
 namespace revere::query {
 
@@ -21,30 +23,11 @@ using storage::Row;
 using storage::Table;
 using storage::Value;
 
-/// Resolves every body atom to its table, validating existence + arity.
-Result<std::vector<std::pair<const Table*, const Atom*>>> ResolveAtoms(
-    const storage::Catalog& catalog, const ConjunctiveQuery& query) {
-  std::vector<std::pair<const Table*, const Atom*>> atoms;
-  atoms.reserve(query.body().size());
-  for (const auto& atom : query.body()) {
-    REVERE_ASSIGN_OR_RETURN(const Table* table,
-                            catalog.GetTable(atom.relation));
-    if (table->schema().arity() != atom.args.size()) {
-      return Status::InvalidArgument(
-          "atom " + atom.ToString() + " has arity " +
-          std::to_string(atom.args.size()) + " but relation has " +
-          std::to_string(table->schema().arity()));
-    }
-    atoms.emplace_back(table, &atom);
-  }
-  return atoms;
-}
-
 // ---------------------------------------------------------------------
 // Legacy engine: string-keyed map bindings copied per candidate row.
-// Kept verbatim (EvalOptions::use_slots = false) as the reference
-// implementation for differential tests and as the bench baseline the
-// slot engine is measured against.
+// Kept verbatim (EvalEngine::kMap) as the reference implementation for
+// differential tests and as the bench baseline the slot engine is
+// measured against.
 // ---------------------------------------------------------------------
 
 using ValueBinding = std::map<std::string, Value>;
@@ -364,7 +347,7 @@ Status EvaluateInto(const storage::Catalog& catalog,
                     std::unordered_set<Row, storage::RowHash>* seen,
                     std::vector<Row>* out) {
   REVERE_ASSIGN_OR_RETURN(auto atoms, ResolveAtoms(catalog, query));
-  if (options.use_slots) {
+  if (options.engine == EvalEngine::kSlots) {
     SlotProgram prog = CompileSlots(query, atoms);
     SlotState st(prog, options, seen, out);
     SlotSearch(st, prog.atoms.size());
@@ -387,9 +370,16 @@ Result<std::vector<Row>> EvaluateCQ(const storage::Catalog& catalog,
   static obs::Counter* rows_out =
       obs::MetricsRegistry::Default().GetCounter("eval.rows");
   std::vector<Row> out;
-  std::unordered_set<Row, storage::RowHash> seen;
-  REVERE_RETURN_IF_ERROR(
-      EvaluateInto(catalog, query, options, &seen, &out));
+  if (options.engine == EvalEngine::kColumnar) {
+    // The columnar engine dedups through the allocation-lean RowDedup
+    // (hash index over `out` itself) instead of a side set of Rows.
+    RowDedup dedup(&out);
+    REVERE_RETURN_IF_ERROR(
+        EvaluateColumnarInto(catalog, query, options, &dedup));
+  } else {
+    std::unordered_set<Row, storage::RowHash> seen;
+    REVERE_RETURN_IF_ERROR(EvaluateInto(catalog, query, options, &seen, &out));
+  }
   queries->Increment();
   rows_out->Increment(out.size());
   return out;
@@ -400,7 +390,6 @@ Result<std::vector<Row>> EvaluateUnion(
     const std::vector<ConjunctiveQuery>& queries,
     const EvalOptions& options) {
   std::vector<Row> out;
-  std::unordered_set<Row, storage::RowHash> seen;
   // Syntactically identical members can only reproduce rows the first
   // copy already emitted — evaluate each distinct member once.
   std::unordered_set<std::string> distinct;
@@ -412,8 +401,8 @@ Result<std::vector<Row>> EvaluateUnion(
 
   if (options.pool != nullptr && members.size() > 1) {
     // Parallel path: every member evaluates independently (each with a
-    // private dedup set inside EvaluateCQ), then results merge through
-    // the union-level `seen` in member order — byte-identical to the
+    // private dedup inside EvaluateCQ), then results merge through a
+    // union-level RowDedup in member order — byte-identical to the
     // serial path for any worker count.
     EvalOptions member_options = options;
     member_options.pool = nullptr;
@@ -437,17 +426,22 @@ Result<std::vector<Row>> EvaluateUnion(
       }));
     }
     for (auto& f : futures) f.wait();
+    RowDedup merge(&out);
     for (auto& result : results) {
       if (!result->ok()) return result->status();
       std::vector<Row> rows = std::move(*result).value();
       out.reserve(out.size() + rows.size());
-      for (auto& r : rows) {
-        if (seen.insert(r).second) out.push_back(std::move(r));
-      }
+      for (auto& r : rows) merge.EmitIfNew(std::move(r));
     }
     return out;
   }
 
+  // Serial path: one dedup structure shared across members — the
+  // recursive engines thread an unordered_set through EvaluateInto, the
+  // columnar engine a RowDedup over `out`.
+  std::unordered_set<Row, storage::RowHash> seen;
+  std::optional<RowDedup> dedup;
+  if (options.engine == EvalEngine::kColumnar) dedup.emplace(&out);
   for (size_t i = 0; i < members.size(); ++i) {
     obs::Span span;
     if (options.tracer != nullptr) {  // skip detail alloc when off
@@ -455,8 +449,13 @@ Result<std::vector<Row>> EvaluateUnion(
                                        "member" + std::to_string(i));
     }
     size_t before = out.size();
-    REVERE_RETURN_IF_ERROR(
-        EvaluateInto(catalog, *members[i], options, &seen, &out));
+    if (dedup.has_value()) {
+      REVERE_RETURN_IF_ERROR(
+          EvaluateColumnarInto(catalog, *members[i], options, &*dedup));
+    } else {
+      REVERE_RETURN_IF_ERROR(
+          EvaluateInto(catalog, *members[i], options, &seen, &out));
+    }
     span.AddAttr("rows", static_cast<double>(out.size() - before));
   }
   return out;

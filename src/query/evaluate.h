@@ -19,18 +19,38 @@ class Tracer;
 
 namespace revere::query {
 
+/// Which CQ evaluation engine to run. All three produce byte-identical
+/// results (same rows, same order) — the differential fuzz oracles and
+/// tests/parallel_test.cc enforce this — so the choice is purely a
+/// performance/reference knob.
+enum class EvalEngine {
+  /// The original std::map<std::string, Value> binding engine, kept
+  /// verbatim as the reference implementation (ignores the index
+  /// options below).
+  kMap,
+  /// Slot-compiled bindings: per CQ, variables are mapped to dense
+  /// integer slots once, and the binding is a std::vector<Value> plus a
+  /// bound-bitmask mutated and rolled back in place during the search —
+  /// no per-row map copies.
+  kSlots,
+  /// Columnar vectorized engine (ISSUE 7): evaluates against each
+  /// table's dictionary-encoded ColumnTable snapshot, joining and
+  /// filtering on integer codes in ~1024-tuple batches over a bump
+  /// arena, materializing Rows only at the output boundary. Replays the
+  /// slot engine's greedy join order (which is query-static), so output
+  /// is byte-identical. Ignores the index options below — the snapshot
+  /// carries a grouped index on every column.
+  kColumnar,
+};
+
 /// Knobs for conjunctive-query evaluation. The defaults are the fast
 /// path; the legacy knobs exist so benches can measure each optimization
 /// in isolation and tests can differentially check the engines against
 /// each other.
 struct EvalOptions {
-  /// Slot-compiled bindings: per CQ, variables are mapped to dense
-  /// integer slots once, and the binding is a std::vector<Value> plus a
-  /// bound-bitmask mutated and rolled back in place during the search —
-  /// no per-row map copies. false selects the original
-  /// std::map<std::string, Value> engine, kept verbatim as a reference
-  /// implementation (it ignores the index options below).
-  bool use_slots = true;
+  /// See EvalEngine. kSlots remains the default serving engine;
+  /// kColumnar is the vectorized fast path for read-heavy workloads.
+  EvalEngine engine = EvalEngine::kSlots;
   /// When the join order picks an atom with a bound position that has
   /// no index, build (and memoize on the Table) a hash index for that
   /// column instead of scanning. Indexes are never evicted.

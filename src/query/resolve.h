@@ -1,0 +1,38 @@
+#ifndef REVERE_QUERY_RESOLVE_H_
+#define REVERE_QUERY_RESOLVE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/query/cq.h"
+#include "src/storage/catalog.h"
+
+namespace revere::query {
+
+/// Resolves every body atom to its table, validating existence + arity.
+/// Shared by all evaluation engines so they agree byte-for-byte on
+/// error outcomes too (the differential fuzz oracles compare failure
+/// messages across engines, not just result rows).
+inline Result<std::vector<std::pair<const storage::Table*, const Atom*>>>
+ResolveAtoms(const storage::Catalog& catalog, const ConjunctiveQuery& query) {
+  std::vector<std::pair<const storage::Table*, const Atom*>> atoms;
+  atoms.reserve(query.body().size());
+  for (const auto& atom : query.body()) {
+    REVERE_ASSIGN_OR_RETURN(const storage::Table* table,
+                            catalog.GetTable(atom.relation));
+    if (table->schema().arity() != atom.args.size()) {
+      return Status::InvalidArgument(
+          "atom " + atom.ToString() + " has arity " +
+          std::to_string(atom.args.size()) + " but relation has " +
+          std::to_string(table->schema().arity()));
+    }
+    atoms.emplace_back(table, &atom);
+  }
+  return atoms;
+}
+
+}  // namespace revere::query
+
+#endif  // REVERE_QUERY_RESOLVE_H_

@@ -1,0 +1,502 @@
+#include "src/query/vectorized.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/common/arena.h"
+#include "src/obs/metrics.h"
+#include "src/query/resolve.h"
+#include "src/storage/column_table.h"
+
+namespace revere::query {
+
+namespace {
+
+using storage::ColumnTable;
+using storage::Row;
+using storage::Table;
+using storage::Value;
+
+/// Tuples per batch through the join pipeline. Small enough that a
+/// batch's row-id arrays stay cache-resident, large enough to amortize
+/// the per-chunk setup.
+constexpr size_t kChunkRows = 1024;
+constexpr uint32_t kNoCode = ColumnTable::kNoCode;
+
+// ---------------------------------------------------------------------
+// Plan: the slot engine's query-static join order, compiled to integer
+// code comparisons against ColumnTable snapshots.
+// ---------------------------------------------------------------------
+
+/// One residual equality constraint on a candidate row: position `col`
+/// of this step's table must decode to the same Value as the source —
+/// a query constant, a variable bound by an earlier step, or an earlier
+/// position of this same atom (repeated variable). All three reduce to
+/// one uint32 comparison: candidate code vs an expected code obtained
+/// through the source column's translation array (kNoCode = the source
+/// value does not occur in this column at all, so nothing matches).
+struct Check {
+  size_t col = 0;
+  bool is_const = false;
+  uint32_t const_code = kNoCode;
+  /// Variable source: step and column of the binding site. `intra` when
+  /// the binding site is an earlier position of this same step, in
+  /// which case the expected code is computed per candidate row rather
+  /// than hoisted per tuple.
+  size_t src_step = 0;
+  size_t src_col = 0;
+  bool intra = false;
+  /// Same snapshot + same column: codes compare directly, no table.
+  bool identity = false;
+  /// src dict code -> this column's code (kNoCode on miss). Built once
+  /// per plan — O(|src dict|) Value hashes — so the per-row loops never
+  /// hash or compare Values.
+  std::vector<uint32_t> xlate;
+  /// Raw code vectors (into the snapshots the plan's steps keep alive).
+  const uint32_t* col_codes = nullptr;
+  const uint32_t* src_codes = nullptr;
+};
+
+struct ExecStep {
+  std::shared_ptr<const ColumnTable> snap;
+  /// Probe position (-1 = full scan): the first position bound at entry
+  /// — a constant or a variable bound by an earlier step. Candidates
+  /// come from the grouped index range for the probe code, which both
+  /// subsumes the equality check at that position and enumerates rows
+  /// in ascending order, exactly like Table::LookupIndices. The choice
+  /// of probe column never affects output: the residual checks accept
+  /// the same row set and every enumeration path is ascending.
+  int probe_col = -1;
+  bool probe_is_const = false;
+  uint32_t probe_const_code = kNoCode;
+  size_t probe_src_step = 0;
+  size_t probe_src_col = 0;
+  bool probe_identity = false;
+  std::vector<uint32_t> probe_xlate;
+  const uint32_t* probe_src_codes = nullptr;
+  std::vector<Check> checks;
+};
+
+/// One head position: a constant, a bound variable's (step, col) site,
+/// or an unbound variable (null Value), mirroring the slot engine's
+/// head emission.
+struct HeadSlot {
+  const Value* constant = nullptr;
+  int step = -1;
+  size_t col = 0;
+};
+
+struct ColumnarPlan {
+  std::vector<ExecStep> steps;
+  std::vector<HeadSlot> head;
+};
+
+std::vector<uint32_t> BuildXlate(const ColumnTable::Column& src,
+                                 const ColumnTable& dst, size_t dst_col) {
+  std::vector<uint32_t> x(src.dict.size());
+  for (size_t i = 0; i < src.dict.size(); ++i) {
+    x[i] = dst.CodeOf(dst_col, src.dict[i]);
+  }
+  return x;
+}
+
+ColumnarPlan Compile(
+    const ConjunctiveQuery& query,
+    const std::vector<std::pair<const Table*, const Atom*>>& atoms) {
+  ColumnarPlan plan;
+  // Replay the slot engine's greedy most-bound-first atom order (ties:
+  // lowest atom index). The order is query-static: once an atom is
+  // solved, every one of its variables is bound, so the bound set after
+  // k steps is the union of those atoms' variables regardless of row
+  // values — which is what lets this breadth-style batch pipeline
+  // reproduce the slot engine's DFS emission order byte for byte.
+  const size_t n = atoms.size();
+  std::vector<size_t> order;
+  order.reserve(n);
+  std::vector<bool> done(n, false);
+  std::unordered_set<std::string> bound_vars;
+  for (size_t round = 0; round < n; ++round) {
+    size_t best = n;
+    int best_bound = -1;
+    for (size_t i = 0; i < n; ++i) {
+      if (done[i]) continue;
+      int b = 0;
+      for (const QTerm& t : atoms[i].second->args) {
+        if (!t.is_var() || bound_vars.count(t.var()) > 0) ++b;
+      }
+      if (b > best_bound) {
+        best_bound = b;
+        best = i;
+      }
+    }
+    done[best] = true;
+    order.push_back(best);
+    for (const QTerm& t : atoms[best].second->args) {
+      if (t.is_var()) bound_vars.insert(t.var());
+    }
+  }
+
+  struct Site {
+    size_t step;
+    size_t col;
+  };
+  std::unordered_map<std::string, Site> site_of;
+  plan.steps.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    const Table* table = atoms[order[s]].first;
+    const Atom& atom = *atoms[order[s]].second;
+    ExecStep step;
+    step.snap = table->EnsureColumnar();
+    // Pass 1 — probe: first position bound at entry (sites from earlier
+    // steps only; this atom's own sites are assigned in pass 2).
+    for (size_t c = 0; c < atom.args.size(); ++c) {
+      const QTerm& t = atom.args[c];
+      if (!t.is_var()) {
+        step.probe_col = static_cast<int>(c);
+        step.probe_is_const = true;
+        step.probe_const_code = step.snap->CodeOf(c, t.value());
+        break;
+      }
+      auto it = site_of.find(t.var());
+      if (it == site_of.end()) continue;
+      step.probe_col = static_cast<int>(c);
+      step.probe_src_step = it->second.step;
+      step.probe_src_col = it->second.col;
+      const ColumnTable& src_snap = *plan.steps[it->second.step].snap;
+      step.probe_src_codes = src_snap.column(it->second.col).codes.data();
+      step.probe_identity =
+          &src_snap == step.snap.get() && it->second.col == c;
+      if (!step.probe_identity) {
+        step.probe_xlate =
+            BuildXlate(src_snap.column(it->second.col), *step.snap, c);
+      }
+      break;
+    }
+    // Pass 2 — classify the remaining positions: new binding sites
+    // (first occurrence of a variable: no constraint, the candidate row
+    // defines the value) and residual checks.
+    for (size_t c = 0; c < atom.args.size(); ++c) {
+      if (static_cast<int>(c) == step.probe_col) continue;  // subsumed
+      const QTerm& t = atom.args[c];
+      if (!t.is_var()) {
+        Check ck;
+        ck.col = c;
+        ck.is_const = true;
+        ck.const_code = step.snap->CodeOf(c, t.value());
+        ck.col_codes = step.snap->column(c).codes.data();
+        step.checks.push_back(std::move(ck));
+        continue;
+      }
+      auto [it, inserted] = site_of.emplace(t.var(), Site{s, c});
+      if (inserted) continue;  // binds here, checked nowhere
+      Check ck;
+      ck.col = c;
+      ck.src_step = it->second.step;
+      ck.src_col = it->second.col;
+      ck.intra = ck.src_step == s;
+      const ColumnTable* src_snap =
+          ck.intra ? step.snap.get() : plan.steps[ck.src_step].snap.get();
+      ck.identity = src_snap == step.snap.get() && ck.src_col == c;
+      ck.col_codes = step.snap->column(c).codes.data();
+      ck.src_codes = src_snap->column(ck.src_col).codes.data();
+      if (!ck.identity) {
+        ck.xlate = BuildXlate(src_snap->column(ck.src_col), *step.snap, c);
+      }
+      step.checks.push_back(std::move(ck));
+    }
+    plan.steps.push_back(std::move(step));
+  }
+
+  plan.head.reserve(query.head().size());
+  for (const QTerm& t : query.head()) {
+    HeadSlot h;
+    if (!t.is_var()) {
+      h.constant = &t.value();
+    } else {
+      auto it = site_of.find(t.var());
+      if (it != site_of.end()) {
+        h.step = static_cast<int>(it->second.step);
+        h.col = it->second.col;
+      }
+    }
+    plan.head.push_back(h);
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------
+// Execution: chunked batch pipeline over an arena.
+// ---------------------------------------------------------------------
+
+/// Dictionary-decodes one completed tuple into a Row and dedups it —
+/// the only place this engine touches Values on the data path.
+void MaterializeTuple(const ColumnarPlan& plan, uint32_t* const* cols,
+                      size_t t, RowDedup* dedup) {
+  Row result;
+  result.reserve(plan.head.size());
+  for (const HeadSlot& h : plan.head) {
+    if (h.constant != nullptr) {
+      result.push_back(*h.constant);
+    } else if (h.step >= 0) {
+      result.push_back(plan.steps[h.step].snap->ValueAt(h.col, cols[h.step][t]));
+    } else {
+      result.emplace_back();
+    }
+  }
+  dedup->EmitIfNew(std::move(result));
+}
+
+}  // namespace
+
+RowDedup::RowDedup(std::vector<Row>* out) : out_(out) {
+  size_t slots = 64;
+  while (slots < out_->size() * 2) slots *= 2;
+  table_.assign(slots, 0);
+  mask_ = slots - 1;
+  hashes_.reserve(out_->size());
+  for (size_t i = 0; i < out_->size(); ++i) {
+    hashes_.push_back(storage::HashRow((*out_)[i]));
+    InsertIndexed(hashes_.back(), i);
+  }
+}
+
+void RowDedup::Grow() {
+  table_.assign(table_.size() * 2, 0);
+  mask_ = table_.size() - 1;
+  // Re-seat every row by its cached hash — row contents untouched.
+  for (size_t i = 0; i < hashes_.size(); ++i) {
+    size_t slot = hashes_[i] & mask_;
+    while (table_[slot] != 0) slot = (slot + 1) & mask_;
+    table_[slot] = static_cast<uint32_t>(i + 1);
+  }
+}
+
+bool RowDedup::InsertIndexed(uint64_t h, size_t index) {
+  size_t slot = h & mask_;
+  while (true) {
+    uint32_t e = table_[slot];
+    if (e == 0) {
+      table_[slot] = static_cast<uint32_t>(index + 1);
+      return true;
+    }
+    if (hashes_[e - 1] == h && (*out_)[e - 1] == (*out_)[index]) return false;
+    slot = (slot + 1) & mask_;
+  }
+}
+
+bool RowDedup::EmitIfNew(Row&& r) {
+  // Keep load factor under 1/2 so linear probes stay short.
+  if ((hashes_.size() + 1) * 2 > table_.size()) Grow();
+  uint64_t h = storage::HashRow(r);
+  size_t slot = h & mask_;
+  while (true) {
+    uint32_t e = table_[slot];
+    if (e == 0) {
+      out_->push_back(std::move(r));
+      hashes_.push_back(h);
+      table_[slot] = static_cast<uint32_t>(out_->size());
+      return true;
+    }
+    if (hashes_[e - 1] == h && (*out_)[e - 1] == r) return false;
+    slot = (slot + 1) & mask_;
+  }
+}
+
+Status EvaluateColumnarInto(const storage::Catalog& catalog,
+                            const ConjunctiveQuery& query,
+                            const EvalOptions& options, RowDedup* dedup) {
+  // Columnar counters (ISSUE 7), mirroring the eval.* convention:
+  // resolved once, relaxed atomic adds after that.
+  static obs::Counter* batches =
+      obs::MetricsRegistry::Default().GetCounter("columnar.batches");
+  static obs::Counter* rows_mat =
+      obs::MetricsRegistry::Default().GetCounter("columnar.rows_materialized");
+  static obs::Counter* arena_bytes =
+      obs::MetricsRegistry::Default().GetCounter("columnar.arena_bytes");
+  static obs::Gauge* dict_entries =
+      obs::MetricsRegistry::Default().GetGauge("columnar.dict_entries");
+
+  // The index knobs are meaningless here (every snapshot column carries
+  // a grouped index); the pool/tracer knobs are handled by
+  // EvaluateUnion, exactly as for the other engines.
+  (void)options;
+
+  REVERE_ASSIGN_OR_RETURN(auto atoms, ResolveAtoms(catalog, query));
+  ColumnarPlan plan = Compile(query, atoms);
+
+  {
+    size_t total = 0;
+    std::unordered_set<const ColumnTable*> distinct;
+    for (const auto& s : plan.steps) {
+      if (distinct.insert(s.snap.get()).second) total += s.snap->dict_entries();
+    }
+    dict_entries->Set(static_cast<int64_t>(total));
+  }
+
+  const size_t nsteps = plan.steps.size();
+  if (nsteps == 0) {
+    // Body-free query: one head row of constants / nulls — the same
+    // base case the recursive engines hit at remaining == 0.
+    uint32_t* no_cols = nullptr;
+    MaterializeTuple(plan, &no_cols, 0, dedup);
+    rows_mat->Increment();
+    return Status::Ok();
+  }
+
+  // Step-0 candidate stream: a grouped-index range when the atom has a
+  // constant (step 0 has no earlier bindings, so a probe can only be a
+  // constant), else the whole table — either way ascending row ids,
+  // consumed in kChunkRows slices.
+  const ExecStep& s0 = plan.steps[0];
+  const uint32_t* cand0 = nullptr;
+  size_t cand0_n = 0;
+  if (s0.probe_col >= 0) {
+    if (s0.probe_const_code == kNoCode) return Status::Ok();
+    const auto& pc = s0.snap->column(s0.probe_col);
+    cand0 = pc.group_rows.data() + pc.group_offsets[s0.probe_const_code];
+    cand0_n = pc.group_offsets[s0.probe_const_code + 1] -
+              pc.group_offsets[s0.probe_const_code];
+  } else {
+    cand0_n = s0.snap->row_count();
+  }
+
+  Arena arena;
+  std::vector<uint32_t*> cols, newcols;
+  std::vector<uint32_t> expected;  // hoisted per-tuple codes, per check
+  for (size_t off = 0; off < cand0_n; off += kChunkRows) {
+    const size_t len = std::min(kChunkRows, cand0_n - off);
+    arena.Reset();
+    batches->Increment();
+
+    // Stage 0: filter this chunk's candidates into a selection vector.
+    uint32_t* sel = arena.AllocateArray<uint32_t>(len);
+    size_t size = 0;
+    for (size_t i = 0; i < len; ++i) {
+      uint32_t r =
+          cand0 != nullptr ? cand0[off + i] : static_cast<uint32_t>(off + i);
+      bool pass = true;
+      for (const Check& ck : s0.checks) {
+        // Step 0 checks are constants or intra-atom repeats only.
+        uint32_t want;
+        if (ck.is_const) {
+          want = ck.const_code;
+        } else {
+          uint32_t sc = ck.src_codes[r];
+          want = ck.identity ? sc : ck.xlate[sc];
+        }
+        if (ck.col_codes[r] != want) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) sel[size++] = r;
+    }
+    cols.assign(1, sel);
+
+    // Join pipeline: expand the batch through steps 1..n-1. Each output
+    // tuple is one row-id per joined step, stored column-wise in arena
+    // arrays that grow geometrically.
+    for (size_t s = 1; s < nsteps && size > 0; ++s) {
+      const ExecStep& st = plan.steps[s];
+      size_t cap = std::max<size_t>(size, 64);
+      newcols.assign(s + 1, nullptr);
+      for (size_t j = 0; j <= s; ++j) {
+        newcols[j] = arena.AllocateArray<uint32_t>(cap);
+      }
+      size_t nsize = 0;
+      auto grow = [&]() {
+        cap *= 2;
+        for (size_t j = 0; j <= s; ++j) {
+          uint32_t* p = arena.AllocateArray<uint32_t>(cap);
+          std::memcpy(p, newcols[j], nsize * sizeof(uint32_t));
+          newcols[j] = p;
+        }
+      };
+      expected.resize(st.checks.size());
+      for (size_t t = 0; t < size; ++t) {
+        // Probe: translate the tuple's bound code into this table's
+        // code space and take the grouped-index range.
+        const uint32_t* cand = nullptr;
+        size_t cn = 0;
+        if (st.probe_col >= 0) {
+          uint32_t key;
+          if (st.probe_is_const) {
+            key = st.probe_const_code;
+          } else {
+            uint32_t sc = st.probe_src_codes[cols[st.probe_src_step][t]];
+            key = st.probe_identity ? sc : st.probe_xlate[sc];
+          }
+          if (key == kNoCode) continue;
+          const auto& pc = st.snap->column(st.probe_col);
+          cand = pc.group_rows.data() + pc.group_offsets[key];
+          cn = pc.group_offsets[key + 1] - pc.group_offsets[key];
+        } else {
+          cn = st.snap->row_count();
+        }
+        if (cn == 0) continue;
+        // Hoist the expected code of every earlier-step check once per
+        // tuple; a kNoCode means the bound value is absent from the
+        // checked column, so no candidate can match.
+        bool dead = false;
+        for (size_t k = 0; k < st.checks.size(); ++k) {
+          const Check& ck = st.checks[k];
+          if (ck.is_const) {
+            expected[k] = ck.const_code;
+          } else if (!ck.intra) {
+            uint32_t sc = ck.src_codes[cols[ck.src_step][t]];
+            expected[k] = ck.identity ? sc : ck.xlate[sc];
+          } else {
+            continue;  // intra: per-candidate below
+          }
+          if (expected[k] == kNoCode) {
+            dead = true;
+            break;
+          }
+        }
+        if (dead) continue;
+        for (size_t i = 0; i < cn; ++i) {
+          uint32_t r = cand != nullptr ? cand[i] : static_cast<uint32_t>(i);
+          bool pass = true;
+          for (size_t k = 0; k < st.checks.size(); ++k) {
+            const Check& ck = st.checks[k];
+            uint32_t want;
+            if (ck.intra) {
+              uint32_t sc = ck.src_codes[r];
+              want = ck.identity ? sc : ck.xlate[sc];
+            } else {
+              want = expected[k];
+            }
+            if (ck.col_codes[r] != want) {
+              pass = false;
+              break;
+            }
+          }
+          if (!pass) continue;
+          if (nsize == cap) grow();
+          for (size_t j = 0; j < s; ++j) newcols[j][nsize] = cols[j][t];
+          newcols[s][nsize] = r;
+          ++nsize;
+        }
+      }
+      cols = newcols;
+      size = nsize;
+    }
+
+    // Output boundary: decode + dedup, in pipeline (= DFS) order.
+    for (size_t t = 0; t < size; ++t) {
+      MaterializeTuple(plan, cols.data(), t, dedup);
+    }
+    rows_mat->Increment(size);
+  }
+  arena_bytes->Increment(arena.bytes_reserved());
+  return Status::Ok();
+}
+
+}  // namespace revere::query

@@ -1,0 +1,77 @@
+#ifndef REVERE_QUERY_VECTORIZED_H_
+#define REVERE_QUERY_VECTORIZED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/query/cq.h"
+#include "src/query/evaluate.h"
+#include "src/storage/catalog.h"
+
+namespace revere::query {
+
+/// Order-preserving set of output rows: an open-addressing hash index
+/// over the rows already appended to `*out`. Each row is stored exactly
+/// once (in the output vector itself); the index keeps only cached
+/// 64-bit hashes and row positions, so inserting n unique rows costs n
+/// string hashes total — no per-row node allocation, no copy into a
+/// side set, and no re-hashing of row contents when the table grows.
+///
+/// Semantics are identical to the unordered_set<Row> dedup the
+/// recursive engines use: first occurrence wins, equality is the strict
+/// (type-exact) Row operator==. The columnar engine emits through this
+/// at its output boundary, and the parallel union merge uses it for
+/// every engine.
+class RowDedup {
+ public:
+  /// Indexes any rows already in `*out` (callers normally start empty)
+  /// and appends through it from then on. `out` must outlive the dedup
+  /// and must not be modified behind its back.
+  explicit RowDedup(std::vector<storage::Row>* out);
+
+  /// Appends `r` to the output if no equal row is present yet; returns
+  /// whether it was appended.
+  bool EmitIfNew(storage::Row&& r);
+
+  size_t size() const { return hashes_.size(); }
+
+ private:
+  void Grow();
+  /// Probes for `h`/row-at-`index` assuming capacity is available;
+  /// records the slot. Returns false if an equal row already exists.
+  bool InsertIndexed(uint64_t h, size_t index);
+
+  std::vector<storage::Row>* out_;
+  std::vector<uint64_t> hashes_;  // hashes_[i] == HashRow((*out_)[i])
+  std::vector<uint32_t> table_;   // open addressing; row index + 1, 0 = empty
+  size_t mask_ = 0;
+};
+
+/// Columnar, vectorized CQ evaluation (ISSUE 7; EvalEngine::kColumnar).
+///
+/// Instead of walking Row vectors with backtracking Value comparisons,
+/// this engine evaluates against each table's dictionary-encoded
+/// ColumnTable snapshot (Table::EnsureColumnar): every filter and join
+/// compares dense uint32 codes, probes are grouped-index range scans
+/// with zero hashing, and cross-table code spaces are bridged by
+/// translation arrays built once per plan step. Tuples flow through the
+/// join pipeline in chunks of ~1024 as parallel row-id arrays allocated
+/// from a bump Arena (steady-state batches perform zero heap
+/// allocations); Rows are materialized — dictionary decode — only at
+/// the output boundary, where they emit through `dedup`.
+///
+/// Output contract: byte-identical to the slot engine — same rows, same
+/// order, for every query. The slot engine's greedy most-bound-first
+/// atom order depends only on which atoms are solved (never on row
+/// values), so this engine replays that order statically; all candidate
+/// enumeration paths are ascending-row-order, matching the slot
+/// engine's LookupIndices/scan order; and RowDedup preserves the
+/// first-occurrence-wins semantics of the other engines' seen sets.
+Status EvaluateColumnarInto(const storage::Catalog& catalog,
+                            const ConjunctiveQuery& query,
+                            const EvalOptions& options, RowDedup* dedup);
+
+}  // namespace revere::query
+
+#endif  // REVERE_QUERY_VECTORIZED_H_

@@ -1,0 +1,48 @@
+#include "src/storage/column_table.h"
+
+namespace revere::storage {
+
+std::shared_ptr<const ColumnTable> ColumnTable::Build(
+    const std::vector<Row>& rows, size_t arity, uint64_t generation) {
+  auto ct = std::shared_ptr<ColumnTable>(new ColumnTable());
+  ct->generation_ = generation;
+  ct->row_count_ = rows.size();
+  ct->columns_.resize(arity);
+  for (size_t col = 0; col < arity; ++col) {
+    Column& c = ct->columns_[col];
+    c.codes.reserve(rows.size());
+    // Encode: one dictionary probe per cell; dictionaries stay dense
+    // and deterministic because codes are assigned in row order.
+    for (const Row& row : rows) {
+      auto [it, inserted] = c.code_of.emplace(
+          row[col], static_cast<uint32_t>(c.dict.size()));
+      if (inserted) c.dict.push_back(row[col]);
+      c.codes.push_back(it->second);
+    }
+    // Grouped index: stable counting sort by code. Within a code, rows
+    // stay in ascending order — the enumeration order every other
+    // access path (LookupIndices chains, scans) also uses, which the
+    // byte-identical-answers contract depends on.
+    c.group_offsets.assign(c.dict.size() + 1, 0);
+    for (uint32_t code : c.codes) ++c.group_offsets[code + 1];
+    for (size_t i = 1; i < c.group_offsets.size(); ++i) {
+      c.group_offsets[i] += c.group_offsets[i - 1];
+    }
+    c.group_rows.resize(c.codes.size());
+    std::vector<uint32_t> cursor(c.group_offsets.begin(),
+                                 c.group_offsets.end() - 1);
+    for (uint32_t r = 0; r < c.codes.size(); ++r) {
+      c.group_rows[cursor[c.codes[r]]++] = r;
+    }
+    ct->dict_entries_ += c.dict.size();
+  }
+  return ct;
+}
+
+uint32_t ColumnTable::CodeOf(size_t col, const Value& v) const {
+  const Column& c = columns_[col];
+  auto it = c.code_of.find(v);
+  return it == c.code_of.end() ? kNoCode : it->second;
+}
+
+}  // namespace revere::storage

@@ -14,6 +14,8 @@ Table::Table(Table&& other) noexcept {
   rows_ = std::move(other.rows_);
   indexes_ = std::move(other.indexes_);
   index_dirty_ = other.index_dirty_;
+  generation_ = other.generation_;
+  columnar_ = std::move(other.columnar_);
 }
 
 Table& Table::operator=(Table&& other) noexcept {
@@ -25,6 +27,8 @@ Table& Table::operator=(Table&& other) noexcept {
     rows_ = std::move(other.rows_);
     indexes_ = std::move(other.indexes_);
     index_dirty_ = other.index_dirty_;
+    generation_ = other.generation_;
+    columnar_ = std::move(other.columnar_);
   }
   return *this;
 }
@@ -45,12 +49,33 @@ Status Table::Insert(Row row) {
       index[stored[col]].push_back(idx);
     }
   }
+  ++generation_;
+  columnar_.reset();
   return Status::Ok();
 }
 
 Status Table::InsertAll(const std::vector<Row>& rows) {
+  // All-or-nothing: validate every row before touching storage, so an
+  // invalid row anywhere in the batch leaves the table exactly as it
+  // was (no partially applied batch to account for).
   for (const auto& r : rows) {
-    REVERE_RETURN_IF_ERROR(Insert(r));
+    REVERE_RETURN_IF_ERROR(schema_.ValidateRow(r));
+  }
+  std::unique_lock lock(index_mu_);
+  rows_.reserve(rows_.size() + rows.size());
+  for (const auto& r : rows) {
+    size_t idx = rows_.size();
+    rows_.push_back(r);
+    if (!index_dirty_) {
+      const Row& stored = rows_.back();
+      for (auto& [col, index] : indexes_) {
+        index[stored[col]].push_back(idx);
+      }
+    }
+  }
+  if (!rows.empty()) {
+    ++generation_;
+    columnar_.reset();
   }
   return Status::Ok();
 }
@@ -63,6 +88,8 @@ Status Table::Delete(const Row& row) {
   }
   rows_.erase(it);
   index_dirty_ = true;
+  ++generation_;
+  columnar_.reset();
   return Status::Ok();
 }
 
@@ -74,7 +101,11 @@ size_t Table::DeleteWhere(size_t column, const Value& key) {
                              [&](const Row& r) { return r[column] == key; }),
               rows_.end());
   size_t removed = before - rows_.size();
-  if (removed > 0) index_dirty_ = true;
+  if (removed > 0) {
+    index_dirty_ = true;
+    ++generation_;
+    columnar_.reset();
+  }
   return removed;
 }
 
@@ -83,11 +114,18 @@ void Table::Clear() {
   rows_.clear();
   for (auto& [col, index] : indexes_) index.clear();
   index_dirty_ = false;
+  ++generation_;
+  columnar_.reset();
 }
 
 size_t Table::size() const {
   std::shared_lock lock(index_mu_);
   return rows_.size();
+}
+
+uint64_t Table::generation() const {
+  std::shared_lock lock(index_mu_);
+  return generation_;
 }
 
 void Table::BuildIndexLocked(size_t column) const {
@@ -122,6 +160,22 @@ Status Table::EnsureIndex(size_t column) const {
   // Double-checked: another thread may have built it between the locks.
   if (indexes_.count(column) == 0) BuildIndexLocked(column);
   return Status::Ok();
+}
+
+std::shared_ptr<const ColumnTable> Table::EnsureColumnar() const {
+  {
+    // Fast path: a current snapshot exists (mutators reset columnar_,
+    // so presence alone proves generation match — the stamp is kept for
+    // callers that audit staleness themselves).
+    std::shared_lock lock(index_mu_);
+    if (columnar_ != nullptr) return columnar_;
+  }
+  std::unique_lock lock(index_mu_);
+  // Double-checked: another reader may have built it between the locks.
+  if (columnar_ == nullptr) {
+    columnar_ = ColumnTable::Build(rows_, schema_.arity(), generation_);
+  }
+  return columnar_;
 }
 
 bool Table::HasIndex(size_t column) const {
@@ -173,40 +227,6 @@ std::vector<size_t> Table::LookupIndices(size_t column,
   if (idx_it == indexes_.end()) return out;  // defensive; never erased
   auto hit = idx_it->second.find(key);
   if (hit != idx_it->second.end()) return hit->second;
-  return out;
-}
-
-std::vector<Row> Table::Lookup(size_t column, const Value& key) const {
-  std::vector<Row> out;
-  if (column >= schema_.arity()) return out;
-  // Row copies must happen under the same lock hold as the probe: a row
-  // index is only meaningful while no writer can reorder/erase rows_.
-  auto emit = [&](const std::vector<size_t>& hits) {
-    out.reserve(hits.size());
-    for (size_t i : hits) out.push_back(rows_[i]);
-  };
-  {
-    std::shared_lock lock(index_mu_);
-    auto idx_it = indexes_.find(column);
-    if (idx_it == indexes_.end()) {
-      for (const Row& row : rows_) {
-        if (row[column] == key) out.push_back(row);
-      }
-      return out;
-    }
-    if (!index_dirty_) {
-      auto hit = idx_it->second.find(key);
-      if (hit != idx_it->second.end()) emit(hit->second);
-      return out;
-    }
-  }
-  std::unique_lock lock(index_mu_);
-  ReindexIfDirtyLocked();
-  auto idx_it = indexes_.find(column);
-  if (idx_it != indexes_.end()) {
-    auto hit = idx_it->second.find(key);
-    if (hit != idx_it->second.end()) emit(hit->second);
-  }
   return out;
 }
 

@@ -1,29 +1,34 @@
 #ifndef REVERE_STORAGE_TABLE_H_
 #define REVERE_STORAGE_TABLE_H_
 
+#include <cstdint>
+#include <memory>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/storage/column_table.h"
 #include "src/storage/schema.h"
 #include "src/storage/value.h"
 
 namespace revere::storage {
 
-/// One stored relation: a schema, a row store, and optional per-column
-/// hash indexes. Bag semantics (duplicates allowed) — REVERE's MANGROVE
-/// layer deliberately defers uniqueness constraints to applications.
+/// One stored relation: a schema, a row store, optional per-column
+/// hash indexes, and a lazily built columnar snapshot. Bag semantics
+/// (duplicates allowed) — REVERE's MANGROVE layer deliberately defers
+/// uniqueness constraints to applications.
 ///
 /// Concurrency contract: every member function is internally
-/// synchronized against every other — rows_ and the index cache are
-/// guarded by one shared_mutex, readers (Lookup/LookupIndices/size/
-/// HasIndex/EnsureIndex) take shared locks and mutators (Insert/
-/// Delete*/Clear/CreateIndex) exclusive ones — so concurrent
-/// Insert+LookupIndices is safe and the parallel query evaluator can
-/// build indexes on demand from const tables. The two exceptions,
-/// which require quiescence (no concurrent writers):
+/// synchronized against every other — rows_, the index cache, and the
+/// columnar cache are guarded by one shared_mutex, readers
+/// (LookupIndices/size/HasIndex/EnsureIndex/EnsureColumnar) take shared
+/// locks and mutators (Insert*/Delete*/Clear/CreateIndex) exclusive
+/// ones — so concurrent Insert+LookupIndices is safe and the parallel
+/// query evaluator can build indexes and columnar snapshots on demand
+/// from const tables. The two exceptions, which require quiescence (no
+/// concurrent writers):
 ///   - rows(): hands out an unguarded reference into row storage (the
 ///     evaluator's scan path relies on this being zero-cost); callers
 ///     must not mutate the table while holding it.
@@ -31,6 +36,9 @@ namespace revere::storage {
 ///     cache may be mid-build on another thread), but moving a table
 ///     someone else is concurrently writing is undefined, as for every
 ///     standard container.
+/// EnsureColumnar is safe even against concurrent writers: the snapshot
+/// it returns is immutable and refcounted, so it stays valid after the
+/// table mutates (the next call just builds a fresh one).
 class Table {
  public:
   explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
@@ -49,7 +57,11 @@ class Table {
 
   /// Appends `row` after schema validation.
   Status Insert(Row row);
-  /// Appends all rows; stops at the first invalid one.
+  /// Appends all rows, all-or-nothing: every row is validated up front
+  /// and the batch is applied only when every row passes, so a failed
+  /// call leaves the table untouched (ISSUE 7 regression: the previous
+  /// version stopped at the first invalid row, leaving a partially
+  /// applied batch with no indication of how many rows landed).
   Status InsertAll(const std::vector<Row>& rows);
 
   /// Removes the first row equal to `row`; NotFound if absent.
@@ -72,12 +84,23 @@ class Table {
   /// Number of indexed columns (instrumentation for tests/benches).
   size_t index_count() const;
 
-  /// All rows whose `column` equals `key`. Uses the hash index when one
-  /// exists, else scans.
-  std::vector<Row> Lookup(size_t column, const Value& key) const;
-
-  /// Row indices for Lookup — used by executors that need positions.
+  /// Row indices whose `column` equals `key`, ascending. Uses the hash
+  /// index when one exists, else scans. Pair with rows() under the
+  /// quiescence contract to read the matching rows without copies.
   std::vector<size_t> LookupIndices(size_t column, const Value& key) const;
+
+  /// Memoized columnar snapshot (ISSUE 7): dictionary-encoded column
+  /// vectors plus grouped row-id indexes, built lazily under the same
+  /// generation discipline as the index cache — any mutation bumps the
+  /// data generation and the next call rebuilds. The returned snapshot
+  /// is immutable and remains valid (frozen at its generation) even if
+  /// the table mutates afterwards. const: only the mutable cache
+  /// changes; safe from concurrent readers AND concurrent writers.
+  std::shared_ptr<const ColumnTable> EnsureColumnar() const;
+
+  /// Data-version counter: bumped by every successful mutation. A
+  /// ColumnTable snapshot is current iff its generation() matches.
+  uint64_t generation() const;
 
  private:
   /// Rebuilds every index after deletions. Caller holds index_mu_.
@@ -87,10 +110,11 @@ class Table {
 
   TableSchema schema_;
   std::vector<Row> rows_;
-  /// Guards rows_, indexes_, and index_dirty_ for every member
-  /// function (rows() excepted — see the class contract). Readers
-  /// (probes, scans) take shared locks; row mutation, index builds,
-  /// and reindexing take exclusive locks.
+  /// Guards rows_, indexes_, index_dirty_, generation_, and columnar_
+  /// for every member function (rows() excepted — see the class
+  /// contract). Readers (probes, scans, snapshot reuse) take shared
+  /// locks; row mutation, index builds, reindexing, and columnar
+  /// rebuilds take exclusive locks.
   mutable std::shared_mutex index_mu_;
   // column -> (value -> row indices). Rebuilt lazily after deletions.
   mutable std::unordered_map<size_t,
@@ -98,6 +122,12 @@ class Table {
                                                 ValueHash>>
       indexes_;
   mutable bool index_dirty_ = false;
+  /// Bumped on every successful mutation; stamps columnar snapshots.
+  uint64_t generation_ = 0;
+  /// Columnar snapshot for generation columnar_->generation(), or null.
+  /// Mutators reset it (memory is freed eagerly; readers holding the
+  /// shared_ptr keep their snapshot alive).
+  mutable std::shared_ptr<const ColumnTable> columnar_;
 };
 
 }  // namespace revere::storage

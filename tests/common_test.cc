@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/hash.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
@@ -217,6 +218,54 @@ TEST(RngTest, GaussianMoments) {
   double var = sq / kTrials - mean * mean;
   EXPECT_NEAR(mean, 5.0, 0.1);
   EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(ArenaTest, AllocationsAreMaxAligned) {
+  Arena arena(/*initial_block_bytes=*/256);
+  for (size_t sz : {1u, 3u, 17u, 64u, 200u}) {
+    auto addr = reinterpret_cast<uintptr_t>(arena.Allocate(sz));
+    EXPECT_EQ(addr % alignof(std::max_align_t), 0u) << "size " << sz;
+  }
+}
+
+TEST(ArenaTest, ResetKeepsBlocksForSteadyStateReuse) {
+  Arena arena(/*initial_block_bytes=*/1024);
+  for (int i = 0; i < 4; ++i) {
+    arena.AllocateArray<uint32_t>(100);
+    arena.AllocateArray<uint64_t>(50);
+    arena.Reset();
+  }
+  size_t warm = arena.bytes_reserved();
+  EXPECT_GT(warm, 0u);
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  // The same batch shape must not reserve any new memory once warm.
+  for (int i = 0; i < 8; ++i) {
+    arena.AllocateArray<uint32_t>(100);
+    arena.AllocateArray<uint64_t>(50);
+    arena.Reset();
+  }
+  EXPECT_EQ(arena.bytes_reserved(), warm);
+}
+
+TEST(ArenaTest, GrowsForOversizedAllocations) {
+  Arena arena(/*initial_block_bytes=*/64);
+  uint32_t* big = arena.AllocateArray<uint32_t>(10000);
+  ASSERT_NE(big, nullptr);
+  for (size_t i = 0; i < 10000; ++i) big[i] = static_cast<uint32_t>(i);
+  EXPECT_EQ(big[9999], 9999u);
+  EXPECT_GE(arena.bytes_reserved(), 10000 * sizeof(uint32_t));
+  EXPECT_GE(arena.bytes_allocated(), 10000 * sizeof(uint32_t));
+}
+
+TEST(ArenaTest, DistinctLiveAllocationsDoNotOverlap) {
+  Arena arena(/*initial_block_bytes=*/128);
+  uint64_t* a = arena.AllocateArray<uint64_t>(8);
+  uint64_t* b = arena.AllocateArray<uint64_t>(8);
+  for (int i = 0; i < 8; ++i) a[i] = 1, b[i] = 2;
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(a[i], 1u);
+    EXPECT_EQ(b[i], 2u);
+  }
 }
 
 TEST(HashTest, PairHashDistinguishes) {

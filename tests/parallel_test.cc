@@ -36,6 +36,7 @@ using piazza::NetworkCostModel;
 using piazza::PdmsNetwork;
 using query::ConjunctiveQuery;
 using query::EvalOptions;
+using storage::ColumnTable;
 using storage::Row;
 using storage::Table;
 using storage::TableSchema;
@@ -155,6 +156,39 @@ TEST(ParallelEvalTest, UnionByteIdenticalForAnyWorkerCount) {
   for (size_t workers : {1u, 2u, 3u, 8u}) {
     ThreadPool pool(workers);
     EvalOptions options;
+    options.pool = &pool;
+    auto parallel =
+        query::EvaluateUnion(net.storage(), rewritings.value(), options);
+    ASSERT_TRUE(parallel.ok()) << workers << " workers";
+    EXPECT_EQ(serial.value(), parallel.value()) << workers << " workers";
+  }
+}
+
+/// Engine-differential determinism (ISSUE 7): the columnar vectorized
+/// engine must reproduce the serial slot engine's answer byte for byte —
+/// same rows, same duplicate multiplicity, same order — at any worker
+/// count, because answer digests and the fuzz oracles pin exact bytes.
+TEST(ParallelEvalTest, ColumnarUnionByteIdenticalAcrossEnginesAndWorkers) {
+  PdmsNetwork net;
+  PdmsGenReport report = BuildFig2(&net);
+  auto rewritings = net.Reformulate(AllCoursesQuery(report, 0));
+  ASSERT_TRUE(rewritings.ok());
+  ASSERT_GT(rewritings.value().size(), 1u);
+
+  auto serial = query::EvaluateUnion(net.storage(), rewritings.value());
+  ASSERT_TRUE(serial.ok());
+
+  EvalOptions columnar;
+  columnar.engine = query::EvalEngine::kColumnar;
+  auto serial_col =
+      query::EvaluateUnion(net.storage(), rewritings.value(), columnar);
+  ASSERT_TRUE(serial_col.ok());
+  EXPECT_EQ(serial.value(), serial_col.value());
+
+  for (size_t workers : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(workers);
+    EvalOptions options;
+    options.engine = query::EvalEngine::kColumnar;
     options.pool = &pool;
     auto parallel =
         query::EvaluateUnion(net.storage(), rewritings.value(), options);
@@ -361,8 +395,19 @@ TEST(ConcurrentIndexTest, InsertRacingLookupIndicesIsSafe) {
           if (hits[i - 1] >= hits[i]) violations += 1;  // ascending
         }
         if (t.size() < snapshot) violations += 1;  // append-only
-        for (const Row& row : t.Lookup(0, key)) {
-          if (row[0] != key) violations += 1;
+        // Columnar snapshots build lazily from const tables; even while
+        // writers append, the snapshot a reader gets must be internally
+        // consistent — every grouped row decodes back to its key
+        // (ISSUE 7: this is also the concurrent EnsureColumnar TSan
+        // workload).
+        auto snap = t.EnsureColumnar();
+        uint32_t code = snap->CodeOf(0, key);
+        if (code != ColumnTable::kNoCode) {
+          const auto& col = snap->column(0);
+          for (uint32_t o = col.group_offsets[code];
+               o < col.group_offsets[code + 1]; ++o) {
+            if (snap->ValueAt(0, col.group_rows[o]) != key) violations += 1;
+          }
         }
         if (!t.EnsureIndex(1).ok()) violations += 1;
       }
@@ -411,8 +456,16 @@ TEST(ConcurrentIndexTest, DirtyRebuildRacingReadersIsSafe) {
     threads.emplace_back([&t, &violations] {
       for (int i = 0; i < 300; ++i) {
         Value key("k" + std::to_string(i % 5));
-        for (const Row& row : t.Lookup(0, key)) {
-          if (row[0] != key) violations += 1;
+        // Snapshots taken while the writer churns stay self-consistent
+        // (mutators reset the cache; readers rebuild lazily).
+        auto snap = t.EnsureColumnar();
+        uint32_t code = snap->CodeOf(0, key);
+        if (code != ColumnTable::kNoCode) {
+          const auto& col = snap->column(0);
+          for (uint32_t o = col.group_offsets[code];
+               o < col.group_offsets[code + 1]; ++o) {
+            if (snap->ValueAt(0, col.group_rows[o]) != key) violations += 1;
+          }
         }
         (void)t.LookupIndices(0, key);
         (void)t.size();
@@ -421,14 +474,24 @@ TEST(ConcurrentIndexTest, DirtyRebuildRacingReadersIsSafe) {
   }
   for (auto& th : threads) th.join();
   EXPECT_EQ(violations.load(), 0);
-  // Quiescent consistency after the churn.
+  // Quiescent consistency after the churn: index, scan, and the final
+  // columnar snapshot all agree on every key's multiplicity.
+  auto snap = t.EnsureColumnar();
+  EXPECT_EQ(snap->generation(), t.generation());
+  EXPECT_EQ(snap->row_count(), t.size());
   for (int k = 0; k < 5; ++k) {
     Value key("k" + std::to_string(k));
     size_t scanned = 0;
     for (const Row& row : t.rows()) {
       if (row[0] == key) ++scanned;
     }
-    EXPECT_EQ(t.Lookup(0, key).size(), scanned) << "key " << k;
+    EXPECT_EQ(t.LookupIndices(0, key).size(), scanned) << "key " << k;
+    uint32_t code = snap->CodeOf(0, key);
+    size_t grouped = code == ColumnTable::kNoCode
+                         ? 0
+                         : snap->column(0).group_offsets[code + 1] -
+                               snap->column(0).group_offsets[code];
+    EXPECT_EQ(grouped, scanned) << "key " << k;
   }
 }
 

@@ -177,7 +177,7 @@ TEST_F(EvaluateTest, ArityMismatchErrors) {
 
 TEST_F(EvaluateTest, SlotAndMapEnginesAgree) {
   EvalOptions map_engine;
-  map_engine.use_slots = false;
+  map_engine.engine = EvalEngine::kMap;
   map_engine.on_demand_indexes = false;
   EvalOptions slot_engine;  // slots + on-demand indexes (defaults)
   slot_engine.on_demand_index_min_rows = 0;  // force on tiny tables too
@@ -200,10 +200,10 @@ TEST_F(EvaluateTest, SlotAndMapEnginesAgree) {
   }
 }
 
-// The two evaluation engines (string-keyed map bindings vs compiled
-// slots, with and without on-demand indexes) must be observationally
-// identical — same rows, same order — on randomized tables, not just
-// the handpicked fixture.
+// The three evaluation engines (string-keyed map bindings, compiled
+// slots with and without on-demand indexes, and the columnar
+// vectorized engine) must be observationally identical — same rows,
+// same order — on randomized tables, not just the handpicked fixture.
 TEST(EvaluateDifferentialTest, EnginesAgreeOnRandomTables) {
   Rng rng(7);
   const std::vector<std::string> shapes = {
@@ -230,16 +230,18 @@ TEST(EvaluateDifferentialTest, EnginesAgreeOnRandomTables) {
       }
     }
     EvalOptions map_engine;
-    map_engine.use_slots = false;
+    map_engine.engine = EvalEngine::kMap;
     map_engine.on_demand_indexes = false;
     EvalOptions slots_no_index;
     slots_no_index.on_demand_indexes = false;
     EvalOptions slots_indexed;
     slots_indexed.on_demand_index_min_rows = 0;
+    EvalOptions columnar;
+    columnar.engine = EvalEngine::kColumnar;
     for (const auto& text : shapes) {
       auto reference = EvaluateCQ(catalog, MustParse(text), map_engine);
       ASSERT_TRUE(reference.ok()) << text;
-      for (const auto& options : {slots_no_index, slots_indexed}) {
+      for (const auto& options : {slots_no_index, slots_indexed, columnar}) {
         auto got = EvaluateCQ(catalog, MustParse(text), options);
         ASSERT_TRUE(got.ok()) << text;
         EXPECT_EQ(reference.value(), got.value())

@@ -99,6 +99,15 @@ Table MakeCourses() {
   return t;
 }
 
+/// Matching rows by value, via the index path plus rows() — the copying
+/// convenience the deleted Table::Lookup used to provide (ISSUE 7: the
+/// evaluator never copies, so the helper lives with the tests now).
+std::vector<Row> LookupRows(const Table& t, size_t col, const Value& key) {
+  std::vector<Row> out;
+  for (size_t i : t.LookupIndices(col, key)) out.push_back(t.rows()[i]);
+  return out;
+}
+
 TEST(TableTest, InsertValidatesSchema) {
   Table t = MakeCourses();
   EXPECT_EQ(t.size(), 4u);
@@ -106,19 +115,49 @@ TEST(TableTest, InsertValidatesSchema) {
                    .ok());
 }
 
+// ISSUE 7 regression: InsertAll must be all-or-nothing. The previous
+// version validated row by row while inserting, so a batch with an
+// invalid row in the middle landed its prefix and reported an error —
+// with no indication of how many rows had been applied.
+TEST(TableTest, InsertAllIsAllOrNothing) {
+  Table t = MakeCourses();
+  ASSERT_TRUE(t.CreateIndex(2).ok());
+  uint64_t before_gen = t.generation();
+  Status failed = t.InsertAll(
+      {{Value(5), Value("Algebra"), Value("MATH"), Value(90)},
+       {Value("bad"), Value("x"), Value("y"), Value(1)},  // invalid
+       {Value(6), Value("Topology"), Value("MATH"), Value(15)}});
+  EXPECT_FALSE(failed.ok());
+  // Nothing landed: size, generation, index contents all untouched.
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.generation(), before_gen);
+  EXPECT_TRUE(t.LookupIndices(2, Value("MATH")).empty());
+
+  // The same batch without the poison row lands atomically, with one
+  // generation bump and live index entries for every row.
+  ASSERT_TRUE(t.InsertAll({{Value(5), Value("Algebra"), Value("MATH"),
+                            Value(90)},
+                           {Value(6), Value("Topology"), Value("MATH"),
+                            Value(15)}})
+                  .ok());
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.generation(), before_gen + 1);
+  EXPECT_EQ(t.LookupIndices(2, Value("MATH")).size(), 2u);
+}
+
 TEST(TableTest, IndexedLookup) {
   Table t = MakeCourses();
   ASSERT_TRUE(t.CreateIndex(2).ok());
   EXPECT_TRUE(t.HasIndex(2));
-  auto rows = t.Lookup(2, Value("CSE"));
+  auto rows = LookupRows(t, 2, Value("CSE"));
   EXPECT_EQ(rows.size(), 2u);
-  EXPECT_EQ(t.Lookup(2, Value("MATH")).size(), 0u);
+  EXPECT_EQ(LookupRows(t, 2, Value("MATH")).size(), 0u);
 }
 
 TEST(TableTest, UnindexedLookupScans) {
   Table t = MakeCourses();
   EXPECT_FALSE(t.HasIndex(1));
-  EXPECT_EQ(t.Lookup(1, Value("Compilers")).size(), 1u);
+  EXPECT_EQ(LookupRows(t, 1, Value("Compilers")).size(), 1u);
 }
 
 TEST(TableTest, IndexMaintainedAcrossInsert) {
@@ -127,7 +166,7 @@ TEST(TableTest, IndexMaintainedAcrossInsert) {
   ASSERT_TRUE(
       t.Insert({Value(5), Value("Calculus"), Value("MATH"), Value(200)})
           .ok());
-  EXPECT_EQ(t.Lookup(2, Value("MATH")).size(), 1u);
+  EXPECT_EQ(LookupRows(t, 2, Value("MATH")).size(), 1u);
 }
 
 TEST(TableTest, DeleteAndReindex) {
@@ -136,7 +175,7 @@ TEST(TableTest, DeleteAndReindex) {
   Row victim{Value(2), Value("Compilers"), Value("CSE"), Value(60)};
   ASSERT_TRUE(t.Delete(victim).ok());
   EXPECT_EQ(t.size(), 3u);
-  EXPECT_EQ(t.Lookup(2, Value("CSE")).size(), 1u);
+  EXPECT_EQ(LookupRows(t, 2, Value("CSE")).size(), 1u);
   EXPECT_FALSE(t.Delete(victim).ok());  // already gone
 }
 
@@ -145,7 +184,7 @@ TEST(TableTest, DeleteWhere) {
   ASSERT_TRUE(t.CreateIndex(2).ok());
   EXPECT_EQ(t.DeleteWhere(2, Value("HIST")), 2u);
   EXPECT_EQ(t.size(), 2u);
-  EXPECT_TRUE(t.Lookup(2, Value("HIST")).empty());
+  EXPECT_TRUE(LookupRows(t, 2, Value("HIST")).empty());
 }
 
 TEST(TableTest, CreateIndexOutOfRange) {
@@ -163,7 +202,7 @@ TEST(TableTest, EnsureIndexMemoizesOnConstTable) {
   // A second call finds the memoized index — no rebuild, no new entry.
   ASSERT_TRUE(ct.EnsureIndex(2).ok());
   EXPECT_EQ(ct.index_count(), 1u);
-  EXPECT_EQ(ct.Lookup(2, Value("CSE")).size(), 2u);
+  EXPECT_EQ(LookupRows(ct, 2, Value("CSE")).size(), 2u);
   EXPECT_FALSE(ct.EnsureIndex(99).ok());
 }
 
@@ -224,8 +263,8 @@ TEST(TableTest, LookupIndicesAgreesWithScanRandomized) {
 
 // ISSUE 5 satellite: dedicated staleness coverage for the dirty-rebuild
 // path — delete, look up (forces a rebuild), reinsert, look up again —
-// through both an indexed and an unindexed column, for LookupIndices,
-// Lookup, and DeleteWhere.
+// through both an indexed and an unindexed column, for LookupIndices
+// and DeleteWhere.
 TEST(TableTest, LookupIndicesStaleAfterDeleteThenReinsert) {
   Table t = MakeCourses();
   ASSERT_TRUE(t.CreateIndex(2).ok());
@@ -255,18 +294,18 @@ TEST(TableTest, LookupStaleAfterDeleteWhereThenReinsert) {
   Table t = MakeCourses();
   ASSERT_TRUE(t.CreateIndex(2).ok());
   EXPECT_EQ(t.DeleteWhere(2, Value("HIST")), 2u);
-  EXPECT_EQ(t.Lookup(2, Value("HIST")).size(), 0u);
-  EXPECT_EQ(t.Lookup(2, Value("CSE")).size(), 2u);
+  EXPECT_EQ(LookupRows(t, 2, Value("HIST")).size(), 0u);
+  EXPECT_EQ(LookupRows(t, 2, Value("CSE")).size(), 2u);
 
   ASSERT_TRUE(t.Insert({Value(6), Value("Modern History"), Value("HIST"),
                         Value(25)})
                   .ok());
-  std::vector<Row> hist = t.Lookup(2, Value("HIST"));
+  std::vector<Row> hist = LookupRows(t, 2, Value("HIST"));
   ASSERT_EQ(hist.size(), 1u);
   EXPECT_EQ(hist[0][1], Value("Modern History"));
   // Unindexed column scans agree after the same churn.
-  EXPECT_EQ(t.Lookup(1, Value("Ancient History")).size(), 0u);
-  EXPECT_EQ(t.Lookup(1, Value("Modern History")).size(), 1u);
+  EXPECT_EQ(LookupRows(t, 1, Value("Ancient History")).size(), 0u);
+  EXPECT_EQ(LookupRows(t, 1, Value("Modern History")).size(), 1u);
   EXPECT_EQ(t.size(), 3u);
 }
 
@@ -279,7 +318,7 @@ TEST(TableTest, MoveCarriesIndexesAndDirtyState) {
   Table moved(std::move(t));
   EXPECT_TRUE(moved.HasIndex(2));
   EXPECT_EQ(moved.size(), 4u);
-  EXPECT_EQ(moved.Lookup(2, Value("CSE")).size(), 2u);
+  EXPECT_EQ(LookupRows(moved, 2, Value("CSE")).size(), 2u);
 
   // Dirty state must survive a move-assignment: delete (marks dirty),
   // move, then probe — the rebuild happens in the destination.
@@ -289,8 +328,101 @@ TEST(TableTest, MoveCarriesIndexesAndDirtyState) {
   Table dest(TableSchema::AllStrings("sink", {"x"}));
   dest = std::move(moved);
   EXPECT_TRUE(dest.HasIndex(2));
-  EXPECT_EQ(dest.Lookup(2, Value("CSE")).size(), 1u);
+  EXPECT_EQ(LookupRows(dest, 2, Value("CSE")).size(), 1u);
   EXPECT_EQ(dest.size(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// ColumnTable (ISSUE 7): dictionary-encoded columnar snapshots.
+// ---------------------------------------------------------------------
+
+TEST(ColumnTableTest, DictionaryRoundTripsEveryCell) {
+  Table t(TableSchema::AllStrings("s", {"a", "b"}));
+  // Duplicates and the empty string are the encoding edge cases: dups
+  // must share one code, "" must be a legitimate dictionary entry.
+  ASSERT_TRUE(t.InsertAll({{Value("x"), Value("")},
+                           {Value("y"), Value("x")},
+                           {Value("x"), Value("")},
+                           {Value(""), Value("y")}})
+                  .ok());
+  auto snap = t.EnsureColumnar();
+  ASSERT_EQ(snap->row_count(), 4u);
+  ASSERT_EQ(snap->column_count(), 2u);
+  // Every cell decodes back to the stored value.
+  for (size_t r = 0; r < t.rows().size(); ++r) {
+    for (size_t c = 0; c < 2; ++c) {
+      EXPECT_EQ(snap->ValueAt(c, r), t.rows()[r][c]) << r << "," << c;
+    }
+  }
+  // Column 0 holds three distinct values; the duplicate shares a code.
+  EXPECT_EQ(snap->column(0).dict.size(), 3u);
+  EXPECT_EQ(snap->column(0).codes[0], snap->column(0).codes[2]);
+  // First-appearance code assignment is deterministic.
+  EXPECT_EQ(snap->CodeOf(0, Value("x")), 0u);
+  EXPECT_EQ(snap->CodeOf(0, Value("y")), 1u);
+  EXPECT_EQ(snap->CodeOf(0, Value("")), 2u);
+  EXPECT_EQ(snap->CodeOf(0, Value("absent")), ColumnTable::kNoCode);
+  // Codes are per-column: "" exists in both columns with its own code.
+  EXPECT_EQ(snap->CodeOf(1, Value("")), 0u);
+  EXPECT_EQ(snap->dict_entries(), 3u + 3u);
+}
+
+TEST(ColumnTableTest, GroupedIndexListsRowsAscending) {
+  Table t(TableSchema::AllStrings("s", {"a"}));
+  ASSERT_TRUE(t.InsertAll({{Value("p")},
+                           {Value("q")},
+                           {Value("p")},
+                           {Value("r")},
+                           {Value("p")}})
+                  .ok());
+  auto snap = t.EnsureColumnar();
+  const auto& col = snap->column(0);
+  uint32_t p = snap->CodeOf(0, Value("p"));
+  std::vector<uint32_t> group(
+      col.group_rows.begin() + col.group_offsets[p],
+      col.group_rows.begin() + col.group_offsets[p + 1]);
+  // Same rows, same ascending order, as the hash-index path.
+  EXPECT_EQ(group, (std::vector<uint32_t>{0, 2, 4}));
+  auto via_index = t.LookupIndices(0, Value("p"));
+  ASSERT_EQ(via_index.size(), group.size());
+  for (size_t i = 0; i < group.size(); ++i) {
+    EXPECT_EQ(static_cast<size_t>(group[i]), via_index[i]);
+  }
+}
+
+TEST(ColumnTableTest, GenerationDisciplineAndImmutability) {
+  Table t = MakeCourses();
+  auto snap = t.EnsureColumnar();
+  // Memoized: a second call returns the identical snapshot.
+  EXPECT_EQ(t.EnsureColumnar().get(), snap.get());
+  EXPECT_EQ(snap->generation(), t.generation());
+
+  // Every mutation invalidates; the next call rebuilds fresh.
+  ASSERT_TRUE(
+      t.Delete({Value(1), Value("Databases"), Value("CSE"), Value(120)})
+          .ok());
+  auto rebuilt = t.EnsureColumnar();
+  EXPECT_NE(rebuilt.get(), snap.get());
+  EXPECT_EQ(rebuilt->generation(), t.generation());
+  EXPECT_EQ(rebuilt->row_count(), 3u);
+  // The old snapshot is frozen at its generation: still 4 rows, still
+  // decoding the deleted row — safe for readers that grabbed it before
+  // the mutation.
+  EXPECT_EQ(snap->row_count(), 4u);
+  EXPECT_EQ(snap->ValueAt(1, 0), Value("Databases"));
+
+  // DeleteWhere, Insert, InsertAll, and Clear all bump the generation.
+  uint64_t g = t.generation();
+  EXPECT_EQ(t.DeleteWhere(2, Value("HIST")), 2u);
+  EXPECT_EQ(t.generation(), g + 1);
+  EXPECT_EQ(t.DeleteWhere(2, Value("HIST")), 0u);  // no-op: no bump
+  EXPECT_EQ(t.generation(), g + 1);
+  ASSERT_TRUE(
+      t.Insert({Value(7), Value("Logic"), Value("PHIL"), Value(25)}).ok());
+  EXPECT_EQ(t.generation(), g + 2);
+  t.Clear();
+  EXPECT_EQ(t.generation(), g + 3);
+  EXPECT_EQ(t.EnsureColumnar()->row_count(), 0u);
 }
 
 TEST(CatalogTest, CreateGetDrop) {
