@@ -275,6 +275,10 @@ EvalOptions EngineOptions(int engine_id) {
       options.engine = EvalEngine::kSlots;
       options.on_demand_index_min_rows = 0;
       break;
+    case 3:  // columnar on the forced-scalar kernel table (ISSUE 8)
+      options.engine = EvalEngine::kColumnar;
+      options.use_simd = false;
+      break;
     default:
       options.engine = EvalEngine::kColumnar;
       break;
@@ -283,7 +287,7 @@ EvalOptions EngineOptions(int engine_id) {
 }
 
 EvalFixture& P3Fixture(int engine_id) {
-  static EvalFixture* fixtures[3] = {nullptr, nullptr, nullptr};
+  static EvalFixture* fixtures[4] = {nullptr, nullptr, nullptr, nullptr};
   if (fixtures[engine_id] == nullptr) fixtures[engine_id] = new EvalFixture();
   return *fixtures[engine_id];
 }
@@ -321,6 +325,49 @@ BENCHMARK_CAPTURE(BM_P3_EngineJoin, engine_map, 0)
 BENCHMARK_CAPTURE(BM_P3_EngineJoin, engine_slots, 1)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_P3_EngineJoin, engine_columnar, 2)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_P3_EngineJoin, engine_columnar_scalar, 3)
+    ->Unit(benchmark::kMillisecond);
+
+// --------------------------------------------------------------------
+// Experiment P4 (ISSUE 8): decomposing the columnar runtime into join
+// pipeline vs output boundary, scalar vs SIMD kernels. The join-only
+// probe runs the identical pipeline but a constant head, so the
+// boundary neither gathers codes nor decodes dictionaries; subtracting
+// it from the full BM_P3_EngineJoin time isolates the boundary.
+// --------------------------------------------------------------------
+
+/// Title self-join with a constant head: same candidate streams, same
+/// joins, near-free boundary (every surviving tuple dedups to one row).
+ConjunctiveQuery TitleSelfJoinMarker(const PdmsGenReport& report, size_t i) {
+  std::string rel =
+      QualifiedName(report.peer_names[i], report.relation_names[i]);
+  Atom first{rel, {QTerm::Var("X"), QTerm::Var("T"), QTerm::Var("A")}};
+  Atom second{rel, {QTerm::Var("Y"), QTerm::Var("T"), QTerm::Var("B")}};
+  return ConjunctiveQuery("marker" + std::to_string(i),
+                          {QTerm::Const(revere::storage::Value("hit"))},
+                          {first, second});
+}
+
+void BM_P4_JoinPipeline(benchmark::State& state, int engine_id) {
+  EvalFixture& f = P3Fixture(engine_id);
+  std::vector<ConjunctiveQuery> markers;
+  for (size_t i = 0; i < f.report.peer_names.size(); ++i) {
+    markers.push_back(TitleSelfJoinMarker(f.report, i));
+  }
+  EvalOptions options = EngineOptions(engine_id);
+  std::vector<Row> rows;
+  for (auto _ : state) {
+    auto result =
+        revere::query::EvaluateUnion(f.net.storage(), markers, options);
+    rows = result.ok() ? std::move(result).value() : std::vector<Row>{};
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["rows"] = static_cast<double>(rows.size());
+}
+BENCHMARK_CAPTURE(BM_P4_JoinPipeline, engine_columnar, 2)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_P4_JoinPipeline, engine_columnar_scalar, 3)
     ->Unit(benchmark::kMillisecond);
 
 /// Cold-start cost the columnar engine pays once per table generation:

@@ -44,9 +44,23 @@ int main(int argc, char** argv) {
   }
   // Benchmark names carry the engine as an `engine_<name>` suffix, so
   // the sweep reduces to a name filter. Last flag wins if the caller
-  // also passes an explicit --benchmark_filter.
+  // also passes an explicit --benchmark_filter. Unknown names are an
+  // error — a typo'd filter would otherwise silently run nothing.
+  static const std::vector<std::string> kEngines = {
+      "map", "slots", "columnar", "columnar_scalar"};
   std::string engine_filter;
   if (!engine.empty()) {
+    bool known = false;
+    for (const std::string& e : kEngines) known = known || e == engine;
+    if (!known) {
+      std::fprintf(stderr, "unknown --engine '%s'; expected one of:",
+                   engine.c_str());
+      for (const std::string& e : kEngines) {
+        std::fprintf(stderr, " %s", e.c_str());
+      }
+      std::fprintf(stderr, "\n");
+      return 1;
+    }
     engine_filter = "--benchmark_filter=engine_" + engine + "$";
     args.push_back(engine_filter.data());
   }

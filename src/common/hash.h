@@ -22,11 +22,20 @@ inline uint64_t Fnv1a64(std::string_view bytes,
   return h;
 }
 
+/// One boost-style hash_combine step: folds the value hash `h` into
+/// `seed`. Exposed separately so the columnar output boundary can
+/// reproduce HashRow in the code domain — chaining HashStep over
+/// per-dictionary value hashes (ColumnTable::ValueHashes) must equal
+/// hashing the decoded row, bit for bit, which is what lets RowDedup
+/// mix string-hashed and code-hashed entries in one table.
+inline uint64_t HashStep(uint64_t seed, uint64_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
 /// Mixes `v`'s hash into `seed` (boost-style hash_combine).
 template <typename T>
 void HashCombine(size_t* seed, const T& v) {
-  *seed ^= std::hash<T>{}(v) + 0x9e3779b97f4a7c15ULL + (*seed << 6) +
-           (*seed >> 2);
+  *seed = HashStep(*seed, std::hash<T>{}(v));
 }
 
 /// Hash functor for std::pair, usable as unordered_map hasher.

@@ -64,9 +64,7 @@ bool MatchRow(const Atom& atom, const Row& row, ValueBinding* binding) {
 
 void MapSearch(const std::vector<std::pair<const Table*, const Atom*>>& atoms,
                std::vector<bool>* done, const ValueBinding& binding,
-               const std::vector<QTerm>& head,
-               std::unordered_set<Row, storage::RowHash>* seen,
-               std::vector<Row>* out) {
+               const std::vector<QTerm>& head, RowDedup* dedup) {
   // All atoms satisfied: emit the head tuple.
   size_t remaining = 0;
   for (bool d : *done) {
@@ -83,7 +81,7 @@ void MapSearch(const std::vector<std::pair<const Table*, const Atom*>>& atoms,
         result.push_back(t.value());
       }
     }
-    if (seen->insert(result).second) out->push_back(std::move(result));
+    dedup->EmitIfNew(std::move(result));
     return;
   }
 
@@ -129,7 +127,7 @@ void MapSearch(const std::vector<std::pair<const Table*, const Atom*>>& atoms,
   auto consider = [&](const Row& row) {
     ValueBinding next = binding;
     if (MatchRow(atom, row, &next)) {
-      MapSearch(atoms, done, next, head, seen, out);
+      MapSearch(atoms, done, next, head, dedup);
     }
   };
   if (probe_col) {
@@ -226,18 +224,15 @@ struct SlotState {
   BoundMask bound;
   std::vector<int> trail;  // slots bound on the path to the current node
   std::vector<bool> done;
-  std::unordered_set<Row, storage::RowHash>* seen;
-  std::vector<Row>* out;
+  RowDedup* dedup;
 
-  SlotState(const SlotProgram& p, const EvalOptions& opts,
-            std::unordered_set<Row, storage::RowHash>* s, std::vector<Row>* o)
+  SlotState(const SlotProgram& p, const EvalOptions& opts, RowDedup* d)
       : prog(p),
         options(opts),
         slots(p.num_slots),
         bound(p.num_slots),
         done(p.atoms.size(), false),
-        seen(s),
-        out(o) {}
+        dedup(d) {}
 };
 
 void SlotSearch(SlotState& st, size_t remaining) {
@@ -253,7 +248,7 @@ void SlotSearch(SlotState& st, size_t remaining) {
         result.emplace_back();
       }
     }
-    if (st.seen->insert(result).second) st.out->push_back(std::move(result));
+    st.dedup->EmitIfNew(std::move(result));
     return;
   }
 
@@ -339,21 +334,25 @@ void SlotSearch(SlotState& st, size_t remaining) {
   st.done[best] = false;
 }
 
-/// Evaluates `query`, appending head tuples that are new w.r.t. `seen`
-/// to `out` — the single-dedup primitive both EvaluateCQ and the serial
-/// EvaluateUnion build on.
+/// Evaluates `query`, appending head tuples that are new w.r.t.
+/// `dedup` to its output vector — the single-dedup primitive both
+/// EvaluateCQ and the serial EvaluateUnion build on. All three engines
+/// now emit through the same RowDedup (ISSUE 8): the recursive engines
+/// per row, the columnar engine batch-wise at its output boundary.
 Status EvaluateInto(const storage::Catalog& catalog,
                     const ConjunctiveQuery& query, const EvalOptions& options,
-                    std::unordered_set<Row, storage::RowHash>* seen,
-                    std::vector<Row>* out) {
+                    RowDedup* dedup) {
+  if (options.engine == EvalEngine::kColumnar) {
+    return EvaluateColumnarInto(catalog, query, options, dedup);
+  }
   REVERE_ASSIGN_OR_RETURN(auto atoms, ResolveAtoms(catalog, query));
   if (options.engine == EvalEngine::kSlots) {
     SlotProgram prog = CompileSlots(query, atoms);
-    SlotState st(prog, options, seen, out);
+    SlotState st(prog, options, dedup);
     SlotSearch(st, prog.atoms.size());
   } else {
     std::vector<bool> done(atoms.size(), false);
-    MapSearch(atoms, &done, {}, query.head(), seen, out);
+    MapSearch(atoms, &done, {}, query.head(), dedup);
   }
   return Status::Ok();
 }
@@ -370,15 +369,11 @@ Result<std::vector<Row>> EvaluateCQ(const storage::Catalog& catalog,
   static obs::Counter* rows_out =
       obs::MetricsRegistry::Default().GetCounter("eval.rows");
   std::vector<Row> out;
-  if (options.engine == EvalEngine::kColumnar) {
-    // The columnar engine dedups through the allocation-lean RowDedup
-    // (hash index over `out` itself) instead of a side set of Rows.
+  {
+    // Every engine dedups through the allocation-lean RowDedup (hash
+    // index over `out` itself) instead of a side set of Rows.
     RowDedup dedup(&out);
-    REVERE_RETURN_IF_ERROR(
-        EvaluateColumnarInto(catalog, query, options, &dedup));
-  } else {
-    std::unordered_set<Row, storage::RowHash> seen;
-    REVERE_RETURN_IF_ERROR(EvaluateInto(catalog, query, options, &seen, &out));
+    REVERE_RETURN_IF_ERROR(EvaluateInto(catalog, query, options, &dedup));
   }
   queries->Increment();
   rows_out->Increment(out.size());
@@ -436,12 +431,10 @@ Result<std::vector<Row>> EvaluateUnion(
     return out;
   }
 
-  // Serial path: one dedup structure shared across members — the
-  // recursive engines thread an unordered_set through EvaluateInto, the
-  // columnar engine a RowDedup over `out`.
-  std::unordered_set<Row, storage::RowHash> seen;
-  std::optional<RowDedup> dedup;
-  if (options.engine == EvalEngine::kColumnar) dedup.emplace(&out);
+  // Serial path: one RowDedup over `out` shared across members, for
+  // every engine — code-domain hashes (columnar) and string hashes
+  // (map/slots) agree bit for bit, so members of any engine mix.
+  RowDedup dedup(&out);
   for (size_t i = 0; i < members.size(); ++i) {
     obs::Span span;
     if (options.tracer != nullptr) {  // skip detail alloc when off
@@ -449,13 +442,7 @@ Result<std::vector<Row>> EvaluateUnion(
                                        "member" + std::to_string(i));
     }
     size_t before = out.size();
-    if (dedup.has_value()) {
-      REVERE_RETURN_IF_ERROR(
-          EvaluateColumnarInto(catalog, *members[i], options, &*dedup));
-    } else {
-      REVERE_RETURN_IF_ERROR(
-          EvaluateInto(catalog, *members[i], options, &seen, &out));
-    }
+    REVERE_RETURN_IF_ERROR(EvaluateInto(catalog, *members[i], options, &dedup));
     span.AddAttr("rows", static_cast<double>(out.size() - before));
   }
   return out;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/common/arena.h"
+#include "src/common/simd.h"
 #include "src/obs/metrics.h"
 #include "src/query/resolve.h"
 #include "src/storage/column_table.h"
@@ -29,6 +30,12 @@ using storage::Value;
 /// the per-chunk setup.
 constexpr size_t kChunkRows = 1024;
 constexpr uint32_t kNoCode = ColumnTable::kNoCode;
+
+/// Candidate-set size below which the per-candidate scalar check loop
+/// beats the mask/compact kernels (a few kernel calls cost more than a
+/// handful of compares). Depends only on the data, never the backend,
+/// so both kernel tables take the same path and stay byte-identical.
+constexpr size_t kScalarCandCutoff = 16;
 
 // ---------------------------------------------------------------------
 // Plan: the slot engine's query-static join order, compiled to integer
@@ -232,11 +239,14 @@ ColumnarPlan Compile(
 }
 
 // ---------------------------------------------------------------------
-// Execution: chunked batch pipeline over an arena.
+// Execution: chunked batch pipeline over an arena, on the simd.h
+// kernels (scalar or vector table per options.use_simd — bit-identical
+// either way).
 // ---------------------------------------------------------------------
 
 /// Dictionary-decodes one completed tuple into a Row and dedups it —
-/// the only place this engine touches Values on the data path.
+/// only used for the body-free base case; batches go through
+/// OutputBoundary.
 void MaterializeTuple(const ColumnarPlan& plan, uint32_t* const* cols,
                       size_t t, RowDedup* dedup) {
   Row result;
@@ -252,6 +262,147 @@ void MaterializeTuple(const ColumnarPlan& plan, uint32_t* const* cols,
   }
   dedup->EmitIfNew(std::move(result));
 }
+
+/// The batched output boundary (ISSUE 8): hashes whole chunks of
+/// completed tuples directly from column codes and decodes only the
+/// rows that survive dedup.
+///
+/// Per chunk: (1) gather each bound head slot's dictionary codes for
+/// all tuples (one gather kernel per slot), (2) chain HashStep over the
+/// per-dictionary value-hash tables — reproducing storage::HashRow of
+/// the decoded row bit for bit without touching a dictionary, (3) probe
+/// RowDedup sequentially (order is semantics: first occurrence wins),
+/// comparing duplicates by code signature within the call and by Value
+/// against pre-existing rows, and (4) decode the surviving rows
+/// column-major, one head slot at a time, into the output vector.
+class OutputBoundary {
+ public:
+  OutputBoundary(const ColumnarPlan& plan, const simd::SimdOps& ops,
+                 RowDedup* dedup)
+      : head_(plan.head.size()), ops_(ops), dedup_(dedup) {
+    for (size_t j = 0; j < plan.head.size(); ++j) {
+      const HeadSlot& h = plan.head[j];
+      BSlot& b = head_[j];
+      if (h.constant != nullptr) {
+        b.constant = h.constant;
+        b.chash = h.constant->Hash();
+      } else if (h.step >= 0) {
+        const ColumnTable::Column& c = plan.steps[h.step].snap->column(h.col);
+        b.step = h.step;
+        b.codes = c.codes.data();
+        b.vh = c.dict_hashes.data();
+        b.dict = c.dict.data();
+        b.vslot = static_cast<int>(nvar_++);
+      } else {
+        b.chash = null_.Hash();
+      }
+    }
+    slot_codes_.resize(nvar_);
+  }
+
+  /// Number of rows appended to the output so far by this boundary.
+  size_t rows_decoded() const { return rows_decoded_; }
+
+  /// Emits one completed chunk: `cols` are the pipeline's per-step
+  /// row-id arrays holding `size` tuples (size > 0), each allocated
+  /// with PaddedCount capacity. Overwrites their padded tails.
+  void EmitChunk(uint32_t* const* cols, size_t size, Arena* arena) {
+    const size_t nsl = head_.size();
+    // Pad the tuple arrays with a valid tuple so whole-lane gathers in
+    // the tail dereference real row ids.
+    for (const BSlot& b : head_) {
+      if (b.step < 0) continue;
+      uint32_t* col = cols[b.step];
+      for (size_t i = size; i < simd::RoundUpLanes(size); ++i) col[i] = col[0];
+    }
+    // (1) Per-slot code gather + (2) code-domain hash chain, whole
+    // chunk at a time. Seed matches HashRow: the row arity.
+    uint64_t* h = arena->AllocateArray<uint64_t>(simd::PaddedCount(size));
+    ops_.fill_u64(static_cast<uint64_t>(nsl), size, h);
+    for (const BSlot& b : head_) {
+      if (b.step < 0) {
+        ops_.hash_mix_const(b.chash, size, h);
+        continue;
+      }
+      uint32_t* sc =
+          arena->AllocateArray<uint32_t>(simd::PaddedCount(size));
+      ops_.gather_u32(b.codes, cols[b.step], size, sc);
+      slot_codes_[b.vslot] = sc;
+      ops_.hash_mix(b.vh, sc, size, h);
+    }
+    // (3) Sequential dedup probes. Claims are deferred: the row itself
+    // is decoded only after the whole chunk has probed.
+    const size_t base = dedup_->out()->size();
+    pending_.clear();
+    sigs_.clear();
+    for (size_t t = 0; t < size; ++t) {
+      int64_t claimed = dedup_->ClaimIfNew(h[t], [&](size_t i) {
+        if (i >= base) {  // pending claim from this chunk: compare codes
+          const uint32_t* sig = sigs_.data() + (i - base) * nvar_;
+          for (size_t v = 0; v < nvar_; ++v) {
+            if (sig[v] != slot_codes_[v][t]) return false;
+          }
+          return true;
+        }
+        const Row& existing = (*dedup_->out())[i];
+        for (size_t j = 0; j < nsl; ++j) {
+          const BSlot& b = head_[j];
+          const Value& want = b.constant != nullptr ? *b.constant
+                              : b.step >= 0 ? b.dict[slot_codes_[b.vslot][t]]
+                                            : null_;
+          if (!(existing[j] == want)) return false;
+        }
+        return true;
+      });
+      if (claimed < 0) continue;
+      pending_.push_back(static_cast<uint32_t>(t));
+      for (size_t v = 0; v < nvar_; ++v) {
+        sigs_.push_back(slot_codes_[v][t]);
+      }
+    }
+    // (4) Column-major decode of the survivors: per head slot, walk the
+    // pending tuples — dictionary and output locality beat row-major.
+    std::vector<Row>* out = dedup_->out();
+    const size_t np = pending_.size();
+    out->resize(base + np);
+    for (size_t k = 0; k < np; ++k) {
+      (*out)[base + k].resize(nsl);  // null-filled; unbound slots stay
+    }
+    for (const BSlot& b : head_) {
+      size_t j = static_cast<size_t>(&b - head_.data());
+      if (b.constant != nullptr) {
+        for (size_t k = 0; k < np; ++k) (*out)[base + k][j] = *b.constant;
+      } else if (b.step >= 0) {
+        const uint32_t* sc = slot_codes_[b.vslot];
+        for (size_t k = 0; k < np; ++k) {
+          (*out)[base + k][j] = b.dict[sc[pending_[k]]];
+        }
+      }
+    }
+    rows_decoded_ += np;
+  }
+
+ private:
+  struct BSlot {
+    const Value* constant = nullptr;  // non-null: constant head term
+    uint64_t chash = 0;               // hash of constant / null value
+    int step = -1;                    // >= 0: bound variable slot
+    int vslot = -1;                   // index into slot_codes_
+    const uint32_t* codes = nullptr;  // per-row codes of the source col
+    const uint64_t* vh = nullptr;     // code -> value hash
+    const Value* dict = nullptr;      // code -> value
+  };
+
+  std::vector<BSlot> head_;
+  const simd::SimdOps& ops_;
+  RowDedup* dedup_;
+  const Value null_;
+  size_t nvar_ = 0;
+  size_t rows_decoded_ = 0;
+  std::vector<uint32_t*> slot_codes_;   // per var slot, arena chunk arrays
+  std::vector<uint32_t> pending_;       // tuple indexes claimed this chunk
+  std::vector<uint32_t> sigs_;          // pending code signatures, nvar_ wide
+};
 
 }  // namespace
 
@@ -326,7 +477,7 @@ Status EvaluateColumnarInto(const storage::Catalog& catalog,
   // The index knobs are meaningless here (every snapshot column carries
   // a grouped index); the pool/tracer knobs are handled by
   // EvaluateUnion, exactly as for the other engines.
-  (void)options;
+  const simd::SimdOps& ops = simd::Ops(options.use_simd);
 
   REVERE_ASSIGN_OR_RETURN(auto atoms, ResolveAtoms(catalog, query));
   ColumnarPlan plan = Compile(query, atoms);
@@ -368,53 +519,78 @@ Status EvaluateColumnarInto(const storage::Catalog& catalog,
   }
 
   Arena arena;
+  OutputBoundary boundary(plan, ops, dedup);
   std::vector<uint32_t*> cols, newcols;
   std::vector<uint32_t> expected;  // hoisted per-tuple codes, per check
+  // Candidate-set scratch for the masked check path; sized to the
+  // largest candidate set seen, reused across tuples and chunks.
+  std::vector<uint32_t> crows, ca, cb;
+  std::vector<uint64_t> cmask;
+  auto reserve_scratch = [&](size_t cn) {
+    if (crows.size() < simd::PaddedCount(cn)) {
+      crows.resize(simd::PaddedCount(cn));
+      ca.resize(simd::PaddedCount(cn));
+      cb.resize(simd::PaddedCount(cn));
+      cmask.resize(simd::MaskWords(cn));
+    }
+  };
   for (size_t off = 0; off < cand0_n; off += kChunkRows) {
     const size_t len = std::min(kChunkRows, cand0_n - off);
     arena.Reset();
     batches->Increment();
 
-    // Stage 0: filter this chunk's candidates into a selection vector.
-    uint32_t* sel = arena.AllocateArray<uint32_t>(len);
-    size_t size = 0;
-    for (size_t i = 0; i < len; ++i) {
-      uint32_t r =
-          cand0 != nullptr ? cand0[off + i] : static_cast<uint32_t>(off + i);
-      bool pass = true;
-      for (const Check& ck : s0.checks) {
-        // Step 0 checks are constants or intra-atom repeats only.
-        uint32_t want;
+    // Stage 0: filter this chunk's candidates into a selection vector —
+    // one mask kernel per residual check, then one compaction. Checks
+    // here are constants or intra-atom repeats only.
+    uint32_t* rows0 = arena.AllocateArray<uint32_t>(simd::PaddedCount(len));
+    if (cand0 != nullptr) {
+      ops.copy_u32(cand0 + off, len, rows0);
+    } else {
+      ops.iota_u32(static_cast<uint32_t>(off), len, rows0);
+    }
+    uint32_t* sel = rows0;
+    size_t size = len;
+    if (!s0.checks.empty()) {
+      reserve_scratch(len);
+      for (size_t k = 0; k < s0.checks.size(); ++k) {
+        const Check& ck = s0.checks[k];
+        ops.gather_u32(ck.col_codes, rows0, len, ca.data());
         if (ck.is_const) {
-          want = ck.const_code;
+          // const_code may be kNoCode (value absent): no code equals
+          // the sentinel, so the mask naturally goes empty.
+          (k == 0 ? ops.eq_mask_set : ops.eq_mask_and)(ca.data(),
+                                                       ck.const_code, len,
+                                                       cmask.data());
         } else {
-          uint32_t sc = ck.src_codes[r];
-          want = ck.identity ? sc : ck.xlate[sc];
-        }
-        if (ck.col_codes[r] != want) {
-          pass = false;
-          break;
+          ops.gather_u32(ck.src_codes, rows0, len, cb.data());
+          if (!ck.identity) {
+            ops.gather_u32(ck.xlate.data(), cb.data(), len, cb.data());
+          }
+          (k == 0 ? ops.eq2_mask_set : ops.eq2_mask_and)(
+              ca.data(), cb.data(), len, cmask.data());
         }
       }
-      if (pass) sel[size++] = r;
+      sel = arena.AllocateArray<uint32_t>(simd::PaddedCount(len));
+      size = ops.compact_u32(rows0, cmask.data(), len, sel);
     }
     cols.assign(1, sel);
 
     // Join pipeline: expand the batch through steps 1..n-1. Each output
     // tuple is one row-id per joined step, stored column-wise in arena
-    // arrays that grow geometrically.
+    // arrays that grow geometrically (always PaddedCount-allocated so
+    // whole-lane kernels can run right up to the end).
     for (size_t s = 1; s < nsteps && size > 0; ++s) {
       const ExecStep& st = plan.steps[s];
       size_t cap = std::max<size_t>(size, 64);
       newcols.assign(s + 1, nullptr);
       for (size_t j = 0; j <= s; ++j) {
-        newcols[j] = arena.AllocateArray<uint32_t>(cap);
+        newcols[j] = arena.AllocateArray<uint32_t>(simd::PaddedCount(cap));
       }
       size_t nsize = 0;
-      auto grow = [&]() {
-        cap *= 2;
+      auto grow_to = [&](size_t need) {
+        while (cap < need) cap *= 2;
         for (size_t j = 0; j <= s; ++j) {
-          uint32_t* p = arena.AllocateArray<uint32_t>(cap);
+          uint32_t* p = arena.AllocateArray<uint32_t>(simd::PaddedCount(cap));
           std::memcpy(p, newcols[j], nsize * sizeof(uint32_t));
           newcols[j] = p;
         }
@@ -461,40 +637,94 @@ Status EvaluateColumnarInto(const storage::Catalog& catalog,
           }
         }
         if (dead) continue;
-        for (size_t i = 0; i < cn; ++i) {
-          uint32_t r = cand != nullptr ? cand[i] : static_cast<uint32_t>(i);
-          bool pass = true;
-          for (size_t k = 0; k < st.checks.size(); ++k) {
-            const Check& ck = st.checks[k];
-            uint32_t want;
-            if (ck.intra) {
-              uint32_t sc = ck.src_codes[r];
-              want = ck.identity ? sc : ck.xlate[sc];
-            } else {
-              want = expected[k];
-            }
-            if (ck.col_codes[r] != want) {
-              pass = false;
-              break;
-            }
+
+        if (st.checks.empty()) {
+          // No residual checks: the whole candidate range joins. Bulk
+          // append — broadcast the prefix columns, copy the row ids.
+          // This is the P3 title-self-join fast path.
+          if (nsize + cn > cap) grow_to(nsize + cn);
+          for (size_t j = 0; j < s; ++j) {
+            ops.fill_u32(cols[j][t], cn, newcols[j] + nsize);
           }
-          if (!pass) continue;
-          if (nsize == cap) grow();
-          for (size_t j = 0; j < s; ++j) newcols[j][nsize] = cols[j][t];
-          newcols[s][nsize] = r;
-          ++nsize;
+          if (cand != nullptr) {
+            ops.copy_u32(cand, cn, newcols[s] + nsize);
+          } else {
+            ops.iota_u32(0, cn, newcols[s] + nsize);
+          }
+          nsize += cn;
+          continue;
         }
+
+        if (cn < kScalarCandCutoff) {
+          // Small candidate set: scalar per-candidate loop.
+          for (size_t i = 0; i < cn; ++i) {
+            uint32_t r = cand != nullptr ? cand[i] : static_cast<uint32_t>(i);
+            bool pass = true;
+            for (size_t k = 0; k < st.checks.size(); ++k) {
+              const Check& ck = st.checks[k];
+              uint32_t want;
+              if (ck.intra) {
+                uint32_t sc = ck.src_codes[r];
+                want = ck.identity ? sc : ck.xlate[sc];
+              } else {
+                want = expected[k];
+              }
+              if (ck.col_codes[r] != want) {
+                pass = false;
+                break;
+              }
+            }
+            if (!pass) continue;
+            if (nsize == cap) grow_to(cap + 1);
+            for (size_t j = 0; j < s; ++j) newcols[j][nsize] = cols[j][t];
+            newcols[s][nsize] = r;
+            ++nsize;
+          }
+          continue;
+        }
+
+        // Masked path: one gather + compare kernel per check over the
+        // whole candidate range, then compact the survivors straight
+        // into the output arrays. Identical accept set and order to the
+        // scalar loop above.
+        reserve_scratch(cn);
+        uint32_t* rows = crows.data();
+        if (cand != nullptr) {
+          ops.copy_u32(cand, cn, rows);
+        } else {
+          ops.iota_u32(0, cn, rows);
+        }
+        for (size_t k = 0; k < st.checks.size(); ++k) {
+          const Check& ck = st.checks[k];
+          ops.gather_u32(ck.col_codes, rows, cn, ca.data());
+          if (ck.intra) {
+            ops.gather_u32(ck.src_codes, rows, cn, cb.data());
+            if (!ck.identity) {
+              ops.gather_u32(ck.xlate.data(), cb.data(), cn, cb.data());
+            }
+            (k == 0 ? ops.eq2_mask_set : ops.eq2_mask_and)(
+                ca.data(), cb.data(), cn, cmask.data());
+          } else {
+            (k == 0 ? ops.eq_mask_set : ops.eq_mask_and)(
+                ca.data(), expected[k], cn, cmask.data());
+          }
+        }
+        if (nsize + cn > cap) grow_to(nsize + cn);
+        size_t m = ops.compact_u32(rows, cmask.data(), cn, newcols[s] + nsize);
+        for (size_t j = 0; j < s; ++j) {
+          ops.fill_u32(cols[j][t], m, newcols[j] + nsize);
+        }
+        nsize += m;
       }
       cols = newcols;
       size = nsize;
     }
 
-    // Output boundary: decode + dedup, in pipeline (= DFS) order.
-    for (size_t t = 0; t < size; ++t) {
-      MaterializeTuple(plan, cols.data(), t, dedup);
-    }
-    rows_mat->Increment(size);
+    // Output boundary: batched hash + dedup + column-major decode, in
+    // pipeline (= DFS) order.
+    if (size > 0) boundary.EmitChunk(cols.data(), size, &arena);
   }
+  rows_mat->Increment(boundary.rows_decoded());
   arena_bytes->Increment(arena.bytes_reserved());
   return Status::Ok();
 }

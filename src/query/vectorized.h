@@ -20,9 +20,14 @@ namespace revere::query {
 ///
 /// Semantics are identical to the unordered_set<Row> dedup the
 /// recursive engines use: first occurrence wins, equality is the strict
-/// (type-exact) Row operator==. The columnar engine emits through this
-/// at its output boundary, and the parallel union merge uses it for
-/// every engine.
+/// (type-exact) Row operator==. All three engines emit through this —
+/// the recursive engines per materialized row (EmitIfNew), the columnar
+/// engine per batch at its output boundary (ClaimIfNew + deferred
+/// decode), and the parallel union merge for every engine. Because the
+/// columnar boundary computes the very same HashRow value from column
+/// codes (see common/hash.h HashStep), string-hashed and code-hashed
+/// entries mix freely in one table — which is what lets a union share a
+/// single dedup across engines.
 class RowDedup {
  public:
   /// Indexes any rows already in `*out` (callers normally start empty)
@@ -31,8 +36,39 @@ class RowDedup {
   explicit RowDedup(std::vector<storage::Row>* out);
 
   /// Appends `r` to the output if no equal row is present yet; returns
-  /// whether it was appended.
+  /// whether it was appended. Must not be called while claims from
+  /// ClaimIfNew are pending (i.e. before their rows are appended).
   bool EmitIfNew(storage::Row&& r);
+
+  /// Batched emission (ISSUE 8): claims an output position for a row
+  /// that is NOT materialized yet, identified only by its precomputed
+  /// HashRow value `h` and a caller equality predicate. Returns the
+  /// claimed index (== the position the caller must append the row at),
+  /// or -1 when an equal row is already present. `eq(i)` must answer
+  /// "is existing entry i equal to the candidate?" — entry i is
+  /// (*out())[i] when i < out()->size(), otherwise a pending claim from
+  /// the caller's current batch (the caller compares code signatures).
+  /// After a batch of claims, the caller appends exactly one row per
+  /// successful claim to *out(), in claim order, before any other call.
+  template <typename Eq>
+  int64_t ClaimIfNew(uint64_t h, Eq&& eq) {
+    if ((hashes_.size() + 1) * 2 > table_.size()) Grow();
+    size_t slot = h & mask_;
+    while (true) {
+      uint32_t e = table_[slot];
+      if (e == 0) {
+        size_t index = hashes_.size();
+        hashes_.push_back(h);
+        table_[slot] = static_cast<uint32_t>(index + 1);
+        return static_cast<int64_t>(index);
+      }
+      if (hashes_[e - 1] == h && eq(static_cast<size_t>(e - 1))) return -1;
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  /// The output vector this dedup indexes (claim flushing appends here).
+  std::vector<storage::Row>* out() { return out_; }
 
   size_t size() const { return hashes_.size(); }
 
@@ -60,6 +96,15 @@ class RowDedup {
 /// from a bump Arena (steady-state batches perform zero heap
 /// allocations); Rows are materialized — dictionary decode — only at
 /// the output boundary, where they emit through `dedup`.
+///
+/// ISSUE 8: the hot loops run on the common/simd.h kernel layer —
+/// vectorized constant filters and repeated-variable equality over code
+/// batches, vectorized gathers through the grouped index, and a batched
+/// output boundary that hashes rows directly from column codes
+/// (HashStep over ColumnTable::dict_hashes, reproducing HashRow bit for
+/// bit) and dictionary-decodes only surviving first-occurrence rows,
+/// column-major. `options.use_simd` selects the runtime kernel table;
+/// answers are byte-identical either way.
 ///
 /// Output contract: byte-identical to the slot engine — same rows, same
 /// order, for every query. The slot engine's greedy most-bound-first

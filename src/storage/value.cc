@@ -100,8 +100,11 @@ size_t Value::Hash() const {
 }
 
 size_t HashRow(const Row& row) {
+  // Chains HashStep over the value hashes directly (no std::hash
+  // re-hash of an already-hashed value) so the columnar output boundary
+  // can reproduce this exactly from ColumnTable::dict_hashes.
   size_t seed = row.size();
-  for (const auto& v : row) HashCombine(&seed, v.Hash());
+  for (const auto& v : row) seed = HashStep(seed, v.Hash());
   return seed;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/simd.h"
 #include "src/storage/catalog.h"
 #include "src/storage/executor.h"
 #include "src/storage/schema.h"
@@ -387,6 +388,33 @@ TEST(ColumnTableTest, GroupedIndexListsRowsAscending) {
   ASSERT_EQ(via_index.size(), group.size());
   for (size_t i = 0; i < group.size(); ++i) {
     EXPECT_EQ(static_cast<size_t>(group[i]), via_index[i]);
+  }
+}
+
+TEST(ColumnTableTest, SimdPaddingAndValueHashes) {
+  Table t(TableSchema::AllStrings("s", {"a", "b"}));
+  ASSERT_TRUE(t.InsertAll({{Value("x"), Value("u")},
+                           {Value("y"), Value("u")},
+                           {Value("x"), Value("v")}})
+                  .ok());
+  auto snap = t.EnsureColumnar();
+  for (size_t c = 0; c < 2; ++c) {
+    const auto& col = snap->column(c);
+    // ISSUE 8: codes/group_rows/dict_hashes are over-allocated by kPad
+    // zeros so whole-lane kernel tails cannot read out of bounds, and
+    // the pad values are themselves valid (code 0 / row 0).
+    ASSERT_EQ(col.codes.size(), snap->row_count() + simd::kPad);
+    ASSERT_EQ(col.group_rows.size(), snap->row_count() + simd::kPad);
+    ASSERT_EQ(col.dict_hashes.size(), col.dict.size() + simd::kPad);
+    for (size_t i = snap->row_count(); i < col.codes.size(); ++i) {
+      EXPECT_EQ(col.codes[i], 0u);
+      EXPECT_EQ(col.group_rows[i], 0u);
+    }
+    // dict_hashes[code] is exactly the dictionary value's hash — the
+    // table the code-domain row hashing gathers through.
+    for (size_t code = 0; code < col.dict.size(); ++code) {
+      EXPECT_EQ(col.dict_hashes[code], col.dict[code].Hash());
+    }
   }
 }
 
