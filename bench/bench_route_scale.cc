@@ -1,0 +1,245 @@
+// Experiment R3 (extends C3): reformulation at thousand-peer scale
+// (ISSUE 9). §3 of the paper argues a PDMS "will scale to large numbers
+// of peers" only if query answering prunes "redundant and irrelevant
+// paths through the space of mappings"; this bench measures exactly
+// that trade on the overlay shapes real P2P deployments grow
+// (Watts-Strogatz small-world, Barabasi-Albert scale-free):
+//
+//  - PrunedVsExhaustive: the C3 all-courses query per (topology, peers,
+//    budget) cell. Budget 0 is the pre-route exhaustive BFS; nonzero
+//    budgets run the cost-bounded best-first route search (mapping
+//    index + hop budget + redundant-path elimination). Counters report
+//    recall against the generator's ground truth, so the wall-clock
+//    ratio between a pruned cell and its exhaustive row IS the
+//    acceptance measurement (>= 5x at >= 95% recall on the 1000-peer
+//    small-world cell).
+//  - ChurnWarmCache: peers join (AddPeer + AddMapping) and leave
+//    (FaultInjector SetDown/Restore) mid-workload while a fixed query
+//    working set replays through the plan cache. mode 0 runs scoped
+//    per-peer invalidation, mode 1 forces the legacy global generation
+//    bump. The hit_rate counter is the acceptance number: scoped stays
+//    warm (> 0.5) because a join only touches plans whose bounded peer
+//    path crosses the attach point; global decays toward 0.
+//
+// REVERE_BENCH_SMOKE=1 shrinks peer counts so CI exercises every cell
+// in milliseconds.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/datagen/topology.h"
+#include "src/piazza/fault.h"
+#include "src/piazza/pdms.h"
+#include "src/piazza/peer.h"
+#include "src/query/cq.h"
+#include "src/query/glav.h"
+
+namespace {
+
+using revere::datagen::AllCoursesQuery;
+using revere::datagen::BuildUniversityPdms;
+using revere::datagen::PdmsGenOptions;
+using revere::datagen::PdmsGenReport;
+using revere::datagen::Topology;
+using revere::piazza::ExecutionStats;
+using revere::piazza::FaultInjector;
+using revere::piazza::NetworkCostModel;
+using revere::piazza::PdmsNetwork;
+using revere::piazza::PeerMapping;
+using revere::piazza::QualifiedName;
+using revere::piazza::ReformulationOptions;
+using revere::piazza::ReformulationStats;
+using revere::query::ConjunctiveQuery;
+
+bool SmokeRun() { return std::getenv("REVERE_BENCH_SMOKE") != nullptr; }
+
+const char* TopologyName(int t) {
+  return t == 0 ? "small_world" : "scale_free";
+}
+
+Topology TopologyOf(int t) {
+  return t == 0 ? Topology::kSmallWorld : Topology::kScaleFree;
+}
+
+/// The route-search options used for every "pruned" arm: hop-budgeted
+/// (uniform costs: budget == reachable hops), cycle-eliminated.
+ReformulationOptions PrunedOptions(double budget) {
+  ReformulationOptions opts;
+  opts.use_route_search = true;
+  opts.max_path_cost = budget;
+  opts.prune_redundant_paths = true;
+  opts.max_depth = 64;  // the budget is the binding limit
+  opts.max_rewritings = 8192;
+  return opts;
+}
+
+/// The exhaustive arm: the pre-route BFS, depth-limited only by the
+/// network's reach.
+ReformulationOptions ExhaustiveOptions() {
+  ReformulationOptions opts;
+  opts.max_depth = 64;
+  opts.max_rewritings = 8192;
+  return opts;
+}
+
+// arg0: topology, arg1: peers, arg2: hop budget (0 = exhaustive BFS).
+void BM_RouteScale_PrunedVsExhaustive(benchmark::State& state) {
+  PdmsNetwork net;
+  net.set_metrics_enabled(false);
+  PdmsGenOptions options;
+  options.topology = TopologyOf(static_cast<int>(state.range(0)));
+  size_t peers = static_cast<size_t>(state.range(1));
+  if (SmokeRun()) peers = std::min<size_t>(peers, 24);
+  options.peers = peers;
+  options.rows_per_peer = 1;  // search cost, not evaluation cost
+  options.seed = 2003;
+  auto report = BuildUniversityPdms(&net, options);
+  if (!report.ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  ConjunctiveQuery query = AllCoursesQuery(report.value(), 0);
+  // Uniform costs make the budget a hop radius; the sweep charts the
+  // recall/wall-clock trade the paper's §3 pruning argument promises.
+  int budget = static_cast<int>(state.range(2));
+  bool pruned = budget != 0;
+  ReformulationOptions opts =
+      pruned ? PrunedOptions(static_cast<double>(budget))
+             : ExhaustiveOptions();
+
+  ReformulationStats stats;
+  for (auto _ : state) {
+    auto r = net.Reformulate(query, opts, &stats);
+    benchmark::DoNotOptimize(r);
+    if (!r.ok()) state.SkipWithError("reformulate failed");
+  }
+
+  // Recall against the generator's ground truth (one evaluation outside
+  // the timed loop: every course id is globally unique, so row count /
+  // total_rows is exact answer recall).
+  auto rows = net.Answer(query, opts);
+  double recall =
+      rows.ok() && report.value().total_rows > 0
+          ? static_cast<double>(rows.value().size()) /
+                static_cast<double>(report.value().total_rows)
+          : 0.0;
+  state.SetLabel(std::string(TopologyName(static_cast<int>(state.range(0)))) +
+                 (pruned ? "/pruned_b" + std::to_string(budget)
+                         : "/exhaustive"));
+  state.counters["peers"] = static_cast<double>(peers);
+  state.counters["recall"] = recall;
+  state.counters["nodes_expanded"] = static_cast<double>(stats.nodes_expanded);
+  state.counters["rewritings"] = static_cast<double>(stats.rewritings);
+  state.counters["pruned_cost"] = static_cast<double>(stats.pruned_cost);
+  state.counters["pruned_redundant"] =
+      static_cast<double>(stats.pruned_redundant);
+}
+BENCHMARK(BM_RouteScale_PrunedVsExhaustive)
+    ->ArgsProduct({{0, 1}, {100, 300, 1000}, {0, 8, 16, 20}})
+    ->Unit(benchmark::kMillisecond);
+
+/// One churn event: a new peer joins, stores a (empty) course relation,
+/// and maps itself onto an existing attach point — the only region of
+/// the overlay whose plans should go cold.
+bool JoinPeer(PdmsNetwork* net, const PdmsGenReport& report, size_t serial,
+              size_t attach) {
+  std::string name = "joiner" + std::to_string(serial);
+  const std::string& rel =
+      report.relation_names[attach % report.relation_names.size()];
+  if (!net->AddPeer(name).ok()) return false;
+  auto table = net->AddStoredRelation(
+      name, revere::storage::TableSchema::AllStrings(
+                "course", {"id", "title", "instructor"}));
+  if (!table.ok()) return false;
+  std::string qualified_new = QualifiedName(name, "course");
+  std::string qualified_old = QualifiedName(report.peer_names[attach], rel);
+  auto source = ConjunctiveQuery::Parse("m(I, T, P) :- " + qualified_new +
+                                        "(I, T, P)");
+  auto target = ConjunctiveQuery::Parse("m(I, T, P) :- " + qualified_old +
+                                        "(I, T, P)");
+  if (!source.ok() || !target.ok()) return false;
+  return net
+      ->AddMapping(PeerMapping{{name + "-join", source.value(),
+                                target.value()},
+                               name,
+                               report.peer_names[attach],
+                               true})
+      .ok();
+}
+
+// arg0: mode (0 scoped invalidation, 1 legacy global generation).
+void BM_RouteScale_ChurnWarmCache(benchmark::State& state) {
+  bool global_mode = state.range(0) != 0;
+  size_t peers = SmokeRun() ? 24 : 300;
+  size_t working_set = SmokeRun() ? 8 : 40;
+
+  PdmsNetwork net;
+  net.set_metrics_enabled(false);
+  net.set_scoped_invalidation(!global_mode);
+  PdmsGenOptions options;
+  options.topology = Topology::kSmallWorld;
+  options.peers = peers;
+  options.rows_per_peer = 1;
+  options.seed = 2003;
+  auto report = BuildUniversityPdms(&net, options);
+  if (!report.ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  // Hop-budgeted plans touch only their neighborhood — the property
+  // scoped invalidation converts into churn survival.
+  ReformulationOptions opts = PrunedOptions(3.0);
+  opts.use_plan_cache = true;
+
+  std::vector<ConjunctiveQuery> queries;
+  for (size_t i = 0; i < working_set; ++i) {
+    queries.push_back(
+        AllCoursesQuery(report.value(), (i * peers) / working_set));
+  }
+  FaultInjector faults(7);
+  NetworkCostModel cost;
+  cost.faults = &faults;
+
+  // Warm every plan once.
+  for (const auto& q : queries) {
+    if (!net.Answer(q, opts, nullptr, cost).ok()) {
+      state.SkipWithError("warmup failed");
+      return;
+    }
+  }
+
+  size_t hits = 0, answers = 0, serial = 0;
+  for (auto _ : state) {
+    // Join: one new peer maps onto a rotating attach point. Leave: the
+    // previous joiner drops off the network (fault), then recovers —
+    // contact-level churn that scoped invalidation ignores entirely.
+    JoinPeer(&net, report.value(), serial, (serial * 13) % peers);
+    if (serial > 0) {
+      std::string prev = "joiner" + std::to_string(serial - 1);
+      faults.SetDown(prev);
+      faults.Restore(prev);
+    }
+    ++serial;
+    for (const auto& q : queries) {
+      ExecutionStats stats;
+      auto rows = net.Answer(q, opts, &stats, cost);
+      if (!rows.ok()) state.SkipWithError("answer failed");
+      hits += stats.plan_cache_hits;
+      ++answers;
+    }
+  }
+  state.SetLabel(global_mode ? "global" : "scoped");
+  state.counters["peers"] = static_cast<double>(peers);
+  state.counters["hit_rate"] =
+      answers > 0 ? static_cast<double>(hits) / answers : 0.0;
+  state.counters["churn_events"] = static_cast<double>(serial);
+}
+BENCHMARK(BM_RouteScale_ChurnWarmCache)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

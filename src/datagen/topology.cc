@@ -1,6 +1,8 @@
 #include "src/datagen/topology.h"
 
+#include <algorithm>
 #include <set>
+#include <utility>
 
 #include "src/common/rng.h"
 #include "src/datagen/university.h"
@@ -36,19 +38,90 @@ std::vector<std::pair<size_t, size_t>> TopologyEdges(
       break;
     case Topology::kRandom: {
       // Random spanning tree (each node attaches to a random earlier
-      // one), then extra edges.
+      // one), then extra edges. Existence checks go through a set —
+      // same edges, same RNG draw sequence as the old linear scan,
+      // minus its O(n²·E) cost (which dominated at 1000 peers).
+      std::set<std::pair<size_t, size_t>> have;
       for (size_t i = 1; i < n; ++i) {
-        edges.emplace_back(rng->Index(i), i);
+        size_t parent = rng->Index(i);
+        edges.emplace_back(parent, i);
+        have.emplace(std::min(parent, i), std::max(parent, i));
       }
       for (size_t i = 0; i < n; ++i) {
         for (size_t j = i + 1; j < n; ++j) {
-          bool exists = false;
-          for (const auto& [a, b] : edges) {
-            if ((a == i && b == j) || (a == j && b == i)) exists = true;
-          }
-          if (!exists && rng->Bernoulli(options.extra_edge_prob)) {
+          if (have.count({i, j}) == 0 &&
+              rng->Bernoulli(options.extra_edge_prob)) {
             edges.emplace_back(i, j);
+            have.emplace(i, j);
           }
+        }
+      }
+      break;
+    }
+    case Topology::kSmallWorld: {
+      // Watts–Strogatz: a ring lattice with `small_world_neighbors`
+      // links per node (k/2 each side); every lattice edge beyond the
+      // immediate ring is rewired to a uniform random endpoint with
+      // probability `rewire_prob`. The d=1 ring is never rewired, so
+      // the graph is connected by construction, and every draw comes
+      // from `rng` — fixed seed, fixed graph.
+      size_t k = std::max<size_t>(2, options.small_world_neighbors);
+      if (k % 2 != 0) ++k;
+      size_t half = std::min(k / 2, n >= 3 ? (n - 1) / 2 : 1);
+      std::set<std::pair<size_t, size_t>> have;
+      auto add = [&](size_t a, size_t b) {
+        if (a == b) return false;
+        auto key = std::minmax(a, b);
+        if (!have.emplace(key.first, key.second).second) return false;
+        edges.emplace_back(a, b);
+        return true;
+      };
+      for (size_t d = 1; d <= half; ++d) {
+        for (size_t i = 0; i < n; ++i) {
+          size_t j = (i + d) % n;
+          if (d >= 2 && rng->Bernoulli(options.rewire_prob)) {
+            // Rewire the far end; retry on self-loops/duplicates, fall
+            // back to the lattice edge when the node is saturated.
+            bool placed = false;
+            for (int attempt = 0; attempt < 8 && !placed; ++attempt) {
+              placed = add(i, rng->Index(n));
+            }
+            if (!placed) add(i, j);
+          } else {
+            add(i, j);
+          }
+        }
+      }
+      break;
+    }
+    case Topology::kScaleFree: {
+      // Barabási–Albert preferential attachment: each new node links to
+      // `scale_free_attach` distinct existing nodes, sampled with
+      // probability proportional to current degree (the classic
+      // repeated-endpoints trick). Connected by construction: every
+      // node attaches to at least one earlier node.
+      size_t m = std::max<size_t>(1, options.scale_free_attach);
+      std::vector<size_t> endpoints;  // one entry per degree unit
+      std::set<std::pair<size_t, size_t>> have;
+      for (size_t i = 1; i < n; ++i) {
+        size_t want = std::min(m, i);
+        std::set<size_t> chosen;
+        // Bounded rejection sampling; top up from the highest-degree
+        // untried nodes if duplicates keep colliding (deterministic).
+        size_t attempts = 0;
+        while (chosen.size() < want && attempts < 16 * want) {
+          ++attempts;
+          size_t t = endpoints.empty() ? rng->Index(i)
+                                       : endpoints[rng->Index(endpoints.size())];
+          if (t != i) chosen.insert(t);
+        }
+        for (size_t t = 0; chosen.size() < want && t < i; ++t) chosen.insert(t);
+        for (size_t t : chosen) {
+          auto key = std::minmax(t, i);
+          if (!have.emplace(key.first, key.second).second) continue;
+          edges.emplace_back(t, i);
+          endpoints.push_back(t);
+          endpoints.push_back(i);
         }
       }
       break;

@@ -11,14 +11,25 @@
 
 namespace revere::datagen {
 
-/// PDMS overlay shapes for the scaling experiments (bench C3) and the
-/// Figure-2 reproduction (bench F2).
+/// PDMS overlay shapes for the scaling experiments (bench C3/R3) and
+/// the Figure-2 reproduction (bench F2).
 enum class Topology {
-  kChain,    // p0 - p1 - ... - pn-1 (worst-case reformulation depth)
-  kStar,     // hub p0 with n-1 spokes (what a mediated schema looks like)
-  kRandom,   // random connected graph (spanning tree + extra edges)
-  kFigure2,  // the paper's six universities, connected as drawn
+  kChain,      // p0 - p1 - ... - pn-1 (worst-case reformulation depth)
+  kStar,       // hub p0 with n-1 spokes (what a mediated schema looks like)
+  kRandom,     // random connected graph (spanning tree + extra edges)
+  kFigure2,    // the paper's six universities, connected as drawn
+  kSmallWorld, // Watts–Strogatz: ring lattice with rewired long links
+               // (low diameter at high clustering — the thousand-peer
+               // overlay the paper's §3 pruning argument assumes)
+  kScaleFree,  // Barabási–Albert preferential attachment (hub-heavy
+               // degree distribution, like real P2P overlays)
 };
+
+/// The one documented default for kRandom's extra (non-tree) edge
+/// probability. Both PdmsGenOptions and the fuzzer's FuzzCaseOptions
+/// route through this constant (they used to drift: 0.15 vs a
+/// hardcoded 0.25).
+inline constexpr double kDefaultExtraEdgeProb = 0.15;
 
 struct PdmsGenOptions {
   Topology topology = Topology::kChain;
@@ -26,10 +37,20 @@ struct PdmsGenOptions {
   size_t rows_per_peer = 50;
   uint64_t seed = 1;
   /// kRandom: probability of each extra (non-tree) edge.
-  double extra_edge_prob = 0.15;
+  double extra_edge_prob = kDefaultExtraEdgeProb;
   /// Use equality (bidirectional) mappings — like the paper's example
   /// where every university both shares and consumes courses.
   bool bidirectional = true;
+  /// kSmallWorld: lattice neighbors per node (k, split k/2 each side;
+  /// rounded up to the next even value ≥ 2). The immediate ring is
+  /// never rewired, so the graph stays connected by construction.
+  size_t small_world_neighbors = 4;
+  /// kSmallWorld: probability each non-ring lattice edge is rewired to
+  /// a uniform random endpoint (Watts–Strogatz β).
+  double rewire_prob = 0.1;
+  /// kScaleFree: edges each new node attaches with (Barabási–Albert m);
+  /// clamped to the number of existing nodes.
+  size_t scale_free_attach = 2;
 };
 
 /// The per-peer course-relation vocabulary pool ("course", "subject",

@@ -189,11 +189,15 @@ FuzzCase GenerateCase(uint64_t seed, const FuzzCaseOptions& opt) {
     c.tables.push_back(std::move(t));
   }
 
-  // Mapping overlay along a datagen topology shape.
+  // Mapping overlay along a datagen topology shape — including the
+  // thousand-peer shapes (ISSUE 9), which must hold up at fuzz scale
+  // (2-5 peers) too.
   datagen::PdmsGenOptions topo;
-  switch (rng.Index(3)) {
+  switch (rng.Index(5)) {
     case 0: topo.topology = datagen::Topology::kChain; break;
     case 1: topo.topology = datagen::Topology::kStar; break;
+    case 2: topo.topology = datagen::Topology::kSmallWorld; break;
+    case 3: topo.topology = datagen::Topology::kScaleFree; break;
     default: topo.topology = datagen::Topology::kRandom; break;
   }
   topo.peers = n;
@@ -248,6 +252,16 @@ FuzzCase GenerateCase(uint64_t seed, const FuzzCaseOptions& opt) {
   c.reform.prune_duplicates = true;
   c.reform.prune_unreachable = rng.Bernoulli(0.85);
   c.reform.prune_contained = rng.Bernoulli(0.15);
+  if (rng.Bernoulli(opt.route_case_prob)) {
+    // Route-mode search (ISSUE 9): unlimited budget half the time (the
+    // byte-identical regime the whole oracle battery then runs in), a
+    // biting hop budget otherwise. Costs stay uniform (no feedback), so
+    // every configuration prunes identically.
+    c.reform.use_route_search = true;
+    c.reform.max_path_cost =
+        rng.Bernoulli(0.5) ? 0.0 : 1.0 + static_cast<double>(rng.Index(3));
+    c.reform.prune_redundant_paths = rng.Bernoulli(0.5);
+  }
   c.retry.max_attempts = 1 + static_cast<int>(rng.Index(3));
   c.retry.base_backoff_ms = 0.5;
   c.retry.deadline_ms = rng.Bernoulli(0.5) ? 6.0 : 0.0;
@@ -306,6 +320,11 @@ struct EngineConfig {
   bool batch = false;       // AnswerBatch instead of per-query Answer
   bool double_run = false;  // answer everything twice (cold then warm)
   obs::Tracer* tracer = nullptr;
+  // Route-search overrides for the pruned_vs_exhaustive oracle; -1
+  // leaves the case's own reform knobs in charge.
+  int route_mode = -1;             // 0 = force legacy BFS, 1 = force route
+  double route_budget = -1.0;      // >= 0 overrides reform.max_path_cost
+  int route_prune_redundant = -1;  // 0/1 overrides prune_redundant_paths
 };
 
 struct QueryOutcome {
@@ -361,6 +380,11 @@ EngineRun Run(const FuzzCase& c, const EngineConfig& cfg) {
 
   ReformulationOptions reform = c.reform;
   reform.use_plan_cache = cfg.use_plan_cache;
+  if (cfg.route_mode >= 0) reform.use_route_search = cfg.route_mode == 1;
+  if (cfg.route_budget >= 0.0) reform.max_path_cost = cfg.route_budget;
+  if (cfg.route_prune_redundant >= 0) {
+    reform.prune_redundant_paths = cfg.route_prune_redundant == 1;
+  }
 
   NetworkCostModel cost;
   cost.faults = injector ? &*injector : nullptr;
@@ -440,6 +464,9 @@ bool StatsEqualExceptCacheFlags(const ExecutionStats& a,
                rb.pruned_unreachable) &&
          check("pruned_depth", ra.pruned_depth, rb.pruned_depth) &&
          check("pruned_contained", ra.pruned_contained, rb.pruned_contained) &&
+         check("pruned_cost", ra.pruned_cost, rb.pruned_cost) &&
+         check("pruned_redundant", ra.pruned_redundant,
+               rb.pruned_redundant) &&
          check("rewritings", ra.rewritings, rb.rewritings) &&
          check("rewritings_evaluated", a.rewritings_evaluated,
                b.rewritings_evaluated) &&
@@ -717,6 +744,90 @@ void CheckServeOracle(OracleContext* ctx, const FuzzCase& c,
               /*compare_stats=*/true, /*compare_cache_flags=*/true);
 }
 
+/// Route-mode best-first search vs the exhaustive legacy BFS (ISSUE 9).
+/// With no contact feedback every hop costs the same, so the best-first
+/// queue pops in BFS order and an unlimited budget must reproduce the
+/// legacy path byte for byte — rows, statuses, stats, and zero pruning
+/// counters. A bounded budget may only *remove* answers, never invent
+/// them, and must replay bit-identically under faults.
+void CheckRouteOracle(OracleContext* ctx, const FuzzCase& c) {
+  EngineConfig exhaustive_cfg;  // slots + on-demand indexes
+  exhaustive_cfg.route_mode = 0;
+  EngineRun exhaustive = Run(c, exhaustive_cfg);
+
+  EngineConfig unlimited_cfg = exhaustive_cfg;
+  unlimited_cfg.route_mode = 1;
+  unlimited_cfg.route_budget = 0.0;
+  unlimited_cfg.route_prune_redundant = 0;
+  EngineRun unlimited = Run(c, unlimited_cfg);
+  CompareRuns(ctx, "pruned_vs_exhaustive", exhaustive.outcomes,
+              unlimited.outcomes);
+  for (size_t i = 0; i < unlimited.outcomes.size(); ++i) {
+    const auto& r = unlimited.outcomes[i].stats.reformulation;
+    ctx->Check(r.pruned_cost == 0 && r.pruned_redundant == 0,
+               "pruned_vs_exhaustive",
+               "query " + std::to_string(i) +
+                   " pruned with an unlimited budget (cost=" +
+                   std::to_string(r.pruned_cost) + " redundant=" +
+                   std::to_string(r.pruned_redundant) + ")");
+  }
+
+  // Faulted arm: identical rewritings in identical order mean identical
+  // injector draws, so the degraded runs must match byte for byte too.
+  EngineConfig exhaustive_fault_cfg = exhaustive_cfg;
+  exhaustive_fault_cfg.with_faults = true;
+  EngineConfig unlimited_fault_cfg = unlimited_cfg;
+  unlimited_fault_cfg.with_faults = true;
+  CompareRuns(ctx, "pruned_vs_exhaustive",
+              Run(c, exhaustive_fault_cfg).outcomes,
+              Run(c, unlimited_fault_cfg).outcomes,
+              /*compare_stats=*/true, /*compare_cache_flags=*/true);
+
+  // Bounded budget (1-3 uniform-cost hops, seed-derived so replays are
+  // exact): answers shrink monotonically. The subset claim only holds
+  // when the exhaustive search was actually exhaustive — if it stopped
+  // at max_rewritings, pruning can surface rewritings the truncated run
+  // never emitted, so the comparison is skipped for that query.
+  EngineConfig bounded_cfg = unlimited_cfg;
+  bounded_cfg.route_budget = 1.0 + static_cast<double>(c.seed % 3);
+  bounded_cfg.route_prune_redundant = 1;
+  EngineRun bounded = Run(c, bounded_cfg);
+  CheckStatsInvariants(ctx, c, bounded, /*with_faults=*/false);
+  size_t n = std::min(bounded.outcomes.size(), exhaustive.outcomes.size());
+  for (size_t i = 0; i < n; ++i) {
+    const QueryOutcome& b = bounded.outcomes[i];
+    const QueryOutcome& e = exhaustive.outcomes[i];
+    if (!b.status.ok() || !e.status.ok()) continue;
+    std::string where = "query " + std::to_string(i);
+    ctx->Check(b.stats.reformulation.rewritings <=
+                   e.stats.reformulation.rewritings,
+               "pruned_vs_exhaustive",
+               where + " bounded budget found more rewritings than the "
+                       "exhaustive search");
+    if (e.stats.reformulation.rewritings >= c.reform.max_rewritings) {
+      continue;  // exhaustive run was truncated; subset claim is void
+    }
+    std::unordered_set<Row, storage::RowHash> full(e.rows.begin(),
+                                                   e.rows.end());
+    bool subset = true;
+    for (const Row& r : b.rows) {
+      if (full.count(r) == 0) subset = false;
+    }
+    ctx->Check(subset, "pruned_vs_exhaustive",
+               where + " bounded budget invented rows absent from the "
+                       "exhaustive answer: got " +
+                   DescribeRows(b.rows) + " domain " + DescribeRows(e.rows));
+  }
+
+  // Bounded + faults: a fresh injector from the same seed replays the
+  // degraded pruned run bit-identically.
+  EngineConfig bounded_fault_cfg = bounded_cfg;
+  bounded_fault_cfg.with_faults = true;
+  CompareRuns(ctx, "pruned_vs_exhaustive", Run(c, bounded_fault_cfg).outcomes,
+              Run(c, bounded_fault_cfg).outcomes,
+              /*compare_stats=*/true, /*compare_cache_flags=*/true);
+}
+
 uint64_t DigestRun(const EngineRun& run) {
   uint64_t h = Fnv1a64("fuzz-digest-v1");
   for (const QueryOutcome& o : run.outcomes) {
@@ -892,6 +1003,11 @@ CaseReport CheckCase(const FuzzCase& c) {
   CompareRuns(&ctx, "columnar_simd_vs_scalar", col_faulted.outcomes,
               Run(c, col_scalar_fault_cfg).outcomes, /*compare_stats=*/true,
               /*compare_cache_flags=*/true);
+
+  // 11. Cost-bounded route search vs the exhaustive legacy BFS
+  //     (ISSUE 9): unlimited budget byte-identical, bounded budget
+  //     subset-only, pruning counters exact, with and without faults.
+  CheckRouteOracle(&ctx, c);
 
   return report;
 }
@@ -1077,7 +1193,10 @@ std::string SerializeCase(const FuzzCase& c) {
          std::to_string(c.reform.max_rewritings) + " " +
          (c.reform.prune_duplicates ? "1" : "0") + " " +
          (c.reform.prune_unreachable ? "1" : "0") + " " +
-         (c.reform.prune_contained ? "1" : "0") + "\n";
+         (c.reform.prune_contained ? "1" : "0") + " " +
+         (c.reform.use_route_search ? "1" : "0") + " " +
+         FormatDouble(c.reform.max_path_cost) + " " +
+         (c.reform.prune_redundant_paths ? "1" : "0") + "\n";
   out += "retry " + std::to_string(c.retry.max_attempts) + " " +
          FormatDouble(c.retry.base_backoff_ms) + " " +
          FormatDouble(c.retry.deadline_ms) + "\n";
@@ -1150,6 +1269,13 @@ Result<FuzzCase> ParseCase(std::string_view text) {
       c.reform.prune_duplicates = tok[3] == "1";
       c.reform.prune_unreachable = tok[4] == "1";
       c.reform.prune_contained = tok[5] == "1";
+      // Route knobs (ISSUE 9) — optional, so pre-route seed files and
+      // shrunken cases from older binaries still load.
+      if (tok.size() >= 9) {
+        c.reform.use_route_search = tok[6] == "1";
+        REVERE_ASSIGN_OR_RETURN(c.reform.max_path_cost, ParseF64(tok[7]));
+        c.reform.prune_redundant_paths = tok[8] == "1";
+      }
     } else if (kind == "retry") {
       REVERE_RETURN_IF_ERROR(need(3));
       REVERE_ASSIGN_OR_RETURN(uint64_t attempts, ParseU64(tok[1]));

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/datagen/topology.h"
 #include "src/piazza/fault.h"
 #include "src/piazza/pdms.h"
 #include "src/piazza/reformulation.h"
@@ -52,6 +53,14 @@ namespace revere::fuzz {
 ///                     the forced-scalar fallback (EvalOptions::
 ///                     use_simd=false) byte for byte, fault-free and
 ///                     faulted, digest-pinned to the map engine
+///   pruned_vs_exhaustive
+///                     the route-mode best-first search (ISSUE 9) with
+///                     an unlimited budget == the legacy exhaustive BFS
+///                     byte for byte (rows, statuses, stats, zero
+///                     pruning counters); with a bounded max_path_cost
+///                     it may only *remove* answers — every returned
+///                     row is in the exhaustive answer — with sane
+///                     pruning accounting, fault-free and faulted
 ///
 /// plus cross-cutting stats invariants (peers_contacted bounds,
 /// completeness arithmetic, plan-cache hit/miss flags).
@@ -107,7 +116,10 @@ struct FuzzCaseOptions {
   double fault_case_prob = 0.5;  // chance a case has any faults
   double fault_peer_prob = 0.4;  // per peer, within a faulty case
   double bidirectional_prob = 0.75;  // per mapping edge
-  double extra_edge_prob = 0.25;  // random-topology chord probability
+  /// Random-topology chord probability — the one documented default,
+  /// shared with datagen::PdmsGenOptions (they used to drift).
+  double extra_edge_prob = datagen::kDefaultExtraEdgeProb;
+  double route_case_prob = 0.3;  // chance a case runs route-mode search
 };
 
 /// Deterministically generates the case for `seed` (same seed, same

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <deque>
+#include <functional>
 #include <future>
 #include <optional>
 #include <set>
@@ -45,9 +46,14 @@ std::string CanonicalKey(const ConjunctiveQuery& q) {
 /// Plan-cache key: the order-preserving canonical query text plus every
 /// option that shapes the rewriting set. Two α-equivalent queries with
 /// equal options share one entry; anything else never collides (the
-/// full text is compared, not just the fingerprint).
+/// full text is compared, not just the fingerprint). Route-mode keys
+/// additionally carry the cost budget, the redundancy knob, and the
+/// route table's epoch (bulk cost changes re-key; per-contact EWMA
+/// drift deliberately does not, so warm keys stay stable under
+/// feedback). Legacy-mode keys keep the exact pre-route format.
 std::string PlanKeyText(const ConjunctiveQuery& query,
-                        const ReformulationOptions& options) {
+                        const ReformulationOptions& options,
+                        uint64_t route_epoch) {
   std::string key = query::Canonicalize(query).text;
   key += "|d";
   key += std::to_string(options.max_depth);
@@ -57,12 +63,35 @@ std::string PlanKeyText(const ConjunctiveQuery& query,
   key += options.prune_duplicates ? '1' : '0';
   key += options.prune_unreachable ? '1' : '0';
   key += options.prune_contained ? '1' : '0';
+  if (options.use_route_search) {
+    key += "|route";
+    key += options.prune_redundant_paths ? '1' : '0';
+    key += "|b";
+    key += std::to_string(options.max_path_cost);
+    key += "|e";
+    key += std::to_string(route_epoch);
+  }
   return key;
 }
 
 struct WorkItem {
   ConjunctiveQuery query;
   int depth = 0;
+};
+
+/// Route-mode search node: a rewriting-in-progress plus the cost and
+/// peer path accumulated reaching it. Ordered by (cost, seq) in the
+/// best-first queue; `seq` is the monotone push order, so with uniform
+/// edge costs the pop order is exactly the legacy BFS's FIFO order —
+/// the invariant the `pruned_vs_exhaustive` fuzz oracle leans on.
+struct RouteItem {
+  ConjunctiveQuery query;
+  int depth = 0;
+  double cost = 0.0;
+  uint64_t seq = 0;
+  /// Peers entered along this path (mapping applications), for
+  /// cycle elimination under prune_redundant_paths.
+  std::vector<std::string> peer_path;
 };
 
 /// True when the caller's end-to-end deadline has already passed. The
@@ -122,6 +151,12 @@ Status ContactPeerWithRetry(FaultInjector* faults, const std::string& peer,
     ContactOutcome outcome = faults->Contact(peer, cost.per_peer_round_trip_ms,
                                              cost.retry.deadline_ms);
     stats->simulated_network_ms += outcome.elapsed_ms;
+    if (cost.route_feedback != nullptr) {
+      // Live routing signal (ISSUE 9): every real contact outcome folds
+      // into the route table's latency/reachability EWMAs.
+      cost.route_feedback->ObservedContact(peer, outcome.elapsed_ms,
+                                           outcome.status.ok());
+    }
     if (retry_span.active()) {
       retry_span.AddAttr("elapsed_simulated_ms", outcome.elapsed_ms);
       retry_span.AddAttr("ok", outcome.status.ok() ? 1 : 0);
@@ -147,7 +182,10 @@ Result<Peer*> PdmsNetwork::AddPeer(const std::string& name) {
   auto peer = std::make_unique<Peer>(name);
   Peer* ptr = peer.get();
   peers_[name] = std::move(peer);
-  InvalidatePlans();
+  // Scoped invalidation: a join moves the new peer's stamp off 0, so
+  // only plans that recorded it as unknown (stamp 0) re-plan; every
+  // other warm plan survives — the 1k-peer churn win.
+  InvalidatePlansTouching({name});
   return ptr;
 }
 
@@ -180,8 +218,11 @@ Result<storage::Table*> PdmsNetwork::AddStoredRelation(
   REVERE_ASSIGN_OR_RETURN(storage::Table * table,
                           storage_.CreateTable(std::move(qualified)));
   peer_it->second->NoteStoredRelation(unqualified);
+  std::map<std::string, bool> before = productive_;
   RecomputeProductive();
-  InvalidatePlans();
+  std::set<std::string> touched = ProductivityDiffPeers(before);
+  touched.insert(peer);
+  InvalidatePlansTouching(touched);
   return table;
 }
 
@@ -194,9 +235,73 @@ Status PdmsNetwork::AddMapping(PeerMapping mapping) {
     return Status::NotFound("no peer '" + mapping.target_peer + "'");
   }
   mappings_.push_back(std::move(mapping));
+  const PeerMapping& added = mappings_.back();
+  // Route-mode expansion index: a forward application rewrites an atom
+  // matching any target-body relation; a backward application (equality
+  // mappings only) rewrites any source-body relation. One entry per
+  // distinct relation per direction, appended in mapping order so the
+  // indexed expansion enumerates candidates in exactly the order the
+  // legacy all-mappings scan does.
+  size_t idx = mappings_.size() - 1;
+  std::set<std::string> fwd_rels;
+  for (const auto& a : added.glav.target.body()) {
+    if (fwd_rels.insert(a.relation).second) {
+      mapping_index_[a.relation].push_back(MappingUse{idx, true});
+    }
+  }
+  if (added.bidirectional) {
+    std::set<std::string> bwd_rels;
+    for (const auto& a : added.glav.source.body()) {
+      if (bwd_rels.insert(a.relation).second) {
+        mapping_index_[a.relation].push_back(MappingUse{idx, false});
+      }
+    }
+  }
+  std::map<std::string, bool> before = productive_;
   RecomputeProductive();
-  InvalidatePlans();
+  std::set<std::string> touched = ProductivityDiffPeers(before);
+  touched.insert(added.source_peer);
+  touched.insert(added.target_peer);
+  InvalidatePlansTouching(touched);
   return Status::Ok();
+}
+
+void PdmsNetwork::InvalidatePlansTouching(const std::set<std::string>& peers) {
+  {
+    std::unique_lock<std::shared_mutex> lock(gen_mu_);
+    for (const auto& p : peers) ++peer_generations_[p];
+  }
+  InvalidatePlans();  // the mutation clock always moves
+}
+
+std::set<std::string> PdmsNetwork::ProductivityDiffPeers(
+    const std::map<std::string, bool>& before) const {
+  std::set<std::string> peers;
+  auto note = [&peers](const std::string& relation) {
+    auto [peer, rel] = SplitQualifiedName(relation);
+    if (!peer.empty()) peers.insert(peer);
+  };
+  for (const auto& [relation, productive] : productive_) {
+    auto it = before.find(relation);
+    if (it == before.end() || it->second != productive) note(relation);
+  }
+  for (const auto& [relation, productive] : before) {
+    if (productive_.find(relation) == productive_.end()) note(relation);
+  }
+  return peers;
+}
+
+uint64_t PdmsNetwork::peer_generation(const std::string& peer) const {
+  std::shared_lock<std::shared_mutex> lock(gen_mu_);
+  auto it = peer_generations_.find(peer);
+  return it == peer_generations_.end() ? 0 : it->second;
+}
+
+void PdmsNetwork::set_scoped_invalidation(bool enabled) {
+  bool was = scoped_invalidation_.exchange(enabled, std::memory_order_relaxed);
+  // Entries written in one mode carry stamps the other mode cannot
+  // interpret (scoped pins the entry generation to 0); drop them.
+  if (was != enabled) plan_cache_->Clear();
 }
 
 void PdmsNetwork::RecomputeProductive() {
@@ -363,7 +468,7 @@ Result<size_t> PdmsNetwork::RegisterView(const std::string& peer,
   RegisteredView entry{peer, MaterializedView(std::move(definition))};
   REVERE_RETURN_IF_ERROR(entry.view.Recompute(storage_));
   views_.push_back(std::move(entry));
-  InvalidatePlans();
+  InvalidatePlansTouching({peer});
   return views_.size() - 1;
 }
 
@@ -406,7 +511,7 @@ Status PdmsNetwork::AddXmlMapping(const std::string& source_peer,
   }
   xml_edges_.push_back(XmlEdge{source_peer, target_peer, std::move(mapping),
                                std::move(source_doc_name)});
-  InvalidatePlans();
+  InvalidatePlansTouching({source_peer, target_peer});
   return Status::Ok();
 }
 
@@ -466,10 +571,28 @@ void PdmsNetwork::SetPlanCacheCapacity(size_t capacity) {
 
 /// The uncached transitive-closure search, plus the cache consultation
 /// wrapped around it. The plan depends only on (canonical query,
-/// options, mappings/topology), so a hit is exact: the same rewriting
-/// vector the search would produce, in the same order — and the stats
-/// of the run that produced it, so instrumentation never reads zeros on
-/// the warm path.
+/// options, mappings/topology, and — in route mode — the route table's
+/// epoch), so a hit is exact: the same rewriting vector the search
+/// would produce, in the same order — and the stats of the run that
+/// produced it, so instrumentation never reads zeros on the warm path.
+///
+/// Two search strategies share the emission/pruning skeleton:
+///  - legacy (default): breadth-first FIFO over a linear scan of every
+///    mapping at every node — kept bit-for-bit so pre-route behavior is
+///    reproducible (`use_route_search = false`);
+///  - route mode (ISSUE 9): best-first by accumulated RouteTable path
+///    cost through the relation→mapping index, with an optional cost
+///    budget (`max_path_cost` → pruned_cost) and redundant-path
+///    elimination (`prune_redundant_paths` → pruned_redundant). With
+///    uniform costs and no budget its pop order equals the FIFO order,
+///    so the rewriting sets coincide (fuzz oracle 11).
+///
+/// Scoped invalidation (default): plans record every peer their search
+/// touched with that peer's stamp; Lookup revalidates through a scope
+/// check instead of the global generation, so structural changes at
+/// untouched peers leave warm plans servable. Structural mutations are
+/// externally synchronized with queries (the repo-wide contract — the
+/// mapping list itself is not locked); concurrent *answers* are fine.
 Result<std::shared_ptr<const CachedPlan>> PdmsNetwork::ReformulateCached(
     const ConjunctiveQuery& query, const ReformulationOptions& options,
     ReformulationStats* stats, obs::Tracer* tracer,
@@ -478,17 +601,45 @@ Result<std::shared_ptr<const CachedPlan>> PdmsNetwork::ReformulateCached(
       obs::StartSpan(tracer, "reformulate", parent_span);
   const bool use_cache =
       options.use_plan_cache && plan_cache_->capacity() > 0;
+  const bool scoped = scoped_invalidation();
   std::string key;
   uint64_t fingerprint = 0;
   uint64_t generation = 0;
   if (use_cache) {
     obs::Span cache_span =
         obs::StartSpan(tracer, "plan_cache", reformulate_span.id());
-    key = PlanKeyText(query, options);
+    key = PlanKeyText(query, options, route_table_->epoch());
     fingerprint = Fnv1a64(key);
-    generation = generation_.load(std::memory_order_relaxed);
+    std::function<bool(const CachedPlan&)> validator;
+    if (scoped) {
+      // Scope check, O(1) warm: the mutation clock hasn't moved past
+      // the last validation → still good. Otherwise compare each
+      // touched peer's recorded stamp; all equal → advance the memo.
+      validator = [this](const CachedPlan& plan) {
+        uint64_t now = generation_.load(std::memory_order_acquire);
+        if (plan.valid_through.load(std::memory_order_relaxed) >= now) {
+          return true;
+        }
+        {
+          std::shared_lock<std::shared_mutex> lock(gen_mu_);
+          for (const auto& [peer, stamp] : plan.touched) {
+            auto it = peer_generations_.find(peer);
+            uint64_t current =
+                it == peer_generations_.end() ? 0 : it->second;
+            if (current != stamp) return false;
+          }
+        }
+        uint64_t prev = plan.valid_through.load(std::memory_order_relaxed);
+        while (prev < now && !plan.valid_through.compare_exchange_weak(
+                                 prev, now, std::memory_order_relaxed)) {
+        }
+        return true;
+      };
+    } else {
+      generation = generation_.load(std::memory_order_relaxed);
+    }
     if (std::shared_ptr<const CachedPlan> plan =
-            plan_cache_->Lookup(fingerprint, key, generation)) {
+            plan_cache_->Lookup(fingerprint, key, generation, validator)) {
       cache_span.AddAttr("hit", 1);
       reformulate_span.AddAttr("rewritings", plan->rewritings.size());
       if (stats != nullptr) {
@@ -499,100 +650,247 @@ Result<std::shared_ptr<const CachedPlan>> PdmsNetwork::ReformulateCached(
     }
     cache_span.AddAttr("hit", 0);
   }
+  // Peers this search reads, for the plan's invalidation scope.
+  const bool record_touched = use_cache && scoped;
+  std::set<std::string> touched_peers;
+  auto touch = [&](const ConjunctiveQuery& q) {
+    if (!record_touched) return;
+    for (const auto& a : q.body()) {
+      auto [peer, rel] = SplitQualifiedName(a.relation);
+      if (!peer.empty()) touched_peers.insert(peer);
+    }
+  };
 
   ReformulationStats local;
   std::vector<ConjunctiveQuery> results;
-  std::deque<WorkItem> worklist;
-  worklist.push_back({query, 0});
   std::set<std::string> seen;
   seen.insert(CanonicalKey(query));
   int fresh_id = 0;
 
-  while (!worklist.empty() && results.size() < options.max_rewritings) {
-    WorkItem item = std::move(worklist.front());
-    worklist.pop_front();
-    ++local.nodes_expanded;
-
-    // Irrelevant-path pruning: some atom can never reach stored data.
-    if (options.prune_unreachable) {
-      bool dead = false;
-      for (const auto& a : item.query.body()) {
-        if (IsStored(a.relation)) continue;  // live storage is productive
-        auto it = productive_.find(a.relation);
-        if (it == productive_.end() || !it->second) {
-          dead = true;
-          break;
-        }
+  // Shared emission/pruning skeleton for both strategies. Returns false
+  // when the node is dead (pruned or past its depth); `emitted` is set
+  // when the node produced a rewriting.
+  auto prune_unreachable_node = [&](const ConjunctiveQuery& q) {
+    if (!options.prune_unreachable) return false;
+    for (const auto& a : q.body()) {
+      if (IsStored(a.relation)) continue;  // live storage is productive
+      auto it = productive_.find(a.relation);
+      if (it == productive_.end() || !it->second) return true;
+    }
+    return false;
+  };
+  auto is_all_stored = [&](const ConjunctiveQuery& q) {
+    for (const auto& a : q.body()) {
+      if (!IsStored(a.relation)) return false;
+    }
+    return true;
+  };
+  auto contained_in_results = [&](const ConjunctiveQuery& q) {
+    if (!options.prune_contained) return false;
+    for (const auto& prior : results) {
+      if (query::Contains(prior, q)) {
+        ++local.pruned_contained;
+        return true;
       }
-      if (dead) {
+    }
+    return false;
+  };
+
+  if (!options.use_route_search) {
+    // ---- Legacy breadth-first search (pre-route, bit-identical) ----
+    std::deque<WorkItem> worklist;
+    worklist.push_back({query, 0});
+    while (!worklist.empty() && results.size() < options.max_rewritings) {
+      WorkItem item = std::move(worklist.front());
+      worklist.pop_front();
+      ++local.nodes_expanded;
+      touch(item.query);
+
+      // Irrelevant-path pruning: some atom can never reach stored data.
+      if (prune_unreachable_node(item.query)) {
         ++local.pruned_unreachable;
         continue;
       }
-    }
 
-    // A query fully grounded in stored relations is an answerable
-    // rewriting — emit it. A peer relation may be stored *and* mapped
-    // (every peer in the paper's example both holds courses and imports
-    // them), so we keep expanding either way.
-    bool all_stored = true;
-    for (const auto& a : item.query.body()) {
-      if (!IsStored(a.relation)) {
-        all_stored = false;
-        break;
-      }
-    }
-    if (all_stored) {
-      bool contained = false;
-      if (options.prune_contained) {
-        for (const auto& prior : results) {
-          if (query::Contains(prior, item.query)) {
-            contained = true;
-            ++local.pruned_contained;
-            break;
-          }
-        }
-      }
-      if (!contained) {
+      // A query fully grounded in stored relations is an answerable
+      // rewriting — emit it. A peer relation may be stored *and* mapped
+      // (every peer in the paper's example both holds courses and
+      // imports them), so we keep expanding either way.
+      bool all_stored = is_all_stored(item.query);
+      if (all_stored && !contained_in_results(item.query)) {
         results.push_back(item.query);
         if (results.size() >= options.max_rewritings) break;
       }
-    }
-    if (item.depth >= options.max_depth) {
-      if (!all_stored) ++local.pruned_depth;
-      continue;
-    }
+      if (item.depth >= options.max_depth) {
+        if (!all_stored) ++local.pruned_depth;
+        continue;
+      }
 
-    std::vector<ConjunctiveQuery> expansions;
-    for (size_t goal_idx = 0; goal_idx < item.query.body().size();
-         ++goal_idx) {
-      for (const auto& m : mappings_) {
-        ApplyMappingToGoal(item.query, goal_idx, m.glav.source,
-                           m.glav.target, fresh_id++, &expansions);
-        if (m.bidirectional) {
-          ApplyMappingToGoal(item.query, goal_idx, m.glav.target,
-                             m.glav.source, fresh_id++, &expansions);
+      std::vector<ConjunctiveQuery> expansions;
+      for (size_t goal_idx = 0; goal_idx < item.query.body().size();
+           ++goal_idx) {
+        for (const auto& m : mappings_) {
+          ApplyMappingToGoal(item.query, goal_idx, m.glav.source,
+                             m.glav.target, fresh_id++, &expansions);
+          if (m.bidirectional) {
+            ApplyMappingToGoal(item.query, goal_idx, m.glav.target,
+                               m.glav.source, fresh_id++, &expansions);
+          }
+        }
+      }
+      for (auto& e : expansions) {
+        std::string ckey = CanonicalKey(e);
+        if (options.prune_duplicates) {
+          if (!seen.insert(ckey).second) {
+            ++local.pruned_duplicates;
+            continue;
+          }
+        }
+        worklist.push_back({std::move(e), item.depth + 1});
+      }
+    }
+  } else {
+    // ---- Route mode: cost-ordered best-first over the mapping index --
+    // Nodes live in a stable arena; the heap orders (cost, seq) where
+    // seq is the arena index (== push order), so equal-cost nodes pop
+    // FIFO and uniform costs reproduce the legacy BFS order exactly.
+    std::deque<RouteItem> arena;
+    struct HeapEntry {
+      double cost;
+      uint64_t seq;
+    };
+    auto heap_after = [](const HeapEntry& a, const HeapEntry& b) {
+      if (a.cost != b.cost) return a.cost > b.cost;
+      return a.seq > b.seq;
+    };
+    std::vector<HeapEntry> heap;
+    auto push_node = [&](RouteItem item) {
+      item.seq = arena.size();
+      heap.push_back(HeapEntry{item.cost, item.seq});
+      arena.push_back(std::move(item));
+      std::push_heap(heap.begin(), heap.end(), heap_after);
+    };
+    // Emitted-rewriting fingerprints for redundant-path elimination
+    // (only observable with prune_duplicates off — the seen set already
+    // guarantees distinct search nodes).
+    std::set<std::string> kept_keys;
+    RouteItem root;
+    root.query = query;
+    // Seed the cycle-elimination path with the root's own peers, so a
+    // path that detours and returns to the origin counts as a cycle.
+    if (options.prune_redundant_paths) {
+      std::set<std::string> root_peers;
+      for (const auto& a : query.body()) {
+        auto [peer, rel] = SplitQualifiedName(a.relation);
+        if (!peer.empty() && root_peers.insert(peer).second) {
+          root.peer_path.push_back(peer);
         }
       }
     }
-    for (auto& e : expansions) {
-      std::string key = CanonicalKey(e);
-      if (options.prune_duplicates) {
-        if (!seen.insert(key).second) {
-          ++local.pruned_duplicates;
-          continue;
+    push_node(std::move(root));
+
+    while (!heap.empty() && results.size() < options.max_rewritings) {
+      std::pop_heap(heap.begin(), heap.end(), heap_after);
+      RouteItem item = std::move(arena[heap.back().seq]);
+      heap.pop_back();
+      ++local.nodes_expanded;
+      touch(item.query);
+
+      if (prune_unreachable_node(item.query)) {
+        ++local.pruned_unreachable;
+        continue;
+      }
+
+      bool all_stored = is_all_stored(item.query);
+      if (all_stored && !contained_in_results(item.query)) {
+        bool redundant = false;
+        if (options.prune_redundant_paths &&
+            !kept_keys.insert(CanonicalKey(item.query)).second) {
+          ++local.pruned_redundant;
+          redundant = true;
+        }
+        if (!redundant) {
+          results.push_back(item.query);
+          if (results.size() >= options.max_rewritings) break;
         }
       }
-      worklist.push_back({std::move(e), item.depth + 1});
+      if (item.depth >= options.max_depth) {
+        if (!all_stored) ++local.pruned_depth;
+        continue;
+      }
+
+      for (size_t goal_idx = 0; goal_idx < item.query.body().size();
+           ++goal_idx) {
+        auto idx_it = mapping_index_.find(item.query.body()[goal_idx].relation);
+        if (idx_it == mapping_index_.end()) continue;
+        for (const MappingUse& use : idx_it->second) {
+          const PeerMapping& m = mappings_[use.index];
+          const ConjunctiveQuery& map_source =
+              use.forward ? m.glav.source : m.glav.target;
+          const ConjunctiveQuery& map_target =
+              use.forward ? m.glav.target : m.glav.source;
+          const std::string& entered =
+              use.forward ? m.source_peer : m.target_peer;
+          if (options.prune_redundant_paths &&
+              std::find(item.peer_path.begin(), item.peer_path.end(),
+                        entered) != item.peer_path.end()) {
+            // Cycle elimination: this application re-enters a peer
+            // already on the path.
+            ++local.pruned_redundant;
+            continue;
+          }
+          double child_cost = item.cost + route_table_->CostOf(entered);
+          if (options.max_path_cost > 0.0 &&
+              child_cost > options.max_path_cost) {
+            ++local.pruned_cost;
+            continue;
+          }
+          std::vector<ConjunctiveQuery> expansions;
+          ApplyMappingToGoal(item.query, goal_idx, map_source, map_target,
+                             fresh_id++, &expansions);
+          for (auto& e : expansions) {
+            std::string ckey = CanonicalKey(e);
+            if (options.prune_duplicates) {
+              if (!seen.insert(ckey).second) {
+                ++local.pruned_duplicates;
+                continue;
+              }
+            }
+            RouteItem child;
+            child.query = std::move(e);
+            child.depth = item.depth + 1;
+            child.cost = child_cost;
+            child.peer_path = item.peer_path;
+            if (options.prune_redundant_paths) {
+              child.peer_path.push_back(entered);
+            }
+            push_node(std::move(child));
+          }
+        }
+      }
     }
   }
   local.rewritings = results.size();
-  std::shared_ptr<const CachedPlan> plan = [&] {
-    auto built = std::make_shared<CachedPlan>();
-    built->rewritings = std::move(results);
-    built->stats = local;
-    return built;
-  }();
+  auto built = std::make_shared<CachedPlan>();
+  built->rewritings = std::move(results);
+  built->stats = local;
+  if (record_touched) {
+    built->built_generation = generation_.load(std::memory_order_relaxed);
+    built->valid_through.store(built->built_generation,
+                               std::memory_order_relaxed);
+    std::shared_lock<std::shared_mutex> lock(gen_mu_);
+    built->touched.reserve(touched_peers.size());
+    for (const auto& peer : touched_peers) {
+      auto it = peer_generations_.find(peer);
+      built->touched.emplace_back(
+          peer, it == peer_generations_.end() ? 0 : it->second);
+    }
+  }
+  std::shared_ptr<const CachedPlan> plan = std::move(built);
   if (use_cache) {
+    // Scoped mode pins the entry generation to 0 (freshness is the
+    // validator's call); Insert's stale-generation purge goes inert and
+    // scope-stale entries are replaced on re-insert or LRU-evicted.
     plan_cache_->Insert(fingerprint, std::move(key), generation, plan);
     local.plan_cache_misses = 1;
   }
@@ -611,7 +909,8 @@ Result<std::shared_ptr<const CachedPlan>> PdmsNetwork::ReformulateCached(
     nodes->Increment(local.nodes_expanded);
     rewritings->Increment(local.rewritings);
     pruned->Increment(local.pruned_duplicates + local.pruned_unreachable +
-                      local.pruned_contained + local.pruned_depth);
+                      local.pruned_contained + local.pruned_depth +
+                      local.pruned_cost + local.pruned_redundant);
   }
   reformulate_span.AddAttr("rewritings", local.rewritings);
   reformulate_span.AddAttr("nodes_expanded", local.nodes_expanded);
@@ -772,6 +1071,12 @@ PdmsNetwork::AnswerWithProvenance(const ConjunctiveQuery& query,
       // Perfect network: every contact succeeds at one round trip.
       local.simulated_network_ms +=
           static_cast<double>(peers.size()) * cost.per_peer_round_trip_ms;
+      if (cost.route_feedback != nullptr) {
+        for (const auto& peer : peers) {
+          cost.route_feedback->ObservedContact(
+              peer, cost.per_peer_round_trip_ms, true);
+        }
+      }
       if (cost.tracer != nullptr) {  // guard: detail string allocates
         for (const auto& peer : peers) {
           obs::Span contact_span = cost.tracer->StartSpan(

@@ -7,6 +7,7 @@
 #include <map>
 #include <set>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "src/piazza/xml_mapping.h"
 #include "src/query/cq.h"
 #include "src/query/evaluate.h"
+#include "src/route/route_table.h"
 #include "src/storage/catalog.h"
 #include "src/xml/node.h"
 
@@ -80,6 +82,18 @@ struct NetworkCostModel {
   /// allows every retry the RetryPolicy permits. When exhausted,
   /// further retries are skipped (completeness.retries_denied).
   RetryBudget* retry_budget = nullptr;
+
+  // ---- Scale-aware routing (ISSUE 9) --------------------------------
+
+  /// When set, every real peer-contact outcome (elapsed simulated time
+  /// + success/failure) feeds this route table's EWMA estimates, so the
+  /// cost-bounded reformulation search learns from live traffic.
+  /// Non-owning; nullptr (the default) keeps contacts feedback-free —
+  /// point it at PdmsNetwork::route_table() to close the loop.
+  /// Breaker-suppressed contacts are NOT fed (they carry no new signal;
+  /// the breaker state itself seeds reachability via
+  /// route::SeedFromBreakers).
+  route::RouteTable* route_feedback = nullptr;
 
   // ---- Local evaluation (ISSUE 2: parallel, allocation-lean) ----
 
@@ -229,12 +243,55 @@ class PdmsNetwork {
   void ClearPlanCache() { plan_cache_->Clear(); }
   /// Hit/miss/eviction counters for benches and tests.
   PlanCache::Stats PlanCacheStats() const { return plan_cache_->GetStats(); }
-  /// The invalidation generation: bumped whenever mappings, stored
-  /// relations, views, or topology change. Cached plans from older
-  /// generations are never served.
+  /// The mutation clock: bumped whenever mappings, stored relations,
+  /// views, or topology change. Under scoped invalidation (the default)
+  /// it is the fast-path freshness check cached plans memoize against;
+  /// under `set_scoped_invalidation(false)` it is the sole invalidation
+  /// key — cached plans from older generations are never served.
   uint64_t plan_generation() const {
     return generation_.load(std::memory_order_relaxed);
   }
+
+  // ---- Scoped plan invalidation (ISSUE 9) ---------------------------
+
+  /// Scoped (per-peer) invalidation, on by default: a structural change
+  /// invalidates only the cached plans whose search touched a changed
+  /// peer, so an `AddPeer` on a 1k-peer network leaves the other 999
+  /// peers' warm plans servable. `false` restores the pre-route global
+  /// behavior — every mutation drops every plan — as a safety escape
+  /// hatch and the bench's comparison arm. Switching modes clears the
+  /// cache (entries from the two modes carry incompatible stamps).
+  void set_scoped_invalidation(bool enabled);
+  bool scoped_invalidation() const {
+    return scoped_invalidation_.load(std::memory_order_relaxed);
+  }
+  /// The per-peer invalidation stamp (0 until the peer's first
+  /// structural change — including its own join). For tests.
+  uint64_t peer_generation(const std::string& peer) const;
+
+  // ---- Scale-aware routing (ISSUE 9) --------------------------------
+
+  /// This network's route table: per-peer cost estimates driving the
+  /// cost-bounded reformulation search
+  /// (ReformulationOptions::use_route_search). Seed it via
+  /// route::SeedFrom* or SetStaticCost, or wire live feedback with
+  /// NetworkCostModel::route_feedback. With no estimates every peer
+  /// costs RouteTable::kDefaultCost, making route-mode search order
+  /// identical to the legacy breadth-first expansion.
+  route::RouteTable* route_table() const { return route_table_.get(); }
+
+  /// Declarative overlay-shape metadata from the `topology` config
+  /// directive ("small_world", "scale_free", …) plus the declared peer
+  /// count (0 = unspecified). Carried for tooling and benches —
+  /// regenerating a deployment at scale — never interpreted by the
+  /// engine, so it round-trips through Save/Load without constraining
+  /// the explicit peer/mapping lines.
+  void set_topology_hint(std::string shape, size_t declared_peers) {
+    topology_hint_ = std::move(shape);
+    declared_peers_ = declared_peers;
+  }
+  const std::string& topology_hint() const { return topology_hint_; }
+  size_t declared_peers() const { return declared_peers_; }
 
   // ---- Observability (ISSUE 4) ----------------------------------------
 
@@ -306,11 +363,29 @@ class PdmsNetwork {
   /// (fixpoint; recomputed when mappings change).
   void RecomputeProductive();
 
-  /// Marks a change to mappings/topology/views: bumps the plan-cache
-  /// generation so every previously cached plan reads as stale.
+  /// Marks a change to mappings/topology/views: bumps the mutation
+  /// clock so every previously cached plan reads as stale (legacy mode)
+  /// or gets its scope re-validated (scoped mode).
   void InvalidatePlans() {
     generation_.fetch_add(1, std::memory_order_relaxed);
   }
+
+  /// Scoped invalidation: bumps the mutation clock AND the per-peer
+  /// stamp of every peer in `peers`, so only plans whose search touched
+  /// one of them fail scope validation. Callers pass the peers a
+  /// mutation structurally affects (endpoints of a new mapping, the
+  /// peer gaining storage, plus every peer whose relations changed
+  /// productivity — see ProductivityDiffPeers).
+  void InvalidatePlansTouching(const std::set<std::string>& peers);
+
+  /// Peers owning a relation whose `productive_` status differs from
+  /// `before` — the ripple a storage/mapping change sends through the
+  /// reachability fixpoint. A plan pruned by prune_unreachable at a
+  /// node mentioning such a relation records that node's peers in its
+  /// touched set, so bumping these peers keeps scoped invalidation
+  /// sound for dead-path-pruned plans too.
+  std::set<std::string> ProductivityDiffPeers(
+      const std::map<std::string, bool>& before) const;
 
   /// Reformulate through the plan cache. The returned plan is shared
   /// with the cache (never mutated); `stats` reports the computing
@@ -336,12 +411,38 @@ class PdmsNetwork {
 
   std::map<std::string, std::unique_ptr<Peer>> peers_;
   std::vector<PeerMapping> mappings_;
+  /// Route-mode expansion index: qualified relation name → the mappings
+  /// (and application direction) that can rewrite an atom of that
+  /// relation. Rebuilt alongside `mappings_`; lets the best-first
+  /// search touch only the mappings incident to a node's atoms instead
+  /// of scanning all of them — the O(edges-at-node) vs O(all-mappings)
+  /// difference that makes 1k-peer reformulation interactive.
+  struct MappingUse {
+    size_t index = 0;   // into mappings_
+    bool forward = true;  // target→source application (else backward)
+  };
+  std::map<std::string, std::vector<MappingUse>> mapping_index_;
   std::vector<XmlEdge> xml_edges_;
   std::vector<RegisteredView> views_;
   storage::Catalog storage_;
   std::map<std::string, bool> productive_;
-  /// Plan-cache invalidation generation (see plan_generation()).
+  /// Plan-cache mutation clock (see plan_generation()).
   std::atomic<uint64_t> generation_{0};
+  /// Per-peer invalidation stamps for scoped invalidation; a peer
+  /// absent here reads as stamp 0 (matching plans that recorded it as
+  /// unknown). Guarded by gen_mu_ — lock order is plan-cache shard lock
+  /// first (the validator runs inside Lookup), then gen_mu_; mutators
+  /// take gen_mu_ alone.
+  mutable std::shared_mutex gen_mu_;
+  std::map<std::string, uint64_t> peer_generations_;
+  /// See set_scoped_invalidation().
+  std::atomic<bool> scoped_invalidation_{true};
+  /// See set_topology_hint().
+  std::string topology_hint_;
+  size_t declared_peers_ = 0;
+  /// Per-network route table (see route_table()).
+  mutable std::unique_ptr<route::RouteTable> route_table_ =
+      std::make_unique<route::RouteTable>();
   /// Registry-reporting gate (see set_metrics_enabled()).
   std::atomic<bool> metrics_enabled_{true};
   /// The reformulation plan cache. `mutable` because Answer/Reformulate

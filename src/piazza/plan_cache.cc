@@ -22,9 +22,9 @@ PlanCache::PlanCache(size_t capacity, size_t shards) : capacity_(capacity) {
   }
 }
 
-std::shared_ptr<const CachedPlan> PlanCache::Lookup(uint64_t fingerprint,
-                                                    const std::string& key,
-                                                    uint64_t generation) {
+std::shared_ptr<const CachedPlan> PlanCache::Lookup(
+    uint64_t fingerprint, const std::string& key, uint64_t generation,
+    const std::function<bool(const CachedPlan&)>& validator) {
   if (capacity_ == 0) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     if (metrics_enabled()) registry_misses_->Increment();
@@ -33,10 +33,12 @@ std::shared_ptr<const CachedPlan> PlanCache::Lookup(uint64_t fingerprint,
   Shard& shard = ShardFor(fingerprint);
   std::shared_lock<std::shared_mutex> lock(shard.mu);
   auto it = shard.entries.find(key);
-  if (it == shard.entries.end() || it->second->generation != generation) {
-    // Absent, or written under an older network generation: a stale
-    // plan is never served. The stale entry is purged on the next
-    // insert into this shard (erasing here would need the write lock).
+  if (it == shard.entries.end() || it->second->generation != generation ||
+      (validator != nullptr && !validator(*it->second->plan))) {
+    // Absent, written under an older network generation, or rejected by
+    // the caller's scope validator: a stale plan is never served. The
+    // stale entry is purged on the next insert into this shard (or
+    // replaced on re-insert; erasing here would need the write lock).
     misses_.fetch_add(1, std::memory_order_relaxed);
     if (metrics_enabled()) registry_misses_->Increment();
     return nullptr;

@@ -3,10 +3,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/obs/metrics.h"
@@ -23,10 +25,34 @@ inline constexpr size_t kDefaultPlanCacheCapacity = 1024;
 /// One cached reformulation: the full rewriting set `Reformulate`
 /// produced for a canonical (query, options) key, plus the stats of the
 /// run that computed it, so cache hits can report real search counters
-/// instead of zeros. Immutable once published (shared across threads).
+/// instead of zeros. Immutable once published (shared across threads) —
+/// except `valid_through`, a monotone validation memo.
 struct CachedPlan {
   std::vector<query::ConjunctiveQuery> rewritings;
   ReformulationStats stats;
+
+  // ---- Scoped invalidation (ISSUE 9) --------------------------------
+
+  /// Every peer this plan's search touched (root query + every expanded
+  /// node), with the per-peer generation stamp read when the search
+  /// started. A plan is scope-valid while each touched peer still
+  /// carries its recorded stamp — mutations at peers outside this set
+  /// leave the plan servable. Peers unknown at build time are recorded
+  /// at stamp 0, so they invalidate the plan if they later join.
+  std::vector<std::pair<std::string, uint64_t>> touched;
+  /// Global mutation-clock value when the search ran.
+  uint64_t built_generation = 0;
+  /// Validation memo: the highest global generation at which the
+  /// per-peer scope check is known to have passed. When the network's
+  /// clock still reads this value the O(|touched|) re-check is skipped
+  /// — warm hits on a 1k-peer network stay O(1). Atomic (and mutable
+  /// through shared_ptr<const>) because concurrent lookups race to
+  /// advance it; monotonicity makes any winner correct.
+  mutable std::atomic<uint64_t> valid_through{0};
+
+  CachedPlan() = default;
+  CachedPlan(const CachedPlan&) = delete;
+  CachedPlan& operator=(const CachedPlan&) = delete;
 };
 
 /// A bounded, sharded LRU cache for reformulation plans.
@@ -76,12 +102,19 @@ class PlanCache {
   PlanCache& operator=(const PlanCache&) = delete;
 
   /// Returns the plan stored under `key` at `generation`, or nullptr on
-  /// a miss (absent, stale generation, or cache disabled).
-  /// `fingerprint` must be a hash of `key` (it selects the shard, so
-  /// the same key must always carry the same fingerprint).
-  std::shared_ptr<const CachedPlan> Lookup(uint64_t fingerprint,
-                                           const std::string& key,
-                                           uint64_t generation);
+  /// a miss (absent, stale generation, rejected by `validator`, or
+  /// cache disabled). `fingerprint` must be a hash of `key` (it selects
+  /// the shard, so the same key must always carry the same
+  /// fingerprint).
+  ///
+  /// `validator`, when set, runs under the shard's shared lock on a
+  /// generation-matching entry; returning false turns the lookup into a
+  /// counted miss (scoped invalidation passes a per-peer stamp check
+  /// here with generation pinned to 0, so the entry's own generation
+  /// field stays inert and freshness is the validator's call alone).
+  std::shared_ptr<const CachedPlan> Lookup(
+      uint64_t fingerprint, const std::string& key, uint64_t generation,
+      const std::function<bool(const CachedPlan&)>& validator = nullptr);
 
   /// Stores `plan` under `key` at `generation`, evicting stale-then-LRU
   /// entries to stay within the shard's capacity. Re-inserting an

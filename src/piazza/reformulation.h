@@ -29,6 +29,28 @@ struct ReformulationOptions {
   /// cache is exact — answers are byte-identical either way — so this
   /// exists for differential tests and cold-path benchmarks.
   bool use_plan_cache = true;
+
+  // ---- Scale-aware routing (ISSUE 9) --------------------------------
+
+  /// Route-mode search: best-first expansion ordered by accumulated
+  /// peer-path cost from the network's RouteTable, expanding candidates
+  /// through a relation→mapping index instead of scanning every mapping
+  /// at every node. With every budget below unlimited (max_path_cost
+  /// = 0, prune_redundant_paths = false) the rewriting set is identical
+  /// to the legacy breadth-first search — uniform edge costs make the
+  /// priority queue pop in exact BFS order — which the eleventh fuzz
+  /// oracle (`pruned_vs_exhaustive`) checks case by case.
+  bool use_route_search = false;
+  /// Cost budget: a search path whose accumulated RouteTable edge cost
+  /// exceeds this is not expanded (counted in `pruned_cost`). 0 means
+  /// unlimited. Only meaningful with use_route_search.
+  double max_path_cost = 0.0;
+  /// Redundant-path elimination beyond syntactic dedup: skip expansions
+  /// that re-enter a peer already on the path (cycle elimination) and
+  /// drop emitted rewritings whose canonical fingerprint was already
+  /// kept (counted in `pruned_redundant`). Only meaningful with
+  /// use_route_search.
+  bool prune_redundant_paths = false;
 };
 
 /// Instrumentation from one reformulation (drives bench C3 and P2).
@@ -42,6 +64,16 @@ struct ReformulationStats {
   size_t pruned_unreachable = 0;
   size_t pruned_depth = 0;
   size_t pruned_contained = 0;
+  /// Route mode (ISSUE 9): expansions dropped because their accumulated
+  /// peer-path cost exceeded `max_path_cost` — the honest completeness
+  /// ledger for cost-bounded search (a nonzero value means the
+  /// rewriting set may be a subset of the exhaustive one). Reported as
+  /// `rewritings_pruned_cost` in docs/benches.
+  size_t pruned_cost = 0;
+  /// Route mode: expansions/emissions dropped by redundant-path
+  /// elimination (peer-path cycles, subsumed canonical fingerprints).
+  /// Reported as `rewritings_pruned_redundant` in docs/benches.
+  size_t pruned_redundant = 0;
   size_t rewritings = 0;
   /// 1 when this reformulation was served from the plan cache.
   size_t plan_cache_hits = 0;

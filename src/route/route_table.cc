@@ -1,0 +1,85 @@
+#include "src/route/route_table.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace revere::route {
+
+double RouteTable::CostOf(const std::string& peer) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) return kDefaultCost;
+  const PeerState& s = it->second;
+  if (s.has_static_cost) return s.static_cost;
+  if (s.samples == 0) return kDefaultCost;
+  double latency_cost = s.latency_ewma_ms / latency_scale_ms_;
+  // An unreliable peer is expected to need 1/reach attempts; floor the
+  // divisor so a fully dead peer costs kMaxCost instead of infinity.
+  double reach = std::max(s.reach_ewma, 0.01);
+  return std::clamp(latency_cost / reach, kMinCost, kMaxCost);
+}
+
+void RouteTable::ObservedContact(const std::string& peer, double elapsed_ms,
+                                 bool ok) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  PeerState& s = peers_[peer];
+  if (s.samples == 0) {
+    s.latency_ewma_ms = elapsed_ms;
+    s.reach_ewma = ok ? 1.0 : 0.0;
+  } else {
+    s.latency_ewma_ms =
+        alpha_ * elapsed_ms + (1.0 - alpha_) * s.latency_ewma_ms;
+    s.reach_ewma = alpha_ * (ok ? 1.0 : 0.0) + (1.0 - alpha_) * s.reach_ewma;
+  }
+  ++s.samples;
+}
+
+void RouteTable::SetStaticCost(const std::string& peer, double cost) {
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    PeerState& s = peers_[peer];
+    s.has_static_cost = true;
+    s.static_cost = cost;
+  }
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RouteTable::SeedEstimate(const std::string& peer, double latency_ms,
+                              double reachability) {
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    PeerState& s = peers_[peer];
+    s.latency_ewma_ms = latency_ms;
+    s.reach_ewma = std::clamp(reachability, 0.0, 1.0);
+    if (s.samples == 0) s.samples = 1;  // mark as estimated
+  }
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RouteTable::Reset() {
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    peers_.clear();
+  }
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t RouteTable::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return peers_.size();
+}
+
+RouteTable::Estimate RouteTable::GetEstimate(const std::string& peer) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  Estimate e;
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) return e;
+  e.latency_ms = it->second.latency_ewma_ms;
+  e.reachability = it->second.reach_ewma;
+  e.has_static_cost = it->second.has_static_cost;
+  e.static_cost = it->second.static_cost;
+  e.samples = it->second.samples;
+  return e;
+}
+
+}  // namespace revere::route

@@ -1,0 +1,49 @@
+#include "src/route/seed.h"
+
+namespace revere::route {
+
+size_t SeedFromBreakers(const piazza::BreakerSet& breakers,
+                        RouteTable* table) {
+  size_t seeded = 0;
+  for (const auto& [peer, state] : breakers.States()) {
+    double reach = 1.0;
+    switch (state) {
+      case piazza::PeerBreaker::State::kClosed:
+        reach = 1.0;
+        break;
+      case piazza::PeerBreaker::State::kHalfOpen:
+        reach = 0.5;
+        break;
+      case piazza::PeerBreaker::State::kOpen:
+        reach = 0.05;
+        break;
+    }
+    RouteTable::Estimate prior = table->GetEstimate(peer);
+    double latency =
+        prior.samples > 0 ? prior.latency_ms : 0.0;  // keep what we have
+    if (latency == 0.0) {
+      // No latency signal yet: one scale unit so CostOf reflects only
+      // the reachability penalty.
+      latency = RouteTable::kDefaultCost * 5.0;
+    }
+    table->SeedEstimate(peer, latency, reach);
+    ++seeded;
+  }
+  return seeded;
+}
+
+size_t SeedFromLatencyHistograms(
+    const std::map<std::string, obs::Histogram::Snapshot>& peer_latency,
+    RouteTable* table) {
+  size_t seeded = 0;
+  for (const auto& [peer, snapshot] : peer_latency) {
+    if (snapshot.count == 0) continue;
+    RouteTable::Estimate prior = table->GetEstimate(peer);
+    double reach = prior.samples > 0 ? prior.reachability : 1.0;
+    table->SeedEstimate(peer, snapshot.Percentile(50.0), reach);
+    ++seeded;
+  }
+  return seeded;
+}
+
+}  // namespace revere::route

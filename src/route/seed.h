@@ -1,0 +1,36 @@
+#ifndef REVERE_ROUTE_SEED_H_
+#define REVERE_ROUTE_SEED_H_
+
+#include <map>
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/piazza/breaker.h"
+#include "src/route/route_table.h"
+
+namespace revere::route {
+
+/// Adapters that prime a RouteTable from the telemetry the system
+/// already collects (ISSUE 9): the serve layer's per-peer circuit
+/// breakers and the obs latency histograms. These live in a separate
+/// header so route_table.h itself stays dependency-free (the piazza
+/// layer includes it).
+
+/// Seeds reachability from breaker states: a closed breaker reads as
+/// fully reachable, half-open as degraded, open as nearly dead (the
+/// breaker has been actively suppressing contacts). Latency estimates
+/// are left untouched. Returns the number of peers seeded.
+size_t SeedFromBreakers(const piazza::BreakerSet& breakers, RouteTable* table);
+
+/// Seeds every peer in `peer_latency` with its histogram's p50 as the
+/// latency estimate (reachability untouched for peers the table already
+/// knows; 1.0 otherwise). Callers snapshot per-peer latency histograms
+/// however they shard them; this adapter only folds the numbers in.
+/// Returns the number of peers seeded.
+size_t SeedFromLatencyHistograms(
+    const std::map<std::string, obs::Histogram::Snapshot>& peer_latency,
+    RouteTable* table);
+
+}  // namespace revere::route
+
+#endif  // REVERE_ROUTE_SEED_H_

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/common/rng.h"
 #include "src/common/strings.h"
@@ -200,6 +204,125 @@ TEST_F(TopologyTest, ZeroPeersRejected) {
   opts.topology = Topology::kChain;
   opts.peers = 0;
   EXPECT_FALSE(BuildUniversityPdms(&net, opts).ok());
+}
+
+// --- TopologyEdges structural properties (ISSUE 9) -------------------
+
+// Union-find over the edge list: every generated shape must come out
+// connected, or transitive reformulation silently loses peers.
+size_t ComponentCount(size_t n,
+                      const std::vector<std::pair<size_t, size_t>>& edges) {
+  std::vector<size_t> parent(n);
+  for (size_t i = 0; i < n; ++i) parent[i] = i;
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  size_t components = n;
+  for (const auto& [a, b] : edges) {
+    size_t ra = find(a), rb = find(b);
+    if (ra != rb) {
+      parent[ra] = rb;
+      --components;
+    }
+  }
+  return components;
+}
+
+TEST_F(TopologyTest, EveryShapeIsConnectedAtEverySize) {
+  for (Topology shape : {Topology::kChain, Topology::kStar, Topology::kRandom,
+                         Topology::kSmallWorld, Topology::kScaleFree}) {
+    for (size_t n : {2u, 3u, 5u, 17u, 100u}) {
+      PdmsGenOptions opts;
+      opts.topology = shape;
+      Rng rng(7);
+      auto edges = TopologyEdges(opts, n, &rng);
+      EXPECT_EQ(ComponentCount(n, edges), 1u)
+          << "shape " << static_cast<int>(shape) << " n " << n;
+      for (const auto& [a, b] : edges) {
+        EXPECT_NE(a, b) << "self-loop";
+        EXPECT_LT(a, n);
+        EXPECT_LT(b, n);
+      }
+    }
+  }
+}
+
+TEST_F(TopologyTest, EdgesAreDeterministicUnderFixedSeed) {
+  for (Topology shape : {Topology::kRandom, Topology::kSmallWorld,
+                         Topology::kScaleFree}) {
+    PdmsGenOptions opts;
+    opts.topology = shape;
+    Rng a(42), b(42), c(43);
+    auto ea = TopologyEdges(opts, 40, &a);
+    auto eb = TopologyEdges(opts, 40, &b);
+    EXPECT_EQ(ea, eb) << "shape " << static_cast<int>(shape);
+    // A different seed should (at these sizes) move at least one edge.
+    auto ec = TopologyEdges(opts, 40, &c);
+    EXPECT_NE(ea, ec) << "shape " << static_cast<int>(shape);
+  }
+}
+
+TEST_F(TopologyTest, SmallWorldDegreesStayNearLattice) {
+  PdmsGenOptions opts;
+  opts.topology = Topology::kSmallWorld;
+  opts.small_world_neighbors = 4;
+  size_t n = 200;
+  Rng rng(5);
+  auto edges = TopologyEdges(opts, n, &rng);
+  // Rewiring moves endpoints but never adds edges: the count is bounded
+  // by the lattice's n*k/2, and stays within it minus saturation skips.
+  EXPECT_LE(edges.size(), n * 2);
+  EXPECT_GE(edges.size(), n * 2 - n / 10);
+  std::vector<size_t> degree(n, 0);
+  for (const auto& [a, b] : edges) {
+    ++degree[a];
+    ++degree[b];
+  }
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_GE(degree[i], 2u) << "peer " << i;  // the untouched d=1 ring
+  }
+}
+
+TEST_F(TopologyTest, ScaleFreeGrowsHubs) {
+  PdmsGenOptions opts;
+  opts.topology = Topology::kScaleFree;
+  opts.scale_free_attach = 2;
+  size_t n = 300;
+  Rng rng(9);
+  auto edges = TopologyEdges(opts, n, &rng);
+  // m edges per arriving node (minus early nodes and dedup skips).
+  EXPECT_LE(edges.size(), (n - 1) * 2);
+  EXPECT_GE(edges.size(), n);
+  std::vector<size_t> degree(n, 0);
+  for (const auto& [a, b] : edges) {
+    ++degree[a];
+    ++degree[b];
+  }
+  size_t max_degree = 0;
+  for (size_t d : degree) max_degree = std::max(max_degree, d);
+  // Preferential attachment concentrates links: the biggest hub should
+  // dwarf the mean degree (~4) by a wide margin.
+  EXPECT_GE(max_degree, 12u);
+}
+
+TEST_F(TopologyTest, NewShapesAnswerTransitively) {
+  for (Topology shape : {Topology::kSmallWorld, Topology::kScaleFree}) {
+    piazza::PdmsNetwork net;
+    PdmsGenOptions opts;
+    opts.topology = shape;
+    opts.peers = 8;
+    opts.rows_per_peer = 2;
+    opts.seed = 3;
+    auto report = BuildUniversityPdms(&net, opts);
+    ASSERT_TRUE(report.ok());
+    piazza::ReformulationOptions reform;
+    reform.max_depth = 8;
+    auto rows = net.Answer(AllCoursesQuery(report.value(), 0), reform);
+    ASSERT_TRUE(rows.ok());
+    EXPECT_EQ(rows.value().size(), 16u)
+        << "shape " << static_cast<int>(shape);
+  }
 }
 
 }  // namespace
