@@ -379,8 +379,13 @@ void BM_P3_ColumnarBuild(benchmark::State& state) {
     rows = dicts = 0;
     for (const auto& name : f.net.storage().TableNames()) {
       const auto* table = f.net.storage().GetTable(name).value();
+      auto pinned = table->Snapshot();
       auto snap = revere::storage::ColumnTable::Build(
-          table->rows(), table->schema().arity(), 0);
+          pinned->size(),
+          [&pinned](size_t i) -> const revere::storage::Row& {
+            return pinned->row(i);
+          },
+          table->schema().arity(), 0);
       rows += snap->row_count();
       dicts += snap->dict_entries();
       benchmark::DoNotOptimize(snap);

@@ -1,6 +1,7 @@
 #include "src/fuzz/fuzzer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -10,6 +11,7 @@
 #include <optional>
 #include <set>
 #include <sstream>
+#include <thread>
 #include <unordered_set>
 #include <utility>
 
@@ -23,6 +25,7 @@
 #include "src/query/evaluate.h"
 #include "src/serve/server.h"
 #include "src/storage/schema.h"
+#include "src/storage/table_version.h"
 
 namespace revere::fuzz {
 
@@ -828,9 +831,10 @@ void CheckRouteOracle(OracleContext* ctx, const FuzzCase& c) {
               /*compare_stats=*/true, /*compare_cache_flags=*/true);
 }
 
-uint64_t DigestRun(const EngineRun& run) {
+
+uint64_t DigestRun(const std::vector<QueryOutcome>& outcomes) {
   uint64_t h = Fnv1a64("fuzz-digest-v1");
-  for (const QueryOutcome& o : run.outcomes) {
+  for (const QueryOutcome& o : outcomes) {
     h = Fnv1a64(StatusCodeToString(o.status.code()), h);
     h = Fnv1a64(o.status.message(), h);
     for (const Row& row : o.rows) {
@@ -845,6 +849,83 @@ uint64_t DigestRun(const EngineRun& run) {
   return h;
 }
 
+/// MVCC snapshots under load (ISSUE 10): answers computed while a
+/// writer thread churns every stored relation must equal the same
+/// queries re-run over the SAME pinned versions after the writer
+/// quiesces — byte-identical rows, statuses, stats, and digest. The
+/// comparison is reader-vs-its-own-pins (SnapshotSet is first-pin-wins,
+/// so the quiesced pass reads exactly the versions the loaded pass
+/// read), which makes the oracle deterministic regardless of thread
+/// timing — and, under TSan, a race detector over the whole
+/// Snapshot/Publish protocol.
+void CheckSnapshotOracle(OracleContext* ctx, const FuzzCase& c) {
+  PdmsNetwork net;
+  if (!BuildNetwork(c, &net).ok() || c.tables.empty()) return;
+
+  // Qualified name + arity of every stored relation, for the writer.
+  std::vector<std::pair<std::string, size_t>> targets;
+  for (const FuzzTable& t : c.tables) {
+    targets.emplace_back(QualifiedName(t.peer, t.relation), t.arity);
+  }
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    uint64_t i = c.seed;
+    while (!done.load(std::memory_order_acquire)) {
+      const auto& [name, arity] = targets[i % targets.size()];
+      auto table = net.mutable_storage()->GetTable(name);
+      if (table.ok()) {
+        Row row;
+        for (size_t a = 0; a < arity; ++a) {
+          row.push_back(Value("w" + std::to_string(i)));
+        }
+        // Insert-then-delete churn: every iteration publishes two new
+        // versions; net table contents return to the pre-churn state,
+        // but nothing below depends on that.
+        (void)table.value()->Insert(row);
+        (void)table.value()->Delete(row);
+      }
+      ++i;
+    }
+  });
+
+  ReformulationOptions reform = c.reform;
+  reform.use_plan_cache = false;
+  storage::SnapshotSet pins;
+  NetworkCostModel cost;
+  cost.failure_policy = c.policy;
+  cost.retry = c.retry;
+  cost.eval.on_demand_index_min_rows = 0;
+  cost.eval.snapshots = &pins;  // pins outlive the Answer calls
+
+  auto answer_all = [&](std::vector<QueryOutcome>* out) {
+    for (const ConjunctiveQuery& q : c.queries) {
+      QueryOutcome o;
+      Result<std::vector<Row>> r = net.Answer(q, reform, &o.stats, cost);
+      if (r.ok()) {
+        o.rows = std::move(r).value();
+      } else {
+        o.status = r.status();
+      }
+      out->push_back(std::move(o));
+    }
+  };
+
+  std::vector<QueryOutcome> loaded;
+  answer_all(&loaded);
+  done.store(true, std::memory_order_release);
+  writer.join();
+
+  std::vector<QueryOutcome> quiesced;
+  answer_all(&quiesced);
+  CompareRuns(ctx, "snapshot_vs_quiesced", quiesced, loaded,
+              /*compare_stats=*/true, /*compare_cache_flags=*/true);
+  ctx->Check(DigestRun(loaded) == DigestRun(quiesced),
+             "snapshot_vs_quiesced",
+             "under-load answer digest diverges from the quiesced re-run "
+             "over the same pinned versions");
+}
+
 }  // namespace
 
 CaseReport CheckCase(const FuzzCase& c) {
@@ -857,7 +938,7 @@ CaseReport CheckCase(const FuzzCase& c) {
   base_cfg.engine = query::EvalEngine::kMap;
   base_cfg.on_demand_indexes = false;
   EngineRun base = Run(c, base_cfg);
-  report.answer_digest = DigestRun(base);
+  report.answer_digest = DigestRun(base.outcomes);
 
   // 1. Slot-compiled evaluation vs the map engine.
   EngineConfig slots_cfg;
@@ -962,7 +1043,7 @@ CaseReport CheckCase(const FuzzCase& c) {
   col_cfg.engine = query::EvalEngine::kColumnar;
   EngineRun columnar = Run(c, col_cfg);
   CompareRuns(&ctx, "columnar_vs_slots", indexed.outcomes, columnar.outcomes);
-  ctx.Check(DigestRun(columnar) == report.answer_digest, "columnar_vs_slots",
+  ctx.Check(DigestRun(columnar.outcomes) == report.answer_digest, "columnar_vs_slots",
             "columnar answer digest diverges from the map-engine digest");
   CheckStatsInvariants(&ctx, c, columnar, /*with_faults=*/false);
 
@@ -994,7 +1075,7 @@ CaseReport CheckCase(const FuzzCase& c) {
   EngineRun col_scalar = Run(c, col_scalar_cfg);
   CompareRuns(&ctx, "columnar_simd_vs_scalar", columnar.outcomes,
               col_scalar.outcomes);
-  ctx.Check(DigestRun(col_scalar) == report.answer_digest,
+  ctx.Check(DigestRun(col_scalar.outcomes) == report.answer_digest,
             "columnar_simd_vs_scalar",
             "scalar-kernel answer digest diverges from the map-engine digest");
 
@@ -1008,6 +1089,10 @@ CaseReport CheckCase(const FuzzCase& c) {
   //     (ISSUE 9): unlimited budget byte-identical, bounded budget
   //     subset-only, pruning counters exact, with and without faults.
   CheckRouteOracle(&ctx, c);
+
+  // 12. MVCC snapshots under a concurrent writer (ISSUE 10): answers
+  //     under load == answers over the same pinned versions quiesced.
+  CheckSnapshotOracle(&ctx, c);
 
   return report;
 }

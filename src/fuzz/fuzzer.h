@@ -61,6 +61,14 @@ namespace revere::fuzz {
 ///                     it may only *remove* answers — every returned
 ///                     row is in the exhaustive answer — with sane
 ///                     pruning accounting, fault-free and faulted
+///   snapshot_vs_quiesced
+///                     MVCC (ISSUE 10): answers computed while a writer
+///                     thread churns every stored relation == the same
+///                     queries re-run over the SAME pinned versions
+///                     after the writer quiesces, byte for byte (rows,
+///                     statuses, stats, digest) — readers never observe
+///                     a torn or shifting table, and under TSan the
+///                     whole Snapshot/Publish protocol is race-checked
 ///
 /// plus cross-cutting stats invariants (peers_contacted bounds,
 /// completeness arithmetic, plan-cache hit/miss flags).

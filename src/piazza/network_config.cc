@@ -194,7 +194,12 @@ std::string SaveNetworkConfig(const PdmsNetwork& network,
       out += " " + col.name;
     }
     out += "\n";
-    for (const auto& row : table.value()->rows()) {
+    // Serialize from one pinned snapshot per table: a save racing a
+    // writer emits a complete point-in-time version, never a torn row
+    // (the pre-fix code iterated rows() unlocked).
+    auto snap = table.value()->Snapshot();
+    for (size_t r = 0; r < snap->size(); ++r) {
+      const storage::Row& row = snap->row(r);
       out += "row " + peer + " " + relation + " ";
       for (size_t i = 0; i < row.size(); ++i) {
         if (i > 0) out += " | ";

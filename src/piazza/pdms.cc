@@ -977,6 +977,13 @@ PdmsNetwork::AnswerWithProvenance(const ConjunctiveQuery& query,
   // and stats are byte-identical to the serial path.
   query::EvalOptions eval = cost.eval;
   eval.pool = nullptr;
+  // One MVCC pin scope for the entire answer: every rewriting —
+  // speculative pool evaluation and the sequential merge loop alike —
+  // and the ship-data row accounting below read each table at the
+  // version pinned on first touch, so a query races concurrent
+  // updategrams as one consistent point-in-time view end-to-end.
+  storage::SnapshotSet answer_pins;
+  if (eval.snapshots == nullptr) eval.snapshots = &answer_pins;
   // Per-rewriting `evaluate` span ids, kept so the merge loop below can
   // parent each rewriting's `contact` spans under the span that
   // evaluated it — parent links, not temporal nesting, carry the tree,
@@ -1064,7 +1071,10 @@ PdmsNetwork::AnswerWithProvenance(const ConjunctiveQuery& query,
       if (!peer.empty() && peer != query_peer) {
         peers.insert(peer);
         auto table = storage_.GetTable(a.relation);
-        if (table.ok()) remote_base_rows += table.value()->size();
+        if (table.ok()) {
+          // Count rows at the same pinned version the evaluation read.
+          remote_base_rows += eval.snapshots->Pin(*table.value())->size();
+        }
       }
     }
     if (cost.faults == nullptr) {

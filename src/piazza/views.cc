@@ -22,13 +22,17 @@ using storage::Value;
 Status EnumerateDerivations(const storage::Catalog& catalog,
                             const ConjunctiveQuery& cq,
                             const std::function<void(const Row&)>& emit) {
-  std::vector<const Table*> tables;
+  // One pin set for the whole enumeration: every atom over a relation
+  // reads the same immutable version, and a writer racing this loop can
+  // neither tear a row nor shift indices mid-recursion.
+  storage::SnapshotSet pins;
+  std::vector<std::shared_ptr<const storage::TableVersion>> tables;
   for (const auto& atom : cq.body()) {
     REVERE_ASSIGN_OR_RETURN(const Table* t, catalog.GetTable(atom.relation));
     if (t->schema().arity() != atom.args.size()) {
       return Status::InvalidArgument("arity mismatch on " + atom.relation);
     }
-    tables.push_back(t);
+    tables.push_back(pins.Pin(*t));
   }
   std::map<std::string, Value> binding;
   std::function<void(size_t)> recurse = [&](size_t i) {
@@ -47,7 +51,8 @@ Status EnumerateDerivations(const storage::Catalog& catalog,
       return;
     }
     const Atom& atom = cq.body()[i];
-    for (const Row& row : tables[i]->rows()) {
+    for (size_t r = 0; r < tables[i]->size(); ++r) {
+      const Row& row = tables[i]->row(r);
       // Try to extend the binding with this row.
       std::vector<std::pair<std::string, Value>> added;
       bool ok = true;
@@ -81,13 +86,19 @@ Status BuildDeltaCatalog(const storage::Catalog& catalog,
                          const ConjunctiveQuery& view,
                          const Updategram& update,
                          storage::Catalog* scratch) {
+  // One pin set for the whole delta catalog: the copy of each live
+  // relation and the R#old reconstruction below must come from the SAME
+  // immutable version — the pre-fix code read live->rows() twice with no
+  // lock, so a concurrent writer could tear a row or leave the copy and
+  // R#old disagreeing about the base state.
+  storage::SnapshotSet pins;
   std::set<std::string> relations;
   for (const auto& a : view.body()) relations.insert(a.relation);
   for (const auto& rel : relations) {
     REVERE_ASSIGN_OR_RETURN(const Table* live, catalog.GetTable(rel));
     REVERE_ASSIGN_OR_RETURN(Table * copy,
                             scratch->CreateTable(live->schema()));
-    REVERE_RETURN_IF_ERROR(copy->InsertAll(live->rows()));
+    REVERE_RETURN_IF_ERROR(copy->InsertAll(pins.Pin(*live)->CopyRows()));
   }
   REVERE_ASSIGN_OR_RETURN(const Table* live,
                           catalog.GetTable(update.relation));
@@ -96,7 +107,7 @@ Status BuildDeltaCatalog(const storage::Catalog& catalog,
                                   live->schema().columns());
   REVERE_ASSIGN_OR_RETURN(Table * old_table,
                           scratch->CreateTable(std::move(old_schema)));
-  std::vector<Row> old_rows = live->rows();
+  std::vector<Row> old_rows = pins.Pin(*live)->CopyRows();
   for (const auto& ins : update.inserts) {
     auto it = std::find(old_rows.begin(), old_rows.end(), ins);
     if (it != old_rows.end()) old_rows.erase(it);

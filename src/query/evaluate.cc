@@ -20,7 +20,8 @@ namespace revere::query {
 namespace {
 
 using storage::Row;
-using storage::Table;
+using storage::SnapshotSet;
+using storage::TableVersion;
 using storage::Value;
 
 // ---------------------------------------------------------------------
@@ -62,7 +63,7 @@ bool MatchRow(const Atom& atom, const Row& row, ValueBinding* binding) {
   return true;
 }
 
-void MapSearch(const std::vector<std::pair<const Table*, const Atom*>>& atoms,
+void MapSearch(const std::vector<ResolvedAtom>& atoms,
                std::vector<bool>* done, const ValueBinding& binding,
                const std::vector<QTerm>& head, RowDedup* dedup) {
   // All atoms satisfied: emit the head tuple.
@@ -90,14 +91,14 @@ void MapSearch(const std::vector<std::pair<const Table*, const Atom*>>& atoms,
   int best_bound = -1;
   for (size_t i = 0; i < atoms.size(); ++i) {
     if ((*done)[i]) continue;
-    int b = BoundPositions(*atoms[i].second, binding);
+    int b = BoundPositions(*atoms[i].atom, binding);
     if (b > best_bound) {
       best_bound = b;
       best = i;
     }
   }
-  const Table* table = atoms[best].first;
-  const Atom& atom = *atoms[best].second;
+  const TableVersion* table = atoms[best].snap.get();
+  const Atom& atom = *atoms[best].atom;
   (*done)[best] = true;
 
   // If some position is bound and indexed, probe; else scan.
@@ -132,10 +133,10 @@ void MapSearch(const std::vector<std::pair<const Table*, const Atom*>>& atoms,
   };
   if (probe_col) {
     for (size_t idx : table->LookupIndices(*probe_col, probe_key)) {
-      consider(table->rows()[idx]);
+      consider(table->row(idx));
     }
   } else {
-    for (const Row& row : table->rows()) consider(row);
+    for (size_t r = 0; r < table->size(); ++r) consider(table->row(r));
   }
   (*done)[best] = false;
 }
@@ -154,7 +155,7 @@ struct SlotTerm {
 };
 
 struct SlotAtom {
-  const Table* table = nullptr;
+  const TableVersion* table = nullptr;
   std::vector<SlotTerm> terms;
 };
 
@@ -184,9 +185,8 @@ struct SlotProgram {
 };
 
 /// Maps every distinct variable to a dense slot, once per CQ.
-SlotProgram CompileSlots(
-    const ConjunctiveQuery& query,
-    const std::vector<std::pair<const Table*, const Atom*>>& atoms) {
+SlotProgram CompileSlots(const ConjunctiveQuery& query,
+                         const std::vector<ResolvedAtom>& atoms) {
   SlotProgram prog;
   std::unordered_map<std::string, int> slot_of;
   auto compile_term = [&](const QTerm& t) {
@@ -204,11 +204,11 @@ SlotProgram CompileSlots(
   prog.head.reserve(query.head().size());
   for (const auto& t : query.head()) prog.head.push_back(compile_term(t));
   prog.atoms.reserve(atoms.size());
-  for (const auto& [table, atom] : atoms) {
+  for (const auto& ra : atoms) {
     SlotAtom sa;
-    sa.table = table;
-    sa.terms.reserve(atom->args.size());
-    for (const auto& t : atom->args) sa.terms.push_back(compile_term(t));
+    sa.table = ra.snap.get();
+    sa.terms.reserve(ra.atom->args.size());
+    for (const auto& t : ra.atom->args) sa.terms.push_back(compile_term(t));
     prog.atoms.push_back(std::move(sa));
   }
   prog.num_slots = slot_of.size();
@@ -267,7 +267,7 @@ void SlotSearch(SlotState& st, size_t remaining) {
     }
   }
   const SlotAtom& atom = st.prog.atoms[best];
-  const Table* table = atom.table;
+  const TableVersion* table = atom.table;
   st.done[best] = true;
 
   // Probe column: the first bound position that is indexed; when none
@@ -326,10 +326,10 @@ void SlotSearch(SlotState& st, size_t remaining) {
         t.constant != nullptr ? *t.constant : st.slots[t.slot];
     for (size_t idx :
          table->LookupIndices(static_cast<size_t>(probe_col), key)) {
-      consider(table->rows()[idx]);
+      consider(table->row(idx));
     }
   } else {
-    for (const Row& row : table->rows()) consider(row);
+    for (size_t r = 0; r < table->size(); ++r) consider(table->row(r));
   }
   st.done[best] = false;
 }
@@ -345,7 +345,8 @@ Status EvaluateInto(const storage::Catalog& catalog,
   if (options.engine == EvalEngine::kColumnar) {
     return EvaluateColumnarInto(catalog, query, options, dedup);
   }
-  REVERE_ASSIGN_OR_RETURN(auto atoms, ResolveAtoms(catalog, query));
+  REVERE_ASSIGN_OR_RETURN(auto atoms,
+                          ResolveAtoms(catalog, query, options.snapshots));
   if (options.engine == EvalEngine::kSlots) {
     SlotProgram prog = CompileSlots(query, atoms);
     SlotState st(prog, options, dedup);
@@ -394,12 +395,22 @@ Result<std::vector<Row>> EvaluateUnion(
     if (distinct.insert(q.ToString()).second) members.push_back(&q);
   }
 
+  // One MVCC pin scope for the whole union (unless the caller already
+  // threaded one through): every member — serial or on the pool — reads
+  // each table at the version pinned by whichever member touched it
+  // first, so the union is one consistent point-in-time answer.
+  SnapshotSet local_pins;
+  EvalOptions union_options = options;
+  if (union_options.snapshots == nullptr) {
+    union_options.snapshots = &local_pins;
+  }
+
   if (options.pool != nullptr && members.size() > 1) {
     // Parallel path: every member evaluates independently (each with a
     // private dedup inside EvaluateCQ), then results merge through a
     // union-level RowDedup in member order — byte-identical to the
     // serial path for any worker count.
-    EvalOptions member_options = options;
+    EvalOptions member_options = union_options;
     member_options.pool = nullptr;
     member_options.tracer = nullptr;  // spans open here, not per inner call
     std::vector<std::optional<Result<std::vector<Row>>>> results(
@@ -442,7 +453,8 @@ Result<std::vector<Row>> EvaluateUnion(
                                        "member" + std::to_string(i));
     }
     size_t before = out.size();
-    REVERE_RETURN_IF_ERROR(EvaluateInto(catalog, *members[i], options, &dedup));
+    REVERE_RETURN_IF_ERROR(
+        EvaluateInto(catalog, *members[i], union_options, &dedup));
     span.AddAttr("rows", static_cast<double>(out.size() - before));
   }
   return out;

@@ -69,6 +69,13 @@ struct EvalOptions {
   /// set, so output is byte-identical for any worker count (and to the
   /// serial path). EvaluateCQ itself never uses the pool.
   ThreadPool* pool = nullptr;
+  /// MVCC pin scope (see storage::SnapshotSet). When set, every table
+  /// touched by the evaluation is read at the version this set pins
+  /// (pinning the head on first touch) — the PDMS answer path shares
+  /// one set across all rewritings of a query so the whole answer is
+  /// computed against one consistent version per table. When null, each
+  /// EvaluateCQ/EvaluateUnion call pins its own scope internally.
+  storage::SnapshotSet* snapshots = nullptr;
 
   // ---- Observability (ISSUE 4) ----
 

@@ -22,7 +22,6 @@ namespace {
 
 using storage::ColumnTable;
 using storage::Row;
-using storage::Table;
 using storage::Value;
 
 /// Tuples per batch through the join pipeline. Small enough that a
@@ -116,7 +115,7 @@ std::vector<uint32_t> BuildXlate(const ColumnTable::Column& src,
 
 ColumnarPlan Compile(
     const ConjunctiveQuery& query,
-    const std::vector<std::pair<const Table*, const Atom*>>& atoms) {
+    const std::vector<ResolvedAtom>& atoms) {
   ColumnarPlan plan;
   // Replay the slot engine's greedy most-bound-first atom order (ties:
   // lowest atom index). The order is query-static: once an atom is
@@ -135,7 +134,7 @@ ColumnarPlan Compile(
     for (size_t i = 0; i < n; ++i) {
       if (done[i]) continue;
       int b = 0;
-      for (const QTerm& t : atoms[i].second->args) {
+      for (const QTerm& t : atoms[i].atom->args) {
         if (!t.is_var() || bound_vars.count(t.var()) > 0) ++b;
       }
       if (b > best_bound) {
@@ -145,7 +144,7 @@ ColumnarPlan Compile(
     }
     done[best] = true;
     order.push_back(best);
-    for (const QTerm& t : atoms[best].second->args) {
+    for (const QTerm& t : atoms[best].atom->args) {
       if (t.is_var()) bound_vars.insert(t.var());
     }
   }
@@ -157,10 +156,11 @@ ColumnarPlan Compile(
   std::unordered_map<std::string, Site> site_of;
   plan.steps.reserve(n);
   for (size_t s = 0; s < n; ++s) {
-    const Table* table = atoms[order[s]].first;
-    const Atom& atom = *atoms[order[s]].second;
+    const Atom& atom = *atoms[order[s]].atom;
     ExecStep step;
-    step.snap = table->EnsureColumnar();
+    // Per-version memoized build: every plan step over this pinned
+    // version — in this query or any other — shares one ColumnTable.
+    step.snap = atoms[order[s]].snap->EnsureColumnar();
     // Pass 1 — probe: first position bound at entry (sites from earlier
     // steps only; this atom's own sites are assigned in pass 2).
     for (size_t c = 0; c < atom.args.size(); ++c) {
@@ -479,7 +479,8 @@ Status EvaluateColumnarInto(const storage::Catalog& catalog,
   // EvaluateUnion, exactly as for the other engines.
   const simd::SimdOps& ops = simd::Ops(options.use_simd);
 
-  REVERE_ASSIGN_OR_RETURN(auto atoms, ResolveAtoms(catalog, query));
+  REVERE_ASSIGN_OR_RETURN(auto atoms,
+                          ResolveAtoms(catalog, query, options.snapshots));
   ColumnarPlan plan = Compile(query, atoms);
 
   {

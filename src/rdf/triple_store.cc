@@ -17,17 +17,17 @@ Triple RowToTriple(const storage::Row& row) {
 }  // namespace
 
 TripleStore::TripleStore()
-    : table_(storage::TableSchema::AllStrings(
-          "triples", {"subject", "predicate", "object", "source"})) {
+    : table_(std::make_unique<storage::Table>(storage::TableSchema::AllStrings(
+          "triples", {"subject", "predicate", "object", "source"}))) {
   // Index every matchable position; Match() picks the most selective.
-  (void)table_.CreateIndex(kSubject);
-  (void)table_.CreateIndex(kPredicate);
-  (void)table_.CreateIndex(kObject);
-  (void)table_.CreateIndex(kSource);
+  (void)table_->CreateIndex(kSubject);
+  (void)table_->CreateIndex(kPredicate);
+  (void)table_->CreateIndex(kObject);
+  (void)table_->CreateIndex(kSource);
 }
 
 Status TripleStore::Add(const Triple& triple) {
-  return table_.Insert({storage::Value(triple.subject),
+  return table_->Insert({storage::Value(triple.subject),
                         storage::Value(triple.predicate),
                         storage::Value(triple.object),
                         storage::Value(triple.source)});
@@ -41,7 +41,7 @@ Status TripleStore::Add(const std::string& subject,
 }
 
 size_t TripleStore::RemoveSource(const std::string& source) {
-  return table_.DeleteWhere(kSource, storage::Value(source));
+  return table_->DeleteWhere(kSource, storage::Value(source));
 }
 
 std::vector<Triple> TripleStore::Match(const TriplePattern& pattern) const {
@@ -72,14 +72,19 @@ std::vector<Triple> TripleStore::Match(const TriplePattern& pattern) const {
     return true;
   };
 
+  // One pinned snapshot per Match call: probe indices and row reads
+  // come from the same immutable version even while triples are added
+  // or a source is retracted concurrently.
+  auto snap = table_->Snapshot();
   if (probe_col) {
     for (size_t idx :
-         table_.LookupIndices(*probe_col, storage::Value(probe_key))) {
-      const storage::Row& row = table_.rows()[idx];
+         snap->LookupIndices(*probe_col, storage::Value(probe_key))) {
+      const storage::Row& row = snap->row(idx);
       if (matches(row)) out.push_back(RowToTriple(row));
     }
   } else {
-    for (const auto& row : table_.rows()) {
+    for (size_t r = 0; r < snap->size(); ++r) {
+      const storage::Row& row = snap->row(r);
       if (matches(row)) out.push_back(RowToTriple(row));
     }
   }

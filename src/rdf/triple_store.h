@@ -1,6 +1,7 @@
 #ifndef REVERE_RDF_TRIPLE_STORE_H_
 #define REVERE_RDF_TRIPLE_STORE_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -52,13 +53,15 @@ class TripleStore {
   std::vector<std::string> ObjectsOf(const std::string& subject,
                                      const std::string& predicate) const;
 
-  size_t size() const { return table_.size(); }
+  size_t size() const { return table_->size(); }
 
   /// Underlying relation, exposed for the executor-level benchmarks.
-  const storage::Table& table() const { return table_; }
+  const storage::Table& table() const { return *table_; }
 
  private:
-  storage::Table table_;
+  /// By pointer so TripleStore stays movable: Table itself is pinned by
+  /// address (MVCC snapshots key on it) and neither copies nor moves.
+  std::unique_ptr<storage::Table> table_;
 };
 
 }  // namespace revere::rdf

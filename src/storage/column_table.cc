@@ -6,16 +6,25 @@ namespace revere::storage {
 
 std::shared_ptr<const ColumnTable> ColumnTable::Build(
     const std::vector<Row>& rows, size_t arity, uint64_t generation) {
+  return Build(
+      rows.size(), [&rows](size_t i) -> const Row& { return rows[i]; },
+      arity, generation);
+}
+
+std::shared_ptr<const ColumnTable> ColumnTable::Build(
+    size_t row_count, const std::function<const Row&(size_t)>& row_at,
+    size_t arity, uint64_t generation) {
   auto ct = std::shared_ptr<ColumnTable>(new ColumnTable());
   ct->generation_ = generation;
-  ct->row_count_ = rows.size();
+  ct->row_count_ = row_count;
   ct->columns_.resize(arity);
   for (size_t col = 0; col < arity; ++col) {
     Column& c = ct->columns_[col];
-    c.codes.reserve(rows.size());
+    c.codes.reserve(row_count);
     // Encode: one dictionary probe per cell; dictionaries stay dense
     // and deterministic because codes are assigned in row order.
-    for (const Row& row : rows) {
+    for (size_t r = 0; r < row_count; ++r) {
+      const Row& row = row_at(r);
       auto [it, inserted] = c.code_of.emplace(
           row[col], static_cast<uint32_t>(c.dict.size()));
       if (inserted) c.dict.push_back(row[col]);

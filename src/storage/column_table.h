@@ -2,6 +2,7 @@
 #define REVERE_STORAGE_COLUMN_TABLE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -70,6 +71,13 @@ class ColumnTable {
   /// generation counter). Rows beyond uint32 range are unsupported.
   static std::shared_ptr<const ColumnTable> Build(
       const std::vector<Row>& rows, size_t arity, uint64_t generation);
+
+  /// Same, over an arbitrary row accessor — `row_at(i)` for i in
+  /// [0, row_count) — so chunked MVCC versions build columnar snapshots
+  /// without first materializing a contiguous row vector.
+  static std::shared_ptr<const ColumnTable> Build(
+      size_t row_count, const std::function<const Row&(size_t)>& row_at,
+      size_t arity, uint64_t generation);
 
   size_t row_count() const { return row_count_; }
   size_t column_count() const { return columns_.size(); }

@@ -37,9 +37,14 @@ std::vector<std::string> SchemaColumnNames(const TableSchema& schema) {
 ScanOp::ScanOp(const Table* table)
     : table_(table), columns_(SchemaColumnNames(table->schema())) {}
 
+void ScanOp::Open() {
+  snap_ = table_->Snapshot();
+  pos_ = 0;
+}
+
 bool ScanOp::Next(Row* out) {
-  if (pos_ >= table_->size()) return false;
-  *out = table_->rows()[pos_++];
+  if (snap_ == nullptr || pos_ >= snap_->size()) return false;
+  *out = snap_->row(pos_++);
   return true;
 }
 
@@ -52,7 +57,8 @@ IndexLookupOp::IndexLookupOp(const Table* table, size_t column, Value key)
       columns_(SchemaColumnNames(table->schema())) {}
 
 void IndexLookupOp::Open() {
-  matches_ = table_->LookupIndices(column_, key_);
+  snap_ = table_->Snapshot();
+  matches_ = snap_->LookupIndices(column_, key_);
   pos_ = 0;
   opened_ = true;
 }
@@ -60,7 +66,7 @@ void IndexLookupOp::Open() {
 bool IndexLookupOp::Next(Row* out) {
   assert(opened_);
   if (pos_ >= matches_.size()) return false;
-  *out = table_->rows()[matches_[pos_++]];
+  *out = snap_->row(matches_[pos_++]);
   return true;
 }
 

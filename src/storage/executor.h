@@ -37,23 +37,28 @@ class Operator {
 
 using OperatorPtr = std::unique_ptr<Operator>;
 
-/// Full-table scan.
+/// Full-table scan. Open() pins an MVCC snapshot held for the
+/// iterator's lifetime, so a scan mid-stream never sees (or races) a
+/// concurrent writer — re-Open() re-pins the then-current version.
 class ScanOp : public Operator {
  public:
   explicit ScanOp(const Table* table);
   const std::vector<std::string>& output_columns() const override {
     return columns_;
   }
-  void Open() override { pos_ = 0; }
+  void Open() override;
   bool Next(Row* out) override;
 
  private:
   const Table* table_;
+  std::shared_ptr<const TableVersion> snap_;
   std::vector<std::string> columns_;
   size_t pos_ = 0;
 };
 
-/// Index-assisted scan of rows where table[column] == key.
+/// Index-assisted scan of rows where table[column] == key. Matches are
+/// resolved against the snapshot pinned at Open(), and rows are read
+/// from that same version for the iterator's lifetime.
 class IndexLookupOp : public Operator {
  public:
   IndexLookupOp(const Table* table, size_t column, Value key);
@@ -65,6 +70,7 @@ class IndexLookupOp : public Operator {
 
  private:
   const Table* table_;
+  std::shared_ptr<const TableVersion> snap_;
   size_t column_;
   Value key_;
   std::vector<std::string> columns_;

@@ -1,233 +1,193 @@
 #include "src/storage/table.h"
 
-#include <algorithm>
-#include <mutex>
+#include <utility>
 
 namespace revere::storage {
 
-Table::Table(Table&& other) noexcept {
-  // The source's index cache may be mid-build on another thread
-  // (EnsureIndex is const and runs from concurrent readers), so its
-  // mutable state must be read under its lock even during a move.
-  std::unique_lock other_lock(other.index_mu_);
-  schema_ = std::move(other.schema_);
-  rows_ = std::move(other.rows_);
-  indexes_ = std::move(other.indexes_);
-  index_dirty_ = other.index_dirty_;
-  generation_ = other.generation_;
-  columnar_ = std::move(other.columnar_);
+/// Append helper for constructing one unpublished successor version:
+/// path-copies the shared tail chunk at most once, then appends into
+/// the private copy in place, opening fresh chunks as they fill. Only
+/// ever touches a version no reader can see yet.
+class VersionBuilder {
+ public:
+  explicit VersionBuilder(TableVersion* v) : v_(v) {}
+
+  void Append(Row row) {
+    if ((v_->size_ & (kChunkRows - 1)) == 0) {
+      auto chunk = std::make_shared<RowChunk>();
+      chunk->rows.reserve(kChunkRows);
+      tail_ = chunk.get();
+      v_->chunks_.push_back(std::move(chunk));
+    } else if (tail_ == nullptr) {
+      auto chunk = std::make_shared<RowChunk>(*v_->chunks_.back());
+      chunk->rows.reserve(kChunkRows);
+      tail_ = chunk.get();
+      v_->chunks_.back() = std::move(chunk);
+    }
+    tail_->rows.push_back(std::move(row));
+    ++v_->size_;
+  }
+
+ private:
+  TableVersion* v_;
+  /// The tail chunk iff this builder created it (and so may mutate it);
+  /// null while chunks_.back() is still shared with the base version.
+  RowChunk* tail_ = nullptr;
+};
+
+Table::Table(TableSchema schema)
+    : schema_(std::make_shared<const TableSchema>(std::move(schema))),
+      sticky_(std::make_shared<TableVersion::StickyColumns>(
+          schema_->arity())) {
+  head_ = std::shared_ptr<TableVersion>(new TableVersion(schema_, sticky_));
 }
 
-Table& Table::operator=(Table&& other) noexcept {
-  if (this != &other) {
-    // Lock both objects' index caches; scoped_lock orders acquisition
-    // to avoid deadlock when two threads cross-assign.
-    std::scoped_lock locks(index_mu_, other.index_mu_);
-    schema_ = std::move(other.schema_);
-    rows_ = std::move(other.rows_);
-    indexes_ = std::move(other.indexes_);
-    index_dirty_ = other.index_dirty_;
-    generation_ = other.generation_;
-    columnar_ = std::move(other.columnar_);
-  }
-  return *this;
+std::shared_ptr<const TableVersion> Table::Snapshot() const {
+  std::shared_lock lock(head_mu_);
+  return head_;
+}
+
+std::shared_ptr<TableVersion> Table::BeginVersion(
+    const TableVersion& base) const {
+  auto v = std::shared_ptr<TableVersion>(new TableVersion(schema_, sticky_));
+  v->chunks_ = base.chunks_;  // structure sharing: chunk pointers only
+  v->size_ = base.size_;
+  v->version_ = base.version_ + 1;
+  return v;
+}
+
+void Table::Publish(std::shared_ptr<const TableVersion> next) {
+  std::unique_lock lock(head_mu_);
+  head_ = std::move(next);
 }
 
 Status Table::Insert(Row row) {
-  REVERE_RETURN_IF_ERROR(schema_.ValidateRow(row));
-  std::unique_lock lock(index_mu_);
-  // Append first, then publish index entries, all inside one critical
-  // section: a concurrent LookupIndices can never observe an index
-  // entry whose row is not yet in rows_ (the pre-fix ordering published
-  // rows_.size() before the push_back, handing readers a dangling row
-  // index).
-  size_t idx = rows_.size();
-  rows_.push_back(std::move(row));
-  if (!index_dirty_) {
-    const Row& stored = rows_.back();
-    for (auto& [col, index] : indexes_) {
-      index[stored[col]].push_back(idx);
-    }
-  }
-  ++generation_;
-  columnar_.reset();
+  REVERE_RETURN_IF_ERROR(schema_->ValidateRow(row));
+  std::lock_guard writer(writer_mu_);
+  // head_ is stable here: only writers swap it, and they hold writer_mu_.
+  auto next = BeginVersion(*head_);
+  VersionBuilder builder(next.get());
+  builder.Append(std::move(row));
+  Publish(std::move(next));
   return Status::Ok();
 }
 
 Status Table::InsertAll(const std::vector<Row>& rows) {
-  // All-or-nothing: validate every row before touching storage, so an
-  // invalid row anywhere in the batch leaves the table exactly as it
-  // was (no partially applied batch to account for).
+  // All-or-nothing: validate every row before building the version, so
+  // an invalid row anywhere in the batch leaves the table exactly as it
+  // was — and concurrent readers, pinned to the old head, never observe
+  // a partial batch either way.
   for (const auto& r : rows) {
-    REVERE_RETURN_IF_ERROR(schema_.ValidateRow(r));
+    REVERE_RETURN_IF_ERROR(schema_->ValidateRow(r));
   }
-  std::unique_lock lock(index_mu_);
-  rows_.reserve(rows_.size() + rows.size());
-  for (const auto& r : rows) {
-    size_t idx = rows_.size();
-    rows_.push_back(r);
-    if (!index_dirty_) {
-      const Row& stored = rows_.back();
-      for (auto& [col, index] : indexes_) {
-        index[stored[col]].push_back(idx);
-      }
-    }
-  }
-  if (!rows.empty()) {
-    ++generation_;
-    columnar_.reset();
-  }
+  if (rows.empty()) return Status::Ok();
+  std::lock_guard writer(writer_mu_);
+  auto next = BeginVersion(*head_);
+  VersionBuilder builder(next.get());
+  for (const auto& r : rows) builder.Append(r);
+  Publish(std::move(next));
   return Status::Ok();
 }
 
 Status Table::Delete(const Row& row) {
-  std::unique_lock lock(index_mu_);
-  auto it = std::find(rows_.begin(), rows_.end(), row);
-  if (it == rows_.end()) {
-    return Status::NotFound("row not present in " + schema_.name());
+  std::lock_guard writer(writer_mu_);
+  const TableVersion& base = *head_;
+  size_t victim = base.size();
+  for (size_t i = 0; i < base.size(); ++i) {
+    if (base.row(i) == row) {
+      victim = i;
+      break;
+    }
   }
-  rows_.erase(it);
-  index_dirty_ = true;
-  ++generation_;
-  columnar_.reset();
+  if (victim == base.size()) {
+    return Status::NotFound("row not present in " + schema_->name());
+  }
+  auto next = BeginVersion(base);
+  // Share every full chunk before the victim's chunk untouched; rebuild
+  // from the victim's chunk on (the suffix must re-pack to keep the
+  // all-chunks-full-except-last invariant).
+  size_t first_rebuilt = (victim >> kChunkRowsLog2) << kChunkRowsLog2;
+  next->chunks_.resize(victim >> kChunkRowsLog2);
+  next->size_ = first_rebuilt;
+  VersionBuilder builder(next.get());
+  for (size_t i = first_rebuilt; i < base.size(); ++i) {
+    if (i == victim) continue;
+    builder.Append(base.row(i));
+  }
+  Publish(std::move(next));
   return Status::Ok();
 }
 
 size_t Table::DeleteWhere(size_t column, const Value& key) {
-  if (column >= schema_.arity()) return 0;
-  std::unique_lock lock(index_mu_);
-  size_t before = rows_.size();
-  rows_.erase(std::remove_if(rows_.begin(), rows_.end(),
-                             [&](const Row& r) { return r[column] == key; }),
-              rows_.end());
-  size_t removed = before - rows_.size();
-  if (removed > 0) {
-    index_dirty_ = true;
-    ++generation_;
-    columnar_.reset();
+  if (column >= schema_->arity()) return 0;
+  std::lock_guard writer(writer_mu_);
+  const TableVersion& base = *head_;
+  size_t first_match = base.size();
+  for (size_t i = 0; i < base.size(); ++i) {
+    if (base.row(i)[column] == key) {
+      first_match = i;
+      break;
+    }
   }
+  if (first_match == base.size()) return 0;
+  auto next = BeginVersion(base);
+  size_t first_rebuilt = (first_match >> kChunkRowsLog2) << kChunkRowsLog2;
+  next->chunks_.resize(first_match >> kChunkRowsLog2);
+  next->size_ = first_rebuilt;
+  VersionBuilder builder(next.get());
+  size_t removed = 0;
+  for (size_t i = first_rebuilt; i < base.size(); ++i) {
+    const Row& r = base.row(i);
+    if (r[column] == key) {
+      ++removed;
+    } else {
+      builder.Append(r);
+    }
+  }
+  Publish(std::move(next));
   return removed;
 }
 
 void Table::Clear() {
-  std::unique_lock lock(index_mu_);
-  rows_.clear();
-  for (auto& [col, index] : indexes_) index.clear();
-  index_dirty_ = false;
-  ++generation_;
-  columnar_.reset();
-}
-
-size_t Table::size() const {
-  std::shared_lock lock(index_mu_);
-  return rows_.size();
-}
-
-uint64_t Table::generation() const {
-  std::shared_lock lock(index_mu_);
-  return generation_;
-}
-
-void Table::BuildIndexLocked(size_t column) const {
-  auto& index = indexes_[column];
-  index.clear();
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    index[rows_[i][column]].push_back(i);
-  }
+  std::lock_guard writer(writer_mu_);
+  auto next = BeginVersion(*head_);
+  next->chunks_.clear();
+  next->size_ = 0;
+  Publish(std::move(next));
 }
 
 Status Table::CreateIndex(size_t column) {
-  if (column >= schema_.arity()) {
-    return Status::OutOfRange("no column " + std::to_string(column) + " in " +
-                              schema_.name());
-  }
-  std::unique_lock lock(index_mu_);
-  BuildIndexLocked(column);
-  return Status::Ok();
+  return Snapshot()->EnsureIndex(column);
 }
 
 Status Table::EnsureIndex(size_t column) const {
-  if (column >= schema_.arity()) {
-    return Status::OutOfRange("no column " + std::to_string(column) + " in " +
-                              schema_.name());
-  }
-  {
-    std::shared_lock lock(index_mu_);
-    if (!index_dirty_ && indexes_.count(column) > 0) return Status::Ok();
-  }
-  std::unique_lock lock(index_mu_);
-  ReindexIfDirtyLocked();
-  // Double-checked: another thread may have built it between the locks.
-  if (indexes_.count(column) == 0) BuildIndexLocked(column);
-  return Status::Ok();
-}
-
-std::shared_ptr<const ColumnTable> Table::EnsureColumnar() const {
-  {
-    // Fast path: a current snapshot exists (mutators reset columnar_,
-    // so presence alone proves generation match — the stamp is kept for
-    // callers that audit staleness themselves).
-    std::shared_lock lock(index_mu_);
-    if (columnar_ != nullptr) return columnar_;
-  }
-  std::unique_lock lock(index_mu_);
-  // Double-checked: another reader may have built it between the locks.
-  if (columnar_ == nullptr) {
-    columnar_ = ColumnTable::Build(rows_, schema_.arity(), generation_);
-  }
-  return columnar_;
+  return Snapshot()->EnsureIndex(column);
 }
 
 bool Table::HasIndex(size_t column) const {
-  std::shared_lock lock(index_mu_);
-  return indexes_.count(column) > 0;
+  return column < schema_->arity() &&
+         sticky_->flags[column].load(std::memory_order_acquire);
 }
 
 size_t Table::index_count() const {
-  std::shared_lock lock(index_mu_);
-  return indexes_.size();
-}
-
-void Table::ReindexIfDirtyLocked() const {
-  if (!index_dirty_) return;
-  for (auto& [col, index] : indexes_) {
-    index.clear();
-    for (size_t i = 0; i < rows_.size(); ++i) {
-      index[rows_[i][col]].push_back(i);
-    }
+  size_t n = 0;
+  for (const auto& flag : sticky_->flags) {
+    if (flag.load(std::memory_order_acquire)) ++n;
   }
-  index_dirty_ = false;
+  return n;
 }
 
 std::vector<size_t> Table::LookupIndices(size_t column,
                                          const Value& key) const {
-  std::vector<size_t> out;
-  if (column >= schema_.arity()) return out;
-  {
-    std::shared_lock lock(index_mu_);
-    auto idx_it = indexes_.find(column);
-    if (idx_it == indexes_.end()) {
-      // Unindexed column: scan, still under the shared lock so a
-      // concurrent Insert cannot reallocate rows_ mid-iteration.
-      for (size_t i = 0; i < rows_.size(); ++i) {
-        if (rows_[i][column] == key) out.push_back(i);
-      }
-      return out;
-    }
-    if (!index_dirty_) {
-      auto hit = idx_it->second.find(key);
-      if (hit != idx_it->second.end()) return hit->second;
-      return out;
-    }
-  }
-  // Indexed but dirty: rebuild under the exclusive lock, then probe.
-  std::unique_lock lock(index_mu_);
-  ReindexIfDirtyLocked();
-  auto idx_it = indexes_.find(column);
-  if (idx_it == indexes_.end()) return out;  // defensive; never erased
-  auto hit = idx_it->second.find(key);
-  if (hit != idx_it->second.end()) return hit->second;
-  return out;
+  return Snapshot()->LookupIndices(column, key);
 }
+
+std::shared_ptr<const ColumnTable> Table::EnsureColumnar() const {
+  return Snapshot()->EnsureColumnar();
+}
+
+size_t Table::size() const { return Snapshot()->size(); }
+
+uint64_t Table::generation() const { return Snapshot()->version(); }
 
 }  // namespace revere::storage

@@ -3,65 +3,65 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
-#include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/storage/column_table.h"
 #include "src/storage/schema.h"
+#include "src/storage/table_version.h"
 #include "src/storage/value.h"
 
 namespace revere::storage {
 
-/// One stored relation: a schema, a row store, optional per-column
-/// hash indexes, and a lazily built columnar snapshot. Bag semantics
-/// (duplicates allowed) — REVERE's MANGROVE layer deliberately defers
-/// uniqueness constraints to applications.
+/// One stored relation: a schema plus a chain of immutable MVCC
+/// versions (TableVersion). Bag semantics (duplicates allowed) —
+/// REVERE's MANGROVE layer deliberately defers uniqueness constraints
+/// to applications.
 ///
-/// Concurrency contract: every member function is internally
-/// synchronized against every other — rows_, the index cache, and the
-/// columnar cache are guarded by one shared_mutex, readers
-/// (LookupIndices/size/HasIndex/EnsureIndex/EnsureColumnar) take shared
-/// locks and mutators (Insert*/Delete*/Clear/CreateIndex) exclusive
-/// ones — so concurrent Insert+LookupIndices is safe and the parallel
-/// query evaluator can build indexes and columnar snapshots on demand
-/// from const tables. The two exceptions, which require quiescence (no
-/// concurrent writers):
-///   - rows(): hands out an unguarded reference into row storage (the
-///     evaluator's scan path relies on this being zero-cost); callers
-///     must not mutate the table while holding it.
-///   - the move operations: the *source's* lock is taken (its index
-///     cache may be mid-build on another thread), but moving a table
-///     someone else is concurrently writing is undefined, as for every
-///     standard container.
-/// EnsureColumnar is safe even against concurrent writers: the snapshot
-/// it returns is immutable and refcounted, so it stays valid after the
-/// table mutates (the next call just builds a fresh one).
+/// Concurrency contract — readers never block, writers never tear:
+///   - Readers call Snapshot() to pin the current head version: a
+///     shared-lock pointer copy, O(1), never contended by in-flight row
+///     mutation. Everything read through the pinned version (rows,
+///     indexes, columnar snapshots) is immutable and stays valid for as
+///     long as the shared_ptr is held, no matter what writers do.
+///   - Writers serialize on a writer mutex, path-copy only the chunks
+///     they touch (an append copies at most the tail chunk's kChunkRows
+///     rows), and publish the new version by swapping the head pointer
+///     under a brief exclusive lock. Readers pinning between versions
+///     see either the old or the new head — never a torn mix.
+/// The old rows() accessor and the quiescence-demanding move contract
+/// are gone: there is no way to observe row storage except through an
+/// immutable version, so there is nothing left to race on.
+///
+/// The convenience forwarders below (size, LookupIndices, ...) each pin
+/// the head themselves; two consecutive calls may see different
+/// versions. Callers that need one consistent view across calls — every
+/// query engine, view maintenance, serialization — hold a Snapshot()
+/// (usually via a per-query SnapshotSet) and read through it.
 class Table {
  public:
-  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+  explicit Table(TableSchema schema);
 
-  /// Movable (the index lock itself is per-object state, not moved).
-  /// The source's lock is held while its state is moved out; see the
-  /// class contract for what moving may run concurrently with.
-  Table(Table&& other) noexcept;
-  Table& operator=(Table&& other) noexcept;
+  /// Tables are pinned by address (Catalog owns them by unique_ptr;
+  /// SnapshotSet keys pins on Table*), so they neither copy nor move.
+  Table(Table&&) = delete;
+  Table& operator=(Table&&) = delete;
 
-  const TableSchema& schema() const { return schema_; }
-  size_t size() const;
-  /// Direct row access for scan loops. NOT internally synchronized —
-  /// see the class concurrency contract.
-  const std::vector<Row>& rows() const { return rows_; }
+  const TableSchema& schema() const { return *schema_; }
+
+  /// Pins the current head version: an immutable point-in-time view of
+  /// all rows plus its memoized indexes. Never blocks on row mutation
+  /// (only on the instant of another writer's head swap).
+  std::shared_ptr<const TableVersion> Snapshot() const;
 
   /// Appends `row` after schema validation.
   Status Insert(Row row);
   /// Appends all rows, all-or-nothing: every row is validated up front
-  /// and the batch is applied only when every row passes, so a failed
-  /// call leaves the table untouched (ISSUE 7 regression: the previous
-  /// version stopped at the first invalid row, leaving a partially
-  /// applied batch with no indication of how many rows landed).
+  /// and the batch publishes as one new version only when every row
+  /// passes, so a failed call leaves the table untouched and readers
+  /// never see a partial batch.
   Status InsertAll(const std::vector<Row>& rows);
 
   /// Removes the first row equal to `row`; NotFound if absent.
@@ -69,65 +69,55 @@ class Table {
   /// Removes every row whose `column`-th value equals `key`; returns the
   /// number removed.
   size_t DeleteWhere(size_t column, const Value& key);
-  /// Drops all rows (indexes are kept but emptied).
+  /// Drops all rows (sticky index columns stay sticky).
   void Clear();
 
-  /// Builds (or rebuilds) a hash index on `column`.
+  /// Marks `column` sticky-indexed (every version indexes it lazily on
+  /// first probe, forever) and builds the current head's index eagerly.
   Status CreateIndex(size_t column);
-  /// Builds a hash index on `column` unless one already exists — the
-  /// memoized on-demand path used by the query evaluator when the join
-  /// order binds an unindexed position. Indexes are never evicted
-  /// (tables are append-rare). const: only the mutable index cache
-  /// changes; safe to call from concurrent readers.
+  /// Same as CreateIndex but const — the memoized on-demand path used
+  /// when a join order binds an unindexed position. Indexes are never
+  /// evicted. Safe from concurrent readers and writers.
   Status EnsureIndex(size_t column) const;
   bool HasIndex(size_t column) const;
-  /// Number of indexed columns (instrumentation for tests/benches).
+  /// Number of sticky-indexed columns (instrumentation).
   size_t index_count() const;
 
-  /// Row indices whose `column` equals `key`, ascending. Uses the hash
-  /// index when one exists, else scans. Pair with rows() under the
-  /// quiescence contract to read the matching rows without copies.
+  /// Row indices whose `column` equals `key`, ascending, against the
+  /// current head. Single-call convenience — pair row access with the
+  /// SAME pinned Snapshot(), not with a second forwarder call.
   std::vector<size_t> LookupIndices(size_t column, const Value& key) const;
 
-  /// Memoized columnar snapshot (ISSUE 7): dictionary-encoded column
-  /// vectors plus grouped row-id indexes, built lazily under the same
-  /// generation discipline as the index cache — any mutation bumps the
-  /// data generation and the next call rebuilds. The returned snapshot
-  /// is immutable and remains valid (frozen at its generation) even if
-  /// the table mutates afterwards. const: only the mutable cache
-  /// changes; safe from concurrent readers AND concurrent writers.
+  /// The current head's memoized columnar snapshot (see
+  /// TableVersion::EnsureColumnar). Immutable; stays valid after the
+  /// table mutates.
   std::shared_ptr<const ColumnTable> EnsureColumnar() const;
 
-  /// Data-version counter: bumped by every successful mutation. A
-  /// ColumnTable snapshot is current iff its generation() matches.
+  /// Rows in the current head version.
+  size_t size() const;
+  /// Data-version counter of the current head: bumped once per
+  /// published mutation (Insert/InsertAll/Delete/DeleteWhere/Clear).
   uint64_t generation() const;
 
  private:
-  /// Rebuilds every index after deletions. Caller holds index_mu_.
-  void ReindexIfDirtyLocked() const;
-  /// Builds the index for `column` from scratch. Caller holds index_mu_.
-  void BuildIndexLocked(size_t column) const;
+  /// Starts a successor version sharing the base's chunk spine, with
+  /// version() = base.version() + 1. Caller holds writer_mu_.
+  std::shared_ptr<TableVersion> BeginVersion(const TableVersion& base) const;
+  /// Swaps the head pointer. Caller holds writer_mu_.
+  void Publish(std::shared_ptr<const TableVersion> next);
 
-  TableSchema schema_;
-  std::vector<Row> rows_;
-  /// Guards rows_, indexes_, index_dirty_, generation_, and columnar_
-  /// for every member function (rows() excepted — see the class
-  /// contract). Readers (probes, scans, snapshot reuse) take shared
-  /// locks; row mutation, index builds, reindexing, and columnar
-  /// rebuilds take exclusive locks.
-  mutable std::shared_mutex index_mu_;
-  // column -> (value -> row indices). Rebuilt lazily after deletions.
-  mutable std::unordered_map<size_t,
-                             std::unordered_map<Value, std::vector<size_t>,
-                                                ValueHash>>
-      indexes_;
-  mutable bool index_dirty_ = false;
-  /// Bumped on every successful mutation; stamps columnar snapshots.
-  uint64_t generation_ = 0;
-  /// Columnar snapshot for generation columnar_->generation(), or null.
-  /// Mutators reset it (memory is freed eagerly; readers holding the
-  /// shared_ptr keep their snapshot alive).
-  mutable std::shared_ptr<const ColumnTable> columnar_;
+  std::shared_ptr<const TableSchema> schema_;
+  /// Sticky-indexed columns, shared by every version of this table.
+  std::shared_ptr<TableVersion::StickyColumns> sticky_;
+  /// Serializes writers. Version construction (validation, path-copies)
+  /// happens under this mutex but NOT under head_mu_, so readers are
+  /// never blocked behind a writer's O(chunk) work.
+  mutable std::mutex writer_mu_;
+  /// Guards only the head pointer. Readers take it shared for the
+  /// duration of one pointer copy; writers take it exclusive for one
+  /// pointer swap.
+  mutable std::shared_mutex head_mu_;
+  std::shared_ptr<const TableVersion> head_;
 };
 
 }  // namespace revere::storage

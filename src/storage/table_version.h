@@ -1,0 +1,158 @@
+#ifndef REVERE_STORAGE_TABLE_VERSION_H_
+#define REVERE_STORAGE_TABLE_VERSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/storage/column_table.h"
+#include "src/storage/schema.h"
+#include "src/storage/value.h"
+
+namespace revere::storage {
+
+class Table;
+
+/// One fixed-capacity block of rows inside a TableVersion. Chunks are
+/// immutable once their version is published and shared by reference
+/// between versions: a writer path-copies only the chunks it touches
+/// (for an append, just the tail chunk) and aliases the rest, so
+/// publishing a new version after a single Insert costs O(kChunkRows)
+/// row copies, not O(table).
+struct RowChunk {
+  std::vector<Row> rows;
+};
+
+/// Rows per chunk. A power of two so row addressing is a shift + mask.
+inline constexpr size_t kChunkRowsLog2 = 8;
+inline constexpr size_t kChunkRows = size_t{1} << kChunkRowsLog2;  // 256
+
+/// One immutable point-in-time version of a Table's rows (the MVCC
+/// snapshot readers pin via Table::Snapshot). The row data — a spine of
+/// shared RowChunk pointers, every chunk full except possibly the last —
+/// never changes after publication, so readers iterate, probe, and build
+/// derived structures with no locks against writers.
+///
+/// Derived read structures are memoized per version, not per table:
+/// because the rows can never change, a version's hash indexes and its
+/// columnar snapshot are built at most once (double-checked under
+/// cache_mu_) and shared by every reader that pinned this version —
+/// the generation/dirty machinery the old Table carried is gone.
+///
+/// Which columns get a hash index is a *table-level* property ("sticky"
+/// columns, shared by every version of one table): CreateIndex or
+/// EnsureIndex on any version marks the column sticky, and from then on
+/// every version — past and future — builds that column's index lazily
+/// on first probe. Indexes are never evicted, matching the pre-MVCC
+/// contract that a column indexed once stays indexed across mutations.
+class TableVersion {
+ public:
+  TableVersion(const TableVersion&) = delete;
+  TableVersion& operator=(const TableVersion&) = delete;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const TableSchema& schema() const { return *schema_; }
+
+  /// Monotone version number (the old Table::generation): 0 for the
+  /// empty initial version, +1 per published data mutation.
+  uint64_t version() const { return version_; }
+
+  /// Row `i` of this version. Shift + mask into the chunk spine.
+  const Row& row(size_t i) const {
+    return chunks_[i >> kChunkRowsLog2]->rows[i & (kChunkRows - 1)];
+  }
+
+  /// Materializes all rows into one vector (serialization, delta
+  /// catalogs). The snapshot stays the source of truth; this copies.
+  std::vector<Row> CopyRows() const;
+
+  /// True when `column` is sticky-indexed for this table (probes on it
+  /// take the index path, built on demand for this version).
+  bool HasIndex(size_t column) const;
+  /// Marks `column` sticky and builds this version's index for it now.
+  /// const: only memoized caches and the shared sticky set change.
+  Status EnsureIndex(size_t column) const;
+  /// Number of sticky-indexed columns (instrumentation).
+  size_t index_count() const;
+
+  /// Row indices whose `column` equals `key`, ascending. Probes the
+  /// memoized per-version hash index when the column is sticky (building
+  /// it on first use), else scans — both lock-free w.r.t. writers.
+  std::vector<size_t> LookupIndices(size_t column, const Value& key) const;
+
+  /// This version's memoized columnar snapshot, built on first call and
+  /// shared by all pinners. Stamped with version().
+  std::shared_ptr<const ColumnTable> EnsureColumnar() const;
+
+ private:
+  friend class Table;
+  friend class VersionBuilder;
+
+  /// Sticky-indexed column flags, one shared instance per Table (every
+  /// version aliases it). Atomic flags: marked from const readers,
+  /// read on every probe.
+  struct StickyColumns {
+    explicit StickyColumns(size_t arity) : flags(arity) {}
+    std::vector<std::atomic<bool>> flags;
+  };
+
+  using HashIndex = std::unordered_map<Value, std::vector<size_t>, ValueHash>;
+
+  TableVersion(std::shared_ptr<const TableSchema> schema,
+               std::shared_ptr<StickyColumns> sticky)
+      : schema_(std::move(schema)), sticky_(std::move(sticky)) {}
+
+  /// Builds (or finds) the memoized index for `column`; returns a
+  /// pointer stable for this version's lifetime.
+  const HashIndex* BuildOrGetIndex(size_t column) const;
+
+  std::shared_ptr<const TableSchema> schema_;
+  std::shared_ptr<StickyColumns> sticky_;
+  /// Row storage: all chunks full (kChunkRows) except possibly the last.
+  /// Immutable after publication; chunks shared with other versions.
+  std::vector<std::shared_ptr<const RowChunk>> chunks_;
+  size_t size_ = 0;
+  uint64_t version_ = 0;
+
+  /// Guards only the memoized caches below. Never held while a reader
+  /// touches row data, and writers to the owning Table never take it.
+  mutable std::shared_mutex cache_mu_;
+  mutable std::unordered_map<size_t, HashIndex> indexes_;
+  mutable std::shared_ptr<const ColumnTable> columnar_;
+};
+
+/// Per-query pin set: the first access to each Table pins its head
+/// version, and every later access through the set sees that same
+/// version — one consistent snapshot per table for the whole query, no
+/// matter how many rewritings, engines, or pool workers touch it.
+/// Thread-safe (the parallel union path pins from pool workers).
+class SnapshotSet {
+ public:
+  SnapshotSet() = default;
+  SnapshotSet(const SnapshotSet&) = delete;
+  SnapshotSet& operator=(const SnapshotSet&) = delete;
+
+  /// The pinned version of `table`, pinning its current head on first
+  /// call for this table.
+  std::shared_ptr<const TableVersion> Pin(const Table& table);
+
+  /// The already-pinned version, or null when `table` was never pinned.
+  std::shared_ptr<const TableVersion> Get(const Table& table) const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<const Table*, std::shared_ptr<const TableVersion>>
+      pins_;
+};
+
+}  // namespace revere::storage
+
+#endif  // REVERE_STORAGE_TABLE_VERSION_H_

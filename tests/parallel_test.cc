@@ -420,13 +420,14 @@ TEST(ConcurrentIndexTest, InsertRacingLookupIndicesIsSafe) {
   EXPECT_EQ(violations.load(), 0);
   EXPECT_EQ(t.size(), size_t{kWriters * kRowsPerWriter});
   // Quiescent: the index agrees with a full scan for every key.
+  auto quiesced = t.Snapshot();
   for (int k = 0; k < 7; ++k) {
     Value key("k" + std::to_string(k));
     std::vector<size_t> expected;
-    for (size_t i = 0; i < t.rows().size(); ++i) {
-      if (t.rows()[i][0] == key) expected.push_back(i);
+    for (size_t i = 0; i < quiesced->size(); ++i) {
+      if (quiesced->row(i)[0] == key) expected.push_back(i);
     }
-    EXPECT_EQ(t.LookupIndices(0, key), expected) << "key " << k;
+    EXPECT_EQ(quiesced->LookupIndices(0, key), expected) << "key " << k;
   }
 }
 
@@ -479,13 +480,14 @@ TEST(ConcurrentIndexTest, DirtyRebuildRacingReadersIsSafe) {
   auto snap = t.EnsureColumnar();
   EXPECT_EQ(snap->generation(), t.generation());
   EXPECT_EQ(snap->row_count(), t.size());
+  auto quiesced = t.Snapshot();
   for (int k = 0; k < 5; ++k) {
     Value key("k" + std::to_string(k));
     size_t scanned = 0;
-    for (const Row& row : t.rows()) {
-      if (row[0] == key) ++scanned;
+    for (size_t i = 0; i < quiesced->size(); ++i) {
+      if (quiesced->row(i)[0] == key) ++scanned;
     }
-    EXPECT_EQ(t.LookupIndices(0, key).size(), scanned) << "key " << k;
+    EXPECT_EQ(quiesced->LookupIndices(0, key).size(), scanned) << "key " << k;
     uint32_t code = snap->CodeOf(0, key);
     size_t grouped = code == ColumnTable::kNoCode
                          ? 0

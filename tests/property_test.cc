@@ -247,16 +247,16 @@ TEST_P(MaintenanceProperty, IncrementalEqualsRecompute) {
     // Random deletes of existing rows.
     auto table = catalog.GetTable(u.relation);
     ASSERT_TRUE(table.ok());
+    std::vector<Row> table_rows = (*table)->Snapshot()->CopyRows();
     size_t n_del = rng.Uniform(2);
-    for (size_t i = 0; i < n_del && !(*table)->rows().empty(); ++i) {
-      u.deletes.push_back(
-          (*table)->rows()[rng.Index((*table)->rows().size())]);
+    for (size_t i = 0; i < n_del && !table_rows.empty(); ++i) {
+      u.deletes.push_back(table_rows[rng.Index(table_rows.size())]);
     }
     // Apply deletes that duplicate earlier picks only once.
     std::vector<Row> unique_deletes;
     for (const auto& d : u.deletes) {
       if (std::count(unique_deletes.begin(), unique_deletes.end(), d) <
-          std::count((*table)->rows().begin(), (*table)->rows().end(), d)) {
+          std::count(table_rows.begin(), table_rows.end(), d)) {
         unique_deletes.push_back(d);
       }
     }

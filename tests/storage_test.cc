@@ -80,37 +80,43 @@ TEST(SchemaTest, AllStringsAndToString) {
   EXPECT_EQ(s.ToString(), "t(a:STRING, b:STRING)");
 }
 
-Table MakeCourses() {
-  Table t(TableSchema("course", {{"id", ValueType::kInt},
-                                 {"title", ValueType::kString},
-                                 {"dept", ValueType::kString},
-                                 {"size", ValueType::kInt}}));
-  EXPECT_TRUE(t.Insert({Value(1), Value("Databases"), Value("CSE"),
-                        Value(120)})
+std::unique_ptr<Table> MakeCourses() {
+  // By pointer: MVCC tables are pinned by address (snapshots key on
+  // Table*), so Table itself neither copies nor moves (ISSUE 10).
+  auto t = std::make_unique<Table>(
+      TableSchema("course", {{"id", ValueType::kInt},
+                             {"title", ValueType::kString},
+                             {"dept", ValueType::kString},
+                             {"size", ValueType::kInt}}));
+  EXPECT_TRUE(t->Insert({Value(1), Value("Databases"), Value("CSE"),
+                         Value(120)})
                   .ok());
   EXPECT_TRUE(
-      t.Insert({Value(2), Value("Compilers"), Value("CSE"), Value(60)}).ok());
-  EXPECT_TRUE(
-      t.Insert({Value(3), Value("Ancient History"), Value("HIST"), Value(45)})
+      t->Insert({Value(2), Value("Compilers"), Value("CSE"), Value(60)})
           .ok());
-  EXPECT_TRUE(
-      t.Insert({Value(4), Value("Medieval History"), Value("HIST"),
-                Value(30)})
-          .ok());
+  EXPECT_TRUE(t->Insert({Value(3), Value("Ancient History"), Value("HIST"),
+                         Value(45)})
+                  .ok());
+  EXPECT_TRUE(t->Insert({Value(4), Value("Medieval History"), Value("HIST"),
+                         Value(30)})
+                  .ok());
   return t;
 }
 
-/// Matching rows by value, via the index path plus rows() — the copying
-/// convenience the deleted Table::Lookup used to provide (ISSUE 7: the
-/// evaluator never copies, so the helper lives with the tests now).
+/// Matching rows by value, via the index path of one pinned snapshot —
+/// the copying convenience the deleted Table::Lookup used to provide
+/// (ISSUE 7), now reading indices and rows from the same version
+/// (ISSUE 10: rows() is gone; snapshots are the only row access).
 std::vector<Row> LookupRows(const Table& t, size_t col, const Value& key) {
   std::vector<Row> out;
-  for (size_t i : t.LookupIndices(col, key)) out.push_back(t.rows()[i]);
+  auto snap = t.Snapshot();
+  for (size_t i : snap->LookupIndices(col, key)) out.push_back(snap->row(i));
   return out;
 }
 
 TEST(TableTest, InsertValidatesSchema) {
-  Table t = MakeCourses();
+  auto t_owner = MakeCourses();
+  Table& t = *t_owner;
   EXPECT_EQ(t.size(), 4u);
   EXPECT_FALSE(t.Insert({Value("bad"), Value("x"), Value("y"), Value(1)})
                    .ok());
@@ -121,7 +127,8 @@ TEST(TableTest, InsertValidatesSchema) {
 // invalid row in the middle landed its prefix and reported an error —
 // with no indication of how many rows had been applied.
 TEST(TableTest, InsertAllIsAllOrNothing) {
-  Table t = MakeCourses();
+  auto t_owner = MakeCourses();
+  Table& t = *t_owner;
   ASSERT_TRUE(t.CreateIndex(2).ok());
   uint64_t before_gen = t.generation();
   Status failed = t.InsertAll(
@@ -147,7 +154,8 @@ TEST(TableTest, InsertAllIsAllOrNothing) {
 }
 
 TEST(TableTest, IndexedLookup) {
-  Table t = MakeCourses();
+  auto t_owner = MakeCourses();
+  Table& t = *t_owner;
   ASSERT_TRUE(t.CreateIndex(2).ok());
   EXPECT_TRUE(t.HasIndex(2));
   auto rows = LookupRows(t, 2, Value("CSE"));
@@ -156,13 +164,15 @@ TEST(TableTest, IndexedLookup) {
 }
 
 TEST(TableTest, UnindexedLookupScans) {
-  Table t = MakeCourses();
+  auto t_owner = MakeCourses();
+  Table& t = *t_owner;
   EXPECT_FALSE(t.HasIndex(1));
   EXPECT_EQ(LookupRows(t, 1, Value("Compilers")).size(), 1u);
 }
 
 TEST(TableTest, IndexMaintainedAcrossInsert) {
-  Table t = MakeCourses();
+  auto t_owner = MakeCourses();
+  Table& t = *t_owner;
   ASSERT_TRUE(t.CreateIndex(2).ok());
   ASSERT_TRUE(
       t.Insert({Value(5), Value("Calculus"), Value("MATH"), Value(200)})
@@ -171,7 +181,8 @@ TEST(TableTest, IndexMaintainedAcrossInsert) {
 }
 
 TEST(TableTest, DeleteAndReindex) {
-  Table t = MakeCourses();
+  auto t_owner = MakeCourses();
+  Table& t = *t_owner;
   ASSERT_TRUE(t.CreateIndex(2).ok());
   Row victim{Value(2), Value("Compilers"), Value("CSE"), Value(60)};
   ASSERT_TRUE(t.Delete(victim).ok());
@@ -181,7 +192,8 @@ TEST(TableTest, DeleteAndReindex) {
 }
 
 TEST(TableTest, DeleteWhere) {
-  Table t = MakeCourses();
+  auto t_owner = MakeCourses();
+  Table& t = *t_owner;
   ASSERT_TRUE(t.CreateIndex(2).ok());
   EXPECT_EQ(t.DeleteWhere(2, Value("HIST")), 2u);
   EXPECT_EQ(t.size(), 2u);
@@ -189,13 +201,14 @@ TEST(TableTest, DeleteWhere) {
 }
 
 TEST(TableTest, CreateIndexOutOfRange) {
-  Table t = MakeCourses();
+  auto t_owner = MakeCourses();
+  Table& t = *t_owner;
   EXPECT_FALSE(t.CreateIndex(99).ok());
 }
 
 TEST(TableTest, EnsureIndexMemoizesOnConstTable) {
-  Table t = MakeCourses();
-  const Table& ct = t;
+  auto t_owner = MakeCourses();
+  const Table& ct = *t_owner;
   EXPECT_EQ(ct.index_count(), 0u);
   ASSERT_TRUE(ct.EnsureIndex(2).ok());
   EXPECT_TRUE(ct.HasIndex(2));
@@ -208,15 +221,17 @@ TEST(TableTest, EnsureIndexMemoizesOnConstTable) {
 }
 
 TEST(TableTest, RowsInsertedAfterEnsureIndexAreFound) {
-  Table t = MakeCourses();
+  auto t_owner = MakeCourses();
+  Table& t = *t_owner;
   ASSERT_TRUE(t.EnsureIndex(2).ok());
   ASSERT_TRUE(
       t.Insert({Value(5), Value("Algebra"), Value("MATH"), Value(200)})
           .ok());
-  auto hits = t.LookupIndices(2, Value("MATH"));
+  auto snap = t.Snapshot();
+  auto hits = snap->LookupIndices(2, Value("MATH"));
   ASSERT_EQ(hits.size(), 1u);
-  EXPECT_EQ(t.rows()[hits[0]][1].as_string(), "Algebra");
-  // And after a delete forces a dirty rebuild, still consistent.
+  EXPECT_EQ(snap->row(hits[0])[1].as_string(), "Algebra");
+  // And after a delete publishes a new version, still consistent.
   ASSERT_TRUE(t.Delete({Value(1), Value("Databases"), Value("CSE"),
                         Value(120)})
                   .ok());
@@ -251,10 +266,11 @@ TEST(TableTest, LookupIndicesAgreesWithScanRandomized) {
                         ? Value("s" + std::to_string(rng.Index(12)))
                         : Value(static_cast<int64_t>(rng.Index(30)));
         std::vector<size_t> expected;
-        for (size_t i = 0; i < t.rows().size(); ++i) {
-          if (t.rows()[i][col] == key) expected.push_back(i);
+        auto snap = t.Snapshot();
+        for (size_t i = 0; i < snap->size(); ++i) {
+          if (snap->row(i)[col] == key) expected.push_back(i);
         }
-        EXPECT_EQ(t.LookupIndices(col, key), expected)
+        EXPECT_EQ(snap->LookupIndices(col, key), expected)
             << "round " << round << " col " << col << " key "
             << key.ToString();
       }
@@ -262,29 +278,32 @@ TEST(TableTest, LookupIndicesAgreesWithScanRandomized) {
   }
 }
 
-// ISSUE 5 satellite: dedicated staleness coverage for the dirty-rebuild
-// path — delete, look up (forces a rebuild), reinsert, look up again —
-// through both an indexed and an unindexed column, for LookupIndices
-// and DeleteWhere.
+// ISSUE 5 satellite, re-aimed by ISSUE 10: delete, look up (the new
+// version builds its sticky index lazily on first probe), reinsert,
+// look up again — through both an indexed and an unindexed column, for
+// LookupIndices and DeleteWhere.
 TEST(TableTest, LookupIndicesStaleAfterDeleteThenReinsert) {
-  Table t = MakeCourses();
+  auto t_owner = MakeCourses();
+  Table& t = *t_owner;
   ASSERT_TRUE(t.CreateIndex(2).ok());
   EXPECT_EQ(t.LookupIndices(2, Value("CSE")).size(), 2u);
 
   ASSERT_TRUE(
       t.Delete({Value(1), Value("Databases"), Value("CSE"), Value(120)})
           .ok());
-  // First post-delete probe hits the dirty path and rebuilds.
-  std::vector<size_t> cse = t.LookupIndices(2, Value("CSE"));
+  // First post-delete probe builds the sticky index on the new version.
+  auto after_delete = t.Snapshot();
+  std::vector<size_t> cse = after_delete->LookupIndices(2, Value("CSE"));
   ASSERT_EQ(cse.size(), 1u);
-  EXPECT_EQ(t.rows()[cse[0]][1], Value("Compilers"));
+  EXPECT_EQ(after_delete->row(cse[0])[1], Value("Compilers"));
 
   ASSERT_TRUE(
       t.Insert({Value(5), Value("Networks"), Value("CSE"), Value(80)}).ok());
-  // Reinsert after the rebuild must publish live index entries again.
-  cse = t.LookupIndices(2, Value("CSE"));
+  // Reinsert publishes yet another version with live index entries.
+  auto after_insert = t.Snapshot();
+  cse = after_insert->LookupIndices(2, Value("CSE"));
   ASSERT_EQ(cse.size(), 2u);
-  EXPECT_EQ(t.rows()[cse[1]][1], Value("Networks"));
+  EXPECT_EQ(after_insert->row(cse[1])[1], Value("Networks"));
 
   // Unindexed column: the scan path must see the same post-delete rows.
   EXPECT_EQ(t.LookupIndices(1, Value("Databases")).size(), 0u);
@@ -292,7 +311,8 @@ TEST(TableTest, LookupIndicesStaleAfterDeleteThenReinsert) {
 }
 
 TEST(TableTest, LookupStaleAfterDeleteWhereThenReinsert) {
-  Table t = MakeCourses();
+  auto t_owner = MakeCourses();
+  Table& t = *t_owner;
   ASSERT_TRUE(t.CreateIndex(2).ok());
   EXPECT_EQ(t.DeleteWhere(2, Value("HIST")), 2u);
   EXPECT_EQ(LookupRows(t, 2, Value("HIST")).size(), 0u);
@@ -310,27 +330,30 @@ TEST(TableTest, LookupStaleAfterDeleteWhereThenReinsert) {
   EXPECT_EQ(t.size(), 3u);
 }
 
-// ISSUE 5 satellite: moving a table must carry its index cache and
-// dirty flag, and the moved-into table must keep answering correctly.
-TEST(TableTest, MoveCarriesIndexesAndDirtyState) {
-  Table t = MakeCourses();
+// ISSUE 10: the move contract (and its "quiescence required" caveat)
+// is gone — tables are pinned by address. What must carry across
+// mutations instead is the sticky index set: a column indexed once
+// stays indexed on every later version, and a snapshot pinned before a
+// mutation keeps answering from its own frozen state.
+TEST(TableTest, StickyIndexAndPinnedSnapshotSurviveMutations) {
+  auto t_owner = MakeCourses();
+  Table& t = *t_owner;
   ASSERT_TRUE(t.CreateIndex(2).ok());
+  auto before = t.Snapshot();
+  EXPECT_EQ(LookupRows(t, 2, Value("CSE")).size(), 2u);
 
-  Table moved(std::move(t));
-  EXPECT_TRUE(moved.HasIndex(2));
-  EXPECT_EQ(moved.size(), 4u);
-  EXPECT_EQ(LookupRows(moved, 2, Value("CSE")).size(), 2u);
-
-  // Dirty state must survive a move-assignment: delete (marks dirty),
-  // move, then probe — the rebuild happens in the destination.
   ASSERT_TRUE(
-      moved.Delete({Value(1), Value("Databases"), Value("CSE"), Value(120)})
+      t.Delete({Value(1), Value("Databases"), Value("CSE"), Value(120)})
           .ok());
-  Table dest(TableSchema::AllStrings("sink", {"x"}));
-  dest = std::move(moved);
-  EXPECT_TRUE(dest.HasIndex(2));
-  EXPECT_EQ(LookupRows(dest, 2, Value("CSE")).size(), 1u);
-  EXPECT_EQ(dest.size(), 3u);
+  // The live table answers from the post-delete version...
+  EXPECT_TRUE(t.HasIndex(2));
+  EXPECT_EQ(LookupRows(t, 2, Value("CSE")).size(), 1u);
+  EXPECT_EQ(t.size(), 3u);
+  // ...while the pinned snapshot still sees the pre-delete state, with
+  // its own (lazily built, per-version) index over the old rows.
+  EXPECT_EQ(before->size(), 4u);
+  EXPECT_EQ(before->LookupIndices(2, Value("CSE")).size(), 2u);
+  EXPECT_EQ(before->row(0)[1], Value("Databases"));
 }
 
 // ---------------------------------------------------------------------
@@ -350,9 +373,10 @@ TEST(ColumnTableTest, DictionaryRoundTripsEveryCell) {
   ASSERT_EQ(snap->row_count(), 4u);
   ASSERT_EQ(snap->column_count(), 2u);
   // Every cell decodes back to the stored value.
-  for (size_t r = 0; r < t.rows().size(); ++r) {
+  auto rows = t.Snapshot();
+  for (size_t r = 0; r < rows->size(); ++r) {
     for (size_t c = 0; c < 2; ++c) {
-      EXPECT_EQ(snap->ValueAt(c, r), t.rows()[r][c]) << r << "," << c;
+      EXPECT_EQ(snap->ValueAt(c, r), rows->row(r)[c]) << r << "," << c;
     }
   }
   // Column 0 holds three distinct values; the duplicate shares a code.
@@ -419,7 +443,8 @@ TEST(ColumnTableTest, SimdPaddingAndValueHashes) {
 }
 
 TEST(ColumnTableTest, GenerationDisciplineAndImmutability) {
-  Table t = MakeCourses();
+  auto t_owner = MakeCourses();
+  Table& t = *t_owner;
   auto snap = t.EnsureColumnar();
   // Memoized: a second call returns the identical snapshot.
   EXPECT_EQ(t.EnsureColumnar().get(), snap.get());
